@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the substrates: mesh generation,
+//! per-direction DAG induction + leveling, and the multilevel
+//! partitioner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sweep_dag::{induce_dag, levels};
+use sweep_mesh::{generate, GeneratorConfig, MeshPreset, SweepMesh, Vec3};
+use sweep_partition::{block_partition, CsrGraph, PartitionOptions};
+use sweep_quadrature::QuadratureSet;
+
+fn mesh_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_generation");
+    group.sample_size(10);
+    for n in [6usize, 10, 14] {
+        group.bench_with_input(BenchmarkId::new("cube", n * n * n * 12), &n, |b, &n| {
+            b.iter(|| black_box(generate(&GeneratorConfig::cube(n, 1)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn dag_induction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_induction");
+    group.sample_size(10);
+    let mesh = MeshPreset::Tetonly.build_scaled(0.1).unwrap();
+    let quad = QuadratureSet::level_symmetric(4).unwrap();
+    let omega = quad.direction(sweep_quadrature::DirectionId(0));
+    group.bench_function("induce_one_direction", |b| {
+        b.iter(|| black_box(induce_dag(&mesh, omega)))
+    });
+    let (dag, _) = induce_dag(&mesh, omega);
+    group.bench_function("levels", |b| b.iter(|| black_box(levels(&dag))));
+    group.bench_function("b_levels", |b| {
+        b.iter(|| black_box(sweep_dag::b_levels(&dag)))
+    });
+    group.bench_function("descendants_approx", |b| {
+        b.iter(|| black_box(sweep_dag::descendant_counts_approx(&dag)))
+    });
+    group.finish();
+}
+
+fn partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+    let mesh = MeshPreset::Tetonly.build_scaled(0.1).unwrap();
+    let (xadj, adjncy) = mesh.adjacency_csr();
+    let graph = CsrGraph::from_csr_parts(xadj, adjncy);
+    for block in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("block_partition", block), &block, |b, &bs| {
+            b.iter(|| {
+                black_box(block_partition(&graph, bs, &PartitionOptions::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quadrature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadrature");
+    group.bench_function("s8", |b| {
+        b.iter(|| black_box(QuadratureSet::level_symmetric(8).unwrap()))
+    });
+    group.bench_function("random_256", |b| {
+        b.iter(|| black_box(QuadratureSet::random_unit(256, 1).unwrap()))
+    });
+    let _ = Vec3::ZERO;
+    group.finish();
+}
+
+criterion_group!(benches, mesh_generation, dag_induction, partitioner, quadrature);
+criterion_main!(benches);

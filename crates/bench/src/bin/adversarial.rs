@@ -1,0 +1,73 @@
+//! **Worst-case family** — the separation motivating the paper's §2: on
+//! non-mesh-like instances, heuristics without random delays can be a
+//! factor Θ(k) (here: up to Ω(m)-like) away from optimal, while the
+//! random-delay algorithms stay close. Instances: identical chains (all
+//! directions share one chain) and the bottleneck family.
+//!
+//! ```sh
+//! cargo run --release -p sweep-bench --bin adversarial -- --scale 0.05
+//! ```
+
+use sweep_bench::{BenchArgs, CsvSink};
+use sweep_core::{
+    lower_bounds, random_delay_priorities_with, random_delay_with, random_delays,
+    validate, Algorithm, Assignment,
+};
+use sweep_dag::SweepInstance;
+
+fn main() {
+    let args = BenchArgs::parse();
+    // Sizes grow with --scale but stay test-friendly.
+    let n = ((2000.0 * args.scale) as usize).max(50);
+    let k = 24usize;
+    let m = 32usize;
+    let mut sink = CsvSink::new(
+        &args,
+        "adversarial",
+        "instance,algorithm,makespan,lower_bound,ratio",
+    );
+    let instances: Vec<SweepInstance> = vec![
+        SweepInstance::identical_chains(n, k),
+        SweepInstance::bottleneck((m / 2).max(2), (n / 20).max(2), k),
+        SweepInstance::random_chains(n, k.min(8), args.seed),
+    ];
+    for inst in &instances {
+        let lb = lower_bounds(inst, m).best();
+        let a = Assignment::random_cells(inst.num_cells(), m, args.seed);
+        let delays = random_delays(inst.num_directions(), args.seed ^ 0xad);
+        let zero = vec![0u32; inst.num_directions()];
+
+        let runs: Vec<(String, sweep_core::Schedule)> = vec![
+            (
+                "layered_no_delays".into(),
+                random_delay_with(inst, a.clone(), &zero),
+            ),
+            (
+                "layered_random_delays".into(),
+                random_delay_with(inst, a.clone(), &delays),
+            ),
+            (
+                "rdp".into(),
+                random_delay_priorities_with(inst, a.clone(), &delays),
+            ),
+            (
+                Algorithm::Greedy.name(),
+                Algorithm::Greedy.run(inst, a.clone(), args.seed),
+            ),
+            (
+                Algorithm::Dfds { delays: false }.name(),
+                Algorithm::Dfds { delays: false }.run(inst, a.clone(), args.seed),
+            ),
+        ];
+        for (name, s) in runs {
+            validate(inst, &s).expect("feasible");
+            sink.row(format_args!(
+                "{inst_name},{name},{mk},{lb},{ratio:.2}",
+                inst_name = inst.name(),
+                mk = s.makespan(),
+                ratio = s.makespan() as f64 / lb as f64,
+            ));
+        }
+    }
+    sink.finish();
+}

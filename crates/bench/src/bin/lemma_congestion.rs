@@ -1,0 +1,61 @@
+//! **Lemmas 2 & 3, empirically** — measures the per-layer congestion
+//! quantities the analysis bounds: the maximum number of copies of one
+//! cell in a combined layer (Lemma 2: `O(log n)` w.h.p.) and the maximum
+//! number of one layer's tasks on one processor (Lemma 3:
+//! `O(max{|V_r|/m, 1}·log² n)` w.h.p.), and compares them against the
+//! Chernoff envelopes of Lemma 1.
+//!
+//! ```sh
+//! cargo run --release -p sweep-bench --bin lemma_congestion -- --scale 0.05
+//! ```
+
+use sweep_bench::{BenchArgs, CsvSink};
+use sweep_core::{chernoff_f, layer_congestion, random_delays, Assignment};
+use sweep_mesh::MeshPreset;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut sink = CsvSink::new(
+        &args,
+        "lemma_congestion",
+        "mesh,k,m,trial,max_copies,log_n,max_proc_load,width_over_m_log2n,f_envelope",
+    );
+    for preset in [MeshPreset::Tetonly, MeshPreset::Long] {
+        let (_, instance) = args.instance(preset, 4);
+        let n = instance.num_cells();
+        let k = instance.num_directions();
+        let log_n = (n as f64).ln();
+        for m in [16usize, 64] {
+            for trial in 0..5u64 {
+                let seed = args.seed ^ (trial << 8) ^ m as u64;
+                let a = Assignment::random_cells(n, m, seed);
+                let d = random_delays(k, seed ^ 0xc0ffee);
+                let st = layer_congestion(&instance, &a, &d);
+                // Lemma 3 envelope: max{width/m, 1} · log² n.
+                let env3 = (st.max_layer_width as f64 / m as f64).max(1.0)
+                    * log_n
+                    * log_n;
+                // Lemma 1(b) threshold for mean 1, failure prob 1/n².
+                let f = chernoff_f(1.0, 1.0 / (n as f64 * n as f64), 1.0);
+                sink.row(format_args!(
+                    "{name},{k},{m},{trial},{copies},{log_n:.2},{load},{env3:.1},{f:.2}",
+                    name = preset.name(),
+                    copies = st.max_copies_per_cell_layer,
+                    load = st.max_tasks_per_proc_layer,
+                ));
+                assert!(
+                    (st.max_copies_per_cell_layer as f64) <= 3.0 * log_n + 3.0,
+                    "Lemma 2 violated empirically: {} copies vs ln n = {log_n:.1}",
+                    st.max_copies_per_cell_layer
+                );
+                assert!(
+                    (st.max_tasks_per_proc_layer as f64) <= env3,
+                    "Lemma 3 violated empirically: {} vs {env3:.1}",
+                    st.max_tasks_per_proc_layer
+                );
+            }
+        }
+    }
+    eprintln!("# all trials within the Lemma 2/3 envelopes");
+    sink.finish();
+}

@@ -1,0 +1,57 @@
+//! **Extension: variance of the randomized algorithms** — Theorems 1–2
+//! are "with high probability" statements; this experiment replicates
+//! each randomized algorithm across independent delay/assignment draws
+//! and reports mean ± std of the makespan, confirming that the makespan
+//! concentrates tightly (coefficient of variation of a few percent) so
+//! single-draw comparisons like the paper's plots are meaningful.
+//!
+//! ```sh
+//! cargo run --release -p sweep-bench --bin variance_study -- --scale 0.05
+//! ```
+
+use sweep_bench::{BenchArgs, CsvSink};
+use sweep_core::{lower_bounds, replicate, Algorithm, AssignmentDraw};
+use sweep_mesh::MeshPreset;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (_, instance) = args.instance(MeshPreset::Tetonly, 4);
+    let runs = 10;
+    let mut sink = CsvSink::new(
+        &args,
+        "variance_study",
+        "algorithm,m,runs,min,mean,max,std_dev,cv,mean_ratio_lb",
+    );
+    for m in [16usize, 64, 256] {
+        if m * 4 > instance.num_tasks() {
+            continue;
+        }
+        let lb = lower_bounds(&instance, m).paper() as f64;
+        for alg in [
+            Algorithm::RandomDelay,
+            Algorithm::RandomDelayPriorities,
+            Algorithm::DescendantPriority { delays: true },
+            Algorithm::Dfds { delays: true },
+        ] {
+            let sum = replicate(
+                &instance,
+                alg,
+                m,
+                &AssignmentDraw::RandomCells,
+                args.seed,
+                runs,
+            );
+            sink.row(format_args!(
+                "{name},{m},{runs},{min},{mean:.1},{max},{sd:.1},{cv:.4},{ratio:.3}",
+                name = alg.name(),
+                min = sum.min,
+                mean = sum.mean,
+                max = sum.max,
+                sd = sum.std_dev,
+                cv = sum.cv(),
+                ratio = sum.mean / lb,
+            ));
+        }
+    }
+    sink.finish();
+}

@@ -1,0 +1,515 @@
+//! Implementation of the `sweep` command-line tool.
+//!
+//! Subcommands (see [`HELP`]):
+//!
+//! * `mesh` — generate a preset mesh, report statistics/quality, export VTK;
+//! * `stats` — per-direction DAG statistics of an instance;
+//! * `schedule` — run any algorithm, report makespan/bounds/C1/C2,
+//!   optionally export the schedule CSV, a Gantt chart, or a VTK file;
+//! * `transport` — run the toy S_n transport solver;
+//! * `optimal` — exact optimum for tiny synthetic instances.
+//!
+//! Everything returns its report as a `String` so the logic is unit
+//! testable; `main.rs` only prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use sweep_core::{
+    c1_interprocessor_edges, c2_comm_delay, lower_bounds, render_gantt, validate,
+    Algorithm, Assignment,
+};
+use sweep_dag::{instance_stats, SweepInstance};
+use sweep_mesh::{quality_report, MeshPreset, SweepMesh, TetMesh};
+use sweep_partition::{block_partition, CsrGraph, PartitionOptions};
+use sweep_quadrature::QuadratureSet;
+
+/// Usage text.
+pub const HELP: &str = "\
+sweep — parallel sweep scheduling on unstructured meshes (IPDPS 2005)
+
+USAGE:
+  sweep <COMMAND> [--key value]...
+
+COMMANDS:
+  mesh       --preset <tetonly|well_logging|long|prismtet> [--scale F]
+             [--vtk FILE] [--quality]
+  stats      --preset P [--scale F] [--sn N]
+  instance   --preset P [--scale F] [--sn N] --out FILE   (export v1 text)
+  schedule   (--preset P | --instance FILE) [--scale F] [--sn N] --m M
+             [--algorithm rdp|rd|improved|greedy|level|descendant|dfds]
+             [--delays] [--block B] [--seed S] [--csv FILE] [--gantt]
+             [--vtk FILE]
+  transport  --preset P [--scale F] [--sn N] [--sigma-t X] [--sigma-s X]
+             [--source X] [--tol X] [--max-iters N]
+  optimal    --n N --k K --m M [--seed S]      (tiny instances only)
+  help
+
+Defaults: --scale 0.02, --sn 4 (24 directions), --seed 2005.
+";
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{flag}'"));
+        };
+        // Boolean flags.
+        if matches!(key, "quality" | "gantt" | "delays") {
+            map.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("missing value for --{key}"));
+        };
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+    }
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn build_mesh(flags: &HashMap<String, String>) -> Result<(MeshPreset, TetMesh), String> {
+    let name = require(flags, "preset")?;
+    let preset = MeshPreset::from_name(name)
+        .ok_or_else(|| format!("unknown preset '{name}'"))?;
+    let scale: f64 = get(flags, "scale", 0.02)?;
+    let mesh = preset.build_scaled(scale).map_err(|e| e.to_string())?;
+    Ok((preset, mesh))
+}
+
+fn build_instance(
+    flags: &HashMap<String, String>,
+) -> Result<(MeshPreset, TetMesh, SweepInstance), String> {
+    let (preset, mesh) = build_mesh(flags)?;
+    let sn: usize = get(flags, "sn", 4)?;
+    let quad = QuadratureSet::level_symmetric(sn).map_err(|e| e.to_string())?;
+    let (inst, _) = SweepInstance::from_mesh(&mesh, &quad, preset.name());
+    Ok((preset, mesh, inst))
+}
+
+/// `schedule`/`stats` accept either `--preset` (geometric pipeline) or
+/// `--instance FILE` (a serialized non-geometric instance).
+fn build_instance_or_file(
+    flags: &HashMap<String, String>,
+) -> Result<(String, Option<TetMesh>, SweepInstance), String> {
+    if let Some(path) = flags.get("instance") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let inst = sweep_dag::from_text(&text)?;
+        Ok((inst.name().to_string(), None, inst))
+    } else {
+        let (preset, mesh, inst) = build_instance(flags)?;
+        Ok((preset.name().to_string(), Some(mesh), inst))
+    }
+}
+
+/// Entry point: dispatches `args` (without the binary name) and returns
+/// the report to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Ok(HELP.to_string());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        "mesh" => cmd_mesh(&flags),
+        "instance" => cmd_instance(&flags),
+        "stats" => cmd_stats(&flags),
+        "schedule" => cmd_schedule(&flags),
+        "transport" => cmd_transport(&flags),
+        "optimal" => cmd_optimal(&flags),
+        other => Err(format!("unknown command '{other}' (try `sweep help`)")),
+    }
+}
+
+fn cmd_mesh(flags: &HashMap<String, String>) -> Result<String, String> {
+    let (preset, mesh) = build_mesh(flags)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mesh {}: {} cells, {} interior faces, {} boundary faces, connected = {}",
+        preset.name(),
+        mesh.num_cells(),
+        mesh.interior_faces().len(),
+        mesh.boundary_faces().len(),
+        mesh.connected_component_size() == mesh.num_cells(),
+    );
+    if flags.contains_key("quality") {
+        let q = quality_report(&mesh);
+        let _ = writeln!(
+            out,
+            "quality: min/mean element {:.3}/{:.3}, volume grading {:.1}, max neighbors {}",
+            q.min_radius_ratio, q.mean_radius_ratio, q.volume_ratio, q.max_neighbors
+        );
+    }
+    if let Some(path) = flags.get("vtk") {
+        let vtk = sweep_mesh::to_vtk(&mesh, &[])?;
+        std::fs::write(path, &vtk).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path} ({} bytes)", vtk.len());
+    }
+    Ok(out)
+}
+
+fn cmd_instance(flags: &HashMap<String, String>) -> Result<String, String> {
+    let (_, _, inst) = build_instance(flags)?;
+    let path = require(flags, "out")?;
+    let text = sweep_dag::to_text(&inst);
+    std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    Ok(format!(
+        "wrote {} tasks ({} cells × {} directions) to {path}\n",
+        inst.num_tasks(),
+        inst.num_cells(),
+        inst.num_directions()
+    ))
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<String, String> {
+    let (name, _mesh, inst) = build_instance_or_file(flags)?;
+    let st = instance_stats(&inst);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "instance {}: {} tasks ({} cells × {} directions), {} edges, D = {}",
+        name,
+        st.total_tasks,
+        inst.num_cells(),
+        inst.num_directions(),
+        st.total_edges,
+        st.max_depth,
+    );
+    let _ = writeln!(out, "dir  depth  width(max)  sources  sinks  edges");
+    for (i, d) in st.per_direction.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i:>3}  {:>5}  {:>10}  {:>7}  {:>5}  {:>5}",
+            d.depth, d.max_width, d.sources, d.sinks, d.edges
+        );
+    }
+    Ok(out)
+}
+
+fn parse_algorithm(name: &str, delays: bool) -> Result<Algorithm, String> {
+    Ok(match name {
+        "rdp" => Algorithm::RandomDelayPriorities,
+        "rd" => Algorithm::RandomDelay,
+        "improved" => Algorithm::ImprovedRandomDelay,
+        "greedy" => Algorithm::Greedy,
+        "level" => Algorithm::LevelPriority { delays },
+        "descendant" => Algorithm::DescendantPriority { delays },
+        "dfds" => Algorithm::Dfds { delays },
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn cmd_schedule(flags: &HashMap<String, String>) -> Result<String, String> {
+    let (name, mesh, inst) = build_instance_or_file(flags)?;
+    let m: usize = require(flags, "m")?.parse().map_err(|e| format!("--m: {e}"))?;
+    if m == 0 {
+        return Err("--m must be positive".into());
+    }
+    let seed: u64 = get(flags, "seed", 2005)?;
+    let alg = parse_algorithm(
+        flags.get("algorithm").map(String::as_str).unwrap_or("rdp"),
+        flags.contains_key("delays"),
+    )?;
+    let assignment = match flags.get("block") {
+        None => Assignment::random_cells(inst.num_cells(), m, seed),
+        Some(b) => {
+            let block: usize = b.parse().map_err(|e| format!("--block: {e}"))?;
+            if block == 0 {
+                return Err("--block must be positive".into());
+            }
+            let Some(mesh) = mesh.as_ref() else {
+                return Err("--block needs a mesh (use --preset, not --instance)".into());
+            };
+            let (xadj, adjncy) = mesh.adjacency_csr();
+            let graph = CsrGraph::from_csr_parts(xadj, adjncy);
+            let blocks = block_partition(&graph, block, &PartitionOptions::default());
+            Assignment::random_blocks(&blocks, m, seed)
+        }
+    };
+    let schedule = alg.run(&inst, assignment, seed ^ 0xabcd);
+    validate(&inst, &schedule).map_err(|e| format!("internal: infeasible schedule: {e}"))?;
+    let lb = lower_bounds(&inst, m);
+    let c1 = c1_interprocessor_edges(&inst, schedule.assignment());
+    let c2 = c2_comm_delay(&inst, &schedule);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {} ({} tasks, m = {m}): makespan {}  lower-bound {}  ratio {:.3}",
+        alg.name(),
+        name,
+        inst.num_tasks(),
+        schedule.makespan(),
+        lb.best(),
+        schedule.makespan() as f64 / lb.best() as f64,
+    );
+    let _ = writeln!(
+        out,
+        "communication: C1 = {c1} ({:.1}% of edges), C2 = {c2}; utilization {:.1}%",
+        100.0 * c1 as f64 / inst.total_edges().max(1) as f64,
+        100.0 * schedule.utilization(),
+    );
+    if let Some(path) = flags.get("csv") {
+        let csv = sweep_core::to_csv(&inst, &schedule);
+        std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "wrote schedule CSV to {path}");
+    }
+    if flags.contains_key("gantt") {
+        out.push_str(&render_gantt(&inst, &schedule, 100));
+    }
+    if let Some(path) = flags.get("vtk") {
+        let Some(mesh) = mesh.as_ref() else {
+            return Err("--vtk needs a mesh (use --preset, not --instance)".into());
+        };
+        let n = inst.num_cells();
+        let proc_field: Vec<f64> =
+            (0..n as u32).map(|v| schedule.proc_of_cell(v) as f64).collect();
+        let start_field: Vec<f64> = (0..n as u32)
+            .map(|v| schedule.start_of(sweep_dag::TaskId::pack(v, 0, n)) as f64)
+            .collect();
+        let vtk = sweep_mesh::to_vtk(
+            mesh,
+            &[("processor", &proc_field), ("start_dir0", &start_field)],
+        )?;
+        std::fs::write(path, &vtk).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_transport(flags: &HashMap<String, String>) -> Result<String, String> {
+    let (preset, mesh) = build_mesh(flags)?;
+    let sn: usize = get(flags, "sn", 4)?;
+    let quad = QuadratureSet::level_symmetric(sn).map_err(|e| e.to_string())?;
+    let material = sweep_sim::Material {
+        sigma_t: get(flags, "sigma-t", 1.0)?,
+        sigma_s: get(flags, "sigma-s", 0.5)?,
+        source: get(flags, "source", 1.0)?,
+    };
+    let tol: f64 = get(flags, "tol", 1e-8)?;
+    let max_iters: usize = get(flags, "max-iters", 500)?;
+    let solver = sweep_sim::TransportSolver::new(&mesh, &quad, material)?;
+    let r = solver.solve(max_iters, tol);
+    let mean = r.phi.iter().sum::<f64>() / r.phi.len().max(1) as f64;
+    let max = r.phi.iter().fold(0.0f64, |a, &b| a.max(b));
+    Ok(format!(
+        "transport on {} ({} cells, {} directions): {} iterations, residual {:.2e}, \
+         converged = {}\nscalar flux: mean {:.4}, max {:.4}\n",
+        preset.name(),
+        mesh.num_cells(),
+        quad.len(),
+        r.iterations,
+        r.residual,
+        r.converged,
+        mean,
+        max,
+    ))
+}
+
+fn cmd_optimal(flags: &HashMap<String, String>) -> Result<String, String> {
+    let n: usize = require(flags, "n")?.parse().map_err(|e| format!("--n: {e}"))?;
+    let k: usize = require(flags, "k")?.parse().map_err(|e| format!("--k: {e}"))?;
+    let m: usize = require(flags, "m")?.parse().map_err(|e| format!("--m: {e}"))?;
+    let seed: u64 = get(flags, "seed", 2005)?;
+    if n == 0 || k == 0 || m == 0 {
+        return Err("--n, --k, --m must be positive".into());
+    }
+    if n * k > sweep_core::opt::MAX_TASKS || n > 12 {
+        return Err(format!(
+            "exact search limited to n ≤ 12 and n·k ≤ {}",
+            sweep_core::opt::MAX_TASKS
+        ));
+    }
+    let inst = SweepInstance::random_layered(n, k, (n / 2).max(1), 2, seed);
+    let opt = sweep_core::optimal_sweep_makespan(&inst, m);
+    let lb = lower_bounds(&inst, m);
+    let a = Assignment::random_cells(n, m, seed);
+    let s = Algorithm::RandomDelayPriorities.run(&inst, a, seed);
+    Ok(format!(
+        "random instance (n={n}, k={k}, seed={seed}) on m={m}: OPT = {opt}, \
+         proxy lower bound = {}, Algorithm 2 = {} ({:.2}x OPT)\n",
+        lb.best(),
+        s.makespan(),
+        s.makespan() as f64 / opt as f64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_on_empty_and_help_command() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&args(&["help"])).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn mesh_command_reports() {
+        let out = run(&args(&[
+            "mesh", "--preset", "tetonly", "--scale", "0.01", "--quality",
+        ]))
+        .unwrap();
+        assert!(out.contains("315 cells"), "{out}");
+        assert!(out.contains("quality:"));
+        assert!(out.contains("connected = true"));
+    }
+
+    #[test]
+    fn mesh_rejects_unknown_preset() {
+        let err = run(&args(&["mesh", "--preset", "nope"])).unwrap_err();
+        assert!(err.contains("unknown preset"));
+    }
+
+    #[test]
+    fn stats_command_lists_directions() {
+        let out = run(&args(&[
+            "stats", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("8 directions"), "{out}");
+        assert_eq!(out.lines().count(), 2 + 8);
+    }
+
+    #[test]
+    fn schedule_command_all_algorithms() {
+        for alg in ["rdp", "rd", "improved", "greedy", "level", "descendant", "dfds"] {
+            let out = run(&args(&[
+                "schedule", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
+                "--m", "8", "--algorithm", alg,
+            ]))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(out.contains("makespan"), "{alg}: {out}");
+            assert!(out.contains("C1 ="));
+        }
+    }
+
+    #[test]
+    fn schedule_with_blocks_and_gantt() {
+        let out = run(&args(&[
+            "schedule", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
+            "--m", "4", "--block", "8", "--gantt",
+        ]))
+        .unwrap();
+        assert!(out.contains("p0"), "gantt rows expected: {out}");
+    }
+
+    #[test]
+    fn schedule_csv_round_trip() {
+        let dir = std::env::temp_dir().join("sweep-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sched.csv");
+        let out = run(&args(&[
+            "schedule", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
+            "--m", "4", "--csv", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote schedule CSV"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("cell,direction,processor,start"));
+    }
+
+    #[test]
+    fn schedule_requires_m() {
+        let err =
+            run(&args(&["schedule", "--preset", "tetonly", "--scale", "0.01"])).unwrap_err();
+        assert!(err.contains("--m"));
+    }
+
+    #[test]
+    fn transport_command_converges() {
+        let out = run(&args(&[
+            "transport", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
+            "--sigma-s", "0.3",
+        ]))
+        .unwrap();
+        assert!(out.contains("converged = true"), "{out}");
+    }
+
+    #[test]
+    fn transport_rejects_bad_material() {
+        let err = run(&args(&[
+            "transport", "--preset", "tetonly", "--scale", "0.01", "--sigma-s", "2.0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("scattering"));
+    }
+
+    #[test]
+    fn optimal_command_runs() {
+        let out = run(&args(&["optimal", "--n", "6", "--k", "2", "--m", "3"])).unwrap();
+        assert!(out.contains("OPT ="), "{out}");
+    }
+
+    #[test]
+    fn optimal_rejects_large() {
+        let err = run(&args(&["optimal", "--n", "50", "--k", "4", "--m", "3"])).unwrap_err();
+        assert!(err.contains("limited"));
+    }
+
+    #[test]
+    fn instance_export_and_reimport() {
+        let dir = std::env::temp_dir().join("sweep-cli-inst-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.txt");
+        let out = run(&args(&[
+            "instance", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
+            "--out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let stats = run(&args(&["stats", "--instance", path.to_str().unwrap()])).unwrap();
+        assert!(stats.contains("8 directions"), "{stats}");
+        let sched = run(&args(&[
+            "schedule", "--instance", path.to_str().unwrap(), "--m", "4",
+        ]))
+        .unwrap();
+        assert!(sched.contains("makespan"));
+        // --block requires a mesh.
+        let err = run(&args(&[
+            "schedule", "--instance", path.to_str().unwrap(), "--m", "4",
+            "--block", "8",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("needs a mesh"));
+    }
+
+    #[test]
+    fn flag_parser_rejects_malformed() {
+        assert!(run(&args(&["mesh", "preset", "tetonly"])).is_err());
+        assert!(run(&args(&["mesh", "--preset"])).is_err());
+    }
+}

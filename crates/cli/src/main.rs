@@ -1,0 +1,12 @@
+//! Thin entry point for the `sweep` CLI; all logic lives in the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sweep_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Cell → processor assignments.
+//!
+//! The sweep constraint (every copy `(v, i)` of a cell runs on the same
+//! processor) makes the assignment a function of the *cell* alone, so it is
+//! represented as one `Vec<u32>` over cells. The two policies from the
+//! paper are:
+//!
+//! * **per-cell random** (Algorithms 1–3, step "choose a processor
+//!   uniformly at random for each vertex");
+//! * **per-block random** (§5.1): partition the mesh into blocks (METIS in
+//!   the paper, [`sweep_partition`] here) and draw one processor per
+//!   *block* — fewer interprocessor edges at a slight makespan cost.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A cell → processor map for `m` processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    proc_of_cell: Vec<u32>,
+    m: usize,
+}
+
+impl Assignment {
+    /// Wraps an explicit map.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= m` or `m == 0`.
+    pub fn from_vec(proc_of_cell: Vec<u32>, m: usize) -> Assignment {
+        assert!(m > 0, "need at least one processor");
+        assert!(
+            proc_of_cell.iter().all(|&p| (p as usize) < m),
+            "processor id out of range"
+        );
+        Assignment { proc_of_cell, m }
+    }
+
+    /// Every cell on processor 0 (the `m = 1` baseline).
+    pub fn single(n: usize) -> Assignment {
+        Assignment { proc_of_cell: vec![0; n], m: 1 }
+    }
+
+    /// Uniformly random processor per cell — the assignment of
+    /// Algorithms 1–3.
+    pub fn random_cells(n: usize, m: usize, seed: u64) -> Assignment {
+        assert!(m > 0, "need at least one processor");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Assignment {
+            proc_of_cell: (0..n).map(|_| rng.random_range(0..m as u32)).collect(),
+            m,
+        }
+    }
+
+    /// Uniformly random processor per *block*: `block_of_cell[v]` gives the
+    /// block (e.g. from [`sweep_partition::block_partition`]); all cells of
+    /// a block share one random processor (§5.1).
+    pub fn random_blocks(block_of_cell: &[u32], m: usize, seed: u64) -> Assignment {
+        assert!(m > 0, "need at least one processor");
+        let nblocks = block_of_cell.iter().copied().max().map_or(0, |b| b as usize + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let proc_of_block: Vec<u32> =
+            (0..nblocks).map(|_| rng.random_range(0..m as u32)).collect();
+        Assignment {
+            proc_of_cell: block_of_cell.iter().map(|&b| proc_of_block[b as usize]).collect(),
+            m,
+        }
+    }
+
+    /// Deterministic weight-aware block assignment: blocks are placed on
+    /// processors by Longest-Processing-Time bin packing of their total
+    /// cell weight (heaviest block first onto the least-loaded
+    /// processor). With unit weights this balances block *counts*; with
+    /// real per-cell costs it balances work — the natural deterministic
+    /// alternative to [`Assignment::random_blocks`] for graded meshes.
+    pub fn lpt_blocks(block_of_cell: &[u32], cell_weight: &[u64], m: usize) -> Assignment {
+        assert!(m > 0, "need at least one processor");
+        assert_eq!(block_of_cell.len(), cell_weight.len(), "one weight per cell");
+        let nblocks =
+            block_of_cell.iter().copied().max().map_or(0, |b| b as usize + 1);
+        let mut block_weight = vec![0u64; nblocks];
+        for (&b, &w) in block_of_cell.iter().zip(cell_weight) {
+            block_weight[b as usize] += w;
+        }
+        let mut order: Vec<u32> = (0..nblocks as u32).collect();
+        order.sort_unstable_by_key(|&b| std::cmp::Reverse(block_weight[b as usize]));
+        // Min-heap of (load, proc).
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+            (0..m as u32).map(|p| std::cmp::Reverse((0u64, p))).collect();
+        let mut proc_of_block = vec![0u32; nblocks];
+        for &b in &order {
+            let std::cmp::Reverse((load, p)) = heap.pop().expect("m > 0");
+            proc_of_block[b as usize] = p;
+            heap.push(std::cmp::Reverse((load + block_weight[b as usize], p)));
+        }
+        Assignment {
+            proc_of_cell: block_of_cell.iter().map(|&b| proc_of_block[b as usize]).collect(),
+            m,
+        }
+    }
+
+    /// Deterministic round-robin (cell `v` on processor `v mod m`) — a
+    /// non-random baseline used in tests and ablations.
+    pub fn round_robin(n: usize, m: usize) -> Assignment {
+        assert!(m > 0, "need at least one processor");
+        Assignment {
+            proc_of_cell: (0..n as u32).map(|v| v % m as u32).collect(),
+            m,
+        }
+    }
+
+    /// Number of processors `m`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.m
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.proc_of_cell.len()
+    }
+
+    /// The processor of cell `v`.
+    #[inline]
+    pub fn proc_of(&self, v: u32) -> u32 {
+        self.proc_of_cell[v as usize]
+    }
+
+    /// The raw map.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.proc_of_cell
+    }
+
+    /// Number of cells per processor.
+    pub fn loads(&self) -> Vec<u32> {
+        let mut l = vec![0u32; self.m];
+        for &p in &self.proc_of_cell {
+            l[p as usize] += 1;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cells_in_range_and_deterministic() {
+        let a = Assignment::random_cells(1000, 16, 7);
+        let b = Assignment::random_cells(1000, 16, 7);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&p| p < 16));
+        assert_eq!(a.num_procs(), 16);
+        assert_eq!(a.num_cells(), 1000);
+    }
+
+    #[test]
+    fn random_cells_roughly_balanced() {
+        let a = Assignment::random_cells(16_000, 16, 3);
+        for (p, &l) in a.loads().iter().enumerate() {
+            // E[load] = 1000; Chernoff keeps it within ±20% w.h.p.
+            assert!((l as i64 - 1000).abs() < 200, "proc {p} load {l}");
+        }
+    }
+
+    #[test]
+    fn blocks_share_processors() {
+        // 4 blocks of 3 cells.
+        let blocks: Vec<u32> = vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3];
+        let a = Assignment::random_blocks(&blocks, 8, 5);
+        for chunk in a.as_slice().chunks(3) {
+            assert!(chunk.iter().all(|&p| p == chunk[0]));
+        }
+    }
+
+    #[test]
+    fn round_robin_is_cyclic() {
+        let a = Assignment::round_robin(7, 3);
+        assert_eq!(a.as_slice(), &[0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(a.loads(), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn single_uses_proc_zero() {
+        let a = Assignment::single(5);
+        assert!(a.as_slice().iter().all(|&p| p == 0));
+        assert_eq!(a.num_procs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_vec_validates() {
+        Assignment::from_vec(vec![0, 5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_procs_panics() {
+        Assignment::random_cells(10, 0, 0);
+    }
+
+    #[test]
+    fn empty_block_map() {
+        let a = Assignment::random_blocks(&[], 4, 1);
+        assert_eq!(a.num_cells(), 0);
+        let b = Assignment::lpt_blocks(&[], &[], 4);
+        assert_eq!(b.num_cells(), 0);
+    }
+
+    #[test]
+    fn lpt_balances_weights() {
+        // 4 blocks with weights 7, 5, 4, 4 onto 2 procs: LPT gives
+        // {7, 4} vs {5, 4} — loads 11/9.
+        let blocks: Vec<u32> = vec![0, 1, 2, 3];
+        let weights: Vec<u64> = vec![7, 5, 4, 4];
+        let a = Assignment::lpt_blocks(&blocks, &weights, 2);
+        let mut loads = [0u64; 2];
+        for (v, &w) in weights.iter().enumerate() {
+            loads[a.proc_of(v as u32) as usize] += w;
+        }
+        loads.sort_unstable();
+        assert_eq!(loads, [9, 11]);
+    }
+
+    #[test]
+    fn lpt_keeps_blocks_together() {
+        let blocks: Vec<u32> = vec![0, 0, 1, 1, 2, 2];
+        let weights = vec![1u64; 6];
+        let a = Assignment::lpt_blocks(&blocks, &weights, 3);
+        for pair in a.as_slice().chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per cell")]
+    fn lpt_validates_lengths() {
+        Assignment::lpt_blocks(&[0, 1], &[1], 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Communication-cost measures from §5 ("Objective functions").
+//!
+//! * **C1** — static cost: the number of DAG edges `((u,i),(v,i))` whose
+//!   endpoint cells live on different processors. Depends only on the
+//!   assignment.
+//! * **C2** — per-step cost: after each computation step there is one
+//!   round of communication taking as long as the *maximum number of
+//!   messages any processor has to send* (its off-processor out-degree at
+//!   that step); `C2` is the sum of these maxima over all steps. Depends
+//!   on the full schedule.
+
+use sweep_dag::{SweepInstance, TaskId};
+
+use crate::assignment::Assignment;
+use crate::schedule::Schedule;
+
+/// C1: total number of interprocessor edges over all directions.
+pub fn c1_interprocessor_edges(instance: &SweepInstance, assignment: &Assignment) -> u64 {
+    assert_eq!(assignment.num_cells(), instance.num_cells());
+    let mut c1 = 0u64;
+    for dag in instance.dags() {
+        for (u, v) in dag.edges() {
+            if assignment.proc_of(u) != assignment.proc_of(v) {
+                c1 += 1;
+            }
+        }
+    }
+    c1
+}
+
+/// The fraction of edges that cross processors, `C1 / total_edges`
+/// (the paper's observation 1 notes this approaches `(m−1)/m` under
+/// per-cell random assignment). Returns 0 for edgeless instances.
+pub fn cut_fraction(instance: &SweepInstance, assignment: &Assignment) -> f64 {
+    let total = instance.total_edges();
+    if total == 0 {
+        return 0.0;
+    }
+    c1_interprocessor_edges(instance, assignment) as f64 / total as f64
+}
+
+/// C2: Σ over timesteps of the maximum per-processor number of
+/// off-processor messages sent after that step. A message is one cut edge
+/// whose source task completes at the step. Runs in `O(C1 log C1)`.
+pub fn c2_comm_delay(instance: &SweepInstance, schedule: &Schedule) -> u64 {
+    let n = instance.num_cells();
+    // Collect (time, sending processor) for every cut edge at the source's
+    // completion step.
+    let mut events: Vec<(u32, u32)> = Vec::new();
+    for (i, dag) in instance.dags().iter().enumerate() {
+        for (u, v) in dag.edges() {
+            let pu = schedule.proc_of_cell(u);
+            if pu != schedule.proc_of_cell(v) {
+                events.push((schedule.start_of(TaskId::pack(u, i as u32, n)), pu));
+            }
+        }
+    }
+    events.sort_unstable();
+    // Sum of per-time maxima of run lengths grouped by (time, proc).
+    let mut c2 = 0u64;
+    let mut idx = 0usize;
+    while idx < events.len() {
+        let t = events[idx].0;
+        let mut max_in_t = 0u64;
+        while idx < events.len() && events[idx].0 == t {
+            let p = events[idx].1;
+            let mut run = 0u64;
+            while idx < events.len() && events[idx] == (t, p) {
+                run += 1;
+                idx += 1;
+            }
+            max_in_t = max_in_t.max(run);
+        }
+        c2 += max_in_t;
+    }
+    c2
+}
+
+/// Per-timestep busy-processor counts (schedule "load profile"): entry `t`
+/// is the number of processors running a task at time `t`. Useful for
+/// idle-time analysis and plots.
+pub fn load_profile(instance: &SweepInstance, schedule: &Schedule) -> Vec<u32> {
+    let mut profile = vec![0u32; schedule.makespan() as usize];
+    let _ = instance;
+    for &t in schedule.starts() {
+        profile[t as usize] += 1;
+    }
+    profile
+}
+
+/// Total idle processor-steps: `m · makespan − n·k`.
+pub fn idle_slots(schedule: &Schedule) -> u64 {
+    schedule.num_procs() as u64 * schedule.makespan() as u64 - schedule.starts().len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_schedule::greedy_schedule;
+    use sweep_dag::TaskDag;
+
+    fn two_cell_instance() -> SweepInstance {
+        SweepInstance::new(2, vec![TaskDag::from_edges(2, &[(0, 1)])], "i")
+    }
+
+    #[test]
+    fn c1_counts_cut_edges() {
+        let inst = two_cell_instance();
+        let same = Assignment::single(2);
+        assert_eq!(c1_interprocessor_edges(&inst, &same), 0);
+        let split = Assignment::from_vec(vec![0, 1], 2);
+        assert_eq!(c1_interprocessor_edges(&inst, &split), 1);
+        assert!((cut_fraction(&inst, &split) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn c1_zero_when_single_processor() {
+        let inst = SweepInstance::random_layered(50, 3, 5, 2, 1);
+        let a = Assignment::single(50);
+        assert_eq!(c1_interprocessor_edges(&inst, &a), 0);
+    }
+
+    #[test]
+    fn c2_simple_case() {
+        // 0 -> 1 across processors: the single message is sent when task 0
+        // completes; C2 = 1.
+        let inst = two_cell_instance();
+        let a = Assignment::from_vec(vec![0, 1], 2);
+        let s = greedy_schedule(&inst, a);
+        assert_eq!(c2_comm_delay(&inst, &s), 1);
+    }
+
+    #[test]
+    fn c2_takes_max_not_sum_within_a_step() {
+        // One source cell with two off-proc successors in one direction:
+        // both messages leave the same processor at the same step ⇒ that
+        // step contributes 2. Two sources on different procs, one message
+        // each, same step ⇒ contributes max = 1.
+        let dag = TaskDag::from_edges(3, &[(0, 1), (0, 2)]);
+        let inst = SweepInstance::new(3, vec![dag], "fan");
+        let a = Assignment::from_vec(vec![0, 1, 1], 2);
+        let s = greedy_schedule(&inst, a);
+        assert_eq!(c2_comm_delay(&inst, &s), 2);
+
+        let dag2 = TaskDag::from_edges(4, &[(0, 2), (1, 3)]);
+        let inst2 = SweepInstance::new(4, vec![dag2], "par");
+        let a2 = Assignment::from_vec(vec![0, 1, 1, 0], 2);
+        let s2 = greedy_schedule(&inst2, a2);
+        // Sources 0 and 1 run at t=0 on different procs; each sends one.
+        assert_eq!(c2_comm_delay(&inst2, &s2), 1);
+    }
+
+    #[test]
+    fn c2_bounded_by_c1() {
+        // Each cut edge contributes to exactly one step's max candidate, so
+        // C2 ≤ C1 always.
+        for seed in 0..4u64 {
+            let inst = SweepInstance::random_layered(60, 4, 6, 2, seed);
+            let a = Assignment::random_cells(60, 6, seed);
+            let s = greedy_schedule(&inst, a.clone());
+            assert!(c2_comm_delay(&inst, &s) <= c1_interprocessor_edges(&inst, &a));
+        }
+    }
+
+    #[test]
+    fn random_assignment_cut_fraction_near_m_minus_1_over_m() {
+        // Paper §5.1 observation 1.
+        let inst = SweepInstance::random_layered(2000, 4, 12, 3, 3);
+        let m = 8;
+        let a = Assignment::random_cells(2000, m, 5);
+        let f = cut_fraction(&inst, &a);
+        let expect = (m - 1) as f64 / m as f64;
+        assert!((f - expect).abs() < 0.05, "fraction {f} vs {expect}");
+    }
+
+    #[test]
+    fn load_profile_sums_to_task_count() {
+        let inst = SweepInstance::random_layered(40, 3, 5, 2, 2);
+        let a = Assignment::random_cells(40, 4, 1);
+        let s = greedy_schedule(&inst, a);
+        let profile = load_profile(&inst, &s);
+        assert_eq!(profile.iter().map(|&x| x as usize).sum::<usize>(), inst.num_tasks());
+        assert!(profile.iter().all(|&x| x <= 4));
+        assert_eq!(
+            idle_slots(&s),
+            4 * s.makespan() as u64 - inst.num_tasks() as u64
+        );
+    }
+}

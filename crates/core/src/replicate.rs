@@ -1,0 +1,209 @@
+//! Replicated runs of the randomized algorithms.
+//!
+//! All the paper's algorithms are randomized twice over (delay draw and
+//! processor assignment); a single run says little about typical-case
+//! behaviour. This module repeats an [`Algorithm`] across seeds and
+//! summarizes the makespan distribution, so experiments can report
+//! mean ± deviation instead of single samples — and so the "with high
+//! probability" flavour of Theorems 1–2 can be observed directly (tight
+//! concentration of the makespan across draws).
+
+use sweep_dag::SweepInstance;
+
+use crate::algorithms::Algorithm;
+use crate::assignment::Assignment;
+
+/// How the per-replicate assignment is drawn.
+#[derive(Debug, Clone)]
+pub enum AssignmentDraw {
+    /// Fresh per-cell random assignment each replicate.
+    RandomCells,
+    /// Fresh per-block random assignment over a fixed block map.
+    RandomBlocks(Vec<u32>),
+    /// The same fixed assignment every replicate (isolates delay noise).
+    Fixed(Assignment),
+}
+
+/// Summary statistics over replicated makespans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicateSummary {
+    /// Number of replicates.
+    pub runs: usize,
+    /// Smallest makespan observed.
+    pub min: u32,
+    /// Largest makespan observed.
+    pub max: u32,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single run).
+    pub std_dev: f64,
+    /// Every observed makespan, in seed order.
+    pub samples: Vec<u32>,
+}
+
+impl ReplicateSummary {
+    /// Coefficient of variation `σ/μ` — the concentration measure.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Runs `algorithm` for `runs` replicates on `m` processors, drawing
+/// fresh randomness per replicate from `base_seed + i`.
+///
+/// # Panics
+/// Panics when `runs == 0`.
+pub fn replicate(
+    instance: &SweepInstance,
+    algorithm: Algorithm,
+    m: usize,
+    draw: &AssignmentDraw,
+    base_seed: u64,
+    runs: usize,
+) -> ReplicateSummary {
+    assert!(runs > 0, "need at least one replicate");
+    let n = instance.num_cells();
+    let mut samples = Vec::with_capacity(runs);
+    for i in 0..runs as u64 {
+        let seed = base_seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15));
+        let assignment = match draw {
+            AssignmentDraw::RandomCells => Assignment::random_cells(n, m, seed),
+            AssignmentDraw::RandomBlocks(blocks) => {
+                Assignment::random_blocks(blocks, m, seed)
+            }
+            AssignmentDraw::Fixed(a) => a.clone(),
+        };
+        let schedule = algorithm.run(instance, assignment, seed ^ 0x5eed);
+        samples.push(schedule.makespan());
+    }
+    summarize(samples)
+}
+
+fn summarize(samples: Vec<u32>) -> ReplicateSummary {
+    let runs = samples.len();
+    let min = samples.iter().copied().min().expect("non-empty");
+    let max = samples.iter().copied().max().expect("non-empty");
+    let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / runs as f64;
+    let var = if runs > 1 {
+        samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (runs - 1) as f64
+    } else {
+        0.0
+    };
+    ReplicateSummary { runs, min, max, mean, std_dev: var.sqrt(), samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics_correct() {
+        let s = summarize(vec![10, 12, 14]);
+        assert_eq!(s.runs, 3);
+        assert_eq!((s.min, s.max), (10, 14));
+        assert!((s.mean - 12.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert!((s.cv() - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_run_zero_deviation() {
+        let s = summarize(vec![7]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn replicates_vary_with_random_draws_but_not_fixed_seeds() {
+        let inst = SweepInstance::random_layered(80, 4, 6, 2, 1);
+        let sum = replicate(
+            &inst,
+            Algorithm::RandomDelayPriorities,
+            8,
+            &AssignmentDraw::RandomCells,
+            100,
+            6,
+        );
+        assert_eq!(sum.runs, 6);
+        assert!(sum.min <= sum.max);
+        // Deterministic reproduction.
+        let sum2 = replicate(
+            &inst,
+            Algorithm::RandomDelayPriorities,
+            8,
+            &AssignmentDraw::RandomCells,
+            100,
+            6,
+        );
+        assert_eq!(sum.samples, sum2.samples);
+    }
+
+    #[test]
+    fn makespan_concentrates() {
+        // The w.h.p. flavour of Theorem 1: the coefficient of variation
+        // across replicates is small on reasonable instances.
+        let inst = SweepInstance::random_layered(400, 8, 10, 2, 3);
+        let sum = replicate(
+            &inst,
+            Algorithm::RandomDelayPriorities,
+            16,
+            &AssignmentDraw::RandomCells,
+            7,
+            8,
+        );
+        assert!(sum.cv() < 0.1, "cv = {:.3}", sum.cv());
+    }
+
+    #[test]
+    fn fixed_assignment_isolates_delay_noise() {
+        let inst = SweepInstance::random_layered(100, 6, 8, 2, 2);
+        let a = Assignment::random_cells(100, 8, 9);
+        let fixed = replicate(
+            &inst,
+            Algorithm::RandomDelayPriorities,
+            8,
+            &AssignmentDraw::Fixed(a),
+            50,
+            6,
+        );
+        let free = replicate(
+            &inst,
+            Algorithm::RandomDelayPriorities,
+            8,
+            &AssignmentDraw::RandomCells,
+            50,
+            6,
+        );
+        // Both valid summaries; fixed-assignment variance only reflects
+        // delay draws.
+        assert_eq!(fixed.runs, free.runs);
+        assert!(fixed.min > 0 && free.min > 0);
+    }
+
+    #[test]
+    fn greedy_with_fixed_assignment_is_deterministic() {
+        let inst = SweepInstance::random_layered(60, 3, 5, 2, 4);
+        let a = Assignment::random_cells(60, 4, 11);
+        let sum = replicate(
+            &inst,
+            Algorithm::Greedy,
+            4,
+            &AssignmentDraw::Fixed(a),
+            0,
+            5,
+        );
+        assert_eq!(sum.min, sum.max);
+        assert_eq!(sum.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn zero_runs_panics() {
+        let inst = SweepInstance::identical_chains(3, 1);
+        replicate(&inst, Algorithm::Greedy, 1, &AssignmentDraw::RandomCells, 0, 0);
+    }
+}

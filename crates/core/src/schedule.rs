@@ -1,0 +1,292 @@
+//! Schedule representation and independent feasibility validation.
+//!
+//! A [`Schedule`] assigns every task `(v, i)` a start timestep (all tasks
+//! take unit time, `p = 1`) and owns the cell → processor [`Assignment`]
+//! it was built for. [`validate`] re-checks the paper's three feasibility
+//! constraints from scratch, so tests can verify *any* scheduler against an
+//! implementation-independent oracle.
+
+use sweep_dag::{SweepInstance, TaskId};
+
+use crate::assignment::Assignment;
+
+/// A feasible (or to-be-validated) sweep schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Start time per task, indexed by `TaskId::index()` (`dir·n + cell`).
+    start: Vec<u32>,
+    /// The cell → processor assignment the schedule runs under.
+    assignment: Assignment,
+    makespan: u32,
+}
+
+impl Schedule {
+    /// Bundles start times with their assignment. The makespan is derived.
+    ///
+    /// # Panics
+    /// Panics when `start.len()` is not a multiple of the assignment's cell
+    /// count (it must be `n·k`).
+    pub fn new(start: Vec<u32>, assignment: Assignment) -> Schedule {
+        let n = assignment.num_cells();
+        assert!(
+            n == 0 && start.is_empty() || n > 0 && start.len().is_multiple_of(n),
+            "start times must cover n*k tasks"
+        );
+        let makespan = start.iter().map(|&t| t + 1).max().unwrap_or(0);
+        Schedule { start, assignment, makespan }
+    }
+
+    /// Start time of a task.
+    #[inline]
+    pub fn start_of(&self, t: TaskId) -> u32 {
+        self.start[t.index()]
+    }
+
+    /// All start times (indexed by `TaskId::index`).
+    #[inline]
+    pub fn starts(&self) -> &[u32] {
+        &self.start
+    }
+
+    /// Processor of a task (determined by its cell).
+    #[inline]
+    pub fn proc_of_cell(&self, v: u32) -> u32 {
+        self.assignment.proc_of(v)
+    }
+
+    /// The underlying assignment.
+    #[inline]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Number of unit timesteps used — the objective of §4.
+    #[inline]
+    pub fn makespan(&self) -> u32 {
+        self.makespan
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.assignment.num_procs()
+    }
+
+    /// Fraction of processor-timestep slots doing useful work:
+    /// `n·k / (m · makespan)`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        self.start.len() as f64 / (self.num_procs() as f64 * self.makespan as f64)
+    }
+}
+
+/// A violated feasibility constraint, with enough context to debug the
+/// offending scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// `start.len() != n·k`.
+    WrongTaskCount {
+        /// Expected `n·k`.
+        expected: usize,
+        /// Actual number of start entries.
+        actual: usize,
+    },
+    /// Precedence violated: `(u, dir)` must finish before `(v, dir)` starts.
+    Precedence {
+        /// The direction whose DAG is violated.
+        dir: u32,
+        /// Upstream cell.
+        u: u32,
+        /// Downstream cell.
+        v: u32,
+        /// Start time of `(u, dir)`.
+        start_u: u32,
+        /// Start time of `(v, dir)`.
+        start_v: u32,
+    },
+    /// Two tasks share a processor-timestep slot.
+    ProcessorConflict {
+        /// The double-booked processor.
+        proc: u32,
+        /// The conflicting timestep.
+        time: u32,
+    },
+    /// The assignment covers a different number of cells than the instance.
+    AssignmentMismatch {
+        /// Cells in the instance.
+        cells: usize,
+        /// Cells covered by the assignment.
+        assigned: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::WrongTaskCount { expected, actual } => {
+                write!(f, "expected {expected} tasks, schedule has {actual}")
+            }
+            ScheduleViolation::Precedence { dir, u, v, start_u, start_v } => write!(
+                f,
+                "direction {dir}: cell {u} (t={start_u}) must finish before cell {v} (t={start_v})"
+            ),
+            ScheduleViolation::ProcessorConflict { proc, time } => {
+                write!(f, "processor {proc} runs two tasks at time {time}")
+            }
+            ScheduleViolation::AssignmentMismatch { cells, assigned } => {
+                write!(f, "instance has {cells} cells but assignment covers {assigned}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleViolation {}
+
+/// Checks the three feasibility constraints of §3 against `instance`:
+/// precedence within every DAG, one task per processor per timestep, and
+/// (by construction of [`Schedule`]) one processor per cell. Runs in
+/// `O(n·k + edges)` time.
+pub fn validate(instance: &SweepInstance, schedule: &Schedule) -> Result<(), ScheduleViolation> {
+    let n = instance.num_cells();
+    let k = instance.num_directions();
+    if schedule.assignment().num_cells() != n {
+        return Err(ScheduleViolation::AssignmentMismatch {
+            cells: n,
+            assigned: schedule.assignment().num_cells(),
+        });
+    }
+    if schedule.starts().len() != n * k {
+        return Err(ScheduleViolation::WrongTaskCount {
+            expected: n * k,
+            actual: schedule.starts().len(),
+        });
+    }
+    // Constraint 1: precedence. Unit tasks ⇒ start(v) ≥ start(u) + 1.
+    for (i, dag) in instance.dags().iter().enumerate() {
+        for (u, v) in dag.edges() {
+            let su = schedule.start_of(TaskId::pack(u, i as u32, n));
+            let sv = schedule.start_of(TaskId::pack(v, i as u32, n));
+            if sv <= su {
+                return Err(ScheduleViolation::Precedence {
+                    dir: i as u32,
+                    u,
+                    v,
+                    start_u: su,
+                    start_v: sv,
+                });
+            }
+        }
+    }
+    // Constraint 2: one task per processor-timestep. Count slots.
+    let m = schedule.num_procs();
+    let mut slots: Vec<(u32, u32)> = Vec::with_capacity(n * k);
+    for dir in 0..k as u32 {
+        for v in 0..n as u32 {
+            let t = schedule.start_of(TaskId::pack(v, dir, n));
+            slots.push((t, schedule.proc_of_cell(v)));
+        }
+    }
+    slots.sort_unstable();
+    for w in slots.windows(2) {
+        if w[0] == w[1] {
+            return Err(ScheduleViolation::ProcessorConflict { proc: w[0].1, time: w[0].0 });
+        }
+    }
+    let _ = m;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweep_dag::TaskDag;
+
+    /// n=2 cells, k=1 direction, edge 0 -> 1.
+    fn tiny_instance() -> SweepInstance {
+        SweepInstance::new(2, vec![TaskDag::from_edges(2, &[(0, 1)])], "tiny")
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let inst = tiny_instance();
+        let a = Assignment::single(2);
+        let s = Schedule::new(vec![0, 1], a);
+        assert_eq!(s.makespan(), 2);
+        validate(&inst, &s).unwrap();
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let inst = tiny_instance();
+        let a = Assignment::from_vec(vec![0, 1], 2);
+        let s = Schedule::new(vec![1, 0], a); // 1 before 0: violates 0 -> 1
+        let err = validate(&inst, &s).unwrap_err();
+        assert!(matches!(err, ScheduleViolation::Precedence { u: 0, v: 1, .. }));
+    }
+
+    #[test]
+    fn simultaneous_start_violates_precedence() {
+        let inst = tiny_instance();
+        let a = Assignment::from_vec(vec![0, 1], 2);
+        let s = Schedule::new(vec![0, 0], a);
+        assert!(matches!(
+            validate(&inst, &s),
+            Err(ScheduleViolation::Precedence { .. })
+        ));
+    }
+
+    #[test]
+    fn processor_conflict_detected() {
+        // Two independent cells on the same processor at the same time.
+        let inst = SweepInstance::new(2, vec![TaskDag::edgeless(2)], "i");
+        let a = Assignment::single(2);
+        let s = Schedule::new(vec![0, 0], a);
+        let err = validate(&inst, &s).unwrap_err();
+        assert_eq!(err, ScheduleViolation::ProcessorConflict { proc: 0, time: 0 });
+        assert!(err.to_string().contains("processor 0"));
+    }
+
+    #[test]
+    fn wrong_task_count_detected() {
+        let inst = SweepInstance::new(
+            2,
+            vec![TaskDag::edgeless(2), TaskDag::edgeless(2)],
+            "i",
+        );
+        let a = Assignment::single(2);
+        let s = Schedule::new(vec![0, 1], a); // k=2 needs 4 starts
+        assert!(matches!(
+            validate(&inst, &s),
+            Err(ScheduleViolation::WrongTaskCount { expected: 4, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn assignment_mismatch_detected() {
+        let inst = tiny_instance();
+        let a = Assignment::single(3);
+        let s = Schedule::new(vec![0, 1, 2], a);
+        assert!(matches!(
+            validate(&inst, &s),
+            Err(ScheduleViolation::AssignmentMismatch { cells: 2, assigned: 3 })
+        ));
+    }
+
+    #[test]
+    fn makespan_is_last_finish() {
+        let a = Assignment::single(3);
+        let s = Schedule::new(vec![0, 5, 2], a);
+        assert_eq!(s.makespan(), 6);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let a = Assignment::single(0);
+        let s = Schedule::new(vec![], a);
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.utilization(), 1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Compact CSR task-DAG representation.
+//!
+//! One [`TaskDag`] holds the precedence constraints of a single sweep
+//! direction over the cells `0..n`. Both successor and predecessor
+//! adjacency are materialized because the schedulers walk the DAG in both
+//! directions (readiness tracking uses predecessors, priority computations
+//! walk successors).
+
+/// A directed acyclic graph over the cells `0..n` in CSR form.
+///
+/// Construction does **not** verify acyclicity (that would double build
+/// cost for callers that guarantee it); use [`TaskDag::is_acyclic`] or
+/// [`TaskDag::topo_order`] to check, and
+/// [`crate::induce::break_cycles`] to repair cyclic edge sets.
+#[derive(Debug, Clone)]
+pub struct TaskDag {
+    n: usize,
+    succ_xadj: Vec<u32>,
+    succ: Vec<u32>,
+    pred_xadj: Vec<u32>,
+    pred: Vec<u32>,
+}
+
+impl TaskDag {
+    /// Builds from an edge list `(u, v)` meaning *u must precede v*.
+    /// Duplicate edges are removed; self-loops are rejected.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n` or a self-loop is present.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> TaskDag {
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert_ne!(u, v, "self-loop at {u}");
+        }
+        let mut sorted: Vec<(u32, u32)> = edges.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+
+        let mut succ_deg = vec![0u32; n];
+        let mut pred_deg = vec![0u32; n];
+        for &(u, v) in &sorted {
+            succ_deg[u as usize] += 1;
+            pred_deg[v as usize] += 1;
+        }
+        let prefix = |deg: &[u32]| {
+            let mut x = vec![0u32; n + 1];
+            for i in 0..n {
+                x[i + 1] = x[i] + deg[i];
+            }
+            x
+        };
+        let succ_xadj = prefix(&succ_deg);
+        let pred_xadj = prefix(&pred_deg);
+        let mut succ = vec![0u32; sorted.len()];
+        let mut pred = vec![0u32; sorted.len()];
+        let mut scur: Vec<u32> = succ_xadj[..n].to_vec();
+        let mut pcur: Vec<u32> = pred_xadj[..n].to_vec();
+        for &(u, v) in &sorted {
+            succ[scur[u as usize] as usize] = v;
+            scur[u as usize] += 1;
+            pred[pcur[v as usize] as usize] = u;
+            pcur[v as usize] += 1;
+        }
+        TaskDag { n, succ_xadj, succ, pred_xadj, pred }
+    }
+
+    /// An edgeless DAG over `n` nodes (every task independent).
+    pub fn edgeless(n: usize) -> TaskDag {
+        TaskDag::from_edges(n, &[])
+    }
+
+    /// Number of nodes (cells).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Successors of `v` (tasks that depend on `v`).
+    #[inline]
+    pub fn successors(&self, v: u32) -> &[u32] {
+        let (s, e) = (self.succ_xadj[v as usize], self.succ_xadj[v as usize + 1]);
+        &self.succ[s as usize..e as usize]
+    }
+
+    /// Predecessors of `v` (tasks `v` depends on).
+    #[inline]
+    pub fn predecessors(&self, v: u32) -> &[u32] {
+        let (s, e) = (self.pred_xadj[v as usize], self.pred_xadj[v as usize + 1]);
+        &self.pred[s as usize..e as usize]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: u32) -> u32 {
+        self.pred_xadj[v as usize + 1] - self.pred_xadj[v as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: u32) -> u32 {
+        self.succ_xadj[v as usize + 1] - self.succ_xadj[v as usize]
+    }
+
+    /// Iterates over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n as u32)
+            .flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// A topological order via Kahn's algorithm, or `None` if cyclic.
+    pub fn topo_order(&self) -> Option<Vec<u32>> {
+        let mut indeg: Vec<u32> = (0..self.n as u32).map(|v| self.in_degree(v)).collect();
+        let mut order = Vec::with_capacity(self.n);
+        let mut queue: Vec<u32> =
+            (0..self.n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &w in self.successors(v) {
+                indeg[w as usize] -= 1;
+                if indeg[w as usize] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
+    }
+
+    /// True when the graph has no directed cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Source nodes (in-degree 0) — the paper's *roots*.
+    pub fn sources(&self) -> Vec<u32> {
+        (0..self.n as u32).filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Sink nodes (out-degree 0) — the paper's *leaves*.
+    pub fn sinks(&self) -> Vec<u32> {
+        (0..self.n as u32).filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// The transpose DAG (every edge reversed).
+    pub fn transpose(&self) -> TaskDag {
+        TaskDag {
+            n: self.n,
+            succ_xadj: self.pred_xadj.clone(),
+            succ: self.pred.clone(),
+            pred_xadj: self.succ_xadj.clone(),
+            pred: self.succ.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskDag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        TaskDag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn counts_and_adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.predecessors(3), &[1, 2]);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn duplicate_edges_removed() {
+        let g = TaskDag::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        TaskDag::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        TaskDag::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order().expect("diamond is acyclic");
+        let pos: Vec<usize> =
+            (0..4u32).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+        for (u, v) in g.edges() {
+            assert!(pos[u as usize] < pos[v as usize]);
+        }
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = TaskDag::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!g.is_acyclic());
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn edgeless_is_trivially_acyclic() {
+        let g = TaskDag::edgeless(5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.sources().len(), 5);
+        assert_eq!(g.sinks().len(), 5);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.successors(3), &[1, 2]);
+        assert_eq!(t.predecessors(0).len(), 2);
+        let mut e1: Vec<_> = g.edges().map(|(u, v)| (v, u)).collect();
+        let mut e2: Vec<_> = t.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn edges_iterator_matches_count() {
+        let g = diamond();
+        assert_eq!(g.edges().count(), g.num_edges());
+    }
+}

@@ -1,0 +1,322 @@
+//! Induction of per-direction dependence DAGs from a mesh, with cycle
+//! breaking.
+//!
+//! For sweep direction `ω`, every interior face with `a→b` unit normal `n`
+//! contributes the edge `a → b` when `n · ω > ε` and `b → a` when
+//! `n · ω < −ε` (faces nearly parallel to the sweep contribute nothing —
+//! no flux crosses them). On jittered unstructured meshes the resulting
+//! digraph can contain directed cycles; following the paper ("we break the
+//! cycles") we repair them: Tarjan's strongly-connected components are
+//! computed, and within each non-trivial SCC only edges consistent with the
+//! *geometric height* order `h(v) = centroid(v) · ω` (ties by cell id) are
+//! kept. Cross-SCC edges can never participate in a cycle and are all
+//! preserved, so the repair is minimal in that sense.
+
+use sweep_mesh::{SweepMesh, Vec3};
+use sweep_quadrature::QuadratureSet;
+
+use crate::graph::TaskDag;
+
+/// Faces whose normal is within this tolerance of perpendicular to the
+/// sweep direction induce no dependence.
+pub const PARALLEL_EPS: f64 = 1e-12;
+
+/// Statistics from inducing one direction's DAG.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InduceStats {
+    /// Edges induced by face normals before repair.
+    pub raw_edges: usize,
+    /// Edges dropped by cycle breaking.
+    pub dropped_edges: usize,
+    /// Number of non-trivial (size ≥ 2) strongly connected components
+    /// encountered.
+    pub nontrivial_sccs: usize,
+}
+
+/// Induces the dependence DAG of one sweep direction from a mesh.
+/// Guaranteed acyclic.
+///
+/// ```
+/// use sweep_mesh::{TriMesh2d, Vec3};
+/// use sweep_dag::induce_dag;
+///
+/// let mesh = TriMesh2d::unit_square(4, 4, 0.2, 1).unwrap();
+/// let (dag, stats) = induce_dag(&mesh, Vec3::new(0.8, 0.6, 0.0));
+/// assert!(dag.is_acyclic());
+/// assert!(stats.raw_edges > 0);
+/// ```
+pub fn induce_dag(mesh: &impl SweepMesh, omega: Vec3) -> (TaskDag, InduceStats) {
+    let n = mesh.num_cells();
+    let mut edges = Vec::with_capacity(mesh.interior_faces().len());
+    for f in mesh.interior_faces() {
+        let d = f.normal.dot(omega);
+        if d > PARALLEL_EPS {
+            edges.push((f.a.0, f.b.0));
+        } else if d < -PARALLEL_EPS {
+            edges.push((f.b.0, f.a.0));
+        }
+    }
+    let raw = edges.len();
+    let height: Vec<f64> =
+        (0..n).map(|c| mesh.centroid(sweep_mesh::CellId(c as u32)).dot(omega)).collect();
+    let (edges, dropped, sccs) = break_cycles(n, edges, &height);
+    let dag = TaskDag::from_edges(n, &edges);
+    debug_assert!(dag.is_acyclic());
+    (dag, InduceStats { raw_edges: raw, dropped_edges: dropped, nontrivial_sccs: sccs })
+}
+
+/// Induces all `k` DAGs for a quadrature set; returns the DAGs and the
+/// per-direction repair statistics.
+pub fn induce_all(
+    mesh: &impl SweepMesh,
+    quadrature: &QuadratureSet,
+) -> (Vec<TaskDag>, Vec<InduceStats>) {
+    let mut dags = Vec::with_capacity(quadrature.len());
+    let mut stats = Vec::with_capacity(quadrature.len());
+    for (_, omega) in quadrature.iter() {
+        let (d, s) = induce_dag(mesh, omega);
+        dags.push(d);
+        stats.push(s);
+    }
+    (dags, stats)
+}
+
+/// Removes a set of edges so the remainder is acyclic.
+///
+/// Edges whose endpoints lie in different strongly connected components are
+/// always kept; within a non-trivial SCC only edges going strictly upward
+/// in `(height, id)` order survive. Returns `(kept_edges, dropped_count,
+/// nontrivial_scc_count)`.
+pub fn break_cycles(
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    height: &[f64],
+) -> (Vec<(u32, u32)>, usize, usize) {
+    assert_eq!(height.len(), n, "one height per node");
+    let scc = tarjan_scc(n, &edges);
+
+    // Count SCC sizes to identify non-trivial components.
+    let mut scc_size = vec![0u32; n];
+    for &c in &scc {
+        scc_size[c as usize] += 1;
+    }
+    let nontrivial = scc_size.iter().filter(|&&s| s >= 2).count();
+
+    let before = edges.len();
+    let upward = |u: u32, v: u32| {
+        let (hu, hv) = (height[u as usize], height[v as usize]);
+        hu < hv || (hu == hv && u < v)
+    };
+    let kept: Vec<(u32, u32)> = edges
+        .into_iter()
+        .filter(|&(u, v)| scc[u as usize] != scc[v as usize] || upward(u, v))
+        .collect();
+    let dropped = before - kept.len();
+    (kept, dropped, nontrivial)
+}
+
+/// Iterative Tarjan SCC; returns the component id of every node.
+fn tarjan_scc(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    // Build successor CSR.
+    let mut deg = vec![0u32; n];
+    for &(u, _) in edges {
+        deg[u as usize] += 1;
+    }
+    let mut xadj = vec![0u32; n + 1];
+    for i in 0..n {
+        xadj[i + 1] = xadj[i] + deg[i];
+    }
+    let mut adj = vec![0u32; edges.len()];
+    let mut cur: Vec<u32> = xadj[..n].to_vec();
+    for &(u, v) in edges {
+        adj[cur[u as usize] as usize] = v;
+        cur[u as usize] += 1;
+    }
+
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    // Explicit DFS stack of (node, next-child-offset).
+    let mut dfs: Vec<(u32, u32)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        dfs.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
+            let (s, e) = (xadj[v as usize], xadj[v as usize + 1]);
+            if s + *ci < e {
+                let w = adj[(s + *ci) as usize];
+                *ci += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    dfs.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(p, _)) = dfs.last() {
+                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of an SCC.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweep_mesh::{MeshPreset, TriMesh2d};
+    use sweep_quadrature::QuadratureSet;
+
+    #[test]
+    fn tarjan_identifies_components() {
+        // 0 <-> 1 form a cycle; 2 is separate; 1 -> 2.
+        let scc = tarjan_scc(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(scc[0], scc[1]);
+        assert_ne!(scc[0], scc[2]);
+    }
+
+    #[test]
+    fn tarjan_on_dag_gives_singletons() {
+        let scc = tarjan_scc(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let mut ids = scc.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn break_cycles_repairs_two_cycle() {
+        let heights = vec![0.0, 1.0];
+        let (kept, dropped, sccs) = break_cycles(2, vec![(0, 1), (1, 0)], &heights);
+        assert_eq!(kept, vec![(0, 1)]); // upward edge survives
+        assert_eq!(dropped, 1);
+        assert_eq!(sccs, 1);
+        assert!(TaskDag::from_edges(2, &kept).is_acyclic());
+    }
+
+    #[test]
+    fn break_cycles_keeps_acyclic_input_intact() {
+        let heights = vec![5.0, 0.0, 2.0]; // deliberately inconsistent
+        let edges = vec![(0u32, 1u32), (1, 2)];
+        let (kept, dropped, sccs) = break_cycles(3, edges.clone(), &heights);
+        // No cycles ⇒ nothing may be dropped even though heights disagree.
+        assert_eq!(kept, edges);
+        assert_eq!(dropped, 0);
+        assert_eq!(sccs, 0);
+    }
+
+    #[test]
+    fn break_cycles_handles_big_scc() {
+        // Directed 4-cycle plus a chord.
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let heights = vec![0.0, 1.0, 2.0, 3.0];
+        let (kept, _, sccs) = break_cycles(4, edges, &heights);
+        assert_eq!(sccs, 1);
+        assert!(TaskDag::from_edges(4, &kept).is_acyclic());
+        // All upward edges survive: (0,1),(1,2),(2,3),(0,2).
+        assert_eq!(kept.len(), 4);
+    }
+
+    #[test]
+    fn equal_heights_broken_by_id() {
+        let edges = vec![(0u32, 1u32), (1, 0)];
+        let heights = vec![1.0, 1.0];
+        let (kept, dropped, _) = break_cycles(2, edges, &heights);
+        assert_eq!(kept, vec![(0, 1)]);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn induced_2d_dags_are_acyclic_and_cover_most_faces() {
+        let mesh = TriMesh2d::unit_square(8, 8, 0.2, 3).unwrap();
+        let quad = QuadratureSet::uniform_2d(8).unwrap();
+        let (dags, stats) = induce_all(&mesh, &quad);
+        assert_eq!(dags.len(), 8);
+        for (d, s) in dags.iter().zip(&stats) {
+            assert!(d.is_acyclic());
+            assert_eq!(d.num_nodes(), mesh.num_cells());
+            // Nearly every interior face induces an edge (none parallel).
+            assert!(s.raw_edges >= mesh.interior_faces().len() * 9 / 10);
+            // Dropped edges must be a small fraction.
+            assert!(s.dropped_edges * 20 <= s.raw_edges, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn induced_3d_dags_are_acyclic() {
+        let mesh = MeshPreset::Tetonly.build_scaled(0.01).unwrap();
+        let quad = QuadratureSet::level_symmetric(2).unwrap();
+        let (dags, _) = induce_all(&mesh, &quad);
+        for d in &dags {
+            assert!(d.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn opposite_directions_induce_transposed_dags() {
+        let mesh = TriMesh2d::unit_square(5, 5, 0.15, 1).unwrap();
+        let omega = Vec3::new(0.6, 0.8, 0.0);
+        let (d1, s1) = induce_dag(&mesh, omega);
+        let (d2, _) = induce_dag(&mesh, -omega);
+        // Raw induced edge sets are exact transposes; cycle breaking uses
+        // opposite height orders, so the *kept* sets are transposes too
+        // when no cycles existed.
+        if s1.dropped_edges == 0 {
+            let mut e1: Vec<_> = d1.edges().map(|(u, v)| (v, u)).collect();
+            let mut e2: Vec<_> = d2.edges().collect();
+            e1.sort_unstable();
+            e2.sort_unstable();
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn dag_sources_are_upstream_cells() {
+        // In a structured (no-jitter) strip, the sweep direction +x makes
+        // the leftmost cells the sources.
+        let mesh = TriMesh2d::unit_square(6, 1, 0.0, 0).unwrap();
+        let (dag, stats) = induce_dag(&mesh, Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(stats.dropped_edges, 0);
+        assert!(dag.is_acyclic());
+        let sources = dag.sources();
+        assert!(!sources.is_empty());
+        use sweep_mesh::{CellId, SweepMesh as _};
+        let min_x = sources
+            .iter()
+            .map(|&c| mesh.centroid(CellId(c)).x)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_x < 0.25, "sources should be near the left edge");
+    }
+}

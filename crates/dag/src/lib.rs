@@ -1,0 +1,47 @@
+//! # sweep-dag — task-DAG substrate for sweep scheduling
+//!
+//! Everything between the mesh and the schedulers:
+//!
+//! * [`TaskDag`] — compact CSR digraph of one direction's precedence
+//!   constraints;
+//! * [`induce_dag`] / [`induce_all`] — induction of per-direction DAGs
+//!   from face normals, with geometric cycle breaking (paper §3);
+//! * [`levels`] / [`b_levels`] — the layer structure `L_{i,j}` that both
+//!   the Random Delay algorithms and the Level/DFDS priorities consume;
+//! * [`descendant_counts`] — exact and approximate descendant counts for
+//!   the Plimpton-style priority;
+//! * [`SweepInstance`] — the full instance (`n` cells, `k` DAGs) plus
+//!   synthetic and adversarial generators.
+//!
+//! ```
+//! use sweep_mesh::TriMesh2d;
+//! use sweep_quadrature::QuadratureSet;
+//! use sweep_dag::SweepInstance;
+//!
+//! let mesh = TriMesh2d::unit_square(6, 6, 0.2, 1).unwrap();
+//! let quad = QuadratureSet::uniform_2d(8).unwrap();
+//! let (inst, _) = SweepInstance::from_mesh(&mesh, &quad, "demo");
+//! assert_eq!(inst.num_tasks(), 72 * 8);
+//! assert!(inst.dags().iter().all(|d| d.is_acyclic()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descendants;
+pub mod graph;
+pub mod induce;
+pub mod instance;
+pub mod levels;
+pub mod serialize;
+pub mod stats;
+
+pub use descendants::{
+    descendant_counts, descendant_counts_approx, descendant_counts_exact, DescendantMode,
+};
+pub use graph::TaskDag;
+pub use induce::{break_cycles, induce_all, induce_dag, InduceStats};
+pub use instance::{SweepInstance, TaskId};
+pub use levels::{b_levels, critical_path_len, levels, Levels};
+pub use serialize::{from_text, to_text};
+pub use stats::{dag_stats, instance_stats, to_dot, DagStats, InstanceStats};

@@ -1,0 +1,185 @@
+//! Plain-text serialization of [`SweepInstance`] — a minimal exchange
+//! format so instances can be archived, diffed, and passed between tools
+//! (including non-Rust analysis stacks) without new dependencies.
+//!
+//! Format (line-oriented, `#` comments allowed):
+//!
+//! ```text
+//! sweep-instance v1
+//! name <string>
+//! cells <n>
+//! directions <k>
+//! dag <i> edges <e>      # followed by e lines "u v"
+//! u v
+//! ...
+//! end
+//! ```
+
+use crate::graph::TaskDag;
+use crate::instance::SweepInstance;
+
+/// Serializes an instance to the v1 text format.
+pub fn to_text(instance: &SweepInstance) -> String {
+    let mut out = String::new();
+    out.push_str("sweep-instance v1\n");
+    out.push_str(&format!("name {}\n", instance.name().replace('\n', " ")));
+    out.push_str(&format!("cells {}\n", instance.num_cells()));
+    out.push_str(&format!("directions {}\n", instance.num_directions()));
+    for (i, dag) in instance.dags().iter().enumerate() {
+        out.push_str(&format!("dag {} edges {}\n", i, dag.num_edges()));
+        for (u, v) in dag.edges() {
+            out.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses the v1 text format back into an instance.
+pub fn from_text(text: &str) -> Result<SweepInstance, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("empty input")?;
+    if header != "sweep-instance v1" {
+        return Err(format!("bad header '{header}'"));
+    }
+    let name_line = lines.next().ok_or("missing name line")?;
+    let name = name_line
+        .strip_prefix("name ")
+        .ok_or_else(|| format!("expected 'name …', got '{name_line}'"))?
+        .to_string();
+    let parse_kv = |line: &str, key: &str| -> Result<usize, String> {
+        line.strip_prefix(key)
+            .and_then(|r| r.trim().parse().ok())
+            .ok_or_else(|| format!("expected '{key} <int>', got '{line}'"))
+    };
+    let n = parse_kv(lines.next().ok_or("missing cells line")?, "cells")?;
+    let k = parse_kv(lines.next().ok_or("missing directions line")?, "directions")?;
+    if k == 0 {
+        return Err("instance needs at least one direction".into());
+    }
+    let mut dags = Vec::with_capacity(k);
+    for i in 0..k {
+        let head = lines.next().ok_or_else(|| format!("missing 'dag {i}' header"))?;
+        let rest = head
+            .strip_prefix("dag ")
+            .ok_or_else(|| format!("expected 'dag {i} …', got '{head}'"))?;
+        let mut parts = rest.split_whitespace();
+        let idx: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad dag index in '{head}'"))?;
+        if idx != i {
+            return Err(format!("expected dag {i}, found dag {idx}"));
+        }
+        if parts.next() != Some("edges") {
+            return Err(format!("expected 'edges' in '{head}'"));
+        }
+        let e: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad edge count in '{head}'"))?;
+        let mut edges = Vec::with_capacity(e);
+        for _ in 0..e {
+            let line = lines.next().ok_or("unexpected end of edge list")?;
+            let mut it = line.split_whitespace();
+            let u: u32 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad edge line '{line}'"))?;
+            let v: u32 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad edge line '{line}'"))?;
+            if (u as usize) >= n || (v as usize) >= n {
+                return Err(format!("edge ({u},{v}) out of range for {n} cells"));
+            }
+            if u == v {
+                return Err(format!("self-loop at {u}"));
+            }
+            edges.push((u, v));
+        }
+        let dag = TaskDag::from_edges(n, &edges);
+        if !dag.is_acyclic() {
+            return Err(format!("dag {i} is cyclic"));
+        }
+        dags.push(dag);
+    }
+    match lines.next() {
+        Some("end") => {}
+        other => return Err(format!("expected 'end', got {other:?}")),
+    }
+    Ok(SweepInstance::new(n, dags, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let inst = SweepInstance::random_layered(40, 3, 5, 2, 7);
+        let text = to_text(&inst);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.num_cells(), inst.num_cells());
+        assert_eq!(back.num_directions(), inst.num_directions());
+        assert_eq!(back.name(), inst.name());
+        for i in 0..3 {
+            let mut e1: Vec<_> = inst.dag(i).edges().collect();
+            let mut e2: Vec<_> = back.dag(i).edges().collect();
+            e1.sort_unstable();
+            e2.sort_unstable();
+            assert_eq!(e1, e2, "direction {i}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let inst = SweepInstance::identical_chains(3, 1);
+        let text = to_text(&inst);
+        let noisy = text
+            .lines()
+            .map(|l| format!("{l}\n# comment\n\n"))
+            .collect::<String>();
+        let back = from_text(&noisy).unwrap();
+        assert_eq!(back.num_cells(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(from_text("").is_err());
+        assert!(from_text("wrong header\n").is_err());
+        let inst = SweepInstance::identical_chains(3, 1);
+        let good = to_text(&inst);
+        // Corrupt: out-of-range edge.
+        let bad = good.replace("0 1", "0 99");
+        assert!(from_text(&bad).unwrap_err().contains("out of range"));
+        // Corrupt: truncate the end marker.
+        let bad2 = good.replace("end\n", "");
+        assert!(from_text(&bad2).is_err());
+        // Corrupt: cyclic edges.
+        let cyclic = "sweep-instance v1\nname x\ncells 2\ndirections 1\n\
+                      dag 0 edges 2\n0 1\n1 0\nend\n";
+        assert!(from_text(cyclic).unwrap_err().contains("cyclic"));
+    }
+
+    #[test]
+    fn edge_counts_must_match() {
+        let text = "sweep-instance v1\nname x\ncells 2\ndirections 1\n\
+                    dag 0 edges 2\n0 1\nend\n";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn name_with_spaces_survives() {
+        let inst = SweepInstance::new(
+            2,
+            vec![TaskDag::edgeless(2)],
+            "my fancy instance",
+        );
+        let back = from_text(&to_text(&inst)).unwrap();
+        assert_eq!(back.name(), "my fancy instance");
+    }
+}

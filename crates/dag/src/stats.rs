@@ -1,0 +1,159 @@
+//! Structural statistics and export helpers for task DAGs and instances.
+//!
+//! The paper's experiments are all shaped by a few structural quantities —
+//! depth `D`, layer-width profiles, degree distribution — and debugging a
+//! scheduler usually starts by looking at them. [`DagStats`] gathers them
+//! in one pass; [`to_dot`] renders small DAGs for inspection with
+//! Graphviz.
+
+use crate::graph::TaskDag;
+use crate::instance::SweepInstance;
+use crate::levels::levels;
+
+/// One DAG's structural summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Number of sources (in-degree 0).
+    pub sources: usize,
+    /// Number of sinks (out-degree 0).
+    pub sinks: usize,
+    /// Critical-path length in nodes (= number of layers).
+    pub depth: usize,
+    /// Widest layer.
+    pub max_width: usize,
+    /// Mean layer width (`nodes / depth`).
+    pub mean_width: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: u32,
+    /// Maximum in-degree.
+    pub max_in_degree: u32,
+}
+
+/// Computes [`DagStats`] (requires an acyclic graph).
+pub fn dag_stats(dag: &TaskDag) -> DagStats {
+    let lv = levels(dag);
+    let n = dag.num_nodes();
+    let depth = lv.depth();
+    DagStats {
+        nodes: n,
+        edges: dag.num_edges(),
+        sources: dag.sources().len(),
+        sinks: dag.sinks().len(),
+        depth,
+        max_width: lv.max_width(),
+        mean_width: if depth == 0 { 0.0 } else { n as f64 / depth as f64 },
+        max_out_degree: (0..n as u32).map(|v| dag.out_degree(v)).max().unwrap_or(0),
+        max_in_degree: (0..n as u32).map(|v| dag.in_degree(v)).max().unwrap_or(0),
+    }
+}
+
+/// Aggregate statistics over an instance's directions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Per-direction stats.
+    pub per_direction: Vec<DagStats>,
+    /// The paper's `D`: max depth over directions.
+    pub max_depth: usize,
+    /// Total edges over all directions.
+    pub total_edges: usize,
+    /// Total tasks `n·k`.
+    pub total_tasks: usize,
+}
+
+/// Computes [`InstanceStats`].
+pub fn instance_stats(instance: &SweepInstance) -> InstanceStats {
+    let per_direction: Vec<DagStats> = instance.dags().iter().map(dag_stats).collect();
+    InstanceStats {
+        max_depth: per_direction.iter().map(|s| s.depth).max().unwrap_or(0),
+        total_edges: per_direction.iter().map(|s| s.edges).sum(),
+        total_tasks: instance.num_tasks(),
+        per_direction,
+    }
+}
+
+/// Renders a DAG in Graphviz DOT format, ranking nodes by layer. Intended
+/// for small graphs (refuses more than `max_nodes`).
+pub fn to_dot(dag: &TaskDag, name: &str, max_nodes: usize) -> Result<String, String> {
+    if dag.num_nodes() > max_nodes {
+        return Err(format!(
+            "graph has {} nodes, above the requested cap {max_nodes}",
+            dag.num_nodes()
+        ));
+    }
+    let lv = levels(dag);
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{name}\" {{\n  rankdir=TB;\n"));
+    for (j, layer) in lv.iter().enumerate() {
+        out.push_str("  { rank=same;");
+        for &v in layer {
+            out.push_str(&format!(" v{v};"));
+        }
+        out.push_str(&format!(" }} // layer {j}\n"));
+    }
+    for (u, v) in dag.edges() {
+        out.push_str(&format!("  v{u} -> v{v};\n"));
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskDag {
+        TaskDag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn diamond_stats() {
+        let s = dag_stats(&diamond());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_width, 2);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert!((s.mean_width - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instance_stats_aggregate() {
+        let inst = SweepInstance::identical_chains(5, 3);
+        let s = instance_stats(&inst);
+        assert_eq!(s.per_direction.len(), 3);
+        assert_eq!(s.max_depth, 5);
+        assert_eq!(s.total_edges, 12);
+        assert_eq!(s.total_tasks, 15);
+    }
+
+    #[test]
+    fn dot_contains_all_edges_and_ranks() {
+        let dot = to_dot(&diamond(), "d", 100).unwrap();
+        assert!(dot.starts_with("digraph \"d\""));
+        assert!(dot.contains("v0 -> v1;"));
+        assert!(dot.contains("v2 -> v3;"));
+        assert_eq!(dot.matches("rank=same").count(), 3);
+    }
+
+    #[test]
+    fn dot_refuses_large_graphs() {
+        let g = TaskDag::edgeless(50);
+        assert!(to_dot(&g, "big", 10).is_err());
+    }
+
+    #[test]
+    fn edgeless_stats() {
+        let s = dag_stats(&TaskDag::edgeless(3));
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.sources, 3);
+        assert_eq!(s.sinks, 3);
+        assert_eq!(s.max_out_degree, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # sweep-mesh — unstructured mesh substrate for sweep scheduling
+//!
+//! This crate provides the mesh layer underneath the sweep-scheduling
+//! algorithms of Anil Kumar, Marathe, Parthasarathy, Srinivasan & Zust,
+//! *Provable Algorithms for Parallel Sweep Scheduling on Unstructured
+//! Meshes* (IPDPS 2005):
+//!
+//! * [`TetMesh`] / [`TriMesh2d`] — conforming unstructured tetrahedral and
+//!   triangular meshes with derived face adjacency and oriented unit
+//!   normals;
+//! * [`SweepMesh`] — the face-level trait the DAG-induction code consumes
+//!   (a sweep direction `ω` depends cell `a` before cell `b` across a face
+//!   whose `a→b` normal has `n · ω > 0`);
+//! * [`generator`] — synthetic unstructured tet-mesh generation (structured
+//!   scaffold + random-rank diagonal splits + vertex jitter + BFS trimming);
+//! * [`MeshPreset`] — stand-ins for the paper's four evaluation meshes
+//!   (`tetonly`, `well_logging`, `long`, `prismtet`) with exact paper cell
+//!   counts.
+//!
+//! ```
+//! use sweep_mesh::{MeshPreset, SweepMesh};
+//!
+//! let mesh = MeshPreset::Tetonly.build_scaled(0.01).unwrap();
+//! assert_eq!(mesh.num_cells(), 315); // 1% of the paper's 31 481 cells
+//! assert!(mesh.interior_faces().len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod face;
+pub mod generator;
+pub mod geometry;
+pub mod presets;
+pub mod quality;
+pub mod svg;
+pub mod tet;
+pub mod tri2d;
+pub mod vtk;
+
+pub use face::{BoundaryFace, CellId, InteriorFace, SweepMesh};
+pub use generator::{generate, generate_with_target, Carve, GenerateError, GeneratorConfig};
+pub use geometry::{Point3, Vec3};
+pub use presets::MeshPreset;
+pub use quality::{quality_report, tet_quality, QualityReport};
+pub use svg::{levels_svg, to_svg as to_svg_2d, ColorMap};
+pub use vtk::to_vtk;
+pub use tet::{MeshError, TetMesh};
+pub use tri2d::TriMesh2d;

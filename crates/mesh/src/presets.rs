@@ -1,0 +1,183 @@
+//! Synthetic stand-ins for the four meshes of the paper's §5.
+//!
+//! | preset | paper cells | domain flavour |
+//! |--------|-------------|----------------|
+//! | `tetonly`      | 31 481  | roughly cubic block |
+//! | `well_logging` | 43 012  | block with a vertical borehole carved out |
+//! | `long`         | 61 737  | elongated 4:1:1 bar |
+//! | `prismtet`     | 118 211 | large block, anisotropic (prism-like) cells |
+//!
+//! Cell counts match the paper exactly; geometry is synthetic (see
+//! DESIGN.md §5 for the substitution argument). Every preset also supports a
+//! `scale ∈ (0, 1]` factor producing a smaller mesh of the same shape with
+//! `⌈scale · cells⌉` cells, used by tests and smoke-mode benchmarks.
+
+use crate::generator::{generate_with_target, Carve, GenerateError, GeneratorConfig};
+use crate::geometry::Vec3;
+use crate::tet::TetMesh;
+
+/// The four evaluation meshes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshPreset {
+    /// 31 481 cells, cubic domain.
+    Tetonly,
+    /// 43 012 cells, borehole domain.
+    WellLogging,
+    /// 61 737 cells, elongated domain.
+    Long,
+    /// 118 211 cells, anisotropic cells.
+    Prismtet,
+}
+
+impl MeshPreset {
+    /// All presets, smallest first.
+    pub const ALL: [MeshPreset; 4] =
+        [MeshPreset::Tetonly, MeshPreset::WellLogging, MeshPreset::Long, MeshPreset::Prismtet];
+
+    /// The paper's cell count for this mesh.
+    pub fn paper_cells(self) -> usize {
+        match self {
+            MeshPreset::Tetonly => 31_481,
+            MeshPreset::WellLogging => 43_012,
+            MeshPreset::Long => 61_737,
+            MeshPreset::Prismtet => 118_211,
+        }
+    }
+
+    /// The mesh's name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MeshPreset::Tetonly => "tetonly",
+            MeshPreset::WellLogging => "well_logging",
+            MeshPreset::Long => "long",
+            MeshPreset::Prismtet => "prismtet",
+        }
+    }
+
+    /// Parses a paper mesh name.
+    pub fn from_name(name: &str) -> Option<MeshPreset> {
+        MeshPreset::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// Builds the full-size synthetic stand-in (exact paper cell count).
+    pub fn build(self) -> Result<TetMesh, GenerateError> {
+        self.build_scaled(1.0)
+    }
+
+    /// Builds a geometrically similar mesh with `⌈scale · paper_cells⌉`
+    /// cells, `0 < scale ≤ 1`.
+    pub fn build_scaled(self, scale: f64) -> Result<TetMesh, GenerateError> {
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(GenerateError::BadConfig(format!(
+                "scale {scale} outside (0, 1]"
+            )));
+        }
+        let target = ((self.paper_cells() as f64 * scale).ceil() as usize).max(16);
+        let cfg = self.config_for_target(target);
+        generate_with_target(&cfg, target)
+    }
+
+    /// Generator configuration whose scaffold comfortably exceeds `target`
+    /// cells while keeping this preset's aspect ratio and carving.
+    fn config_for_target(self, target: usize) -> GeneratorConfig {
+        // Aspect ratios (hex counts proportional to these) and carving.
+        let (ax, ay, az, carve, extent, seed) = match self {
+            MeshPreset::Tetonly => {
+                (1.0, 1.0, 1.0, Carve::None, Vec3::new(1.0, 1.0, 1.0), 0x7e70u64)
+            }
+            MeshPreset::WellLogging => (
+                1.0,
+                1.0,
+                1.0,
+                Carve::CylinderHole { cx: 0.5, cy: 0.5, radius: 0.18 },
+                Vec3::new(1.0, 1.0, 1.0),
+                0x3e11u64,
+            ),
+            MeshPreset::Long => {
+                (4.0, 1.0, 1.0, Carve::None, Vec3::new(4.0, 1.0, 1.0), 0x10e6u64)
+            }
+            MeshPreset::Prismtet => {
+                (1.0, 1.0, 0.6, Carve::None, Vec3::new(1.0, 1.0, 0.6), 0x9215u64)
+            }
+        };
+        // Solve for a scale factor s with 12 * (ax*s)(ay*s)(az*s) >= margin * target.
+        let kept_fraction = match carve {
+            Carve::CylinderHole { radius, .. } => {
+                1.0 - std::f64::consts::PI * radius * radius
+            }
+            _ => 1.0,
+        };
+        let margin = 1.25; // headroom for BFS trimming
+        let s = (margin * target as f64 / (12.0 * ax * ay * az * kept_fraction))
+            .cbrt();
+        GeneratorConfig {
+            nx: ((ax * s).ceil() as usize).max(2),
+            ny: ((ay * s).ceil() as usize).max(2),
+            nz: ((az * s).ceil() as usize).max(2),
+            extent,
+            jitter: 0.2,
+            carve,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::face::SweepMesh;
+
+    #[test]
+    fn names_round_trip() {
+        for p in MeshPreset::ALL {
+            assert_eq!(MeshPreset::from_name(p.name()), Some(p));
+        }
+        assert_eq!(MeshPreset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn scaled_tetonly_has_requested_cells() {
+        let m = MeshPreset::Tetonly.build_scaled(0.02).unwrap();
+        let want = (31_481f64 * 0.02).ceil() as usize;
+        assert_eq!(m.num_cells(), want);
+        assert_eq!(m.connected_component_size(), m.num_cells());
+    }
+
+    #[test]
+    fn scaled_well_logging_builds_with_hole() {
+        let m = MeshPreset::WellLogging.build_scaled(0.02).unwrap();
+        assert_eq!(m.num_cells(), (43_012f64 * 0.02).ceil() as usize);
+    }
+
+    #[test]
+    fn scaled_long_is_elongated() {
+        let m = MeshPreset::Long.build_scaled(0.02).unwrap();
+        // Bounding box must reflect the 4:1:1 domain.
+        let (mut maxx, mut maxy) = (0.0f64, 0.0f64);
+        for v in m.vertices() {
+            maxx = maxx.max(v.x);
+            maxy = maxy.max(v.y);
+        }
+        assert!(maxx > 2.0 * maxy, "domain should be elongated: {maxx} vs {maxy}");
+    }
+
+    #[test]
+    fn scaled_prismtet_builds() {
+        let m = MeshPreset::Prismtet.build_scaled(0.01).unwrap();
+        assert_eq!(m.num_cells(), (118_211f64 * 0.01).ceil() as usize);
+    }
+
+    #[test]
+    fn bad_scale_rejected() {
+        assert!(MeshPreset::Tetonly.build_scaled(0.0).is_err());
+        assert!(MeshPreset::Tetonly.build_scaled(1.5).is_err());
+    }
+
+    #[test]
+    fn paper_cell_counts_match_paper() {
+        assert_eq!(MeshPreset::Tetonly.paper_cells(), 31_481);
+        assert_eq!(MeshPreset::WellLogging.paper_cells(), 43_012);
+        assert_eq!(MeshPreset::Long.paper_cells(), 61_737);
+        assert_eq!(MeshPreset::Prismtet.paper_cells(), 118_211);
+    }
+}

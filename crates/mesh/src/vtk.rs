@@ -1,0 +1,93 @@
+//! Legacy-VTK export of tetrahedral meshes with optional per-cell scalar
+//! fields (processor assignment, scalar flux, sweep level, …) so results
+//! can be inspected in ParaView/VisIt — the standard workflow around
+//! transport codes.
+
+use std::fmt::Write as _;
+
+use crate::face::SweepMesh;
+use crate::tet::TetMesh;
+
+/// Serializes the mesh as a legacy VTK (`.vtk`) unstructured grid.
+/// `cell_fields` are `(name, values)` pairs with one value per cell.
+///
+/// # Errors
+/// Returns an error when a field's length does not match the cell count
+/// or a field name contains whitespace.
+pub fn to_vtk(mesh: &TetMesh, cell_fields: &[(&str, &[f64])]) -> Result<String, String> {
+    for (name, values) in cell_fields {
+        if values.len() != mesh.num_cells() {
+            return Err(format!(
+                "field '{name}' has {} values for {} cells",
+                values.len(),
+                mesh.num_cells()
+            ));
+        }
+        if name.chars().any(char::is_whitespace) || name.is_empty() {
+            return Err(format!("invalid field name '{name}'"));
+        }
+    }
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\n");
+    out.push_str("sweep-scheduling mesh\nASCII\nDATASET UNSTRUCTURED_GRID\n");
+    let _ = writeln!(out, "POINTS {} double", mesh.vertices().len());
+    for v in mesh.vertices() {
+        let _ = writeln!(out, "{} {} {}", v.x, v.y, v.z);
+    }
+    let nc = mesh.num_cells();
+    let _ = writeln!(out, "CELLS {} {}", nc, nc * 5);
+    for c in mesh.cells() {
+        let _ = writeln!(out, "4 {} {} {} {}", c[0], c[1], c[2], c[3]);
+    }
+    let _ = writeln!(out, "CELL_TYPES {nc}");
+    for _ in 0..nc {
+        out.push_str("10\n"); // VTK_TETRA
+    }
+    if !cell_fields.is_empty() {
+        let _ = writeln!(out, "CELL_DATA {nc}");
+        for (name, values) in cell_fields {
+            let _ = writeln!(out, "SCALARS {name} double 1\nLOOKUP_TABLE default");
+            for v in *values {
+                let _ = writeln!(out, "{v}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn vtk_structure_is_complete() {
+        let mesh = generate(&GeneratorConfig::cube(2, 1)).unwrap();
+        let field: Vec<f64> = (0..mesh.num_cells()).map(|c| c as f64).collect();
+        let vtk = to_vtk(&mesh, &[("cell_id", &field)]).unwrap();
+        assert!(vtk.starts_with("# vtk DataFile"));
+        assert!(vtk.contains(&format!("POINTS {} double", mesh.vertices().len())));
+        assert!(vtk.contains(&format!("CELLS {} {}", mesh.num_cells(), mesh.num_cells() * 5)));
+        assert!(vtk.contains("CELL_TYPES"));
+        assert!(vtk.contains("SCALARS cell_id double 1"));
+        // One scalar line per cell.
+        let data_section = vtk.split("LOOKUP_TABLE default\n").nth(1).unwrap();
+        assert_eq!(data_section.lines().count(), mesh.num_cells());
+    }
+
+    #[test]
+    fn no_fields_is_fine() {
+        let mesh = generate(&GeneratorConfig::cube(2, 1)).unwrap();
+        let vtk = to_vtk(&mesh, &[]).unwrap();
+        assert!(!vtk.contains("CELL_DATA"));
+    }
+
+    #[test]
+    fn bad_fields_rejected() {
+        let mesh = generate(&GeneratorConfig::cube(2, 1)).unwrap();
+        assert!(to_vtk(&mesh, &[("short", &[1.0])]).is_err());
+        let field = vec![0.0; mesh.num_cells()];
+        assert!(to_vtk(&mesh, &[("bad name", &field)]).is_err());
+        assert!(to_vtk(&mesh, &[("", &field)]).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Graph bisection: greedy region growing followed by Fiduccia–Mattheyses
+//! (FM) boundary refinement. Used on the coarsest graph and re-applied
+//! during uncoarsening by the multilevel driver.
+
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::csr::CsrGraph;
+
+/// Result of a bisection: side (0/1) per vertex and the cut weight.
+#[derive(Debug, Clone)]
+pub struct Bisection {
+    /// 0 or 1 per vertex.
+    pub side: Vec<u8>,
+    /// Total weight of cut edges.
+    pub cut: u64,
+}
+
+/// Sum of weights of edges whose endpoints lie on different sides.
+pub fn cut_weight(g: &CsrGraph, side: &[u8]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.num_vertices() as u32 {
+        for (u, w) in g.neighbors(v) {
+            if v < u && side[v as usize] != side[u as usize] {
+                cut += w as u64;
+            }
+        }
+    }
+    cut
+}
+
+/// Weight on side 0.
+fn side0_weight(g: &CsrGraph, side: &[u8]) -> u64 {
+    (0..g.num_vertices())
+        .filter(|&v| side[v] == 0)
+        .map(|v| g.vwgt[v] as u64)
+        .sum()
+}
+
+/// Grows side 0 from a seed vertex by repeatedly absorbing the boundary
+/// vertex with the highest gain until its weight reaches `target0`.
+fn grow_from(g: &CsrGraph, seed: u32, target0: u64) -> Vec<u8> {
+    let n = g.num_vertices();
+    let mut side = vec![1u8; n];
+    let mut w0 = 0u64;
+    // Max-heap of (gain, vertex); stale entries skipped via `in_region`.
+    let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
+    let mut gain = vec![0i64; n];
+    let mut queued = vec![false; n];
+    heap.push((0, seed));
+    queued[seed as usize] = true;
+    while w0 < target0 {
+        let Some((gpop, v)) = heap.pop() else { break };
+        if side[v as usize] == 0 || gpop < gain[v as usize] {
+            continue; // stale
+        }
+        side[v as usize] = 0;
+        w0 += g.vwgt[v as usize] as u64;
+        for (u, w) in g.neighbors(v) {
+            if side[u as usize] == 1 {
+                gain[u as usize] += 2 * w as i64;
+                heap.push((gain[u as usize], u));
+                queued[u as usize] = true;
+            }
+        }
+    }
+    // Disconnected graph: heap may run dry early; absorb arbitrary
+    // remaining vertices to respect the weight target.
+    if w0 < target0 {
+        for (v, s) in side.iter_mut().enumerate() {
+            if *s == 1 {
+                *s = 0;
+                w0 += g.vwgt[v] as u64;
+                if w0 >= target0 {
+                    break;
+                }
+            }
+        }
+    }
+    side
+}
+
+/// Greedy-growing bisection: tries `tries` random seeds and keeps the best
+/// cut after one FM pass each.
+pub fn initial_bisection(
+    g: &CsrGraph,
+    target0: u64,
+    tol: u64,
+    tries: usize,
+    seed: u64,
+) -> Bisection {
+    let n = g.num_vertices();
+    assert!(n > 0, "cannot bisect an empty graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<Bisection> = None;
+    for _ in 0..tries.max(1) {
+        let s = rng.random_range(0..n as u32);
+        let mut side = grow_from(g, s, target0);
+        let cut = fm_refine(g, &mut side, target0, tol, 4);
+        if best.as_ref().is_none_or(|b| cut < b.cut) {
+            best = Some(Bisection { side, cut });
+        }
+    }
+    best.expect("at least one try")
+}
+
+/// FM boundary refinement. Moves vertices between sides to reduce the cut
+/// while keeping side 0's weight within `tol` of `target0` (moves that
+/// strictly improve balance are always allowed). Runs up to `max_passes`
+/// passes, each with rollback to its best prefix. Returns the final cut.
+pub fn fm_refine(
+    g: &CsrGraph,
+    side: &mut [u8],
+    target0: u64,
+    tol: u64,
+    max_passes: usize,
+) -> u64 {
+    let n = g.num_vertices();
+    let mut cut = cut_weight(g, side);
+    if n < 2 {
+        return cut;
+    }
+    for _ in 0..max_passes {
+        let mut w0 = side0_weight(g, side);
+        // gain[v]: cut reduction if v switches sides.
+        let mut gain = vec![0i64; n];
+        for v in 0..n as u32 {
+            for (u, w) in g.neighbors(v) {
+                if side[v as usize] != side[u as usize] {
+                    gain[v as usize] += w as i64;
+                } else {
+                    gain[v as usize] -= w as i64;
+                }
+            }
+        }
+        // One heap per source side, lazily invalidated.
+        let mut heaps: [BinaryHeap<(i64, u32)>; 2] =
+            [BinaryHeap::new(), BinaryHeap::new()];
+        for v in 0..n as u32 {
+            heaps[side[v as usize] as usize].push((gain[v as usize], v));
+        }
+        let mut locked = vec![false; n];
+        let mut moves: Vec<u32> = Vec::new();
+        let mut cur_cut = cut as i64;
+        let mut best_cut = cut as i64;
+        let mut best_len = 0usize;
+
+        let imbalance =
+            |w0: u64| -> u64 { w0.abs_diff(target0) };
+
+        loop {
+            // Prefer moving from the side whose weight is too high;
+            // otherwise take the higher-gain head of either heap.
+            let over0 = w0 > target0 + tol;
+            let under0 = w0 + tol < target0;
+            let pick_from = |heaps: &mut [BinaryHeap<(i64, u32)>; 2],
+                             locked: &[bool],
+                             side: &[u8],
+                             gain: &[i64],
+                             s: usize|
+             -> Option<(i64, u32)> {
+                while let Some(&(gpop, v)) = heaps[s].peek() {
+                    if locked[v as usize]
+                        || side[v as usize] as usize != s
+                        || gpop != gain[v as usize]
+                    {
+                        heaps[s].pop();
+                        continue;
+                    }
+                    return heaps[s].pop();
+                }
+                None
+            };
+            let choice: Option<(i64, u32)> = if over0 {
+                pick_from(&mut heaps, &locked, side, &gain, 0)
+            } else if under0 {
+                pick_from(&mut heaps, &locked, side, &gain, 1)
+            } else {
+                // Balanced: take whichever head keeps balance and has the
+                // better gain.
+                let mut cands: Vec<(i64, u32)> = Vec::new();
+                for s in 0..2usize {
+                    if let Some(c) = pick_from(&mut heaps, &locked, side, &gain, s) {
+                        cands.push(c);
+                    }
+                }
+                match cands.len() {
+                    0 => None,
+                    1 => {
+                        let c = cands[0];
+                        // Feasibility checked below; push back is not needed
+                        // because a chosen vertex is either moved or locked.
+                        Some(c)
+                    }
+                    _ => {
+                        let (a, b) = (cands[0], cands[1]);
+                        let (keep, back) = if a.0 >= b.0 { (a, b) } else { (b, a) };
+                        heaps[side[back.1 as usize] as usize].push(back);
+                        Some(keep)
+                    }
+                }
+            };
+            let Some((_, v)) = choice else { break };
+            let vs = side[v as usize];
+            let vw = g.vwgt[v as usize] as u64;
+            let new_w0 = if vs == 0 { w0 - vw } else { w0 + vw };
+            // Feasible if within tolerance or strictly improving balance.
+            if imbalance(new_w0) > tol && imbalance(new_w0) >= imbalance(w0) {
+                locked[v as usize] = true; // cannot move this pass
+                continue;
+            }
+            // Apply the move.
+            cur_cut -= gain[v as usize];
+            w0 = new_w0;
+            side[v as usize] = 1 - vs;
+            locked[v as usize] = true;
+            moves.push(v);
+            for (u, w) in g.neighbors(v) {
+                if locked[u as usize] {
+                    continue;
+                }
+                // u's gain changes by ±2w depending on relative sides.
+                if side[u as usize] == side[v as usize] {
+                    gain[u as usize] -= 2 * w as i64;
+                } else {
+                    gain[u as usize] += 2 * w as i64;
+                }
+                heaps[side[u as usize] as usize].push((gain[u as usize], u));
+            }
+            if cur_cut < best_cut
+                || (cur_cut == best_cut && imbalance(w0) <= tol)
+            {
+                best_cut = cur_cut;
+                best_len = moves.len();
+            }
+            if moves.len() >= n {
+                break;
+            }
+        }
+        // Roll back moves after the best prefix.
+        for &v in &moves[best_len..] {
+            side[v as usize] = 1 - side[v as usize];
+        }
+        let new_cut = best_cut.max(0) as u64;
+        debug_assert_eq!(new_cut, cut_weight(g, side));
+        if new_cut >= cut {
+            cut = new_cut;
+            break;
+        }
+        cut = new_cut;
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by a single bridge edge: the optimal bisection
+    /// cuts exactly that bridge.
+    fn two_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b));
+                edges.push((a + 4, b + 4));
+            }
+        }
+        edges.push((3, 4)); // bridge
+        CsrGraph::from_edges(8, &edges)
+    }
+
+    #[test]
+    fn bisection_finds_the_bridge() {
+        let g = two_cliques();
+        let b = initial_bisection(&g, 4, 1, 8, 42);
+        assert_eq!(b.cut, 1, "optimal cut is the single bridge edge");
+        // Each side holds one clique.
+        assert_eq!(side0_weight(&g, &b.side), 4);
+        assert_eq!(cut_weight(&g, &b.side), b.cut);
+    }
+
+    #[test]
+    fn cut_weight_counts_each_edge_once() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let side = vec![0u8, 1, 0, 1];
+        assert_eq!(cut_weight(&g, &side), 3);
+    }
+
+    #[test]
+    fn fm_improves_a_bad_start() {
+        let g = two_cliques();
+        // Deliberately terrible split: alternating.
+        let mut side = vec![0u8, 1, 0, 1, 0, 1, 0, 1];
+        let before = cut_weight(&g, &side);
+        let after = fm_refine(&g, &mut side, 4, 1, 8);
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(after, cut_weight(&g, &side));
+        // Balance respected.
+        assert!(side0_weight(&g, &side).abs_diff(4) <= 1);
+    }
+
+    #[test]
+    fn fm_respects_tolerance() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let mut side = vec![0u8, 0, 0, 1, 1, 1];
+        fm_refine(&g, &mut side, 3, 0, 4);
+        assert_eq!(side0_weight(&g, &side), 3);
+    }
+
+    #[test]
+    fn grow_handles_disconnected() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let b = initial_bisection(&g, 2, 1, 4, 1);
+        assert!(side0_weight(&g, &b.side) >= 1);
+        assert!(b.cut <= 2);
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        let mut g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        g.vwgt = vec![3, 1, 1, 3];
+        let b = initial_bisection(&g, 4, 1, 8, 9);
+        let w0 = side0_weight(&g, &b.side);
+        assert!(w0.abs_diff(4) <= 1, "w0 = {w0}");
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let b = initial_bisection(&g, 1, 0, 2, 0);
+        assert_eq!(b.cut, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Heavy-edge-matching coarsening — the first phase of the multilevel
+//! partitioner.
+//!
+//! Vertices are visited in random order; each unmatched vertex merges with
+//! its unmatched neighbour of maximum edge weight (heaviest edge), or stays
+//! a singleton. The coarse graph sums vertex weights and merges parallel
+//! edges, so the edge cut of any coarse partition equals the cut of its
+//! projection to the fine graph — the invariant that makes the multilevel
+//! scheme sound.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::csr::CsrGraph;
+
+/// One coarsening step: the coarse graph and the fine→coarse vertex map.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// The coarser graph.
+    pub graph: CsrGraph,
+    /// `map[v_fine] = v_coarse`.
+    pub map: Vec<u32>,
+}
+
+/// Performs one round of heavy-edge matching. Returns `None` when matching
+/// can no longer shrink the graph meaningfully (fewer than 10% of vertices
+/// matched), which signals the driver to stop coarsening.
+pub fn coarsen_step(g: &CsrGraph, seed: u64) -> Option<Coarsening> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut matched_pairs = 0usize;
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u32)> = None; // (weight, neighbour)
+        for (u, w) in g.neighbors(v) {
+            if mate[u as usize] == UNMATCHED && u != v {
+                match best {
+                    Some((bw, _)) if bw >= w => {}
+                    _ => best = Some((w, u)),
+                }
+            }
+        }
+        if let Some((_, u)) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+            matched_pairs += 1;
+        } else {
+            mate[v as usize] = v; // singleton
+        }
+    }
+    if matched_pairs * 10 < n {
+        return None;
+    }
+
+    // Assign coarse ids: the smaller endpoint of each pair owns the id.
+    let mut map = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != UNMATCHED {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    let nc = next as usize;
+
+    // Coarse vertex weights.
+    let mut vwgt = vec![0u32; nc];
+    for v in 0..n {
+        vwgt[map[v] as usize] += g.vwgt[v];
+    }
+    // Coarse edges (merged by from_weighted_edges).
+    let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(g.adjncy.len() / 2);
+    for v in 0..n as u32 {
+        let cv = map[v as usize];
+        for (u, w) in g.neighbors(v) {
+            let cu = map[u as usize];
+            if cv < cu {
+                edges.push((cv, cu, w));
+            }
+        }
+    }
+    let mut graph = CsrGraph::from_weighted_edges(nc, &edges);
+    graph.vwgt = vwgt;
+    Some(Coarsening { graph, map })
+}
+
+/// Coarsens until at most `target_vertices` remain or matching stalls.
+/// Returns the hierarchy from finest (first) to coarsest (last).
+pub fn coarsen_to(g: &CsrGraph, target_vertices: usize, seed: u64) -> Vec<Coarsening> {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    let mut round = 0u64;
+    while current.num_vertices() > target_vertices {
+        match coarsen_step(&current, seed.wrapping_add(round)) {
+            Some(c) => {
+                let next = c.graph.clone();
+                levels.push(c);
+                current = next;
+                round += 1;
+            }
+            None => break,
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn one_step_roughly_halves_a_path() {
+        let g = path(64);
+        let c = coarsen_step(&g, 1).expect("path should match well");
+        assert!(c.graph.num_vertices() < 48, "{}", c.graph.num_vertices());
+        assert!(c.graph.num_vertices() >= 32);
+        // Weight is conserved.
+        assert_eq!(c.graph.total_vwgt(), g.total_vwgt());
+    }
+
+    #[test]
+    fn map_is_consistent() {
+        let g = path(32);
+        let c = coarsen_step(&g, 3).unwrap();
+        let nc = c.graph.num_vertices() as u32;
+        assert!(c.map.iter().all(|&m| m < nc));
+        // Every coarse vertex has at least one fine vertex.
+        let mut seen = vec![false; nc as usize];
+        for &m in &c.map {
+            seen[m as usize] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn coarse_cut_projects_exactly() {
+        // Any coarse bipartition, projected to the fine graph, must have the
+        // same cut weight.
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)],
+        );
+        let c = coarsen_step(&g, 7).unwrap();
+        let nc = c.graph.num_vertices();
+        // Bipartition coarse vertices: even/odd.
+        let cpart: Vec<u32> = (0..nc as u32).map(|v| v % 2).collect();
+        let fpart: Vec<u32> = c.map.iter().map(|&m| cpart[m as usize]).collect();
+        let cut_coarse: u64 = (0..nc as u32)
+            .flat_map(|v| c.graph.neighbors(v).map(move |(u, w)| (v, u, w)))
+            .filter(|&(v, u, _)| v < u && cpart[v as usize] != cpart[u as usize])
+            .map(|(_, _, w)| w as u64)
+            .sum();
+        let cut_fine: u64 = (0..g.num_vertices() as u32)
+            .flat_map(|v| g.neighbors(v).map(move |(u, w)| (v, u, w)))
+            .filter(|&(v, u, _)| v < u && fpart[v as usize] != fpart[u as usize])
+            .map(|(_, _, w)| w as u64)
+            .sum();
+        assert_eq!(cut_coarse, cut_fine);
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = path(256);
+        let levels = coarsen_to(&g, 30, 5);
+        assert!(!levels.is_empty());
+        assert!(levels.last().unwrap().graph.num_vertices() <= 60);
+        // Hierarchy shrinks monotonically.
+        let mut prev = g.num_vertices();
+        for l in &levels {
+            assert!(l.graph.num_vertices() < prev);
+            prev = l.graph.num_vertices();
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_stop() {
+        let g = path(2);
+        // Either one step to a single vertex, or None — but never panic.
+        let _ = coarsen_step(&g, 0);
+        let g1 = CsrGraph::from_edges(1, &[]);
+        assert!(coarsen_step(&g1, 0).is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_coarsens() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let c = coarsen_step(&g, 2).unwrap();
+        assert_eq!(c.graph.num_vertices(), 3);
+        assert_eq!(c.graph.num_edges(), 0);
+    }
+}

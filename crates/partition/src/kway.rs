@@ -1,0 +1,190 @@
+//! Direct k-way boundary refinement.
+//!
+//! Recursive bisection optimizes each cut in isolation; a final k-way
+//! pass lets boundary vertices move between *any* adjacent pair of parts,
+//! recovering most of the gap to direct k-way partitioners. The
+//! implementation is a greedy positive-gain sweep (no hill climbing):
+//! deterministic, monotone in cut weight, and balance-guarded.
+
+use crate::csr::CsrGraph;
+use crate::multilevel::edge_cut;
+
+/// Refines `part` in place with up to `passes` sweeps of positive-gain
+/// boundary moves. A move is applied when it strictly reduces the cut and
+/// keeps every part's weight within `tolerance` of the average. Returns
+/// the final cut weight.
+///
+/// # Panics
+/// Panics when `nparts == 0` or `part` contains ids `>= nparts`.
+pub fn kway_refine(
+    g: &CsrGraph,
+    part: &mut [u32],
+    nparts: usize,
+    tolerance: f64,
+    passes: usize,
+) -> u64 {
+    assert!(nparts > 0, "nparts must be positive");
+    assert!(part.iter().all(|&p| (p as usize) < nparts), "part id out of range");
+    let n = g.num_vertices();
+    assert_eq!(part.len(), n);
+
+    let total: u64 = g.total_vwgt();
+    let avg = total as f64 / nparts as f64;
+    let max_w = (avg * (1.0 + tolerance)).ceil() as u64;
+    let min_w = (avg * (1.0 - tolerance)).floor() as u64;
+    let mut weight = vec![0u64; nparts];
+    for v in 0..n {
+        weight[part[v] as usize] += g.vwgt[v] as u64;
+    }
+
+    // Scratch: connectivity of one vertex to each part (sparse, reset per
+    // vertex via touched list).
+    let mut conn = vec![0i64; nparts];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for _ in 0..passes {
+        let mut improved = false;
+        for v in 0..n as u32 {
+            let home = part[v as usize] as usize;
+            touched.clear();
+            let mut boundary = false;
+            for (u, w) in g.neighbors(v) {
+                let pu = part[u as usize] as usize;
+                if conn[pu] == 0 {
+                    touched.push(pu as u32);
+                }
+                conn[pu] += w as i64;
+                if pu != home {
+                    boundary = true;
+                }
+            }
+            if boundary {
+                let internal = conn[home];
+                let mut best: Option<(i64, usize)> = None;
+                for &t in &touched {
+                    let t = t as usize;
+                    if t == home {
+                        continue;
+                    }
+                    let gain = conn[t] - internal;
+                    if gain <= 0 {
+                        continue;
+                    }
+                    // Balance guard.
+                    let vw = g.vwgt[v as usize] as u64;
+                    if weight[t] + vw > max_w || weight[home] < min_w + vw {
+                        continue;
+                    }
+                    if best.is_none_or(|(bg, _)| gain > bg) {
+                        best = Some((gain, t));
+                    }
+                }
+                if let Some((_, t)) = best {
+                    let vw = g.vwgt[v as usize] as u64;
+                    weight[home] -= vw;
+                    weight[t] += vw;
+                    part[v as usize] = t as u32;
+                    improved = true;
+                }
+            }
+            for &t in &touched {
+                conn[t as usize] = 0;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    edge_cut(g, part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multilevel::{imbalance, partition, PartitionOptions};
+
+    fn grid(w: usize, h: usize) -> CsrGraph {
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        CsrGraph::from_edges(w * h, &edges)
+    }
+
+    #[test]
+    fn refinement_never_increases_cut() {
+        let g = grid(16, 16);
+        for nparts in [2usize, 4, 7] {
+            let mut part = partition(&g, nparts, &PartitionOptions::default());
+            let before = edge_cut(&g, &part);
+            let after = kway_refine(&g, &mut part, nparts, 0.05, 4);
+            assert!(after <= before, "{nparts} parts: {after} > {before}");
+            assert!(imbalance(&g, &part, nparts) <= 1.2);
+        }
+    }
+
+    #[test]
+    fn refinement_fixes_a_scrambled_partition() {
+        let g = grid(12, 12);
+        // Terrible start: pseudo-random part per vertex. (A *striped*
+        // start is a local optimum for positive-gain moves — every
+        // vertex has 2 internal and 1+1 external neighbours — so the
+        // scramble here is random, which refinement can improve.)
+        let mut part: Vec<u32> = (0..144u64)
+            .map(|v| ((v.wrapping_mul(6364136223846793005) >> 33) % 4) as u32)
+            .collect();
+        let before = edge_cut(&g, &part);
+        let after = kway_refine(&g, &mut part, 4, 0.15, 12);
+        // Positive-gain-only refinement is a *polish* pass, not a global
+        // optimizer: expect real but modest improvement from a random
+        // start (the multilevel pipeline supplies good starts).
+        assert!(after < before, "no improvement: {after} vs {before}");
+        assert!(imbalance(&g, &part, 4) <= 1.3, "{}", imbalance(&g, &part, 4));
+    }
+
+    #[test]
+    fn perfect_partition_untouched() {
+        // Two disconnected cliques already split: no move has positive gain.
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b));
+                edges.push((a + 4, b + 4));
+            }
+        }
+        let g = CsrGraph::from_edges(8, &edges);
+        let mut part = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let cut = kway_refine(&g, &mut part, 2, 0.1, 4);
+        assert_eq!(cut, 0);
+        assert_eq!(part, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn balance_guard_blocks_collapse() {
+        // A star: hub in part 0, leaves in part 1. Moving every leaf to
+        // the hub's part would zero the cut but ruin balance; the guard
+        // must keep parts near the average.
+        let edges: Vec<(u32, u32)> = (1..8u32).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(8, &edges);
+        let mut part = vec![0u32, 1, 1, 1, 1, 1, 1, 1];
+        kway_refine(&g, &mut part, 2, 0.25, 8);
+        let w0 = part.iter().filter(|&&p| p == 0).count();
+        assert!(w0 <= 5, "balance guard failed: {w0} vertices in part 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_part_ids_rejected() {
+        let g = grid(2, 2);
+        let mut part = vec![0, 0, 9, 0];
+        kway_refine(&g, &mut part, 2, 0.1, 1);
+    }
+}

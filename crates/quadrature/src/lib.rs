@@ -1,0 +1,497 @@
+//! # sweep-quadrature — angular quadrature (sweep direction) sets
+//!
+//! Sweep scheduling takes a set of `k` directions; in S_n transport codes
+//! these come from a *level-symmetric* angular quadrature, which is what
+//! gives the paper's direction counts (S4 ⇒ 24 directions, the `k = 24`
+//! used in Figure 2). This crate constructs:
+//!
+//! * [`QuadratureSet::level_symmetric`] — LQ_n-style ordinate sets with
+//!   `n(n+2)` directions spread symmetrically over the eight octants;
+//! * [`QuadratureSet::random_unit`] — asymmetric random direction sets (the
+//!   paper notes its algorithms need *no* symmetry between directions);
+//! * [`QuadratureSet::uniform_2d`] — planar direction fans for 2-D meshes.
+//!
+//! Only the direction *vectors* matter for scheduling; the quadrature
+//! weights are carried along for the toy transport solver in `sweep-sim`.
+//! We use equal weights per ordinate (exact for S2/S4-style single-class
+//! sets, a documented simplification for higher orders — see DESIGN.md §5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sweep_mesh::Vec3;
+
+/// One quadrature ordinate: a unit direction and its quadrature weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ordinate {
+    /// Unit direction vector.
+    pub dir: Vec3,
+    /// Quadrature weight; a full set's weights sum to `4π` in 3-D and `2π`
+    /// in 2-D.
+    pub weight: f64,
+}
+
+/// Identifier of a sweep direction within a [`QuadratureSet`]
+/// (`0..QuadratureSet::len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DirectionId(pub u32);
+
+impl DirectionId {
+    /// The direction's dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Errors from quadrature construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuadratureError {
+    /// Level-symmetric order must be even and in `2..=24`.
+    BadOrder(usize),
+    /// Requested an empty direction set.
+    Empty,
+}
+
+impl std::fmt::Display for QuadratureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuadratureError::BadOrder(n) => {
+                write!(f, "level-symmetric order {n} must be even, in 2..=24")
+            }
+            QuadratureError::Empty => write!(f, "direction set must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for QuadratureError {}
+
+/// A set of sweep directions.
+#[derive(Debug, Clone)]
+pub struct QuadratureSet {
+    ordinates: Vec<Ordinate>,
+    name: String,
+}
+
+impl QuadratureSet {
+    /// Builds a level-symmetric-like S_n set with `n(n+2)` ordinates.
+    ///
+    /// Per octant there are `n(n+2)/8` ordinates with direction cosines
+    /// `(±μ_i, ±μ_j, ±μ_k)` where `i + j + k = n/2 + 2`. The μ-values
+    /// follow the standard LQ_n recursion `μ_i² = μ_1² + (i−1)·δ` with
+    /// `δ = 2(1 − 3μ_1²)/(n − 2)` (and `μ_1 = 1/√3` for S2).
+    pub fn level_symmetric(n: usize) -> Result<QuadratureSet, QuadratureError> {
+        if !(2..=24).contains(&n) || !n.is_multiple_of(2) {
+            return Err(QuadratureError::BadOrder(n));
+        }
+        // First direction cosine; standard textbook values for low orders,
+        // a smooth interpolation elsewhere (direction *placement* is all the
+        // scheduler observes).
+        let mu1: f64 = match n {
+            2 => 0.577_350_2,
+            4 => 0.350_021_2,
+            6 => 0.266_635_5,
+            8 => 0.218_217_8,
+            12 => 0.167_212_6,
+            16 => 0.138_956_8,
+            _ => (1.0 / (3.0 * (n as f64 - 1.0))).sqrt().max(0.08),
+        };
+        let half = n / 2;
+        let mut mu = vec![0.0f64; half + 1]; // 1-based
+        mu[1] = mu1;
+        if n > 2 {
+            let delta = 2.0 * (1.0 - 3.0 * mu1 * mu1) / (n as f64 - 2.0);
+            for (i, slot) in mu.iter_mut().enumerate().take(half + 1).skip(2) {
+                *slot = (mu1 * mu1 + (i as f64 - 1.0) * delta).sqrt();
+            }
+        }
+
+        // Enumerate index triples i+j+k = half + 2 within one octant, then
+        // reflect into all eight octants.
+        let mut ordinates = Vec::with_capacity(n * (n + 2));
+        let per_octant = half * (half + 1) / 2;
+        let weight = 4.0 * std::f64::consts::PI / (8 * per_octant) as f64;
+        for i in 1..=half {
+            for j in 1..=(half + 1 - i) {
+                let k = half + 2 - i - j;
+                debug_assert!(k >= 1 && k <= half);
+                let v = Vec3::new(mu[i], mu[j], mu[k]);
+                // Re-normalize: the recursion guarantees unit norm only
+                // approximately for interpolated μ1 values.
+                let v = v.normalized();
+                for sx in [1.0, -1.0] {
+                    for sy in [1.0, -1.0] {
+                        for sz in [1.0, -1.0] {
+                            ordinates.push(Ordinate {
+                                dir: Vec3::new(v.x * sx, v.y * sy, v.z * sz),
+                                weight,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(ordinates.len(), n * (n + 2));
+        Ok(QuadratureSet { ordinates, name: format!("S{n}") })
+    }
+
+    /// Product quadrature: `n_polar` Gauss–Legendre polar levels ×
+    /// `n_azimuthal` equally spaced azimuthal angles — the other standard
+    /// ordinate family in S_n transport codes, with `n_polar · n_azimuthal`
+    /// directions. Gauss–Legendre nodes/weights are computed by Newton
+    /// iteration on the Legendre recurrence.
+    pub fn product(n_polar: usize, n_azimuthal: usize) -> Result<QuadratureSet, QuadratureError> {
+        if n_polar == 0 || n_azimuthal == 0 {
+            return Err(QuadratureError::Empty);
+        }
+        let (nodes, gl_weights) = gauss_legendre(n_polar);
+        let mut ordinates = Vec::with_capacity(n_polar * n_azimuthal);
+        let dphi = 2.0 * std::f64::consts::PI / n_azimuthal as f64;
+        for (mu, wi) in nodes.iter().zip(&gl_weights) {
+            let sin_theta = (1.0 - mu * mu).max(0.0).sqrt();
+            for j in 0..n_azimuthal {
+                let phi = (j as f64 + 0.5) * dphi;
+                ordinates.push(Ordinate {
+                    dir: Vec3::new(sin_theta * phi.cos(), sin_theta * phi.sin(), *mu),
+                    // GL weights integrate dμ over [-1,1] (total 2);
+                    // azimuthal slice is dφ: total 2 · 2π = 4π. ✓
+                    weight: wi * dphi,
+                });
+            }
+        }
+        Ok(QuadratureSet {
+            ordinates,
+            name: format!("product{n_polar}x{n_azimuthal}"),
+        })
+    }
+
+    /// `k` directions drawn uniformly at random on the unit sphere
+    /// (Marsaglia's method). Models the paper's non-symmetric scenarios.
+    pub fn random_unit(k: usize, seed: u64) -> Result<QuadratureSet, QuadratureError> {
+        if k == 0 {
+            return Err(QuadratureError::Empty);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weight = 4.0 * std::f64::consts::PI / k as f64;
+        let mut ordinates = Vec::with_capacity(k);
+        while ordinates.len() < k {
+            let a: f64 = rng.random_range(-1.0..1.0);
+            let b: f64 = rng.random_range(-1.0..1.0);
+            let s = a * a + b * b;
+            if !(1e-12..1.0).contains(&s) {
+                continue;
+            }
+            let t = 2.0 * (1.0 - s).sqrt();
+            ordinates.push(Ordinate {
+                dir: Vec3::new(a * t, b * t, 1.0 - 2.0 * s),
+                weight,
+            });
+        }
+        Ok(QuadratureSet { ordinates, name: format!("random{k}") })
+    }
+
+    /// `k` directions uniformly spaced on the unit circle (for 2-D meshes),
+    /// offset by half a step so no direction is exactly axis-aligned.
+    pub fn uniform_2d(k: usize) -> Result<QuadratureSet, QuadratureError> {
+        if k == 0 {
+            return Err(QuadratureError::Empty);
+        }
+        let weight = 2.0 * std::f64::consts::PI / k as f64;
+        let ordinates = (0..k)
+            .map(|i| {
+                let th = (i as f64 + 0.5) / k as f64 * 2.0 * std::f64::consts::PI;
+                Ordinate { dir: Vec3::new(th.cos(), th.sin(), 0.0), weight }
+            })
+            .collect();
+        Ok(QuadratureSet { ordinates, name: format!("fan{k}") })
+    }
+
+    /// Builds a set from explicit directions (normalized internally) with
+    /// equal weights.
+    pub fn from_directions(dirs: &[Vec3]) -> Result<QuadratureSet, QuadratureError> {
+        if dirs.is_empty() {
+            return Err(QuadratureError::Empty);
+        }
+        let weight = 4.0 * std::f64::consts::PI / dirs.len() as f64;
+        Ok(QuadratureSet {
+            ordinates: dirs
+                .iter()
+                .map(|d| Ordinate { dir: d.normalized(), weight })
+                .collect(),
+            name: format!("explicit{}", dirs.len()),
+        })
+    }
+
+    /// Number of directions `k`.
+    pub fn len(&self) -> usize {
+        self.ordinates.len()
+    }
+
+    /// True when the set is empty (cannot happen for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.ordinates.is_empty()
+    }
+
+    /// All ordinates.
+    pub fn ordinates(&self) -> &[Ordinate] {
+        &self.ordinates
+    }
+
+    /// The `i`-th direction vector.
+    pub fn direction(&self, i: DirectionId) -> Vec3 {
+        self.ordinates[i.index()].dir
+    }
+
+    /// Human-readable set name (`"S4"`, `"random32"`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterator over `(DirectionId, direction vector)`.
+    pub fn iter(&self) -> impl Iterator<Item = (DirectionId, Vec3)> + '_ {
+        self.ordinates
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (DirectionId(i as u32), o.dir))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn s2_has_8_directions() {
+        let q = QuadratureSet::level_symmetric(2).unwrap();
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.name(), "S2");
+        // S2 directions are the (±1,±1,±1)/√3 corners.
+        for o in q.ordinates() {
+            for c in [o.dir.x, o.dir.y, o.dir.z] {
+                assert!((c.abs() - 1.0 / 3f64.sqrt()).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn s4_has_24_directions_like_the_paper() {
+        let q = QuadratureSet::level_symmetric(4).unwrap();
+        assert_eq!(q.len(), 24, "S4 must give the paper's 24 directions");
+    }
+
+    #[test]
+    fn sn_counts_follow_n_times_n_plus_2() {
+        for n in [2usize, 4, 6, 8, 12, 16] {
+            let q = QuadratureSet::level_symmetric(n).unwrap();
+            assert_eq!(q.len(), n * (n + 2), "S{n}");
+        }
+    }
+
+    #[test]
+    fn all_directions_are_unit() {
+        for n in [2usize, 4, 6, 8] {
+            for o in QuadratureSet::level_symmetric(n).unwrap().ordinates() {
+                assert!((o.dir.norm() - 1.0).abs() < EPS);
+            }
+        }
+    }
+
+    #[test]
+    fn level_symmetric_is_octant_symmetric() {
+        let q = QuadratureSet::level_symmetric(4).unwrap();
+        // For every ordinate, its reflection through the origin is present.
+        for o in q.ordinates() {
+            let neg = -o.dir;
+            assert!(
+                q.ordinates().iter().any(|p| (p.dir - neg).norm() < 1e-9),
+                "missing opposite of {:?}",
+                o.dir
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_4pi() {
+        for n in [2usize, 4, 8] {
+            let q = QuadratureSet::level_symmetric(n).unwrap();
+            let s: f64 = q.ordinates().iter().map(|o| o.weight).sum();
+            assert!((s - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bad_orders_rejected() {
+        for n in [0usize, 1, 3, 5, 26, 100] {
+            assert!(QuadratureSet::level_symmetric(n).is_err(), "S{n} should fail");
+        }
+    }
+
+    #[test]
+    fn random_unit_directions_are_unit_and_deterministic() {
+        let a = QuadratureSet::random_unit(32, 7).unwrap();
+        let b = QuadratureSet::random_unit(32, 7).unwrap();
+        assert_eq!(a.len(), 32);
+        for (x, y) in a.ordinates().iter().zip(b.ordinates()) {
+            assert_eq!(x.dir, y.dir);
+            assert!((x.dir.norm() - 1.0).abs() < EPS);
+        }
+        let c = QuadratureSet::random_unit(32, 8).unwrap();
+        assert!(a.ordinates().iter().zip(c.ordinates()).any(|(x, y)| x.dir != y.dir));
+    }
+
+    #[test]
+    fn random_unit_is_roughly_balanced_over_hemispheres() {
+        let q = QuadratureSet::random_unit(4096, 3).unwrap();
+        let up = q.ordinates().iter().filter(|o| o.dir.z > 0.0).count();
+        // Chernoff: 4096 coin flips stay within ±10% of half w.h.p.
+        assert!((up as f64 - 2048.0).abs() < 410.0, "up = {up}");
+    }
+
+    #[test]
+    fn uniform_2d_fans_are_planar_and_distinct() {
+        let q = QuadratureSet::uniform_2d(8).unwrap();
+        assert_eq!(q.len(), 8);
+        for o in q.ordinates() {
+            assert_eq!(o.dir.z, 0.0);
+            assert!((o.dir.norm() - 1.0).abs() < EPS);
+        }
+        // No axis-aligned direction thanks to the half-step offset.
+        for o in q.ordinates() {
+            assert!(o.dir.x.abs() > 1e-9 && o.dir.y.abs() > 1e-9);
+        }
+        let s: f64 = q.ordinates().iter().map(|o| o.weight).sum();
+        assert!((s - 2.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sets_rejected() {
+        assert_eq!(QuadratureSet::random_unit(0, 0).unwrap_err(), QuadratureError::Empty);
+        assert_eq!(QuadratureSet::uniform_2d(0).unwrap_err(), QuadratureError::Empty);
+        assert_eq!(QuadratureSet::from_directions(&[]).unwrap_err(), QuadratureError::Empty);
+    }
+
+    #[test]
+    fn from_directions_normalizes() {
+        let q = QuadratureSet::from_directions(&[Vec3::new(2.0, 0.0, 0.0)]).unwrap();
+        assert!((q.direction(DirectionId(0)).x - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let q = QuadratureSet::uniform_2d(4).unwrap();
+        let ids: Vec<u32> = q.iter().map(|(d, _)| d.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}
+
+/// Gauss–Legendre nodes and weights on `[-1, 1]` (Newton iteration on the
+/// three-term Legendre recurrence; converges quadratically from the
+/// Chebyshev-angle initial guess).
+fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n > 0);
+    let mut nodes = vec![0.0f64; n];
+    let mut weights = vec![0.0f64; n];
+    for i in 0..n {
+        // Initial guess: Chebyshev angles.
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..64 {
+            // Evaluate P_n(x) and P'_n(x) via the recurrence.
+            let (mut p0, mut p1) = (1.0f64, x);
+            for j in 2..=n {
+                let p2 = ((2 * j - 1) as f64 * x * p1 - (j - 1) as f64 * p0) / j as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            let pn = if n == 1 { x } else { p1 };
+            let pn_prev = if n == 1 { 1.0 } else { p0 };
+            let dpn = n as f64 * (x * pn - pn_prev) / (x * x - 1.0);
+            let dx = pn / dpn;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[i] = x;
+        // Recompute P'_n at the converged node for the weight.
+        let (mut p0, mut p1) = (1.0f64, x);
+        for j in 2..=n {
+            let p2 = ((2 * j - 1) as f64 * x * p1 - (j - 1) as f64 * p0) / j as f64;
+            p0 = p1;
+            p1 = p2;
+        }
+        let pn_prev = if n == 1 { 1.0 } else { p0 };
+        let pn = if n == 1 { x } else { p1 };
+        let dpn = n as f64 * (x * pn - pn_prev) / (x * x - 1.0);
+        weights[i] = 2.0 / ((1.0 - x * x) * dpn * dpn);
+    }
+    // Sort ascending for determinism.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| nodes[a].partial_cmp(&nodes[b]).expect("finite"));
+    (
+        idx.iter().map(|&i| nodes[i]).collect(),
+        idx.iter().map(|&i| weights[i]).collect(),
+    )
+}
+
+#[cfg(test)]
+mod product_tests {
+    use super::*;
+
+    #[test]
+    fn gauss_legendre_known_nodes() {
+        let (n1, w1) = gauss_legendre(1);
+        assert!((n1[0]).abs() < 1e-14);
+        assert!((w1[0] - 2.0).abs() < 1e-14);
+        let (n2, _) = gauss_legendre(2);
+        let r = 1.0 / 3f64.sqrt();
+        assert!((n2[0] + r).abs() < 1e-12 && (n2[1] - r).abs() < 1e-12);
+        let (n3, w3) = gauss_legendre(3);
+        assert!(n3[1].abs() < 1e-12);
+        assert!((n3[2] - (0.6f64).sqrt()).abs() < 1e-12);
+        assert!((w3[1] - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_legendre_integrates_polynomials_exactly() {
+        // n-point GL is exact through degree 2n-1: check x^4 with n = 3.
+        let (nodes, weights) = gauss_legendre(3);
+        let integral: f64 =
+            nodes.iter().zip(&weights).map(|(x, w)| w * x.powi(4)).sum();
+        assert!((integral - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_counts_and_weights() {
+        let q = QuadratureSet::product(4, 8).unwrap();
+        assert_eq!(q.len(), 32);
+        assert_eq!(q.name(), "product4x8");
+        let total: f64 = q.ordinates().iter().map(|o| o.weight).sum();
+        assert!((total - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+        for o in q.ordinates() {
+            assert!((o.dir.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_is_octant_symmetric_for_even_inputs() {
+        let q = QuadratureSet::product(2, 4).unwrap();
+        for o in q.ordinates() {
+            let neg = -o.dir;
+            assert!(
+                q.ordinates().iter().any(|p| (p.dir - neg).norm() < 1e-9),
+                "missing opposite of {:?}",
+                o.dir
+            );
+        }
+    }
+
+    #[test]
+    fn product_rejects_empty() {
+        assert!(QuadratureSet::product(0, 4).is_err());
+        assert!(QuadratureSet::product(4, 0).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Asynchronous distributed execution — what actually happens on a
+//! cluster.
+//!
+//! The list scheduler of `sweep-core` assumes a global clock: every
+//! processor sees task completions instantly. A real distributed sweep
+//! has neither — each processor runs its *local* priority policy over the
+//! tasks whose inputs have arrived, and cross-processor completions
+//! become visible only after a message latency. This module simulates
+//! that execution model exactly (event-driven, deterministic):
+//!
+//! * each processor owns its assigned tasks and a local ready-queue
+//!   ordered by the same priorities used offline;
+//! * executing a task takes one time unit (or its weight);
+//! * a completion is visible to same-processor successors immediately and
+//!   to other processors `latency` later.
+//!
+//! Comparing [`async_makespan`] against the synchronous makespan measures
+//! how much of a schedule's quality survives asynchrony — the gap the
+//! paper's simulation methodology (and ours) abstracts away.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sweep_core::Assignment;
+use sweep_dag::{SweepInstance, TaskId};
+
+/// Result of an asynchronous distributed simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncReport {
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Total cross-processor messages sent (= C1).
+    pub messages: u64,
+    /// Per-processor busy time (Σ task durations).
+    pub busy: Vec<f64>,
+    /// Mean processor utilization `Σ busy / (m · makespan)`.
+    pub utilization: f64,
+}
+
+/// Event-driven simulation of a distributed sweep under per-task
+/// `priority` (smaller first), optional per-cell `weights` (unit cost
+/// when `None`), and cross-processor message `latency`.
+///
+/// ```
+/// use sweep_core::{Assignment, random_delays, delayed_level_priorities};
+/// use sweep_dag::SweepInstance;
+/// use sweep_sim::async_makespan;
+///
+/// let inst = SweepInstance::random_layered(60, 4, 6, 2, 1);
+/// let a = Assignment::random_cells(60, 8, 2);
+/// let prio = delayed_level_priorities(&inst, &random_delays(4, 3));
+/// let report = async_makespan(&inst, &a, &prio, None, 0.5);
+/// assert!(report.makespan >= 60.0 * 4.0 / 8.0);
+/// assert!(report.utilization <= 1.0);
+/// ```
+///
+/// # Panics
+/// Panics on mismatched array lengths or negative latency.
+pub fn async_makespan(
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    priority: &[i64],
+    weights: Option<&[u64]>,
+    latency: f64,
+) -> AsyncReport {
+    let n = instance.num_cells();
+    let k = instance.num_directions();
+    let total = n * k;
+    assert_eq!(priority.len(), total, "one priority per task");
+    assert!(latency >= 0.0, "latency must be non-negative");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "one weight per cell");
+        assert!(w.iter().all(|&x| x > 0), "weights must be positive");
+    }
+    let m = assignment.num_procs();
+    let dur = |v: u32| weights.map_or(1.0, |w| w[v as usize] as f64);
+
+    let mut indeg = vec![0u32; total];
+    for (i, dag) in instance.dags().iter().enumerate() {
+        for v in 0..n as u32 {
+            indeg[TaskId::pack(v, i as u32, n).index()] = dag.in_degree(v);
+        }
+    }
+
+    // Local ready-queues.
+    let mut ready: Vec<BinaryHeap<Reverse<(i64, u64)>>> = vec![BinaryHeap::new(); m];
+    for t in 0..total as u64 {
+        if indeg[t as usize] == 0 {
+            let v = (t % n as u64) as u32;
+            ready[assignment.proc_of(v) as usize].push(Reverse((priority[t as usize], t)));
+        }
+    }
+
+    /// Simulation events, ordered by time (ties: arrivals before a
+    /// processor-free event at equal time, so newly arrived inputs are
+    /// visible — encoded in the enum order of the tuple).
+    #[derive(PartialEq)]
+    struct Ev(f64, u8, u32, u64); // (time, kind: 0 = arrival, 1 = proc free, proc, payload)
+    impl Eq for Ev {}
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            // Min-heap via Reverse at the call sites; here natural order.
+            self.0
+                .partial_cmp(&o.0)
+                .expect("finite times")
+                .then(self.1.cmp(&o.1))
+                .then(self.2.cmp(&o.2))
+                .then(self.3.cmp(&o.3))
+        }
+    }
+
+    let mut events: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    // Latest input-arrival time per task (readiness gate under latency).
+    let mut avail = vec![0.0f64; total];
+    let mut busy_until = vec![0.0f64; m];
+    let mut idle = vec![true; m];
+    let mut busy = vec![0.0f64; m];
+    let mut messages = 0u64;
+    let mut makespan = 0.0f64;
+    let mut done = 0usize;
+
+    // Try to start work on processor p at time `now`.
+    let start_if_possible = |p: usize,
+                                 now: f64,
+                                 ready: &mut Vec<BinaryHeap<Reverse<(i64, u64)>>>,
+                                 events: &mut BinaryHeap<Reverse<Ev>>,
+                                 idle: &mut Vec<bool>,
+                                 busy_until: &mut Vec<f64>,
+                                 busy: &mut Vec<f64>| {
+        if !idle[p] {
+            return;
+        }
+        if let Some(Reverse((_, task))) = ready[p].pop() {
+            let v = (task % n as u64) as u32;
+            let d = dur(v);
+            idle[p] = false;
+            busy_until[p] = now + d;
+            busy[p] += d;
+            events.push(Reverse(Ev(now + d, 1, p as u32, task)));
+        }
+    };
+
+    for p in 0..m {
+        start_if_possible(p, 0.0, &mut ready, &mut events, &mut idle, &mut busy_until, &mut busy);
+    }
+
+    while let Some(Reverse(Ev(t, kind, p, payload))) = events.pop() {
+        let p = p as usize;
+        match kind {
+            0 => {
+                // Arrival of a remote (or queued local) ready notification.
+                let task = payload;
+                ready[p].push(Reverse((priority[task as usize], task)));
+                start_if_possible(
+                    p, t, &mut ready, &mut events, &mut idle, &mut busy_until, &mut busy,
+                );
+            }
+            _ => {
+                // Task completion on processor p.
+                let task = payload;
+                idle[p] = true;
+                makespan = makespan.max(t);
+                done += 1;
+                let (v, dir) = TaskId(task).unpack(n);
+                for &w in instance.dag(dir as usize).successors(v) {
+                    let wt = TaskId::pack(w, dir, n).index();
+                    let wp = assignment.proc_of(w) as usize;
+                    // Every cross edge carries one message (the face flux),
+                    // arriving `latency` after this completion.
+                    let arrives = if wp == p {
+                        t
+                    } else {
+                        messages += 1;
+                        t + latency
+                    };
+                    avail[wt] = avail[wt].max(arrives);
+                    indeg[wt] -= 1;
+                    if indeg[wt] == 0 {
+                        // Ready once the *last-arriving* input lands.
+                        if avail[wt] <= t && wp == p {
+                            ready[p].push(Reverse((priority[wt], wt as u64)));
+                        } else {
+                            events.push(Reverse(Ev(
+                                avail[wt].max(t),
+                                0,
+                                wp as u32,
+                                wt as u64,
+                            )));
+                        }
+                    }
+                }
+                start_if_possible(
+                    p, t, &mut ready, &mut events, &mut idle, &mut busy_until, &mut busy,
+                );
+            }
+        }
+    }
+    debug_assert_eq!(done, total, "all tasks must complete");
+    let util = if makespan > 0.0 {
+        busy.iter().sum::<f64>() / (m as f64 * makespan)
+    } else {
+        1.0
+    };
+    AsyncReport { makespan, messages, busy, utilization: util }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweep_core::{
+        delayed_level_priorities, greedy_schedule, random_delays, validate,
+    };
+
+    fn rdp_priorities(inst: &SweepInstance, seed: u64) -> Vec<i64> {
+        let d = random_delays(inst.num_directions(), seed);
+        delayed_level_priorities(inst, &d)
+    }
+
+    #[test]
+    fn zero_latency_matches_synchronous_quality() {
+        // With latency 0 the async execution is a work-conserving list
+        // schedule under the same priorities: it cannot be worse than the
+        // slotted makespan by more than rounding.
+        let inst = SweepInstance::random_layered(80, 4, 8, 2, 3);
+        let a = Assignment::random_cells(80, 8, 1);
+        let prio = rdp_priorities(&inst, 2);
+        let sync = sweep_core::list_schedule(&inst, a.clone(), &prio, None);
+        validate(&inst, &sync).unwrap();
+        let r = async_makespan(&inst, &a, &prio, None, 0.0);
+        assert!(r.makespan <= sync.makespan() as f64 + 1e-9);
+        assert!(r.makespan >= (inst.num_tasks() as f64 / 8.0) - 1e-9);
+        assert_eq!(r.messages, sweep_core::c1_interprocessor_edges(&inst, &a));
+    }
+
+    #[test]
+    fn latency_degrades_gracefully() {
+        let inst = SweepInstance::random_layered(100, 4, 8, 2, 5);
+        let a = Assignment::random_cells(100, 8, 2);
+        let prio = rdp_priorities(&inst, 3);
+        let mut prev = 0.0;
+        for lat in [0.0, 0.5, 2.0, 8.0] {
+            let r = async_makespan(&inst, &a, &prio, None, lat);
+            assert!(
+                r.makespan >= prev - 1e-9,
+                "latency {lat}: {} < {prev}",
+                r.makespan
+            );
+            prev = r.makespan;
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_processor_is_total_work_at_any_latency() {
+        let inst = SweepInstance::random_layered(40, 3, 5, 2, 1);
+        let a = Assignment::single(40);
+        let prio = vec![0i64; inst.num_tasks()];
+        for lat in [0.0, 7.0] {
+            let r = async_makespan(&inst, &a, &prio, None, lat);
+            assert!((r.makespan - inst.num_tasks() as f64).abs() < 1e-9);
+            assert_eq!(r.messages, 0);
+            assert!((r.utilization - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_async_respects_durations() {
+        let inst = SweepInstance::identical_chains(5, 1);
+        let a = Assignment::single(5);
+        let w: Vec<u64> = vec![2, 3, 1, 4, 2];
+        let prio = vec![0i64; 5];
+        let r = async_makespan(&inst, &a, &prio, Some(&w), 0.0);
+        assert!((r.makespan - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_chain_latency_accumulates() {
+        let inst = SweepInstance::identical_chains(4, 1);
+        // Alternate processors down the chain: 3 crossings.
+        let a = Assignment::from_vec(vec![0, 1, 0, 1], 2);
+        let prio = vec![0i64; 4];
+        let r = async_makespan(&inst, &a, &prio, None, 10.0);
+        assert_eq!(r.messages, 3);
+        assert!((r.makespan - (4.0 + 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn async_consistent_with_greedy_schedule_baseline() {
+        // A broad sanity sweep across seeds.
+        for seed in 0..4u64 {
+            let inst = SweepInstance::random_layered(60, 3, 6, 2, seed);
+            let a = Assignment::random_cells(60, 6, seed);
+            let s = greedy_schedule(&inst, a.clone());
+            let prio = vec![0i64; inst.num_tasks()];
+            let r = async_makespan(&inst, &a, &prio, None, 0.0);
+            assert!(r.makespan <= s.makespan() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_latency_rejected() {
+        let inst = SweepInstance::identical_chains(2, 1);
+        let a = Assignment::single(2);
+        async_makespan(&inst, &a, &[0, 0], None, -0.5);
+    }
+}

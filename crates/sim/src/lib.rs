@@ -1,0 +1,35 @@
+//! # sweep-sim — execution simulators and the transport application
+//!
+//! The paper evaluates schedules by *simulation* (§5: "we will simulate
+//! the sweeps, instead of actually running them on a distributed
+//! machine"); this crate provides that simulator and two extensions:
+//!
+//! * [`simulate`] — step-synchronous replay under explicit compute/comm
+//!   cost models ([`CommModel::Ignore`], the paper's C2 measure
+//!   [`CommModel::MaxSend`], and [`CommModel::EdgeColoring`] based on the
+//!   distributed edge-coloring idea the paper cites);
+//! * [`coloring`] — greedy message edge coloring (≤ 2Δ−1 rounds);
+//! * [`execute_parallel`] — a real multithreaded sweep executor (one
+//!   thread per simulated processor, crossbeam queues, atomic dependence
+//!   counters) demonstrating that assignments drive actual parallel runs;
+//! * [`latency_makespan`] — an overlap-capable message-latency model
+//!   sitting between the paper's two communication extremes;
+//! * [`TransportSolver`] — a toy one-group S_n source-iteration solver,
+//!   the application sweeps exist for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_exec;
+pub mod coloring;
+pub mod executor;
+pub mod latency;
+pub mod sync_sim;
+pub mod transport;
+
+pub use async_exec::{async_makespan, AsyncReport};
+pub use coloring::{color_edges, is_proper_coloring, max_degree};
+pub use executor::{execute_parallel, execute_sequential, ExecReport};
+pub use latency::{latency_makespan, LatencyReport};
+pub use sync_sim::{simulate, CommModel, SimConfig, SimReport};
+pub use transport::{Material, TransportResult, TransportSolver};

@@ -1,0 +1,180 @@
+//! Step-synchronous distributed-execution simulator.
+//!
+//! Replays a feasible [`Schedule`] under an explicit cost model: every
+//! computation step costs `p`, followed by one communication round whose
+//! duration depends on the chosen [`CommModel`]. The paper's two extreme
+//! measures (§5) are `Ignore` (pure makespan) and `MaxSend` (the C2
+//! measure: the round takes as long as the busiest sender); the
+//! `EdgeColoring` model refines C2 by requiring each processor to also
+//! *receive* at most one message per sub-round, using the coloring of
+//! [`crate::coloring`].
+
+use sweep_core::Schedule;
+use sweep_dag::{SweepInstance, TaskId};
+
+use crate::coloring::{color_edges, max_degree};
+
+/// How a post-step communication round is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommModel {
+    /// No communication cost: total time is `p · makespan`.
+    Ignore,
+    /// The paper's C2: the round costs `c ·` (max messages any processor
+    /// sends after the step).
+    MaxSend,
+    /// One sub-round per edge color: the round costs `c ·` (colors needed
+    /// for the step's message multigraph) — between Δ and 2Δ−1 sub-rounds.
+    EdgeColoring,
+}
+
+/// Cost parameters: `p` per task, `c` per unit of communication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Cost of computing one task (the paper's uniform `p`).
+    pub compute_cost: f64,
+    /// Cost of one message sub-round (the paper's uniform `c`).
+    pub comm_cost: f64,
+    /// The communication model.
+    pub model: CommModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { compute_cost: 1.0, comm_cost: 1.0, model: CommModel::MaxSend }
+    }
+}
+
+/// Outcome of simulating one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Number of computation steps (= schedule makespan).
+    pub compute_steps: u64,
+    /// Total messages exchanged (= C1).
+    pub total_messages: u64,
+    /// Sum over steps of the per-step communication charge (unitless;
+    /// multiply by `c`).
+    pub comm_units: u64,
+    /// End-to-end time under the config: `p·steps + c·comm_units`.
+    pub total_time: f64,
+}
+
+/// Replays `schedule` on `instance` under `config`.
+///
+/// # Panics
+/// Panics (in debug builds) if the schedule is infeasible; run
+/// `sweep_core::validate` first when in doubt.
+pub fn simulate(instance: &SweepInstance, schedule: &Schedule, config: &SimConfig) -> SimReport {
+    let n = instance.num_cells();
+    let steps = schedule.makespan() as usize;
+    // Group cut-edge messages by the source task's completion step.
+    let mut per_step: Vec<Vec<(u32, u32)>> = vec![Vec::new(); steps];
+    let mut total_messages = 0u64;
+    for (i, dag) in instance.dags().iter().enumerate() {
+        for (u, v) in dag.edges() {
+            let pu = schedule.proc_of_cell(u);
+            let pv = schedule.proc_of_cell(v);
+            if pu != pv {
+                let t = schedule.start_of(TaskId::pack(u, i as u32, n)) as usize;
+                per_step[t].push((pu, pv));
+                total_messages += 1;
+            }
+        }
+    }
+    let m = schedule.num_procs();
+    let mut comm_units = 0u64;
+    match config.model {
+        CommModel::Ignore => {}
+        CommModel::MaxSend => {
+            // Max *send* degree: count per (sender) only.
+            let mut sends = vec![0u64; m];
+            for msgs in &per_step {
+                for &(pu, _) in msgs {
+                    sends[pu as usize] += 1;
+                }
+                comm_units += sends.iter().copied().max().unwrap_or(0);
+                for &(pu, _) in msgs {
+                    sends[pu as usize] = 0;
+                }
+            }
+        }
+        CommModel::EdgeColoring => {
+            for msgs in &per_step {
+                if msgs.is_empty() {
+                    continue;
+                }
+                // Self-messages cannot occur (pu != pv by construction).
+                let (_, colors) = color_edges(m, msgs);
+                debug_assert!(colors >= max_degree(m, msgs).div_ceil(2));
+                comm_units += colors as u64;
+            }
+        }
+    }
+    SimReport {
+        compute_steps: steps as u64,
+        total_messages,
+        comm_units,
+        total_time: config.compute_cost * steps as f64
+            + config.comm_cost * comm_units as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweep_core::{c1_interprocessor_edges, c2_comm_delay, greedy_schedule, Assignment};
+    use sweep_dag::SweepInstance;
+
+    fn setup(m: usize, seed: u64) -> (SweepInstance, Schedule) {
+        let inst = SweepInstance::random_layered(60, 4, 6, 2, seed);
+        let a = Assignment::random_cells(60, m, seed ^ 0xf00);
+        let s = greedy_schedule(&inst, a);
+        (inst, s)
+    }
+
+    #[test]
+    fn ignore_model_is_pure_makespan() {
+        let (inst, s) = setup(4, 1);
+        let cfg = SimConfig { compute_cost: 2.0, comm_cost: 9.0, model: CommModel::Ignore };
+        let r = simulate(&inst, &s, &cfg);
+        assert_eq!(r.compute_steps, s.makespan() as u64);
+        assert_eq!(r.comm_units, 0);
+        assert!((r.total_time - 2.0 * s.makespan() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_send_matches_core_c2() {
+        for seed in 0..4u64 {
+            let (inst, s) = setup(6, seed);
+            let r = simulate(&inst, &s, &SimConfig::default());
+            assert_eq!(r.comm_units, c2_comm_delay(&inst, &s), "seed {seed}");
+            assert_eq!(
+                r.total_messages,
+                c1_interprocessor_edges(&inst, s.assignment())
+            );
+        }
+    }
+
+    #[test]
+    fn coloring_rounds_at_least_max_send() {
+        // Each color round delivers ≤ 1 message per sender, so the number
+        // of rounds is ≥ the busiest sender's load at that step.
+        let (inst, s) = setup(6, 7);
+        let send = simulate(&inst, &s, &SimConfig::default());
+        let color = simulate(
+            &inst,
+            &s,
+            &SimConfig { model: CommModel::EdgeColoring, ..SimConfig::default() },
+        );
+        assert!(color.comm_units >= send.comm_units);
+    }
+
+    #[test]
+    fn single_processor_has_no_messages() {
+        let inst = SweepInstance::random_layered(40, 3, 5, 2, 3);
+        let s = greedy_schedule(&inst, Assignment::single(40));
+        let r = simulate(&inst, &s, &SimConfig::default());
+        assert_eq!(r.total_messages, 0);
+        assert_eq!(r.comm_units, 0);
+        assert!((r.total_time - s.makespan() as f64).abs() < 1e-12);
+    }
+}

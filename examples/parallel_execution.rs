@@ -1,0 +1,55 @@
+//! Actually runs a sweep in parallel on OS threads — one worker per
+//! simulated processor — and cross-checks the result against a sequential
+//! sweep. Demonstrates that the cell→processor assignments produced by
+//! `sweep-core` drive a real shared-memory parallel computation (the
+//! message-passing structure mirrors MPI-based transport codes).
+//!
+//! ```sh
+//! cargo run --release --example parallel_execution
+//! ```
+
+use std::time::Instant;
+
+use sweep_scheduling::prelude::*;
+use sweep_scheduling::sim::execute_sequential;
+
+fn main() {
+    let mesh = MeshPreset::Tetonly.build_scaled(0.25).expect("mesh");
+    let quad = QuadratureSet::level_symmetric(4).expect("S4");
+    let (instance, _) = SweepInstance::from_mesh(&mesh, &quad, "exec");
+    println!(
+        "executing {} tasks ({} cells × {} directions)\n",
+        instance.num_tasks(),
+        instance.num_cells(),
+        instance.num_directions()
+    );
+
+    let t0 = Instant::now();
+    let reference = execute_sequential(&instance);
+    let seq_time = t0.elapsed().as_secs_f64();
+    println!("sequential reference: checksum {reference:.3}, {seq_time:.3}s");
+
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    println!("hardware threads available: {hw}\n");
+    println!("{:>4} {:>10} {:>9} {:>11}", "m", "wall (s)", "speedup", "checksum ok");
+    for m in [1usize, 2, 4, 8] {
+        if m > hw {
+            break;
+        }
+        let assignment = Assignment::random_cells(instance.num_cells(), m, 9);
+        let report = execute_parallel(&instance, &assignment, hw);
+        let ok = (report.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0);
+        println!(
+            "{:>4} {:>10.3} {:>9.2} {:>11}",
+            m,
+            report.wall_seconds,
+            seq_time / report.wall_seconds,
+            if ok { "yes" } else { "MISMATCH" }
+        );
+        assert!(ok, "parallel execution diverged from the sequential sweep");
+    }
+    println!(
+        "\n(speedups here reflect the executor's fine task granularity; the \
+         schedules' value shows in the makespan/communication studies)"
+    );
+}

@@ -1,0 +1,46 @@
+//! Strong-scaling study: the paper's claim that the schedule length stays
+//! below `3·nk/m` — i.e. near-linear speedup — up to hundreds of
+//! processors (§2, observation 3).
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use sweep_scheduling::prelude::*;
+
+fn main() {
+    let mesh = MeshPreset::Tetonly.build_scaled(0.05).expect("mesh");
+    let quad = QuadratureSet::level_symmetric(4).expect("S4");
+    let (instance, _) = SweepInstance::from_mesh(&mesh, &quad, "tetonly-5%");
+    let nk = instance.num_tasks() as f64;
+    println!(
+        "instance: {} tasks, depth {} — sweeping m = 2 … 512\n",
+        instance.num_tasks(),
+        instance.max_depth()
+    );
+    println!(
+        "{:>5} {:>9} {:>9} {:>8} {:>9} {:>10}",
+        "m", "makespan", "nk/m", "ratio", "speedup", "≤3nk/m?"
+    );
+    let mut m = 2usize;
+    let baseline = nk; // makespan on one processor is exactly nk
+    while m <= 512 {
+        let assignment = Assignment::random_cells(instance.num_cells(), m, 3);
+        let schedule = Algorithm::RandomDelayPriorities.run(&instance, assignment, 5);
+        validate(&instance, &schedule).expect("feasible");
+        let avg = nk / m as f64;
+        let ratio = schedule.makespan() as f64 / avg;
+        let speedup = baseline / schedule.makespan() as f64;
+        println!(
+            "{:>5} {:>9} {:>9.1} {:>8.2} {:>9.1} {:>10}",
+            m,
+            schedule.makespan(),
+            avg,
+            ratio,
+            speedup,
+            if ratio <= 3.0 { "yes" } else { "NO" }
+        );
+        m *= 2;
+    }
+    println!("\nratio = makespan/(nk/m); the paper observes ratio ≤ 3 throughout.");
+}

@@ -1,0 +1,161 @@
+//! Property tests for the extension modules: weighted scheduling, the
+//! latency/async execution models, the exact optimizer, edge coloring,
+//! KBA, and schedule serialization.
+
+use proptest::prelude::*;
+
+use sweep_scheduling::core::{
+    delayed_level_priorities, from_csv, optimal_makespan_fixed_assignment,
+    optimal_sweep_makespan, random_delays, to_csv, validate_weighted,
+    weighted_list_schedule, weighted_lower_bound, weighted_random_delay_priorities,
+};
+use sweep_scheduling::prelude::*;
+use sweep_scheduling::sim::{async_makespan, color_edges, is_proper_coloring, max_degree};
+
+fn small_instance() -> impl Strategy<Value = (SweepInstance, usize, u64)> {
+    (2usize..40, 1usize..4, 2usize..6, 0u64..500, 1usize..8).prop_map(
+        |(n, k, depth, seed, m)| {
+            (SweepInstance::random_layered(n, k, depth, 2, seed), m, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn weighted_schedules_always_feasible_and_bounded(
+        (inst, m, seed) in small_instance(),
+        wmax in 2u64..12,
+    ) {
+        let n = inst.num_cells();
+        let weights: Vec<u64> = (0..n as u64).map(|v| 1 + (v * 7 + seed) % wmax).collect();
+        let a = Assignment::random_cells(n, m, seed);
+        let s = weighted_random_delay_priorities(&inst, a, &weights, seed);
+        prop_assert!(validate_weighted(&inst, &s, &weights).is_ok());
+        let lb = weighted_lower_bound(&inst, &weights, m);
+        prop_assert!(s.makespan >= lb);
+        // Work-conserving upper bound: total work.
+        let total: u64 = weights.iter().sum::<u64>() * inst.num_directions() as u64;
+        prop_assert!(s.makespan <= total);
+    }
+
+    #[test]
+    fn weighted_single_proc_exact((inst, _m, seed) in small_instance()) {
+        let n = inst.num_cells();
+        let weights: Vec<u64> = (0..n as u64).map(|v| 1 + v % 5).collect();
+        let prio = vec![0i64; inst.num_tasks()];
+        let s = weighted_list_schedule(&inst, Assignment::single(n), &weights, &prio);
+        let total: u64 = weights.iter().sum::<u64>() * inst.num_directions() as u64;
+        prop_assert_eq!(s.makespan, total);
+        let _ = seed;
+    }
+
+    #[test]
+    fn async_zero_latency_bounded_by_serial((inst, m, seed) in small_instance()) {
+        let n = inst.num_cells();
+        let a = Assignment::random_cells(n, m, seed);
+        let d = random_delays(inst.num_directions(), seed);
+        let prio = delayed_level_priorities(&inst, &d);
+        let r = async_makespan(&inst, &a, &prio, None, 0.0);
+        prop_assert!(r.makespan <= inst.num_tasks() as f64 + 1e-9);
+        prop_assert!(r.makespan >= (inst.num_tasks() as f64 / m as f64).floor());
+        prop_assert_eq!(r.messages, c1_interprocessor_edges(&inst, &a));
+    }
+
+    /// Latency cannot collapse the makespan below half its zero-latency
+    /// value. (Strict monotonicity is *not* a theorem — greedy dispatch
+    /// has Graham-style anomalies where extra delay reorders work
+    /// beneficially — but the list-scheduling 2-approximation gives
+    /// `r0 ≤ 2·OPT_0 ≤ 2·OPT_lat ≤ 2·r_lat`.)
+    #[test]
+    fn async_latency_never_halves_makespan(
+        (inst, m, seed) in small_instance(),
+        lat in 0.0f64..8.0,
+    ) {
+        let n = inst.num_cells();
+        let a = Assignment::random_cells(n, m, seed);
+        let prio = vec![0i64; inst.num_tasks()];
+        let r0 = async_makespan(&inst, &a, &prio, None, 0.0);
+        let r1 = async_makespan(&inst, &a, &prio, None, lat);
+        prop_assert!(2.0 * r1.makespan + 1e-9 >= r0.makespan);
+    }
+
+    #[test]
+    fn latency_model_matches_async_messages((inst, m, seed) in small_instance()) {
+        let n = inst.num_cells();
+        let a = Assignment::random_cells(n, m, seed);
+        let s = greedy_schedule(&inst, a.clone());
+        let rep = latency_makespan(&inst, &s, 1.0);
+        prop_assert_eq!(rep.messages, c1_interprocessor_edges(&inst, &a));
+    }
+
+    #[test]
+    fn schedule_csv_round_trips((inst, m, seed) in small_instance()) {
+        let a = Assignment::random_cells(inst.num_cells(), m, seed);
+        let s = Algorithm::RandomDelayPriorities.run(&inst, a, seed);
+        let text = to_csv(&inst, &s);
+        let back = from_csv(&text, inst.num_cells(), inst.num_directions()).unwrap();
+        prop_assert_eq!(back.starts(), s.starts());
+        prop_assert!(validate(&inst, &back).is_ok());
+    }
+
+    #[test]
+    fn coloring_always_proper_and_bounded(
+        m in 2usize..12,
+        raw in proptest::collection::vec((0u32..12, 0u32..12), 0..80),
+    ) {
+        let edges: Vec<(u32, u32)> = raw
+            .into_iter()
+            .map(|(a, b)| (a % m as u32, b % m as u32))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let (colors, nc) = color_edges(m, &edges);
+        prop_assert!(is_proper_coloring(m, &edges, &colors));
+        let delta = max_degree(m, &edges);
+        if delta > 0 {
+            prop_assert!(nc < 2 * delta);
+            prop_assert!(nc >= delta);
+        } else {
+            prop_assert_eq!(nc, 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// OPT is sandwiched between every lower bound and every feasible
+    /// schedule, and the fixed-assignment optimum dominates the free one.
+    #[test]
+    fn exact_optimum_sandwich(n in 2usize..7, k in 1usize..3, m in 1usize..4, seed in 0u64..60) {
+        let inst = SweepInstance::random_layered(n, k, 2, 2, seed);
+        let opt = optimal_sweep_makespan(&inst, m);
+        let lb = lower_bounds(&inst, m).best() as u32;
+        prop_assert!(opt >= lb);
+        let a = Assignment::random_cells(n, m, seed);
+        let fixed = optimal_makespan_fixed_assignment(&inst, &a);
+        prop_assert!(fixed >= opt, "free optimum beats fixed");
+        let s = greedy_schedule(&inst, a);
+        prop_assert!(s.makespan() >= fixed, "greedy beats its own fixed optimum");
+    }
+}
+
+#[test]
+fn kba_assignment_matches_manual_grid_math() {
+    use sweep_scheduling::mesh::{generate, Carve};
+    let mut cfg = GeneratorConfig::cube(3, 1);
+    cfg.jitter = 0.0;
+    cfg.carve = Carve::None;
+    let mesh = generate(&cfg).unwrap();
+    let a = kba_assignment(3, 3, 3, mesh.num_cells(), 9);
+    // 3x3 processor grid over 3x3 columns: column (i, j) -> proc i*3+j.
+    for i in 0..3usize {
+        for j in 0..3usize {
+            for kz in 0..3usize {
+                let hex = (i * 3 + j) * 3 + kz;
+                assert_eq!(a.proc_of((hex * 12) as u32), (i * 3 + j) as u32);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Scaled-down versions of the paper's headline empirical claims, run as
+//! regression tests so the full benchmark harness cannot silently drift.
+
+use sweep_scheduling::core::{layer_congestion, random_delay_with, random_delays};
+use sweep_scheduling::prelude::*;
+
+/// Shared instance: tetonly stand-in at 1%, S4's 24 directions.
+fn tetonly_s4() -> SweepInstance {
+    let mesh = MeshPreset::Tetonly.build_scaled(0.01).expect("mesh");
+    let quad = QuadratureSet::level_symmetric(4).expect("S4");
+    SweepInstance::from_mesh(&mesh, &quad, "tetonly-1%").0
+}
+
+/// §2 observation 3: makespan ≤ 3·nk/m with per-cell random assignment,
+/// through a wide range of processor counts.
+#[test]
+fn makespan_within_3x_average_load() {
+    let inst = tetonly_s4();
+    let nk = inst.num_tasks() as f64;
+    for m in [2usize, 8, 32] {
+        let a = Assignment::random_cells(inst.num_cells(), m, 3);
+        let s = Algorithm::RandomDelayPriorities.run(&inst, a, 5);
+        validate(&inst, &s).unwrap();
+        let ratio = s.makespan() as f64 / (nk / m as f64);
+        assert!(ratio <= 3.0, "m={m}: ratio {ratio:.2} > 3");
+    }
+}
+
+/// §5.1 observation 3: "Random Delays with Priorities" beats plain
+/// "Random Delays", with the gap growing at higher processor counts.
+#[test]
+fn priorities_improve_on_layer_sequential() {
+    let inst = tetonly_s4();
+    let m = 64;
+    let delays = random_delays(inst.num_directions(), 9);
+    let a = Assignment::random_cells(inst.num_cells(), m, 10);
+    let s1 = random_delay_with(&inst, a.clone(), &delays);
+    let s2 = sweep_scheduling::core::random_delay_priorities_with(&inst, a, &delays);
+    assert!(
+        s2.makespan() < s1.makespan(),
+        "priorities {} should beat layered {}",
+        s2.makespan(),
+        s1.makespan()
+    );
+}
+
+/// §5.1 observation 1: with per-cell random assignment the fraction of
+/// interprocessor edges approaches (m−1)/m — i.e. C1 is terrible.
+#[test]
+fn per_cell_assignment_cuts_almost_everything() {
+    let inst = tetonly_s4();
+    let m = 16;
+    let a = Assignment::random_cells(inst.num_cells(), m, 1);
+    let f = sweep_scheduling::core::cut_fraction(&inst, &a);
+    let expect = (m - 1) as f64 / m as f64;
+    assert!((f - expect).abs() < 0.05, "cut fraction {f} vs {expect}");
+}
+
+/// §5.1 observation 2 / Figure 2(b): block partitioning slashes C1, and
+/// larger blocks cut less.
+#[test]
+fn block_partitioning_monotone_in_block_size() {
+    let mesh = MeshPreset::Tetonly.build_scaled(0.01).expect("mesh");
+    let quad = QuadratureSet::level_symmetric(4).expect("S4");
+    let (inst, _) = SweepInstance::from_mesh(&mesh, &quad, "blk");
+    let (xadj, adjncy) = mesh.adjacency_csr();
+    let graph = CsrGraph::from_csr_parts(xadj, adjncy);
+    let m = 8;
+    let mut last_c1 = u64::MAX;
+    for block in [1usize, 4, 16] {
+        let blocks = block_partition(&graph, block, &PartitionOptions::default());
+        let a = Assignment::random_blocks(&blocks, m, 2);
+        let c1 = c1_interprocessor_edges(&inst, &a);
+        assert!(c1 <= last_c1, "block {block}: C1 {c1} > previous {last_c1}");
+        last_c1 = c1;
+    }
+}
+
+/// Lemma 2 empirically: with random delays, the max number of copies of a
+/// cell in a combined layer is O(log) — far below k — while without
+/// delays it can reach k.
+#[test]
+fn lemma2_congestion_collapse() {
+    let inst = SweepInstance::identical_chains(60, 24);
+    let a = Assignment::random_cells(60, 8, 4);
+    let zero = vec![0u32; 24];
+    let no_delays = layer_congestion(&inst, &a, &zero);
+    assert_eq!(no_delays.max_copies_per_cell_layer, 24);
+    let mut worst = 0;
+    for seed in 0..5u64 {
+        let d = random_delays(24, seed);
+        let s = layer_congestion(&inst, &a, &d);
+        worst = worst.max(s.max_copies_per_cell_layer);
+    }
+    assert!(worst <= 8, "delayed copy congestion {worst} not logarithmic-ish");
+}
+
+/// The adversarial separation driving the whole paper: on identical
+/// chains, layer-sequential scheduling without delays pays Θ(nk) while
+/// the same algorithm with delays is near `n + k`.
+#[test]
+fn adversarial_family_separation() {
+    let (n, k, m) = (80usize, 16usize, 16usize);
+    let inst = SweepInstance::identical_chains(n, k);
+    let a = Assignment::random_cells(n, m, 6);
+    let s_no = random_delay_with(&inst, a.clone(), &vec![0; k]);
+    let s_yes = random_delay_with(&inst, a.clone(), &random_delays(k, 7));
+    let s_prio = Algorithm::RandomDelayPriorities.run(&inst, a, 7);
+    assert_eq!(s_no.makespan() as usize, n * k);
+    assert!((s_yes.makespan() as usize) < n * k / 2);
+    assert!(s_prio.makespan() <= s_yes.makespan());
+    // List-scheduled version approaches the lower bound n (+ k pipeline fill).
+    assert!(
+        (s_prio.makespan() as usize) < 4 * (n + k),
+        "priorities: {}",
+        s_prio.makespan()
+    );
+}
+
+/// Theorem-2-flavoured sanity: the approximation ratio stays ≪ the proven
+/// `O(log² n)` envelope on every preset-mesh instance we can afford in a
+/// test.
+#[test]
+fn empirical_ratio_far_below_log_squared() {
+    for preset in [MeshPreset::Tetonly, MeshPreset::Long] {
+        let mesh = preset.build_scaled(0.005).expect("mesh");
+        let quad = QuadratureSet::level_symmetric(2).expect("S2");
+        let (inst, _) = SweepInstance::from_mesh(&mesh, &quad, preset.name());
+        let m = 16;
+        let a = Assignment::random_cells(inst.num_cells(), m, 8);
+        let s = Algorithm::RandomDelayPriorities.run(&inst, a, 9);
+        let ratio = approx_ratio(&inst, m, s.makespan());
+        let n = inst.num_cells() as f64;
+        let envelope = n.ln() * n.ln();
+        assert!(
+            ratio < envelope / 4.0,
+            "{}: ratio {ratio:.2} not ≪ log²n = {envelope:.1}",
+            preset.name()
+        );
+        assert!(ratio < 4.0, "{}: ratio {ratio:.2}", preset.name());
+    }
+}
