@@ -1,0 +1,183 @@
+//! Static analysis of an [`Assignment`] *before* any scheduling runs:
+//! empty processors (SW010), load imbalance (SW011), and the paper's C1
+//! communication upper bound (SW015/SW020).
+//!
+//! C1 (paper §4) counts cross-processor DAG edges — every one carries a
+//! face-flux message in any schedule using this assignment, so it is a
+//! scheduling-independent *upper bound* on point-to-point traffic and
+//! worth gating on before paying for a full schedule.
+
+use sweep_core::{c1_interprocessor_edges, Assignment};
+use sweep_dag::SweepInstance;
+
+use crate::diag::{Anchor, Code, Diagnostic, Report};
+use crate::AnalyzeOptions;
+
+/// Analyzes an assignment with default thresholds
+/// ([`AnalyzeOptions::default`]).
+pub fn analyze_assignment(instance: &SweepInstance, assignment: &Assignment) -> Report {
+    analyze_assignment_with(instance, assignment, &AnalyzeOptions::default())
+}
+
+/// Analyzes an assignment with explicit thresholds.
+pub fn analyze_assignment_with(
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    opts: &AnalyzeOptions,
+) -> Report {
+    let mut report = Report::new(format!("assignment for '{}'", instance.name()));
+    let n = instance.num_cells();
+    let m = assignment.num_procs();
+
+    if assignment.num_cells() != n {
+        report.push(Diagnostic::new(
+            Code::AssignmentMismatch,
+            Anchor::none(),
+            format!(
+                "instance has {n} cells but assignment covers {}",
+                assignment.num_cells()
+            ),
+        ));
+        return report; // Loads/C1 are meaningless against the wrong instance.
+    }
+
+    // SW010: empty processors waste a machine and void the ⌈n/m⌉ balance
+    // assumed by the paper's load bound.
+    let loads = assignment.loads();
+    for (p, &load) in loads.iter().enumerate() {
+        if load == 0 {
+            report.push(Diagnostic::new(
+                Code::EmptyProcessor,
+                Anchor::proc(p as u32),
+                format!("processor {p} owns no cells ({m} processors, {n} cells)"),
+            ));
+        }
+    }
+
+    // SW011: max load beyond `imbalance_factor ×` the mean. The makespan
+    // lower bound scales with max-load·k, so imbalance directly inflates
+    // every schedule built on this assignment.
+    let mean = n as f64 / m as f64;
+    let (worst_proc, &max_load) = loads
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, l)| *l)
+        .expect("at least one processor");
+    if n >= m && (max_load as f64) > opts.imbalance_factor * mean {
+        report.push(Diagnostic::new(
+            Code::LoadImbalance,
+            Anchor::proc(worst_proc as u32),
+            format!(
+                "processor {worst_proc} owns {max_load} cells, {:.1}× the mean {mean:.1} \
+                 (threshold {:.1}×); per-processor work bound is max-load·k = {}",
+                max_load as f64 / mean,
+                opts.imbalance_factor,
+                max_load as u64 * instance.num_directions() as u64,
+            ),
+        ));
+    }
+
+    // SW015 / SW020: the C1 upper bound on communication volume.
+    let total_edges = instance.total_edges() as u64;
+    let c1 = c1_interprocessor_edges(instance, assignment);
+    if total_edges > 0 {
+        let frac = c1 as f64 / total_edges as f64;
+        if frac > opts.comm_fraction {
+            report.push(Diagnostic::new(
+                Code::HighCommBound,
+                Anchor::none(),
+                format!(
+                    "C1 = {c1} cross-processor edges, {:.0}% of all {total_edges} \
+                     (threshold {:.0}%): every schedule on this assignment sends ≥{c1} messages",
+                    frac * 100.0,
+                    opts.comm_fraction * 100.0,
+                ),
+            ));
+        } else {
+            report.push(Diagnostic::new(
+                Code::Stats,
+                Anchor::none(),
+                format!(
+                    "C1 = {c1} cross-processor edges ({:.0}% of {total_edges}); \
+                     loads min {} / mean {mean:.1} / max {max_load}",
+                    frac * 100.0,
+                    loads.iter().min().expect("nonempty"),
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> SweepInstance {
+        SweepInstance::random_layered(40, 2, 5, 2, 11)
+    }
+
+    #[test]
+    fn balanced_assignment_is_clean() {
+        let inst = inst();
+        let a = Assignment::round_robin(40, 4);
+        let r = analyze_assignment(&inst, &a);
+        assert!(!r.has_errors());
+        assert!(!r.has_code(Code::EmptyProcessor));
+        assert!(!r.has_code(Code::LoadImbalance));
+    }
+
+    #[test]
+    fn empty_processor_flagged() {
+        let inst = inst();
+        // All 40 cells on proc 0 of 4 ⇒ three empty procs + imbalance.
+        let a = Assignment::from_vec(vec![0; 40], 4);
+        let r = analyze_assignment(&inst, &a);
+        assert_eq!(r.count_code(Code::EmptyProcessor), 3);
+        assert_eq!(r.count_code(Code::LoadImbalance), 1);
+        assert!(!r.has_errors(), "imbalance is a warning, not an error");
+    }
+
+    #[test]
+    fn imbalance_threshold_is_configurable() {
+        let inst = inst();
+        let mut cells = vec![0u32; 40];
+        // 25 cells on proc 0, 5 each on 1..=3 ⇒ max/mean = 2.5.
+        for (i, c) in cells.iter_mut().enumerate().skip(25) {
+            *c = 1 + ((i - 25) % 3) as u32;
+        }
+        let a = Assignment::from_vec(cells, 4);
+        let strict = AnalyzeOptions {
+            imbalance_factor: 2.0,
+            ..AnalyzeOptions::default()
+        };
+        let lax = AnalyzeOptions {
+            imbalance_factor: 3.0,
+            ..AnalyzeOptions::default()
+        };
+        assert!(analyze_assignment_with(&inst, &a, &strict).has_code(Code::LoadImbalance));
+        assert!(!analyze_assignment_with(&inst, &a, &lax).has_code(Code::LoadImbalance));
+    }
+
+    #[test]
+    fn wrong_cell_count_is_an_error() {
+        let inst = inst();
+        let a = Assignment::round_robin(30, 4);
+        let r = analyze_assignment(&inst, &a);
+        assert!(r.has_errors());
+        assert!(r.has_code(Code::AssignmentMismatch));
+    }
+
+    #[test]
+    fn c1_bound_reported() {
+        let inst = inst();
+        let a = Assignment::random_cells(40, 4, 3);
+        let r = analyze_assignment(&inst, &a);
+        // Random assignment of 40 cells over 4 procs cuts ~75% of edges.
+        assert!(r.has_code(Code::HighCommBound) || r.has_code(Code::Stats));
+        let single = Assignment::single(40);
+        let r1 = analyze_assignment(&inst, &single);
+        assert!(r1.has_code(Code::Stats), "C1 = 0 on one processor");
+        assert!(!r1.has_code(Code::HighCommBound));
+    }
+}

@@ -1,0 +1,604 @@
+//! The diagnostic model: stable codes, severities, anchors, and the
+//! [`Report`] container with its three renderers (human text, JSON,
+//! SARIF 2.1.0).
+//!
+//! Codes are append-only and never renumbered, so downstream tooling
+//! (CI gates, SARIF viewers, greppable logs) can rely on them:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | SW001 | error | direction graph contains a cycle (witness attached) |
+//! | SW002 | error | precedence constraint violated by a schedule |
+//! | SW003 | error | processor executes two tasks in one timestep |
+//! | SW004 | error | copies of a cell split across processors |
+//! | SW005 | error | schedule covers the wrong number of tasks |
+//! | SW006 | error | assignment covers the wrong number of cells |
+//! | SW007 | error | makespan below a certified lower bound |
+//! | SW010 | warning | processor owns no cells |
+//! | SW011 | warning | cell load imbalance beyond threshold |
+//! | SW012 | warning | cell unreachable (isolated in every direction) |
+//! | SW013 | warning | degenerate direction (non-unit vector / edgeless DAG) |
+//! | SW014 | warning | makespan exceeds the random-delay O(log) envelope |
+//! | SW015 | warning | pre-scheduling C1 communication bound is high |
+//! | SW016 | warning | message race: concurrent sends, tied arrival |
+//! | SW020 | info | structural statistics |
+//! | SW021 | info | schedule certified against the paper bounds |
+
+use std::fmt;
+
+/// How bad a diagnostic is. `Error` means the analyzed object violates a
+/// hard constraint of the model (§3 feasibility or a proven bound);
+/// `Warning` flags quality/robustness hazards; `Info` carries statistics
+/// and certifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Statistics and positive certifications.
+    Info,
+    /// Quality or robustness hazard; the object is still usable.
+    Warning,
+    /// Hard model violation; the object must not be used.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// SARIF `level` string (`note`/`warning`/`error`).
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable diagnostic codes (the `SW0xx` registry). Append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // each variant is documented by `title()` below
+pub enum Code {
+    CyclicDependency,
+    PrecedenceViolation,
+    ProcessorConflict,
+    SplitCellCopies,
+    TaskCountMismatch,
+    AssignmentMismatch,
+    MakespanBelowBound,
+    EmptyProcessor,
+    LoadImbalance,
+    UnreachableCell,
+    DegenerateDirection,
+    DelayEnvelopeExceeded,
+    HighCommBound,
+    MessageRace,
+    Stats,
+    Certified,
+}
+
+impl Code {
+    /// The stable identifier, e.g. `"SW001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::CyclicDependency => "SW001",
+            Code::PrecedenceViolation => "SW002",
+            Code::ProcessorConflict => "SW003",
+            Code::SplitCellCopies => "SW004",
+            Code::TaskCountMismatch => "SW005",
+            Code::AssignmentMismatch => "SW006",
+            Code::MakespanBelowBound => "SW007",
+            Code::EmptyProcessor => "SW010",
+            Code::LoadImbalance => "SW011",
+            Code::UnreachableCell => "SW012",
+            Code::DegenerateDirection => "SW013",
+            Code::DelayEnvelopeExceeded => "SW014",
+            Code::HighCommBound => "SW015",
+            Code::MessageRace => "SW016",
+            Code::Stats => "SW020",
+            Code::Certified => "SW021",
+        }
+    }
+
+    /// One-line rule description (used as the SARIF rule short text).
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::CyclicDependency => "direction graph contains a cycle",
+            Code::PrecedenceViolation => "schedule violates a precedence constraint",
+            Code::ProcessorConflict => "processor executes two tasks in one timestep",
+            Code::SplitCellCopies => "copies of a cell are split across processors",
+            Code::TaskCountMismatch => "schedule covers the wrong number of tasks",
+            Code::AssignmentMismatch => "assignment covers the wrong number of cells",
+            Code::MakespanBelowBound => "makespan is below a certified lower bound",
+            Code::EmptyProcessor => "processor owns no cells",
+            Code::LoadImbalance => "cell load imbalance beyond threshold",
+            Code::UnreachableCell => "cell is isolated in every direction",
+            Code::DegenerateDirection => "degenerate sweep direction",
+            Code::DelayEnvelopeExceeded => "makespan exceeds the random-delay envelope",
+            Code::HighCommBound => "pre-scheduling C1 communication bound is high",
+            Code::MessageRace => "message race: concurrent sends with tied arrival",
+            Code::Stats => "structural statistics",
+            Code::Certified => "schedule certified against the paper bounds",
+        }
+    }
+
+    /// The default severity for this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::CyclicDependency
+            | Code::PrecedenceViolation
+            | Code::ProcessorConflict
+            | Code::SplitCellCopies
+            | Code::TaskCountMismatch
+            | Code::AssignmentMismatch
+            | Code::MakespanBelowBound => Severity::Error,
+            Code::EmptyProcessor
+            | Code::LoadImbalance
+            | Code::UnreachableCell
+            | Code::DegenerateDirection
+            | Code::DelayEnvelopeExceeded
+            | Code::HighCommBound
+            | Code::MessageRace => Severity::Warning,
+            Code::Stats | Code::Certified => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points: any subset of cell / direction / timestep /
+/// processor. Mesh-level objects (cells) and schedule-level objects
+/// (timesteps, processors) share one anchor type so every renderer can
+/// treat location uniformly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Anchor {
+    /// Offending cell, if cell-specific.
+    pub cell: Option<u32>,
+    /// Offending direction, if direction-specific.
+    pub dir: Option<u32>,
+    /// Offending timestep, if time-specific.
+    pub timestep: Option<u32>,
+    /// Offending processor, if processor-specific.
+    pub proc: Option<u32>,
+}
+
+impl Anchor {
+    /// An anchor with no coordinates (whole-object diagnostics).
+    pub fn none() -> Anchor {
+        Anchor::default()
+    }
+
+    /// Anchors at a cell.
+    pub fn cell(cell: u32) -> Anchor {
+        Anchor {
+            cell: Some(cell),
+            ..Anchor::default()
+        }
+    }
+
+    /// Anchors at a direction.
+    pub fn dir(dir: u32) -> Anchor {
+        Anchor {
+            dir: Some(dir),
+            ..Anchor::default()
+        }
+    }
+
+    /// Anchors at a processor.
+    pub fn proc(proc: u32) -> Anchor {
+        Anchor {
+            proc: Some(proc),
+            ..Anchor::default()
+        }
+    }
+
+    /// Anchors at a task `(cell, dir)`.
+    pub fn task(cell: u32, dir: u32) -> Anchor {
+        Anchor {
+            cell: Some(cell),
+            dir: Some(dir),
+            ..Anchor::default()
+        }
+    }
+
+    /// Adds a timestep coordinate.
+    pub fn at_time(mut self, t: u32) -> Anchor {
+        self.timestep = Some(t);
+        self
+    }
+
+    /// Adds a processor coordinate.
+    pub fn on_proc(mut self, p: u32) -> Anchor {
+        self.proc = Some(p);
+        self
+    }
+
+    /// `true` when no coordinate is set.
+    pub fn is_none(&self) -> bool {
+        self.cell.is_none() && self.dir.is_none() && self.timestep.is_none() && self.proc.is_none()
+    }
+
+    /// Human rendering, e.g. `cell 3, direction 0, t=7, proc 2`.
+    fn render(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(c) = self.cell {
+            parts.push(format!("cell {c}"));
+        }
+        if let Some(d) = self.dir {
+            parts.push(format!("direction {d}"));
+        }
+        if let Some(t) = self.timestep {
+            parts.push(format!("t={t}"));
+        }
+        if let Some(p) = self.proc {
+            parts.push(format!("proc {p}"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// One finding: a coded, anchored message with an optional supporting
+/// cell trail (e.g. the SW001 witness cycle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Location.
+    pub anchor: Anchor,
+    /// Supporting cell path, e.g. a witness cycle `v0 → v1 → … → v0`.
+    pub trail: Vec<u32>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no trail.
+    pub fn new(code: Code, anchor: Anchor, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            anchor,
+            trail: Vec::new(),
+        }
+    }
+
+    /// Attaches a supporting cell trail.
+    pub fn with_trail(mut self, trail: Vec<u32>) -> Diagnostic {
+        self.trail = trail;
+        self
+    }
+}
+
+/// A collection of diagnostics about one subject (an instance, an
+/// assignment, a schedule, or an execution trace), renderable as text,
+/// JSON, or SARIF.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    subject: String,
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report about `subject`.
+    pub fn new(subject: impl Into<String>) -> Report {
+        Report {
+            subject: subject.into(),
+            diags: Vec::new(),
+        }
+    }
+
+    /// The analyzed subject's name.
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// `true` when no diagnostics were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// `true` when any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Counts diagnostics at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Counts diagnostics with `code`.
+    pub fn count_code(&self, code: Code) -> usize {
+        self.diags.iter().filter(|d| d.code == code).count()
+    }
+
+    /// `true` when at least one diagnostic has `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Appends all diagnostics of `other` (subjects joined with `+`).
+    pub fn merge(&mut self, other: Report) {
+        if !other.subject.is_empty() && self.subject != other.subject {
+            if self.subject.is_empty() {
+                self.subject = other.subject;
+            } else {
+                self.subject = format!("{} + {}", self.subject, other.subject);
+            }
+        }
+        self.diags.extend(other.diags);
+    }
+
+    // ----- renderers ----------------------------------------------------
+
+    /// rustc-style human rendering:
+    ///
+    /// ```text
+    /// error[SW001]: direction graph contains a cycle
+    ///   --> direction 0
+    ///   cycle: 0 -> 1 -> 0
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("analyzing {}\n", self.subject));
+        for d in &self.diags {
+            let sev = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+                Severity::Info => "info",
+            };
+            out.push_str(&format!("{sev}[{}]: {}\n", d.code, d.message));
+            if !d.anchor.is_none() {
+                out.push_str(&format!("  --> {}\n", d.anchor.render()));
+            }
+            if !d.trail.is_empty() {
+                let path: Vec<String> = d.trail.iter().map(|v| v.to_string()).collect();
+                out.push_str(&format!("  cycle: {}\n", path.join(" -> ")));
+            }
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s), {} info\n",
+            self.subject,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Machine-readable JSON (single object, stable field names).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"subject\": {},\n", json_string(&self.subject)));
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diags.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"code\": \"{}\", ", d.code));
+            out.push_str(&format!("\"severity\": \"{}\", ", d.severity.as_str()));
+            out.push_str(&format!("\"message\": {}", json_string(&d.message)));
+            for (key, val) in [
+                ("cell", d.anchor.cell),
+                ("dir", d.anchor.dir),
+                ("timestep", d.anchor.timestep),
+                ("proc", d.anchor.proc),
+            ] {
+                if let Some(v) = val {
+                    out.push_str(&format!(", \"{key}\": {v}"));
+                }
+            }
+            if !d.trail.is_empty() {
+                let path: Vec<String> = d.trail.iter().map(|v| v.to_string()).collect();
+                out.push_str(&format!(", \"trail\": [{}]", path.join(", ")));
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.diags.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"infos\": {}}}\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// SARIF 2.1.0 rendering for CI upload. Every emitted code becomes a
+    /// rule in the driver; anchors become logical locations.
+    pub fn render_sarif(&self) -> String {
+        // Rules: the distinct codes that actually appear, sorted.
+        let mut codes: Vec<Code> = self.diags.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let rules: Vec<String> = codes
+            .iter()
+            .map(|c| {
+                format!(
+                    "          {{\"id\": \"{}\", \"shortDescription\": {{\"text\": {}}}, \
+                     \"defaultConfiguration\": {{\"level\": \"{}\"}}}}",
+                    c,
+                    json_string(c.title()),
+                    c.severity().sarif_level(),
+                )
+            })
+            .collect();
+        let results: Vec<String> = self
+            .diags
+            .iter()
+            .map(|d| {
+                let rule_index = codes
+                    .iter()
+                    .position(|c| *c == d.code)
+                    .expect("code collected above");
+                let mut r = String::from("      {");
+                r.push_str(&format!("\"ruleId\": \"{}\", ", d.code));
+                r.push_str(&format!("\"ruleIndex\": {rule_index}, "));
+                r.push_str(&format!("\"level\": \"{}\", ", d.severity.sarif_level()));
+                let text = if d.trail.is_empty() {
+                    d.message.clone()
+                } else {
+                    let path: Vec<String> = d.trail.iter().map(|v| v.to_string()).collect();
+                    format!("{} (cycle: {})", d.message, path.join(" -> "))
+                };
+                r.push_str(&format!(
+                    "\"message\": {{\"text\": {}}}",
+                    json_string(&text)
+                ));
+                if !d.anchor.is_none() {
+                    r.push_str(&format!(
+                        ", \"locations\": [{{\"logicalLocations\": [{{\"fullyQualifiedName\": {}, \
+                         \"kind\": \"member\"}}]}}]",
+                        json_string(&format!("{}::{}", self.subject, d.anchor.render())),
+                    ));
+                }
+                r.push('}');
+                r
+            })
+            .collect();
+        format!(
+            "{{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [{{\n    \"tool\": {{\"driver\": {{\n      \
+             \"name\": \"sweep-analyze\",\n      \"informationUri\": \
+             \"https://github.com/sweep-scheduling\",\n      \"rules\": [\n{}\n      ]\n    \
+             }}}},\n    \"results\": [\n{}\n    ]\n  }}]\n}}\n",
+            rules.join(",\n"),
+            results.join(",\n"),
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("unit");
+        r.push(
+            Diagnostic::new(Code::CyclicDependency, Anchor::dir(0), "cycle of 2 cells")
+                .with_trail(vec![0, 1, 0]),
+        );
+        r.push(Diagnostic::new(
+            Code::LoadImbalance,
+            Anchor::proc(3),
+            "proc 3 owns 9 cells, mean is 2.0",
+        ));
+        r.push(Diagnostic::new(Code::Stats, Anchor::none(), "n=2 k=1"));
+        r
+    }
+
+    #[test]
+    fn severities_and_counts() {
+        let r = sample();
+        assert!(r.has_errors());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.count(Severity::Info), 1);
+        assert!(r.has_code(Code::CyclicDependency));
+        assert_eq!(Code::CyclicDependency.as_str(), "SW001");
+        assert_eq!(Code::Certified.as_str(), "SW021");
+    }
+
+    #[test]
+    fn text_rendering_mentions_code_and_cycle() {
+        let t = sample().render_text();
+        assert!(t.contains("error[SW001]"));
+        assert!(t.contains("cycle: 0 -> 1 -> 0"));
+        assert!(t.contains("--> direction 0"));
+        assert!(t.contains("1 error(s), 1 warning(s), 1 info"));
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough() {
+        let j = sample().render_json();
+        assert!(j.contains("\"code\": \"SW001\""));
+        assert!(j.contains("\"trail\": [0, 1, 0]"));
+        assert!(j.contains("\"summary\": {\"errors\": 1, \"warnings\": 1, \"infos\": 1}"));
+        // Balanced braces/brackets (cheap well-formedness check; payload
+        // strings here contain no braces).
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn sarif_rendering_has_rules_and_results() {
+        let s = sample().render_sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"id\": \"SW001\""));
+        assert!(s.contains("\"ruleId\": \"SW001\""));
+        assert!(s.contains("\"level\": \"warning\""));
+        assert!(s.contains("\"level\": \"note\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn merge_combines_subjects_and_diags() {
+        let mut a = Report::new("inst");
+        a.push(Diagnostic::new(Code::Stats, Anchor::none(), "x"));
+        let mut b = Report::new("sched");
+        b.push(Diagnostic::new(Code::Certified, Anchor::none(), "y"));
+        a.merge(b);
+        assert_eq!(a.subject(), "inst + sched");
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,13 +1,15 @@
-//! Criterion microbenchmarks for the scheduling algorithms — the paper's
-//! "almost linear time" claim (§2): runtime versus task count for the
-//! Random Delay family, the heuristics, and the feasibility validator.
+//! Microbenchmarks for the scheduling algorithms — the paper's "almost
+//! linear time" claim (§2): runtime versus task count for the Random
+//! Delay family, the heuristics, the feasibility validator, and the
+//! static analyzers. Uses the in-tree harness (`sweep_bench::microbench`)
+//! so the workspace builds offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use sweep_bench::microbench::Group;
 use sweep_core::{
-    greedy_schedule, lower_bounds, random_delay, random_delay_priorities, validate,
-    Algorithm, Assignment,
+    greedy_schedule, lower_bounds, random_delay, random_delay_priorities, validate, Algorithm,
+    Assignment,
 };
 use sweep_dag::SweepInstance;
 
@@ -15,84 +17,73 @@ fn bench_instance(n: usize) -> SweepInstance {
     SweepInstance::random_layered(n, 8, (n as f64).cbrt() as usize + 2, 3, 42)
 }
 
-fn schedulers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedulers");
-    group.sample_size(10);
+fn schedulers() {
+    let g = Group::new("schedulers");
     for n in [1_000usize, 4_000, 16_000] {
         let inst = bench_instance(n);
         let m = 64;
-        group.bench_with_input(BenchmarkId::new("random_delay", n), &n, |b, _| {
-            b.iter(|| {
-                let a = Assignment::random_cells(inst.num_cells(), m, 1);
-                black_box(random_delay(&inst, a, 2))
-            })
+        g.bench(&format!("random_delay/{n}"), || {
+            let a = Assignment::random_cells(inst.num_cells(), m, 1);
+            black_box(random_delay(&inst, a, 2))
         });
-        group.bench_with_input(BenchmarkId::new("random_delay_prio", n), &n, |b, _| {
-            b.iter(|| {
-                let a = Assignment::random_cells(inst.num_cells(), m, 1);
-                black_box(random_delay_priorities(&inst, a, 2))
-            })
+        g.bench(&format!("random_delay_prio/{n}"), || {
+            let a = Assignment::random_cells(inst.num_cells(), m, 1);
+            black_box(random_delay_priorities(&inst, a, 2))
         });
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            b.iter(|| {
-                let a = Assignment::random_cells(inst.num_cells(), m, 1);
-                black_box(greedy_schedule(&inst, a))
-            })
+        g.bench(&format!("greedy/{n}"), || {
+            let a = Assignment::random_cells(inst.num_cells(), m, 1);
+            black_box(greedy_schedule(&inst, a))
         });
-        group.bench_with_input(BenchmarkId::new("dfds", n), &n, |b, _| {
-            b.iter(|| {
-                let a = Assignment::random_cells(inst.num_cells(), m, 1);
-                black_box(Algorithm::Dfds { delays: false }.run(&inst, a, 2))
-            })
+        g.bench(&format!("dfds/{n}"), || {
+            let a = Assignment::random_cells(inst.num_cells(), m, 1);
+            black_box(Algorithm::Dfds { delays: false }.run(&inst, a, 2))
         });
     }
-    group.finish();
 }
 
-fn analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
-    group.sample_size(10);
+fn analysis() {
+    let g = Group::new("analysis");
     let inst = bench_instance(8_000);
     let a = Assignment::random_cells(inst.num_cells(), 64, 1);
     let s = random_delay_priorities(&inst, a, 2);
-    group.bench_function("validate", |b| {
-        b.iter(|| black_box(validate(&inst, &s).is_ok()))
+    g.bench("validate", || black_box(validate(&inst, &s).is_ok()));
+    g.bench("lower_bounds", || black_box(lower_bounds(&inst, 64)));
+    g.bench("c2_comm_delay", || {
+        black_box(sweep_core::c2_comm_delay(&inst, &s))
     });
-    group.bench_function("lower_bounds", |b| {
-        b.iter(|| black_box(lower_bounds(&inst, 64)))
+    g.bench("analyze_instance", || {
+        black_box(sweep_analyze::analyze_instance(&inst).len())
     });
-    group.bench_function("c2_comm_delay", |b| {
-        b.iter(|| black_box(sweep_core::c2_comm_delay(&inst, &s)))
+    g.bench("analyze_schedule", || {
+        black_box(sweep_analyze::analyze_schedule(&inst, &s).len())
     });
-    group.finish();
 }
 
-fn extensions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extensions");
-    group.sample_size(10);
+fn extensions() {
+    let g = Group::new("extensions");
     let inst = bench_instance(8_000);
     let n = inst.num_cells();
     let m = 64;
     let weights: Vec<u64> = (0..n as u64).map(|v| 1 + v % 9).collect();
-    group.bench_function("weighted_rdp", |b| {
-        b.iter(|| {
-            let a = Assignment::random_cells(n, m, 1);
-            black_box(sweep_core::weighted_random_delay_priorities(
-                &inst, a, &weights, 2,
-            ))
-        })
+    g.bench("weighted_rdp", || {
+        let a = Assignment::random_cells(n, m, 1);
+        black_box(sweep_core::weighted_random_delay_priorities(
+            &inst, a, &weights, 2,
+        ))
     });
     let a = Assignment::random_cells(n, m, 1);
     let prio = vec![0i64; inst.num_tasks()];
-    group.bench_function("async_simulation", |b| {
-        b.iter(|| black_box(sweep_sim::async_makespan(&inst, &a, &prio, None, 1.0)))
+    g.bench("async_simulation", || {
+        black_box(sweep_sim::async_makespan(&inst, &a, &prio, None, 1.0))
     });
     let s = greedy_schedule(&inst, a.clone());
-    group.bench_function("latency_model", |b| {
-        b.iter(|| black_box(sweep_sim::latency_makespan(&inst, &s, 1.0)))
+    g.bench("latency_model", || {
+        black_box(sweep_sim::latency_makespan(&inst, &s, 1.0))
     });
-    group.finish();
 }
 
-criterion_group!(benches, schedulers, analysis, extensions);
-criterion_main!(benches);
+fn main() {
+    schedulers();
+    analysis();
+    extensions();
+}

@@ -1,73 +1,71 @@
-//! Criterion microbenchmarks for the substrates: mesh generation,
-//! per-direction DAG induction + leveling, and the multilevel
-//! partitioner.
+//! Microbenchmarks for the substrates: mesh generation, per-direction
+//! DAG induction + leveling, and the multilevel partitioner. Uses the
+//! in-tree harness (`sweep_bench::microbench`) so the workspace builds
+//! offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use sweep_bench::microbench::Group;
 use sweep_dag::{induce_dag, levels};
 use sweep_mesh::{generate, GeneratorConfig, MeshPreset, SweepMesh, Vec3};
 use sweep_partition::{block_partition, CsrGraph, PartitionOptions};
 use sweep_quadrature::QuadratureSet;
 
-fn mesh_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesh_generation");
-    group.sample_size(10);
+fn mesh_generation() {
+    let g = Group::new("mesh_generation");
     for n in [6usize, 10, 14] {
-        group.bench_with_input(BenchmarkId::new("cube", n * n * n * 12), &n, |b, &n| {
-            b.iter(|| black_box(generate(&GeneratorConfig::cube(n, 1)).unwrap()))
+        g.bench(&format!("cube/{}", n * n * n * 12), || {
+            black_box(generate(&GeneratorConfig::cube(n, 1)).expect("valid config"))
         });
     }
-    group.finish();
 }
 
-fn dag_induction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dag_induction");
-    group.sample_size(10);
-    let mesh = MeshPreset::Tetonly.build_scaled(0.1).unwrap();
-    let quad = QuadratureSet::level_symmetric(4).unwrap();
+fn dag_induction() {
+    let g = Group::new("dag_induction");
+    let mesh = MeshPreset::Tetonly
+        .build_scaled(0.1)
+        .expect("preset builds");
+    let quad = QuadratureSet::level_symmetric(4).expect("S4 exists");
     let omega = quad.direction(sweep_quadrature::DirectionId(0));
-    group.bench_function("induce_one_direction", |b| {
-        b.iter(|| black_box(induce_dag(&mesh, omega)))
+    g.bench("induce_one_direction", || {
+        black_box(induce_dag(&mesh, omega))
     });
     let (dag, _) = induce_dag(&mesh, omega);
-    group.bench_function("levels", |b| b.iter(|| black_box(levels(&dag))));
-    group.bench_function("b_levels", |b| {
-        b.iter(|| black_box(sweep_dag::b_levels(&dag)))
+    g.bench("levels", || black_box(levels(&dag)));
+    g.bench("b_levels", || black_box(sweep_dag::b_levels(&dag)));
+    g.bench("descendants_approx", || {
+        black_box(sweep_dag::descendant_counts_approx(&dag))
     });
-    group.bench_function("descendants_approx", |b| {
-        b.iter(|| black_box(sweep_dag::descendant_counts_approx(&dag)))
-    });
-    group.finish();
 }
 
-fn partitioner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partitioner");
-    group.sample_size(10);
-    let mesh = MeshPreset::Tetonly.build_scaled(0.1).unwrap();
+fn partitioner() {
+    let g = Group::new("partitioner");
+    let mesh = MeshPreset::Tetonly
+        .build_scaled(0.1)
+        .expect("preset builds");
     let (xadj, adjncy) = mesh.adjacency_csr();
     let graph = CsrGraph::from_csr_parts(xadj, adjncy);
     for block in [16usize, 64] {
-        group.bench_with_input(BenchmarkId::new("block_partition", block), &block, |b, &bs| {
-            b.iter(|| {
-                black_box(block_partition(&graph, bs, &PartitionOptions::default()))
-            })
+        g.bench(&format!("block_partition/{block}"), || {
+            black_box(block_partition(&graph, block, &PartitionOptions::default()))
         });
     }
-    group.finish();
 }
 
-fn quadrature(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quadrature");
-    group.bench_function("s8", |b| {
-        b.iter(|| black_box(QuadratureSet::level_symmetric(8).unwrap()))
+fn quadrature() {
+    let g = Group::new("quadrature");
+    g.bench("s8", || {
+        black_box(QuadratureSet::level_symmetric(8).expect("S8 exists"))
     });
-    group.bench_function("random_256", |b| {
-        b.iter(|| black_box(QuadratureSet::random_unit(256, 1).unwrap()))
+    g.bench("random_256", || {
+        black_box(QuadratureSet::random_unit(256, 1).expect("valid count"))
     });
     let _ = Vec3::ZERO;
-    group.finish();
 }
 
-criterion_group!(benches, mesh_generation, dag_induction, partitioner, quadrature);
-criterion_main!(benches);
+fn main() {
+    mesh_generation();
+    dag_induction();
+    partitioner();
+    quadrature();
+}

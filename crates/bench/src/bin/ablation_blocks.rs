@@ -9,8 +9,8 @@
 
 use sweep_bench::{mesh_blocks, BenchArgs, CsvSink};
 use sweep_core::{
-    c1_interprocessor_edges, c2_comm_delay, cut_fraction, lower_bounds,
-    random_delay_priorities, validate, Assignment,
+    c1_interprocessor_edges, c2_comm_delay, cut_fraction, lower_bounds, random_delay_priorities,
+    validate, Assignment,
 };
 use sweep_mesh::MeshPreset;
 

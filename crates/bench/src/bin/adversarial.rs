@@ -10,8 +10,8 @@
 
 use sweep_bench::{BenchArgs, CsvSink};
 use sweep_core::{
-    lower_bounds, random_delay_priorities_with, random_delay_with, random_delays,
-    validate, Algorithm, Assignment,
+    lower_bounds, random_delay_priorities_with, random_delay_with, random_delays, validate,
+    Algorithm, Assignment,
 };
 use sweep_dag::SweepInstance;
 

@@ -11,9 +11,7 @@
 //! ```
 
 use sweep_bench::{mesh_blocks, BenchArgs, CsvSink};
-use sweep_core::{
-    delayed_level_priorities, list_schedule, random_delays, validate, Assignment,
-};
+use sweep_core::{delayed_level_priorities, list_schedule, random_delays, validate, Assignment};
 use sweep_mesh::MeshPreset;
 use sweep_sim::async_makespan;
 

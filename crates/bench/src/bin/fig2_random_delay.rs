@@ -10,8 +10,7 @@
 
 use sweep_bench::{mesh_blocks, AssignPolicy, BenchArgs, CsvSink};
 use sweep_core::{
-    c1_interprocessor_edges, c2_comm_delay, lower_bounds, random_delay_priorities,
-    validate,
+    c1_interprocessor_edges, c2_comm_delay, lower_bounds, random_delay_priorities, validate,
 };
 use sweep_mesh::MeshPreset;
 

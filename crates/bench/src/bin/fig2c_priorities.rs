@@ -9,8 +9,8 @@
 
 use sweep_bench::{BenchArgs, CsvSink};
 use sweep_core::{
-    lower_bounds, random_delay_priorities_with, random_delay_with, random_delays,
-    validate, Assignment,
+    lower_bounds, random_delay_priorities_with, random_delay_with, random_delays, validate,
+    Assignment,
 };
 use sweep_mesh::MeshPreset;
 

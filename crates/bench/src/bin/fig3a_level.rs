@@ -13,5 +13,11 @@ use sweep_mesh::MeshPreset;
 
 fn main() {
     let args = BenchArgs::parse();
-    run_fig3(&args, MeshPreset::Long, 64, PriorityScheme::Level, "fig3a_level");
+    run_fig3(
+        &args,
+        MeshPreset::Long,
+        64,
+        PriorityScheme::Level,
+        "fig3a_level",
+    );
 }

@@ -12,5 +12,11 @@ use sweep_mesh::MeshPreset;
 
 fn main() {
     let args = BenchArgs::parse();
-    run_fig3(&args, MeshPreset::WellLogging, 128, PriorityScheme::Dfds, "fig3c_dfds");
+    run_fig3(
+        &args,
+        MeshPreset::WellLogging,
+        128,
+        PriorityScheme::Dfds,
+        "fig3c_dfds",
+    );
 }

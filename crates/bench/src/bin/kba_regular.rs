@@ -40,8 +40,11 @@ fn main() {
         "kba_regular",
         "m,algorithm,makespan,ratio_lb,c1,cut_fraction",
     );
-    let ms: Vec<usize> =
-        args.proc_sweep(256, instance.num_tasks()).into_iter().filter(|&m| m >= 4).collect();
+    let ms: Vec<usize> = args
+        .proc_sweep(256, instance.num_tasks())
+        .into_iter()
+        .filter(|&m| m >= 4)
+        .collect();
     for &m in &ms {
         let lb = lower_bounds(&instance, m).paper();
         let runs: Vec<(&str, sweep_core::Schedule)> = vec![

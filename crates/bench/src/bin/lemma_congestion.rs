@@ -32,9 +32,7 @@ fn main() {
                 let d = random_delays(k, seed ^ 0xc0ffee);
                 let st = layer_congestion(&instance, &a, &d);
                 // Lemma 3 envelope: max{width/m, 1} · log² n.
-                let env3 = (st.max_layer_width as f64 / m as f64).max(1.0)
-                    * log_n
-                    * log_n;
+                let env3 = (st.max_layer_width as f64 / m as f64).max(1.0) * log_n * log_n;
                 // Lemma 1(b) threshold for mean 1, failure prob 1/n².
                 let f = chernoff_f(1.0, 1.0 / (n as f64 * n as f64), 1.0);
                 sink.row(format_args!(

@@ -10,9 +10,7 @@
 //! ```
 
 use sweep_bench::{geometric_mean, BenchArgs, CsvSink};
-use sweep_core::{
-    lower_bounds, optimal_sweep_makespan, validate, Algorithm, Assignment,
-};
+use sweep_core::{lower_bounds, optimal_sweep_makespan, validate, Algorithm, Assignment};
 use sweep_dag::SweepInstance;
 
 fn main() {

@@ -14,8 +14,7 @@
 use rand::{RngExt, SeedableRng};
 use sweep_bench::{BenchArgs, CsvSink};
 use sweep_core::{
-    validate_weighted, weighted_lower_bound, weighted_random_delay_priorities,
-    Assignment,
+    validate_weighted, weighted_lower_bound, weighted_random_delay_priorities, Assignment,
 };
 use sweep_mesh::{MeshPreset, SweepMesh};
 use sweep_partition::{block_partition, CsrGraph, PartitionOptions};
@@ -44,8 +43,7 @@ fn main() {
     // equal total work instead of equal cell counts.
     graph.vwgt = weights.iter().map(|&w| w as u32).collect();
     let nblocks = n.div_ceil(block).max(1);
-    let blocks_weighted =
-        sweep_partition::partition(&graph, nblocks, &PartitionOptions::default());
+    let blocks_weighted = sweep_partition::partition(&graph, nblocks, &PartitionOptions::default());
 
     let mut sink = CsvSink::new(
         &args,
@@ -58,7 +56,10 @@ fn main() {
         }
         let lb = weighted_lower_bound(&instance, &weights, m);
         let policies: Vec<(&str, Assignment)> = vec![
-            ("per_cell", Assignment::random_cells(n, m, args.seed ^ m as u64)),
+            (
+                "per_cell",
+                Assignment::random_cells(n, m, args.seed ^ m as u64),
+            ),
             (
                 "blocks_uniform",
                 Assignment::random_blocks(&blocks_uniform, m, args.seed ^ m as u64),
@@ -73,8 +74,7 @@ fn main() {
             ),
         ];
         for (name, a) in policies {
-            let s =
-                weighted_random_delay_priorities(&instance, a, &weights, args.seed ^ 9);
+            let s = weighted_random_delay_priorities(&instance, a, &weights, args.seed ^ 9);
             validate_weighted(&instance, &s, &weights).expect("feasible");
             sink.row(format_args!(
                 "{m},{name},{mk},{lb},{ratio:.3}",

@@ -13,6 +13,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod microbench;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -53,9 +56,7 @@ impl BenchArgs {
                 })
             };
             match flag.as_str() {
-                "--scale" => {
-                    args.scale = value("--scale").parse().expect("numeric --scale")
-                }
+                "--scale" => args.scale = value("--scale").parse().expect("numeric --scale"),
                 "--out" => args.out = PathBuf::from(value("--out")),
                 "--seed" => args.seed = value("--seed").parse().expect("integer --seed"),
                 "--help" | "-h" => {
@@ -155,7 +156,10 @@ pub struct CsvSink {
 impl CsvSink {
     /// Starts a sink with the given header (comma-separated column names).
     pub fn new(args: &BenchArgs, name: &str, header: &str) -> CsvSink {
-        println!("# experiment: {name} (scale {:.3}, seed {})", args.scale, args.seed);
+        println!(
+            "# experiment: {name} (scale {:.3}, seed {})",
+            args.scale, args.seed
+        );
         println!("{header}");
         CsvSink {
             name: name.to_string(),
@@ -201,9 +205,7 @@ pub fn run_fig3(
     scheme: sweep_core::PriorityScheme,
     experiment: &str,
 ) {
-    use sweep_core::{
-        approx_ratio, random_delay_priorities, schedule_with_priorities, validate,
-    };
+    use sweep_core::{approx_ratio, random_delay_priorities, schedule_with_priorities, validate};
     let mut sink = CsvSink::new(
         args,
         experiment,
@@ -212,7 +214,7 @@ pub fn run_fig3(
     for sn in [2usize, 4, 6] {
         let (mesh, instance) = args.instance(preset, sn);
         let k = instance.num_directions();
-        
+
         let block = args.scaled_block(paper_block);
         let blocks = mesh_blocks(&mesh, block);
         let ms = args.proc_sweep(512, instance.num_tasks());
@@ -221,8 +223,7 @@ pub fn run_fig3(
             let a = Assignment::random_blocks(&blocks, m, seed);
             let s_rdp = random_delay_priorities(&instance, a.clone(), seed);
             let s_heur = schedule_with_priorities(&instance, a.clone(), scheme, None);
-            let s_heur_d =
-                schedule_with_priorities(&instance, a, scheme, Some(seed ^ 0xd3));
+            let s_heur_d = schedule_with_priorities(&instance, a, scheme, Some(seed ^ 0xd3));
             for s in [&s_rdp, &s_heur, &s_heur_d] {
                 validate(&instance, s).expect("feasible");
             }
@@ -250,14 +251,21 @@ mod tests {
     use super::*;
 
     fn test_args() -> BenchArgs {
-        BenchArgs { scale: 0.01, out: std::env::temp_dir().join("sweep-bench-test"), seed: 1 }
+        BenchArgs {
+            scale: 0.01,
+            out: std::env::temp_dir().join("sweep-bench-test"),
+            seed: 1,
+        }
     }
 
     #[test]
     fn scaled_block_floors_at_two() {
         let a = test_args();
         assert_eq!(a.scaled_block(64), 2);
-        let b = BenchArgs { scale: 0.5, ..test_args() };
+        let b = BenchArgs {
+            scale: 0.5,
+            ..test_args()
+        };
         assert_eq!(b.scaled_block(64), 32);
     }
 
@@ -310,10 +318,8 @@ mod tests {
             sweep_core::PriorityScheme::Level,
             "fig3_smoke_test",
         );
-        let csv = std::fs::read_to_string(
-            args.out.join("fig3_smoke_test.csv"),
-        )
-        .expect("experiment must write its CSV");
+        let csv = std::fs::read_to_string(args.out.join("fig3_smoke_test.csv"))
+            .expect("experiment must write its CSV");
         assert!(csv.starts_with("directions,m,block,"));
         assert!(csv.lines().count() >= 2, "at least one data row");
     }

@@ -7,20 +7,24 @@
 //! * `schedule` — run any algorithm, report makespan/bounds/C1/C2,
 //!   optionally export the schedule CSV, a Gantt chart, or a VTK file;
 //! * `transport` — run the toy S_n transport solver;
-//! * `optimal` — exact optimum for tiny synthetic instances.
+//! * `optimal` — exact optimum for tiny synthetic instances;
+//! * `analyze` — static analysis (SW0xx diagnostics) of an instance and
+//!   optionally an assignment/schedule/async trace, as text, JSON, or
+//!   SARIF; exits nonzero when any error-level diagnostic fires.
 //!
 //! Everything returns its report as a `String` so the logic is unit
 //! testable; `main.rs` only prints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use sweep_core::{
-    c1_interprocessor_edges, c2_comm_delay, lower_bounds, render_gantt, validate,
-    Algorithm, Assignment,
+    c1_interprocessor_edges, c2_comm_delay, lower_bounds, render_gantt, validate, Algorithm,
+    Assignment,
 };
 use sweep_dag::{instance_stats, SweepInstance};
 use sweep_mesh::{quality_report, MeshPreset, SweepMesh, TetMesh};
@@ -46,9 +50,19 @@ COMMANDS:
   transport  --preset P [--scale F] [--sn N] [--sigma-t X] [--sigma-s X]
              [--source X] [--tol X] [--max-iters N]
   optimal    --n N --k K --m M [--seed S]      (tiny instances only)
+  analyze    (--preset P | --instance FILE | --demo-cycle) [--scale F]
+             [--sn N] [--m M] [--algorithm A] [--seed S] [--async]
+             [--latency F] [--format text|json|sarif] [--out FILE]
+             [--imbalance F] [--comm-fraction F] [--envelope F]
   help
 
 Defaults: --scale 0.02, --sn 4 (24 directions), --seed 2005.
+
+`analyze` emits SW0xx diagnostics (SW001 cycle witness, SW002-SW007
+feasibility/bound errors, SW010-SW016 warnings, SW020/SW021 info) and
+exits with status 2 when any error-level diagnostic fires. With --m it
+also builds an assignment + schedule and certifies them; with --async it
+additionally runs the happens-before message-race detector.
 ";
 
 /// Parses `--key value` pairs after the subcommand.
@@ -60,7 +74,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("expected --flag, got '{flag}'"));
         };
         // Boolean flags.
-        if matches!(key, "quality" | "gantt" | "delays") {
+        if matches!(key, "quality" | "gantt" | "delays" | "demo-cycle" | "async") {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -87,13 +101,15 @@ where
 }
 
 fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{key}"))
 }
 
 fn build_mesh(flags: &HashMap<String, String>) -> Result<(MeshPreset, TetMesh), String> {
     let name = require(flags, "preset")?;
-    let preset = MeshPreset::from_name(name)
-        .ok_or_else(|| format!("unknown preset '{name}'"))?;
+    let preset = MeshPreset::from_name(name).ok_or_else(|| format!("unknown preset '{name}'"))?;
     let scale: f64 = get(flags, "scale", 0.02)?;
     let mesh = preset.build_scaled(scale).map_err(|e| e.to_string())?;
     Ok((preset, mesh))
@@ -115,8 +131,7 @@ fn build_instance_or_file(
     flags: &HashMap<String, String>,
 ) -> Result<(String, Option<TetMesh>, SweepInstance), String> {
     if let Some(path) = flags.get("instance") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let inst = sweep_dag::from_text(&text)?;
         Ok((inst.name().to_string(), None, inst))
     } else {
@@ -126,20 +141,30 @@ fn build_instance_or_file(
 }
 
 /// Entry point: dispatches `args` (without the binary name) and returns
-/// the report to print.
+/// the report to print. Equivalent to [`run_with_status`] with the exit
+/// code dropped.
 pub fn run(args: &[String]) -> Result<String, String> {
+    run_with_status(args).map(|(out, _)| out)
+}
+
+/// [`run`] plus the process exit code: 0 for success, 2 when `analyze`
+/// found error-level diagnostics (usage errors surface as `Err` and the
+/// binary exits 1).
+pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
     let Some(command) = args.first() else {
-        return Ok(HELP.to_string());
+        return Ok((HELP.to_string(), 0));
     };
     let flags = parse_flags(&args[1..])?;
+    let plain = |r: Result<String, String>| r.map(|out| (out, 0));
     match command.as_str() {
-        "help" | "--help" | "-h" => Ok(HELP.to_string()),
-        "mesh" => cmd_mesh(&flags),
-        "instance" => cmd_instance(&flags),
-        "stats" => cmd_stats(&flags),
-        "schedule" => cmd_schedule(&flags),
-        "transport" => cmd_transport(&flags),
-        "optimal" => cmd_optimal(&flags),
+        "help" | "--help" | "-h" => Ok((HELP.to_string(), 0)),
+        "mesh" => plain(cmd_mesh(&flags)),
+        "instance" => plain(cmd_instance(&flags)),
+        "stats" => plain(cmd_stats(&flags)),
+        "schedule" => plain(cmd_schedule(&flags)),
+        "transport" => plain(cmd_transport(&flags)),
+        "optimal" => plain(cmd_optimal(&flags)),
+        "analyze" => cmd_analyze(&flags),
         other => Err(format!("unknown command '{other}' (try `sweep help`)")),
     }
 }
@@ -225,7 +250,9 @@ fn parse_algorithm(name: &str, delays: bool) -> Result<Algorithm, String> {
 
 fn cmd_schedule(flags: &HashMap<String, String>) -> Result<String, String> {
     let (name, mesh, inst) = build_instance_or_file(flags)?;
-    let m: usize = require(flags, "m")?.parse().map_err(|e| format!("--m: {e}"))?;
+    let m: usize = require(flags, "m")?
+        .parse()
+        .map_err(|e| format!("--m: {e}"))?;
     if m == 0 {
         return Err("--m must be positive".into());
     }
@@ -286,8 +313,9 @@ fn cmd_schedule(flags: &HashMap<String, String>) -> Result<String, String> {
             return Err("--vtk needs a mesh (use --preset, not --instance)".into());
         };
         let n = inst.num_cells();
-        let proc_field: Vec<f64> =
-            (0..n as u32).map(|v| schedule.proc_of_cell(v) as f64).collect();
+        let proc_field: Vec<f64> = (0..n as u32)
+            .map(|v| schedule.proc_of_cell(v) as f64)
+            .collect();
         let start_field: Vec<f64> = (0..n as u32)
             .map(|v| schedule.start_of(sweep_dag::TaskId::pack(v, 0, n)) as f64)
             .collect();
@@ -331,9 +359,15 @@ fn cmd_transport(flags: &HashMap<String, String>) -> Result<String, String> {
 }
 
 fn cmd_optimal(flags: &HashMap<String, String>) -> Result<String, String> {
-    let n: usize = require(flags, "n")?.parse().map_err(|e| format!("--n: {e}"))?;
-    let k: usize = require(flags, "k")?.parse().map_err(|e| format!("--k: {e}"))?;
-    let m: usize = require(flags, "m")?.parse().map_err(|e| format!("--m: {e}"))?;
+    let n: usize = require(flags, "n")?
+        .parse()
+        .map_err(|e| format!("--n: {e}"))?;
+    let k: usize = require(flags, "k")?
+        .parse()
+        .map_err(|e| format!("--k: {e}"))?;
+    let m: usize = require(flags, "m")?
+        .parse()
+        .map_err(|e| format!("--m: {e}"))?;
     let seed: u64 = get(flags, "seed", 2005)?;
     if n == 0 || k == 0 || m == 0 {
         return Err("--n, --k, --m must be positive".into());
@@ -358,6 +392,101 @@ fn cmd_optimal(flags: &HashMap<String, String>) -> Result<String, String> {
     ))
 }
 
+/// A built-in cyclic fixture for demos and CI smoke tests: direction 0
+/// re-enters cells 1 → 2 → 3 → 1 (the shape a hanging-node or warped
+/// face produces after DAG induction goes wrong), direction 1 is a
+/// clean chain.
+fn demo_cycle_instance() -> SweepInstance {
+    let d0 = sweep_dag::TaskDag::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 1)]);
+    let d1 = sweep_dag::TaskDag::from_edges(4, &[(3, 2), (2, 1), (1, 0)]);
+    SweepInstance::new_unchecked(4, vec![d0, d1], "demo-cycle")
+}
+
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(String, i32), String> {
+    use sweep_analyze::{
+        analyze_assignment_with, analyze_async, analyze_instance, analyze_quadrature,
+        analyze_schedule_with, AnalyzeOptions, Code,
+    };
+    let opts = AnalyzeOptions {
+        imbalance_factor: get(flags, "imbalance", 2.0)?,
+        comm_fraction: get(flags, "comm-fraction", 0.9)?,
+        envelope_factor: get(flags, "envelope", 2.0)?,
+    };
+    let seed: u64 = get(flags, "seed", 2005)?;
+
+    // Build the instance. File inputs use the *unchecked* parser so that
+    // cyclic archives reach the analyzer (which reports SW001 with a
+    // witness) instead of dying in the loader.
+    let mut report;
+    let inst = if flags.contains_key("demo-cycle") {
+        let inst = demo_cycle_instance();
+        report = analyze_instance(&inst);
+        inst
+    } else if let Some(path) = flags.get("instance") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let inst = sweep_dag::from_text_unchecked(&text)?;
+        report = analyze_instance(&inst);
+        inst
+    } else {
+        let (_, _, inst) = build_instance(flags)?;
+        report = analyze_instance(&inst);
+        let sn: usize = get(flags, "sn", 4)?;
+        let quad = QuadratureSet::level_symmetric(sn).map_err(|e| e.to_string())?;
+        report.merge(analyze_quadrature(&quad));
+        inst
+    };
+
+    // With --m: analyze an assignment and a schedule built on it —
+    // unless the instance is cyclic, in which case no scheduler can run
+    // and the SW001 error already fails the command.
+    let cyclic = report.has_code(Code::CyclicDependency);
+    if let Some(m_flag) = flags.get("m") {
+        let m: usize = m_flag.parse().map_err(|e| format!("--m: {e}"))?;
+        if m == 0 {
+            return Err("--m must be positive".into());
+        }
+        if !cyclic {
+            let assignment = Assignment::random_cells(inst.num_cells(), m, seed);
+            report.merge(analyze_assignment_with(&inst, &assignment, &opts));
+            let alg = parse_algorithm(
+                flags.get("algorithm").map(String::as_str).unwrap_or("rdp"),
+                flags.contains_key("delays"),
+            )?;
+            let schedule = alg.run(&inst, assignment.clone(), seed ^ 0xabcd);
+            report.merge(analyze_schedule_with(&inst, &schedule, &opts));
+            if flags.contains_key("async") {
+                let latency: f64 = get(flags, "latency", 1.0)?;
+                let prio = vec![0i64; inst.num_tasks()];
+                report.merge(analyze_async(&inst, &assignment, &prio, latency));
+            }
+        }
+    } else if flags.contains_key("async") {
+        return Err("--async needs --m (it analyzes a distributed execution)".into());
+    }
+
+    let rendered = match flags.get("format").map(String::as_str).unwrap_or("text") {
+        "text" => report.render_text(),
+        "json" => report.render_json(),
+        "sarif" => report.render_sarif(),
+        other => return Err(format!("unknown format '{other}' (text|json|sarif)")),
+    };
+    let status = if report.has_errors() { 2 } else { 0 };
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+        Ok((
+            format!(
+                "wrote {path} ({} bytes); {} diagnostic(s), {} error(s)\n",
+                rendered.len(),
+                report.len(),
+                report.count(sweep_analyze::Severity::Error),
+            ),
+            status,
+        ))
+    } else {
+        Ok((rendered, status))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,13 +503,20 @@ mod tests {
 
     #[test]
     fn unknown_command_errors() {
-        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(run(&args(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]
     fn mesh_command_reports() {
         let out = run(&args(&[
-            "mesh", "--preset", "tetonly", "--scale", "0.01", "--quality",
+            "mesh",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--quality",
         ]))
         .unwrap();
         assert!(out.contains("315 cells"), "{out}");
@@ -406,10 +542,27 @@ mod tests {
 
     #[test]
     fn schedule_command_all_algorithms() {
-        for alg in ["rdp", "rd", "improved", "greedy", "level", "descendant", "dfds"] {
+        for alg in [
+            "rdp",
+            "rd",
+            "improved",
+            "greedy",
+            "level",
+            "descendant",
+            "dfds",
+        ] {
             let out = run(&args(&[
-                "schedule", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
-                "--m", "8", "--algorithm", alg,
+                "schedule",
+                "--preset",
+                "tetonly",
+                "--scale",
+                "0.01",
+                "--sn",
+                "2",
+                "--m",
+                "8",
+                "--algorithm",
+                alg,
             ]))
             .unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert!(out.contains("makespan"), "{alg}: {out}");
@@ -420,8 +573,8 @@ mod tests {
     #[test]
     fn schedule_with_blocks_and_gantt() {
         let out = run(&args(&[
-            "schedule", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
-            "--m", "4", "--block", "8", "--gantt",
+            "schedule", "--preset", "tetonly", "--scale", "0.01", "--sn", "2", "--m", "4",
+            "--block", "8", "--gantt",
         ]))
         .unwrap();
         assert!(out.contains("p0"), "gantt rows expected: {out}");
@@ -433,8 +586,17 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("sched.csv");
         let out = run(&args(&[
-            "schedule", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
-            "--m", "4", "--csv", path.to_str().unwrap(),
+            "schedule",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--csv",
+            path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("wrote schedule CSV"));
@@ -444,16 +606,25 @@ mod tests {
 
     #[test]
     fn schedule_requires_m() {
-        let err =
-            run(&args(&["schedule", "--preset", "tetonly", "--scale", "0.01"])).unwrap_err();
+        let err = run(&args(&[
+            "schedule", "--preset", "tetonly", "--scale", "0.01",
+        ]))
+        .unwrap_err();
         assert!(err.contains("--m"));
     }
 
     #[test]
     fn transport_command_converges() {
         let out = run(&args(&[
-            "transport", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
-            "--sigma-s", "0.3",
+            "transport",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--sigma-s",
+            "0.3",
         ]))
         .unwrap();
         assert!(out.contains("converged = true"), "{out}");
@@ -462,7 +633,13 @@ mod tests {
     #[test]
     fn transport_rejects_bad_material() {
         let err = run(&args(&[
-            "transport", "--preset", "tetonly", "--scale", "0.01", "--sigma-s", "2.0",
+            "transport",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sigma-s",
+            "2.0",
         ]))
         .unwrap_err();
         assert!(err.contains("scattering"));
@@ -486,22 +663,38 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("inst.txt");
         let out = run(&args(&[
-            "instance", "--preset", "tetonly", "--scale", "0.01", "--sn", "2",
-            "--out", path.to_str().unwrap(),
+            "instance",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("wrote"), "{out}");
         let stats = run(&args(&["stats", "--instance", path.to_str().unwrap()])).unwrap();
         assert!(stats.contains("8 directions"), "{stats}");
         let sched = run(&args(&[
-            "schedule", "--instance", path.to_str().unwrap(), "--m", "4",
+            "schedule",
+            "--instance",
+            path.to_str().unwrap(),
+            "--m",
+            "4",
         ]))
         .unwrap();
         assert!(sched.contains("makespan"));
         // --block requires a mesh.
         let err = run(&args(&[
-            "schedule", "--instance", path.to_str().unwrap(), "--m", "4",
-            "--block", "8",
+            "schedule",
+            "--instance",
+            path.to_str().unwrap(),
+            "--m",
+            "4",
+            "--block",
+            "8",
         ]))
         .unwrap_err();
         assert!(err.contains("needs a mesh"));
@@ -511,5 +704,122 @@ mod tests {
     fn flag_parser_rejects_malformed() {
         assert!(run(&args(&["mesh", "preset", "tetonly"])).is_err());
         assert!(run(&args(&["mesh", "--preset"])).is_err());
+    }
+
+    #[test]
+    fn analyze_demo_cycle_errors_in_all_formats() {
+        for format in ["text", "json", "sarif"] {
+            let (out, status) =
+                run_with_status(&args(&["analyze", "--demo-cycle", "--format", format]))
+                    .unwrap_or_else(|e| panic!("{format}: {e}"));
+            assert_eq!(status, 2, "{format}: cyclic demo must fail the command");
+            assert!(out.contains("SW001"), "{format}: {out}");
+        }
+        // The text rendering carries the witness cycle.
+        let (out, _) = run_with_status(&args(&["analyze", "--demo-cycle"])).unwrap();
+        assert!(out.contains("cycle: 1 -> 2 -> 3 -> 1"), "{out}");
+    }
+
+    #[test]
+    fn analyze_preset_is_clean_and_exits_zero() {
+        let (out, status) = run_with_status(&args(&[
+            "analyze", "--preset", "tetonly", "--scale", "0.01", "--sn", "2", "--m", "4",
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("SW021"), "schedule should certify: {out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn analyze_async_reports_trace_stats() {
+        let (out, status) = run_with_status(&args(&[
+            "analyze",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--async",
+            "--latency",
+            "0.5",
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("async trace"), "{out}");
+    }
+
+    #[test]
+    fn analyze_cyclic_instance_file_from_unchecked_parser() {
+        let dir = std::env::temp_dir().join("sweep-cli-analyze-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cyclic.txt");
+        std::fs::write(
+            &path,
+            "sweep-instance v1\nname cyc\ncells 3\ndirections 1\n\
+             dag 0 edges 3\n0 1\n1 2\n2 0\nend\n",
+        )
+        .unwrap();
+        let (out, status) = run_with_status(&args(&[
+            "analyze",
+            "--instance",
+            path.to_str().unwrap(),
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(status, 2);
+        assert!(out.contains("\"trail\": [0, 1, 2, 0]"), "{out}");
+        // The strict loader (schedule command) refuses the same file.
+        let err = run(&args(&[
+            "schedule",
+            "--instance",
+            path.to_str().unwrap(),
+            "--m",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cyclic"));
+    }
+
+    #[test]
+    fn analyze_out_file_and_sarif_shape() {
+        let dir = std::env::temp_dir().join("sweep-cli-sarif-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.sarif");
+        let (out, status) = run_with_status(&args(&[
+            "analyze",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--format",
+            "sarif",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("wrote"));
+        let sarif = std::fs::read_to_string(&path).unwrap();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("sweep-analyze"));
+    }
+
+    #[test]
+    fn analyze_rejects_bad_format_and_lone_async() {
+        assert!(run(&args(&["analyze", "--demo-cycle", "--format", "xml"]))
+            .unwrap_err()
+            .contains("unknown format"));
+        assert!(run(&args(&["analyze", "--demo-cycle", "--async"]))
+            .unwrap_err()
+            .contains("--async needs --m"));
     }
 }

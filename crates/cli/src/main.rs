@@ -2,8 +2,13 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match sweep_cli::run(&args) {
-        Ok(report) => print!("{report}"),
+    match sweep_cli::run_with_status(&args) {
+        Ok((report, status)) => {
+            print!("{report}");
+            if status != 0 {
+                std::process::exit(status);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -82,12 +82,8 @@ impl Algorithm {
     pub fn run(&self, instance: &SweepInstance, assignment: Assignment, seed: u64) -> Schedule {
         match self {
             Algorithm::RandomDelay => random_delay(instance, assignment, seed),
-            Algorithm::RandomDelayPriorities => {
-                random_delay_priorities(instance, assignment, seed)
-            }
-            Algorithm::ImprovedRandomDelay => {
-                improved_random_delay(instance, assignment, seed)
-            }
+            Algorithm::RandomDelayPriorities => random_delay_priorities(instance, assignment, seed),
+            Algorithm::ImprovedRandomDelay => improved_random_delay(instance, assignment, seed),
             Algorithm::ImprovedWithPriorities => {
                 improved_with_priorities(instance, assignment, seed)
             }

@@ -37,7 +37,10 @@ impl Assignment {
 
     /// Every cell on processor 0 (the `m = 1` baseline).
     pub fn single(n: usize) -> Assignment {
-        Assignment { proc_of_cell: vec![0; n], m: 1 }
+        Assignment {
+            proc_of_cell: vec![0; n],
+            m: 1,
+        }
     }
 
     /// Uniformly random processor per cell — the assignment of
@@ -56,12 +59,20 @@ impl Assignment {
     /// a block share one random processor (§5.1).
     pub fn random_blocks(block_of_cell: &[u32], m: usize, seed: u64) -> Assignment {
         assert!(m > 0, "need at least one processor");
-        let nblocks = block_of_cell.iter().copied().max().map_or(0, |b| b as usize + 1);
+        let nblocks = block_of_cell
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |b| b as usize + 1);
         let mut rng = StdRng::seed_from_u64(seed);
-        let proc_of_block: Vec<u32> =
-            (0..nblocks).map(|_| rng.random_range(0..m as u32)).collect();
+        let proc_of_block: Vec<u32> = (0..nblocks)
+            .map(|_| rng.random_range(0..m as u32))
+            .collect();
         Assignment {
-            proc_of_cell: block_of_cell.iter().map(|&b| proc_of_block[b as usize]).collect(),
+            proc_of_cell: block_of_cell
+                .iter()
+                .map(|&b| proc_of_block[b as usize])
+                .collect(),
             m,
         }
     }
@@ -74,9 +85,16 @@ impl Assignment {
     /// alternative to [`Assignment::random_blocks`] for graded meshes.
     pub fn lpt_blocks(block_of_cell: &[u32], cell_weight: &[u64], m: usize) -> Assignment {
         assert!(m > 0, "need at least one processor");
-        assert_eq!(block_of_cell.len(), cell_weight.len(), "one weight per cell");
-        let nblocks =
-            block_of_cell.iter().copied().max().map_or(0, |b| b as usize + 1);
+        assert_eq!(
+            block_of_cell.len(),
+            cell_weight.len(),
+            "one weight per cell"
+        );
+        let nblocks = block_of_cell
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |b| b as usize + 1);
         let mut block_weight = vec![0u64; nblocks];
         for (&b, &w) in block_of_cell.iter().zip(cell_weight) {
             block_weight[b as usize] += w;
@@ -84,8 +102,9 @@ impl Assignment {
         let mut order: Vec<u32> = (0..nblocks as u32).collect();
         order.sort_unstable_by_key(|&b| std::cmp::Reverse(block_weight[b as usize]));
         // Min-heap of (load, proc).
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
-            (0..m as u32).map(|p| std::cmp::Reverse((0u64, p))).collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> = (0..m as u32)
+            .map(|p| std::cmp::Reverse((0u64, p)))
+            .collect();
         let mut proc_of_block = vec![0u32; nblocks];
         for &b in &order {
             let std::cmp::Reverse((load, p)) = heap.pop().expect("m > 0");
@@ -93,7 +112,10 @@ impl Assignment {
             heap.push(std::cmp::Reverse((load + block_weight[b as usize], p)));
         }
         Assignment {
-            proc_of_cell: block_of_cell.iter().map(|&b| proc_of_block[b as usize]).collect(),
+            proc_of_cell: block_of_cell
+                .iter()
+                .map(|&b| proc_of_block[b as usize])
+                .collect(),
             m,
         }
     }

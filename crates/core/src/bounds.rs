@@ -32,7 +32,10 @@ pub struct LowerBounds {
 impl LowerBounds {
     /// The best (largest) of the bounds.
     pub fn best(&self) -> u64 {
-        self.avg_load.max(self.directions).max(self.depth).max(self.graham)
+        self.avg_load
+            .max(self.directions)
+            .max(self.depth)
+            .max(self.graham)
     }
 
     /// The paper's bound `max{nk/m, k, D}` (without the Graham witness) —
@@ -66,7 +69,12 @@ pub fn lower_bounds(instance: &SweepInstance, m: usize) -> LowerBounds {
     let (_, graham_t) = graham_union_steps(instance, m);
     // graham ≤ (2 - 1/m)·OPT  ⇒  OPT ≥ graham·m/(2m - 1).
     let graham = (graham_t as u64 * m as u64).div_ceil(2 * m as u64 - 1);
-    LowerBounds { avg_load, directions, depth, graham }
+    LowerBounds {
+        avg_load,
+        directions,
+        depth,
+        graham,
+    }
 }
 
 /// Convenience: the ratio of a makespan to the paper's lower bound

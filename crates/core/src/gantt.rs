@@ -111,7 +111,10 @@ pub fn from_csv(text: &str, n: usize, k: usize) -> Result<Schedule, String> {
             parse(fields[3], "start")?,
         );
         if v as usize >= n || dir as usize >= k {
-            return Err(format!("line {}: task ({v},{dir}) out of range", lineno + 1));
+            return Err(format!(
+                "line {}: task ({v},{dir}) out of range",
+                lineno + 1
+            ));
         }
         if proc[v as usize] != u32::MAX && proc[v as usize] != p {
             return Err(format!(
@@ -129,9 +132,8 @@ pub fn from_csv(text: &str, n: usize, k: usize) -> Result<Schedule, String> {
     if proc.contains(&u32::MAX) {
         return Err("missing cell assignments in CSV".into());
     }
-    let assignment =
-        crate::assignment::Assignment::from_vec(proc, max_proc as usize + 1);
-    Ok(Schedule::new(starts, assignment))
+    let assignment = crate::assignment::Assignment::from_vec(proc, max_proc as usize + 1);
+    Schedule::new(starts, assignment).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -153,8 +155,10 @@ mod tests {
     fn timeline_covers_all_tasks_once() {
         let (inst, s) = sample();
         let tl = timelines(&inst, &s);
-        let busy: usize =
-            tl.iter().map(|row| row.iter().filter(|x| x.is_some()).count()).sum();
+        let busy: usize = tl
+            .iter()
+            .map(|row| row.iter().filter(|x| x.is_some()).count())
+            .sum();
         assert_eq!(busy, inst.num_tasks());
     }
 
@@ -187,7 +191,7 @@ mod tests {
         assert!(from_csv("header\n1,2\n", 2, 1).is_err()); // wrong arity
         assert!(from_csv("header\nx,0,0,0\n", 2, 1).is_err()); // bad number
         assert!(from_csv("header\n5,0,0,0\n", 2, 1).is_err()); // out of range
-        // Cell on two processors.
+                                                               // Cell on two processors.
         let bad = "h\n0,0,0,0\n0,1,1,1\n1,0,1,2\n1,1,1,3\n";
         assert!(from_csv(bad, 2, 2).unwrap_err().contains("two processors"));
         // Missing task.

@@ -166,7 +166,7 @@ fn layer_sequential_by(
     let m = assignment.num_procs();
     let mut start = vec![0u32; n * k];
     if n == 0 {
-        return Schedule::new(start, assignment);
+        return Schedule::new_checked(start, assignment);
     }
     // Order tasks by layer, then process layers sequentially.
     let mut order: Vec<u64> = (0..(n * k) as u64).collect();
@@ -189,7 +189,7 @@ fn layer_sequential_by(
         }
         clock += span;
     }
-    Schedule::new(start, assignment)
+    Schedule::new_checked(start, assignment)
 }
 
 #[cfg(test)]
@@ -231,7 +231,8 @@ mod tests {
         let dag = inst.dag(0);
         let m = 4;
         let (_, t) = graham_steps(dag, m);
-        let lb = (dag.num_nodes() as u32).div_ceil(m as u32)
+        let lb = (dag.num_nodes() as u32)
+            .div_ceil(m as u32)
             .max(sweep_dag::critical_path_len(dag) as u32);
         assert!(t <= 2 * lb, "graham {t} vs lb {lb}");
     }

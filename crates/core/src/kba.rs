@@ -49,13 +49,7 @@ pub fn processor_grid(m: usize) -> (usize, usize) {
 /// # Panics
 /// Panics when `num_cells != nx·ny·nz·12` (the mesh was carved or
 /// trimmed, so the hex arithmetic no longer applies) or `m == 0`.
-pub fn kba_assignment(
-    nx: usize,
-    ny: usize,
-    nz: usize,
-    num_cells: usize,
-    m: usize,
-) -> Assignment {
+pub fn kba_assignment(nx: usize, ny: usize, nz: usize, num_cells: usize, m: usize) -> Assignment {
     assert!(m > 0, "need at least one processor");
     assert_eq!(
         num_cells,

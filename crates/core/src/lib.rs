@@ -35,6 +35,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod algorithms;
 pub mod assignment;
@@ -55,14 +56,14 @@ pub mod weighted;
 pub use algorithms::Algorithm;
 pub use assignment::Assignment;
 pub use bounds::{approx_ratio, lower_bounds, LowerBounds};
-pub use gantt::{from_csv, render_gantt, timelines, to_csv};
 pub use concentration::{
     balls_in_bins_h, chernoff_f, chernoff_g, layer_congestion, CongestionStats,
 };
-pub use kba::{kba_assignment, processor_grid};
+pub use gantt::{from_csv, render_gantt, timelines, to_csv};
 pub use improved::{
     graham_steps, graham_union_steps, improved_random_delay, improved_with_priorities,
 };
+pub use kba::{kba_assignment, processor_grid};
 pub use list_schedule::{compact, greedy_schedule, list_schedule};
 pub use metrics::{c1_interprocessor_edges, c2_comm_delay, cut_fraction, idle_slots, load_profile};
 pub use opt::{optimal_makespan_fixed_assignment, optimal_sweep_makespan};
@@ -70,12 +71,12 @@ pub use priorities::{
     descendant_priorities, dfds_priorities, level_priorities, schedule_with_priorities,
     PriorityScheme,
 };
-pub use replicate::{replicate, AssignmentDraw, ReplicateSummary};
 pub use random_delay::{
-    delayed_level_priorities, random_delay, random_delay_priorities,
-    random_delay_priorities_with, random_delay_with, random_delays,
+    delayed_level_priorities, random_delay, random_delay_priorities, random_delay_priorities_with,
+    random_delay_with, random_delays,
 };
-pub use schedule::{validate, Schedule, ScheduleViolation};
+pub use replicate::{replicate, AssignmentDraw, ReplicateSummary};
+pub use schedule::{validate, Schedule, ScheduleBuildError, ScheduleViolation};
 pub use weighted::{
     validate_weighted, weighted_list_schedule, weighted_lower_bound,
     weighted_random_delay_priorities, WeightedSchedule, WeightedViolation,

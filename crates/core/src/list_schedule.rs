@@ -41,14 +41,18 @@ pub fn list_schedule(
     let k = instance.num_directions();
     let m = assignment.num_procs();
     assert_eq!(priority.len(), n * k, "one priority per task");
-    assert_eq!(assignment.num_cells(), n, "assignment covers the instance cells");
+    assert_eq!(
+        assignment.num_cells(),
+        n,
+        "assignment covers the instance cells"
+    );
     if let Some(r) = release {
         assert!(r.len() >= k, "one release time per direction");
     }
 
     let mut start = vec![0u32; n * k];
     if n == 0 {
-        return Schedule::new(start, assignment);
+        return Schedule::new_checked(start, assignment);
     }
 
     // Remaining-predecessor counters per task.
@@ -66,8 +70,7 @@ pub fn list_schedule(
     let max_release = release.map_or(0, |r| r[..k].iter().copied().max().unwrap_or(0));
     let mut release_buckets: Vec<Vec<u64>> = vec![Vec::new(); max_release as usize + 1];
 
-    let proc_of_task =
-        |t: u64| -> usize { assignment.proc_of((t % n as u64) as u32) as usize };
+    let proc_of_task = |t: u64| -> usize { assignment.proc_of((t % n as u64) as u32) as usize };
     let dir_of_task = |t: u64| -> usize { (t / n as u64) as usize };
 
     // Seed with the sources of every DAG.
@@ -126,7 +129,7 @@ pub fn list_schedule(
             "list scheduler failed to make progress"
         );
     }
-    Schedule::new(start, assignment)
+    Schedule::new_checked(start, assignment)
 }
 
 /// FIFO list scheduling (all priorities equal) — the greedy baseline.
@@ -190,11 +193,7 @@ mod tests {
 
     #[test]
     fn release_times_delay_directions() {
-        let inst = SweepInstance::new(
-            1,
-            vec![TaskDag::edgeless(1), TaskDag::edgeless(1)],
-            "i",
-        );
+        let inst = SweepInstance::new(1, vec![TaskDag::edgeless(1), TaskDag::edgeless(1)], "i");
         let a = Assignment::single(1);
         let s = list_schedule(&inst, a, &[0, 0], Some(&[0, 3]));
         assert_eq!(s.start_of(TaskId::pack(0, 0, 1)), 0);

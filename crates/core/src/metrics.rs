@@ -179,7 +179,10 @@ mod tests {
         let a = Assignment::random_cells(40, 4, 1);
         let s = greedy_schedule(&inst, a);
         let profile = load_profile(&inst, &s);
-        assert_eq!(profile.iter().map(|&x| x as usize).sum::<usize>(), inst.num_tasks());
+        assert_eq!(
+            profile.iter().map(|&x| x as usize).sum::<usize>(),
+            inst.num_tasks()
+        );
         assert!(profile.iter().all(|&x| x <= 4));
         assert_eq!(
             idle_slots(&s),

@@ -32,12 +32,12 @@ pub const MAX_TASKS: usize = 24;
 ///
 /// # Panics
 /// Panics when `n·k > MAX_TASKS` (the bitmask search would blow up).
-pub fn optimal_makespan_fixed_assignment(
-    instance: &SweepInstance,
-    assignment: &Assignment,
-) -> u32 {
+pub fn optimal_makespan_fixed_assignment(instance: &SweepInstance, assignment: &Assignment) -> u32 {
     let total = instance.num_tasks();
-    assert!(total <= MAX_TASKS, "exact search capped at {MAX_TASKS} tasks");
+    assert!(
+        total <= MAX_TASKS,
+        "exact search capped at {MAX_TASKS} tasks"
+    );
     assert_eq!(assignment.num_cells(), instance.num_cells());
     if total == 0 {
         return 0;
@@ -124,8 +124,7 @@ pub fn optimal_makespan_fixed_assignment(
             // Branch over the cartesian product of per-processor choices.
             // By the exchange argument a processor with ready tasks never
             // idles in some optimal schedule, so "idle" is not a branch.
-            let busy: Vec<&Vec<u32>> =
-                ready_per_proc.iter().filter(|r| !r.is_empty()).collect();
+            let busy: Vec<&Vec<u32>> = ready_per_proc.iter().filter(|r| !r.is_empty()).collect();
             debug_assert!(!busy.is_empty(), "acyclic instance always has ready work");
             let mut choice = vec![0usize; busy.len()];
             loop {
@@ -292,7 +291,10 @@ mod tests {
             let s = random_delay_priorities(&inst, a, seed ^ 9);
             worst = worst.max(s.makespan() as f64 / opt);
         }
-        assert!(worst <= 2.0, "worst empirical ratio vs true OPT: {worst:.2}");
+        assert!(
+            worst <= 2.0,
+            "worst empirical ratio vs true OPT: {worst:.2}"
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! delays" to a heuristic is modeled with per-direction release times, as
 //! in the paper's experiments where directions are "randomly delayed".
 
-use sweep_dag::{
-    b_levels, descendant_counts, levels, DescendantMode, SweepInstance, TaskId,
-};
+use sweep_dag::{b_levels, descendant_counts, levels, DescendantMode, SweepInstance, TaskId};
 
 use crate::assignment::Assignment;
 use crate::list_schedule::list_schedule;
@@ -149,8 +147,7 @@ pub fn schedule_with_priorities(
         PriorityScheme::Descendant(mode) => descendant_priorities(instance, mode),
         PriorityScheme::Dfds => dfds_priorities(instance, &assignment),
     };
-    let release =
-        delays.map(|seed| random_delays(instance.num_directions(), seed));
+    let release = delays.map(|seed| random_delays(instance.num_directions(), seed));
     list_schedule(instance, assignment, &prio, release.as_deref())
 }
 
@@ -252,10 +249,8 @@ mod tests {
     fn delayed_variant_changes_the_schedule() {
         let inst = sample();
         let a = Assignment::random_cells(60, 8, 3);
-        let s_plain =
-            schedule_with_priorities(&inst, a.clone(), PriorityScheme::Level, None);
-        let s_delay =
-            schedule_with_priorities(&inst, a, PriorityScheme::Level, Some(17));
+        let s_plain = schedule_with_priorities(&inst, a.clone(), PriorityScheme::Level, None);
+        let s_delay = schedule_with_priorities(&inst, a, PriorityScheme::Level, Some(17));
         assert_ne!(s_plain.starts(), s_delay.starts());
     }
 

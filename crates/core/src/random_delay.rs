@@ -69,7 +69,7 @@ pub fn random_delay_with(
     let m = assignment.num_procs();
     let mut start = vec![0u32; n * k];
     if n == 0 {
-        return Schedule::new(start, assignment);
+        return Schedule::new_checked(start, assignment);
     }
 
     // Combined layer index r = level + delay, per task.
@@ -118,7 +118,7 @@ pub fn random_delay_with(
         }
         clock += layer_span;
     }
-    Schedule::new(start, assignment)
+    Schedule::new_checked(start, assignment)
 }
 
 /// **Algorithm 2 — Random Delays with Priorities.** List scheduling with
@@ -244,7 +244,11 @@ mod tests {
         let s_yes = random_delay(&inst, a, 13);
         validate(&inst, &s_no).unwrap();
         validate(&inst, &s_yes).unwrap();
-        assert_eq!(s_no.makespan() as usize, n * k, "no delays ⇒ full serialization");
+        assert_eq!(
+            s_no.makespan() as usize,
+            n * k,
+            "no delays ⇒ full serialization"
+        );
         assert!(
             (s_yes.makespan() as usize) < n * k * 3 / 4,
             "delays should break the serialization: {}",

@@ -72,9 +72,7 @@ pub fn replicate(
         let seed = base_seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15));
         let assignment = match draw {
             AssignmentDraw::RandomCells => Assignment::random_cells(n, m, seed),
-            AssignmentDraw::RandomBlocks(blocks) => {
-                Assignment::random_blocks(blocks, m, seed)
-            }
+            AssignmentDraw::RandomBlocks(blocks) => Assignment::random_blocks(blocks, m, seed),
             AssignmentDraw::Fixed(a) => a.clone(),
         };
         let schedule = algorithm.run(instance, assignment, seed ^ 0x5eed);
@@ -89,11 +87,22 @@ fn summarize(samples: Vec<u32>) -> ReplicateSummary {
     let max = samples.iter().copied().max().expect("non-empty");
     let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / runs as f64;
     let var = if runs > 1 {
-        samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (runs - 1) as f64
+        samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (runs - 1) as f64
     } else {
         0.0
     };
-    ReplicateSummary { runs, min, max, mean, std_dev: var.sqrt(), samples }
+    ReplicateSummary {
+        runs,
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+        samples,
+    }
 }
 
 #[cfg(test)]
@@ -188,14 +197,7 @@ mod tests {
     fn greedy_with_fixed_assignment_is_deterministic() {
         let inst = SweepInstance::random_layered(60, 3, 5, 2, 4);
         let a = Assignment::random_cells(60, 4, 11);
-        let sum = replicate(
-            &inst,
-            Algorithm::Greedy,
-            4,
-            &AssignmentDraw::Fixed(a),
-            0,
-            5,
-        );
+        let sum = replicate(&inst, Algorithm::Greedy, 4, &AssignmentDraw::Fixed(a), 0, 5);
         assert_eq!(sum.min, sum.max);
         assert_eq!(sum.std_dev, 0.0);
     }
@@ -204,6 +206,13 @@ mod tests {
     #[should_panic(expected = "at least one replicate")]
     fn zero_runs_panics() {
         let inst = SweepInstance::identical_chains(3, 1);
-        replicate(&inst, Algorithm::Greedy, 1, &AssignmentDraw::RandomCells, 0, 0);
+        replicate(
+            &inst,
+            Algorithm::Greedy,
+            1,
+            &AssignmentDraw::RandomCells,
+            0,
+            0,
+        );
     }
 }

@@ -20,20 +20,65 @@ pub struct Schedule {
     makespan: u32,
 }
 
+/// A malformed [`Schedule`] construction, reported as a typed error so
+/// bad inputs flow into the diagnostics pipeline (`sweep-analyze`)
+/// instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleBuildError {
+    /// `start.len()` is not a multiple of the assignment's cell count
+    /// (a schedule must cover exactly `n·k` tasks for some integer `k`).
+    StartCountMismatch {
+        /// Number of start entries supplied.
+        starts: usize,
+        /// Cells covered by the assignment.
+        cells: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleBuildError::StartCountMismatch { starts, cells } => write!(
+                f,
+                "{starts} start times cannot cover k direction copies of {cells} cells \
+                 (need a multiple of the cell count)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleBuildError {}
+
 impl Schedule {
     /// Bundles start times with their assignment. The makespan is derived.
     ///
-    /// # Panics
-    /// Panics when `start.len()` is not a multiple of the assignment's cell
-    /// count (it must be `n·k`).
-    pub fn new(start: Vec<u32>, assignment: Assignment) -> Schedule {
+    /// Returns a typed error when `start.len()` is not a multiple of the
+    /// assignment's cell count (it must be `n·k`), so untrusted inputs
+    /// (CSV imports, corrupted schedules under analysis) surface as
+    /// diagnostics rather than panics.
+    pub fn new(start: Vec<u32>, assignment: Assignment) -> Result<Schedule, ScheduleBuildError> {
         let n = assignment.num_cells();
-        assert!(
-            n == 0 && start.is_empty() || n > 0 && start.len().is_multiple_of(n),
-            "start times must cover n*k tasks"
-        );
+        if !(n == 0 && start.is_empty() || n > 0 && start.len().is_multiple_of(n)) {
+            return Err(ScheduleBuildError::StartCountMismatch {
+                starts: start.len(),
+                cells: n,
+            });
+        }
         let makespan = start.iter().map(|&t| t + 1).max().unwrap_or(0);
-        Schedule { start, assignment, makespan }
+        Ok(Schedule {
+            start,
+            assignment,
+            makespan,
+        })
+    }
+
+    /// [`Schedule::new`] for schedulers whose output shape is correct by
+    /// construction.
+    ///
+    /// # Panics
+    /// Panics when `start.len()` is not a multiple of the cell count.
+    pub fn new_checked(start: Vec<u32>, assignment: Assignment) -> Schedule {
+        Schedule::new(start, assignment).expect("scheduler emitted n·k start times")
     }
 
     /// Start time of a task.
@@ -128,7 +173,13 @@ impl std::fmt::Display for ScheduleViolation {
             ScheduleViolation::WrongTaskCount { expected, actual } => {
                 write!(f, "expected {expected} tasks, schedule has {actual}")
             }
-            ScheduleViolation::Precedence { dir, u, v, start_u, start_v } => write!(
+            ScheduleViolation::Precedence {
+                dir,
+                u,
+                v,
+                start_u,
+                start_v,
+            } => write!(
                 f,
                 "direction {dir}: cell {u} (t={start_u}) must finish before cell {v} (t={start_v})"
             ),
@@ -136,7 +187,10 @@ impl std::fmt::Display for ScheduleViolation {
                 write!(f, "processor {proc} runs two tasks at time {time}")
             }
             ScheduleViolation::AssignmentMismatch { cells, assigned } => {
-                write!(f, "instance has {cells} cells but assignment covers {assigned}")
+                write!(
+                    f,
+                    "instance has {cells} cells but assignment covers {assigned}"
+                )
             }
         }
     }
@@ -191,7 +245,10 @@ pub fn validate(instance: &SweepInstance, schedule: &Schedule) -> Result<(), Sch
     slots.sort_unstable();
     for w in slots.windows(2) {
         if w[0] == w[1] {
-            return Err(ScheduleViolation::ProcessorConflict { proc: w[0].1, time: w[0].0 });
+            return Err(ScheduleViolation::ProcessorConflict {
+                proc: w[0].1,
+                time: w[0].0,
+            });
         }
     }
     let _ = m;
@@ -212,7 +269,7 @@ mod tests {
     fn valid_schedule_passes() {
         let inst = tiny_instance();
         let a = Assignment::single(2);
-        let s = Schedule::new(vec![0, 1], a);
+        let s = Schedule::new_checked(vec![0, 1], a);
         assert_eq!(s.makespan(), 2);
         validate(&inst, &s).unwrap();
         assert!((s.utilization() - 1.0).abs() < 1e-12);
@@ -222,16 +279,19 @@ mod tests {
     fn precedence_violation_detected() {
         let inst = tiny_instance();
         let a = Assignment::from_vec(vec![0, 1], 2);
-        let s = Schedule::new(vec![1, 0], a); // 1 before 0: violates 0 -> 1
+        let s = Schedule::new_checked(vec![1, 0], a); // 1 before 0: violates 0 -> 1
         let err = validate(&inst, &s).unwrap_err();
-        assert!(matches!(err, ScheduleViolation::Precedence { u: 0, v: 1, .. }));
+        assert!(matches!(
+            err,
+            ScheduleViolation::Precedence { u: 0, v: 1, .. }
+        ));
     }
 
     #[test]
     fn simultaneous_start_violates_precedence() {
         let inst = tiny_instance();
         let a = Assignment::from_vec(vec![0, 1], 2);
-        let s = Schedule::new(vec![0, 0], a);
+        let s = Schedule::new_checked(vec![0, 0], a);
         assert!(matches!(
             validate(&inst, &s),
             Err(ScheduleViolation::Precedence { .. })
@@ -243,24 +303,26 @@ mod tests {
         // Two independent cells on the same processor at the same time.
         let inst = SweepInstance::new(2, vec![TaskDag::edgeless(2)], "i");
         let a = Assignment::single(2);
-        let s = Schedule::new(vec![0, 0], a);
+        let s = Schedule::new_checked(vec![0, 0], a);
         let err = validate(&inst, &s).unwrap_err();
-        assert_eq!(err, ScheduleViolation::ProcessorConflict { proc: 0, time: 0 });
+        assert_eq!(
+            err,
+            ScheduleViolation::ProcessorConflict { proc: 0, time: 0 }
+        );
         assert!(err.to_string().contains("processor 0"));
     }
 
     #[test]
     fn wrong_task_count_detected() {
-        let inst = SweepInstance::new(
-            2,
-            vec![TaskDag::edgeless(2), TaskDag::edgeless(2)],
-            "i",
-        );
+        let inst = SweepInstance::new(2, vec![TaskDag::edgeless(2), TaskDag::edgeless(2)], "i");
         let a = Assignment::single(2);
-        let s = Schedule::new(vec![0, 1], a); // k=2 needs 4 starts
+        let s = Schedule::new_checked(vec![0, 1], a); // k=2 needs 4 starts
         assert!(matches!(
             validate(&inst, &s),
-            Err(ScheduleViolation::WrongTaskCount { expected: 4, actual: 2 })
+            Err(ScheduleViolation::WrongTaskCount {
+                expected: 4,
+                actual: 2
+            })
         ));
     }
 
@@ -268,24 +330,27 @@ mod tests {
     fn assignment_mismatch_detected() {
         let inst = tiny_instance();
         let a = Assignment::single(3);
-        let s = Schedule::new(vec![0, 1, 2], a);
+        let s = Schedule::new_checked(vec![0, 1, 2], a);
         assert!(matches!(
             validate(&inst, &s),
-            Err(ScheduleViolation::AssignmentMismatch { cells: 2, assigned: 3 })
+            Err(ScheduleViolation::AssignmentMismatch {
+                cells: 2,
+                assigned: 3
+            })
         ));
     }
 
     #[test]
     fn makespan_is_last_finish() {
         let a = Assignment::single(3);
-        let s = Schedule::new(vec![0, 5, 2], a);
+        let s = Schedule::new_checked(vec![0, 5, 2], a);
         assert_eq!(s.makespan(), 6);
     }
 
     #[test]
     fn empty_schedule() {
         let a = Assignment::single(0);
-        let s = Schedule::new(vec![], a);
+        let s = Schedule::new_checked(vec![], a);
         assert_eq!(s.makespan(), 0);
         assert_eq!(s.utilization(), 1.0);
     }

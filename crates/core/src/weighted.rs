@@ -52,7 +52,11 @@ pub fn weighted_list_schedule(
     let m = assignment.num_procs();
     let mut start = vec![0u64; n * k];
     if n == 0 {
-        return WeightedSchedule { start, assignment, makespan: 0 };
+        return WeightedSchedule {
+            start,
+            assignment,
+            makespan: 0,
+        };
     }
 
     let mut indeg = vec![0u32; n * k];
@@ -112,7 +116,11 @@ pub fn weighted_list_schedule(
         dispatch!(p as usize, t);
     }
     debug_assert_eq!(pending, 0, "all tasks must complete");
-    WeightedSchedule { start, assignment, makespan }
+    WeightedSchedule {
+        start,
+        assignment,
+        makespan,
+    }
 }
 
 /// Weighted Algorithm 2: `Γ(v,i) = level_i(v) + X_i` priorities under the
@@ -188,7 +196,11 @@ pub fn validate_weighted(
             let su = schedule.start[TaskId::pack(u, i as u32, n).index()];
             let sv = schedule.start[TaskId::pack(v, i as u32, n).index()];
             if sv < su + weights[u as usize] {
-                return Err(WeightedViolation::Precedence { dir: i as u32, u, v });
+                return Err(WeightedViolation::Precedence {
+                    dir: i as u32,
+                    u,
+                    v,
+                });
             }
         }
     }
@@ -198,8 +210,7 @@ pub fn validate_weighted(
     for t in 0..(n * instance.num_directions()) as u64 {
         let v = (t % n as u64) as u32;
         let s = schedule.start[t as usize];
-        per_proc[schedule.assignment.proc_of(v) as usize]
-            .push((s, s + weights[v as usize], t));
+        per_proc[schedule.assignment.proc_of(v) as usize].push((s, s + weights[v as usize], t));
     }
     for (p, list) in per_proc.iter_mut().enumerate() {
         list.sort_unstable();
@@ -224,8 +235,7 @@ pub fn weighted_lower_bound(instance: &SweepInstance, weights: &[u64], m: usize)
     let total: u64 = weights.iter().sum::<u64>() * instance.num_directions() as u64;
     let load = total.div_ceil(m as u64);
     // All k copies of the heaviest cell serialize on one processor.
-    let serial = weights.iter().copied().max().unwrap_or(0)
-        * instance.num_directions() as u64;
+    let serial = weights.iter().copied().max().unwrap_or(0) * instance.num_directions() as u64;
     // Weighted critical path per direction.
     let mut cp = 0u64;
     for dag in instance.dags() {
@@ -315,11 +325,7 @@ mod tests {
             Err(WeightedViolation::Precedence { .. })
         ));
         // Overlap: two independent cells on one proc at overlapping times.
-        let inst2 = SweepInstance::new(
-            2,
-            vec![sweep_dag::TaskDag::edgeless(2)],
-            "i",
-        );
+        let inst2 = SweepInstance::new(2, vec![sweep_dag::TaskDag::edgeless(2)], "i");
         let bad2 = WeightedSchedule {
             start: vec![0, 2],
             assignment: Assignment::single(2),

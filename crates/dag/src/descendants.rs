@@ -125,12 +125,26 @@ mod tests {
     fn approx_dominates_exact() {
         let g = TaskDag::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
         );
         let ex = descendant_counts_exact(&g);
         let ap = descendant_counts_approx(&g);
         for v in 0..7 {
-            assert!(ap[v] >= ex[v], "node {v}: approx {} < exact {}", ap[v], ex[v]);
+            assert!(
+                ap[v] >= ex[v],
+                "node {v}: approx {} < exact {}",
+                ap[v],
+                ex[v]
+            );
         }
     }
 
@@ -181,7 +195,11 @@ mod tests {
         }
         let g = TaskDag::from_edges(n, &edges);
         let ap = descendant_counts_approx(&g);
-        assert!(ap[0] >= u64::MAX / 2, "expected near-saturation, got {}", ap[0]);
+        assert!(
+            ap[0] >= u64::MAX / 2,
+            "expected near-saturation, got {}",
+            ap[0]
+        );
         let ex = descendant_counts_exact(&g);
         assert_eq!(ex[0], (n - 1) as u64);
     }
@@ -189,8 +207,14 @@ mod tests {
     #[test]
     fn mode_dispatch() {
         let g = diamond();
-        assert_eq!(descendant_counts(&g, DescendantMode::Exact), vec![3, 1, 1, 0]);
-        assert_eq!(descendant_counts(&g, DescendantMode::Approximate), vec![4, 1, 1, 0]);
+        assert_eq!(
+            descendant_counts(&g, DescendantMode::Exact),
+            vec![3, 1, 1, 0]
+        );
+        assert_eq!(
+            descendant_counts(&g, DescendantMode::Approximate),
+            vec![4, 1, 1, 0]
+        );
         assert_eq!(DescendantMode::default(), DescendantMode::Approximate);
     }
 }

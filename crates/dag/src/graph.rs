@@ -29,7 +29,10 @@ impl TaskDag {
     /// Panics if an endpoint is `>= n` or a self-loop is present.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> TaskDag {
         for &(u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range"
+            );
             assert_ne!(u, v, "self-loop at {u}");
         }
         let mut sorted: Vec<(u32, u32)> = edges.to_vec();
@@ -61,7 +64,13 @@ impl TaskDag {
             pred[pcur[v as usize] as usize] = u;
             pcur[v as usize] += 1;
         }
-        TaskDag { n, succ_xadj, succ, pred_xadj, pred }
+        TaskDag {
+            n,
+            succ_xadj,
+            succ,
+            pred_xadj,
+            pred,
+        }
     }
 
     /// An edgeless DAG over `n` nodes (every task independent).
@@ -109,16 +118,16 @@ impl TaskDag {
 
     /// Iterates over all edges `(u, v)`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.n as u32)
-            .flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
+        (0..self.n as u32).flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
     }
 
     /// A topological order via Kahn's algorithm, or `None` if cyclic.
     pub fn topo_order(&self) -> Option<Vec<u32>> {
         let mut indeg: Vec<u32> = (0..self.n as u32).map(|v| self.in_degree(v)).collect();
         let mut order = Vec::with_capacity(self.n);
-        let mut queue: Vec<u32> =
-            (0..self.n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..self.n as u32)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
         while let Some(v) = queue.pop() {
             order.push(v);
             for &w in self.successors(v) {
@@ -138,12 +147,16 @@ impl TaskDag {
 
     /// Source nodes (in-degree 0) — the paper's *roots*.
     pub fn sources(&self) -> Vec<u32> {
-        (0..self.n as u32).filter(|&v| self.in_degree(v) == 0).collect()
+        (0..self.n as u32)
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// Sink nodes (out-degree 0) — the paper's *leaves*.
     pub fn sinks(&self) -> Vec<u32> {
-        (0..self.n as u32).filter(|&v| self.out_degree(v) == 0).collect()
+        (0..self.n as u32)
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 
     /// The transpose DAG (every edge reversed).
@@ -202,8 +215,9 @@ mod tests {
     fn topo_order_respects_edges() {
         let g = diamond();
         let order = g.topo_order().expect("diamond is acyclic");
-        let pos: Vec<usize> =
-            (0..4u32).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+        let pos: Vec<usize> = (0..4u32)
+            .map(|v| order.iter().position(|&x| x == v).unwrap())
+            .collect();
         for (u, v) in g.edges() {
             assert!(pos[u as usize] < pos[v as usize]);
         }

@@ -57,12 +57,20 @@ pub fn induce_dag(mesh: &impl SweepMesh, omega: Vec3) -> (TaskDag, InduceStats) 
         }
     }
     let raw = edges.len();
-    let height: Vec<f64> =
-        (0..n).map(|c| mesh.centroid(sweep_mesh::CellId(c as u32)).dot(omega)).collect();
+    let height: Vec<f64> = (0..n)
+        .map(|c| mesh.centroid(sweep_mesh::CellId(c as u32)).dot(omega))
+        .collect();
     let (edges, dropped, sccs) = break_cycles(n, edges, &height);
     let dag = TaskDag::from_edges(n, &edges);
     debug_assert!(dag.is_acyclic());
-    (dag, InduceStats { raw_edges: raw, dropped_edges: dropped, nontrivial_sccs: sccs })
+    (
+        dag,
+        InduceStats {
+            raw_edges: raw,
+            dropped_edges: dropped,
+            nontrivial_sccs: sccs,
+        },
+    )
 }
 
 /// Induces all `k` DAGs for a quadrature set; returns the DAGs and the

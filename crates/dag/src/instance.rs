@@ -59,7 +59,30 @@ impl SweepInstance {
             assert_eq!(d.num_nodes(), n, "DAG {i} has wrong node count");
             assert!(d.is_acyclic(), "DAG {i} is cyclic");
         }
-        SweepInstance { n, dags, name: name.into() }
+        SweepInstance {
+            n,
+            dags,
+            name: name.into(),
+        }
+    }
+
+    /// Builds an instance **without** the acyclicity check (node counts
+    /// are still enforced). Schedulers require acyclic DAGs, so only hand
+    /// instances built this way to `sweep-analyze`, which detects cycles
+    /// and reports a witness instead of panicking.
+    ///
+    /// # Panics
+    /// Panics if any DAG has a node count different from `n` or `k = 0`.
+    pub fn new_unchecked(n: usize, dags: Vec<TaskDag>, name: impl Into<String>) -> SweepInstance {
+        assert!(!dags.is_empty(), "instance needs at least one direction");
+        for (i, d) in dags.iter().enumerate() {
+            assert_eq!(d.num_nodes(), n, "DAG {i} has wrong node count");
+        }
+        SweepInstance {
+            n,
+            dags,
+            name: name.into(),
+        }
     }
 
     /// Induces the instance from a mesh and a quadrature set (cycles broken
@@ -70,7 +93,14 @@ impl SweepInstance {
         name: impl Into<String>,
     ) -> (SweepInstance, Vec<InduceStats>) {
         let (dags, stats) = induce_all(mesh, quadrature);
-        (SweepInstance { n: mesh.num_cells(), dags, name: name.into() }, stats)
+        (
+            SweepInstance {
+                n: mesh.num_cells(),
+                dags,
+                name: name.into(),
+            },
+            stats,
+        )
     }
 
     /// Number of cells `n`.
@@ -145,8 +175,7 @@ impl SweepInstance {
         let mut dags = Vec::with_capacity(k);
         for _ in 0..k {
             // Random layer for every node; layer sets are then compacted.
-            let layer_of: Vec<usize> =
-                (0..n).map(|_| rng.random_range(0..depth)).collect();
+            let layer_of: Vec<usize> = (0..n).map(|_| rng.random_range(0..depth)).collect();
             let mut by_layer: Vec<Vec<u32>> = vec![Vec::new(); depth];
             for (v, &l) in layer_of.iter().enumerate() {
                 by_layer[l].push(v as u32);
@@ -179,8 +208,7 @@ impl SweepInstance {
         for _ in 0..k {
             let mut perm: Vec<u32> = (0..n as u32).collect();
             rand::seq::SliceRandom::shuffle(perm.as_mut_slice(), &mut rng);
-            let edges: Vec<(u32, u32)> =
-                perm.windows(2).map(|w| (w[0], w[1])).collect();
+            let edges: Vec<(u32, u32)> = perm.windows(2).map(|w| (w[0], w[1])).collect();
             dags.push(TaskDag::from_edges(n, &edges));
         }
         SweepInstance::new(n, dags, format!("random_chains(n={n},k={k})"))
@@ -197,8 +225,7 @@ impl SweepInstance {
     /// the Figure 3(a) ablation probes.
     pub fn identical_chains(n: usize, k: usize) -> SweepInstance {
         assert!(n > 0 && k > 0);
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
         let dag = TaskDag::from_edges(n, &edges);
         let dags = vec![dag; k];
         SweepInstance::new(n, dags, format!("identical_chains(n={n},k={k})"))

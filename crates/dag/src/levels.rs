@@ -42,7 +42,10 @@ impl Levels {
 
     /// Width of the widest layer.
     pub fn max_width(&self) -> usize {
-        (0..self.depth()).map(|j| self.layer(j).len()).max().unwrap_or(0)
+        (0..self.depth())
+            .map(|j| self.layer(j).len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -76,7 +79,11 @@ pub fn levels(dag: &TaskDag) -> Levels {
         layer_nodes[cursor[l] as usize] = v;
         cursor[l] += 1;
     }
-    Levels { level_of, layer_xadj, layer_nodes }
+    Levels {
+        level_of,
+        layer_xadj,
+        layer_nodes,
+    }
 }
 
 /// The b-level of every node: the number of nodes on the longest path from

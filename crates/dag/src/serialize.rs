@@ -35,8 +35,22 @@ pub fn to_text(instance: &SweepInstance) -> String {
     out
 }
 
-/// Parses the v1 text format back into an instance.
+/// Parses the v1 text format back into an instance, rejecting cyclic
+/// direction graphs (schedulers require DAGs).
 pub fn from_text(text: &str) -> Result<SweepInstance, String> {
+    let inst = from_text_unchecked(text)?;
+    for (i, dag) in inst.dags().iter().enumerate() {
+        if !dag.is_acyclic() {
+            return Err(format!("dag {i} is cyclic"));
+        }
+    }
+    Ok(inst)
+}
+
+/// Parses the v1 text format **without** the acyclicity check, so that
+/// cyclic inputs can be loaded for diagnosis (`sweep-analyze` reports a
+/// witness cycle rather than refusing to parse).
+pub fn from_text_unchecked(text: &str) -> Result<SweepInstance, String> {
     let mut lines = text
         .lines()
         .map(str::trim)
@@ -62,7 +76,9 @@ pub fn from_text(text: &str) -> Result<SweepInstance, String> {
     }
     let mut dags = Vec::with_capacity(k);
     for i in 0..k {
-        let head = lines.next().ok_or_else(|| format!("missing 'dag {i}' header"))?;
+        let head = lines
+            .next()
+            .ok_or_else(|| format!("missing 'dag {i}' header"))?;
         let rest = head
             .strip_prefix("dag ")
             .ok_or_else(|| format!("expected 'dag {i} …', got '{head}'"))?;
@@ -101,17 +117,13 @@ pub fn from_text(text: &str) -> Result<SweepInstance, String> {
             }
             edges.push((u, v));
         }
-        let dag = TaskDag::from_edges(n, &edges);
-        if !dag.is_acyclic() {
-            return Err(format!("dag {i} is cyclic"));
-        }
-        dags.push(dag);
+        dags.push(TaskDag::from_edges(n, &edges));
     }
     match lines.next() {
         Some("end") => {}
         other => return Err(format!("expected 'end', got {other:?}")),
     }
-    Ok(SweepInstance::new(n, dags, name))
+    Ok(SweepInstance::new_unchecked(n, dags, name))
 }
 
 #[cfg(test)]
@@ -166,6 +178,15 @@ mod tests {
     }
 
     #[test]
+    fn unchecked_parse_accepts_cycles() {
+        let cyclic = "sweep-instance v1\nname x\ncells 2\ndirections 1\n\
+                      dag 0 edges 2\n0 1\n1 0\nend\n";
+        let inst = from_text_unchecked(cyclic).unwrap();
+        assert_eq!(inst.num_cells(), 2);
+        assert!(!inst.dag(0).is_acyclic());
+    }
+
+    #[test]
     fn edge_counts_must_match() {
         let text = "sweep-instance v1\nname x\ncells 2\ndirections 1\n\
                     dag 0 edges 2\n0 1\nend\n";
@@ -174,11 +195,7 @@ mod tests {
 
     #[test]
     fn name_with_spaces_survives() {
-        let inst = SweepInstance::new(
-            2,
-            vec![TaskDag::edgeless(2)],
-            "my fancy instance",
-        );
+        let inst = SweepInstance::new(2, vec![TaskDag::edgeless(2)], "my fancy instance");
         let back = from_text(&to_text(&inst)).unwrap();
         assert_eq!(back.name(), "my fancy instance");
     }

@@ -45,7 +45,11 @@ pub fn dag_stats(dag: &TaskDag) -> DagStats {
         sinks: dag.sinks().len(),
         depth,
         max_width: lv.max_width(),
-        mean_width: if depth == 0 { 0.0 } else { n as f64 / depth as f64 },
+        mean_width: if depth == 0 {
+            0.0
+        } else {
+            n as f64 / depth as f64
+        },
         max_out_degree: (0..n as u32).map(|v| dag.out_degree(v)).max().unwrap_or(0),
         max_in_degree: (0..n as u32).map(|v| dag.in_degree(v)).max().unwrap_or(0),
     }

@@ -140,7 +140,11 @@ mod tests {
             const F: [InteriorFace; 1] = [InteriorFace {
                 a: CellId(0),
                 b: CellId(1),
-                normal: Vec3 { x: 1.0, y: 0.0, z: 0.0 },
+                normal: Vec3 {
+                    x: 1.0,
+                    y: 0.0,
+                    z: 0.0,
+                },
                 area: 1.0,
             }];
             &F

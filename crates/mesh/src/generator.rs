@@ -130,7 +130,10 @@ impl std::fmt::Display for GenerateError {
         match self {
             GenerateError::Mesh(e) => write!(f, "mesh assembly failed: {e}"),
             GenerateError::TargetTooLarge { available, target } => {
-                write!(f, "cannot trim to {target} cells, only {available} available")
+                write!(
+                    f,
+                    "cannot trim to {target} cells, only {available} available"
+                )
             }
             GenerateError::BadConfig(s) => write!(f, "bad generator config: {s}"),
         }
@@ -149,7 +152,9 @@ impl From<MeshError> for GenerateError {
 pub fn generate(cfg: &GeneratorConfig) -> Result<TetMesh, GenerateError> {
     let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
     if nx == 0 || ny == 0 || nz == 0 {
-        return Err(GenerateError::BadConfig("hex counts must be positive".into()));
+        return Err(GenerateError::BadConfig(
+            "hex counts must be positive".into(),
+        ));
     }
     if !(0.0..0.35).contains(&cfg.jitter) {
         return Err(GenerateError::BadConfig(format!(
@@ -171,8 +176,7 @@ pub fn generate(cfg: &GeneratorConfig) -> Result<TetMesh, GenerateError> {
     for i in 0..=nx {
         for j in 0..=ny {
             for k in 0..=nz {
-                let mut p =
-                    Point3::new(i as f64 * h.x, j as f64 * h.y, k as f64 * h.z);
+                let mut p = Point3::new(i as f64 * h.x, j as f64 * h.y, k as f64 * h.z);
                 let interior_x = i > 0 && i < nx;
                 let interior_y = j > 0 && j < ny;
                 let interior_z = k > 0 && k < nz;
@@ -213,13 +217,13 @@ pub fn generate(cfg: &GeneratorConfig) -> Result<TetMesh, GenerateError> {
                 }
                 // The 8 corners, labelled cXYZ.
                 let c = [
-                    corner_id(i, j, k),         // c000
-                    corner_id(i + 1, j, k),     // c100
-                    corner_id(i, j + 1, k),     // c010
-                    corner_id(i + 1, j + 1, k), // c110
-                    corner_id(i, j, k + 1),     // c001
-                    corner_id(i + 1, j, k + 1), // c101
-                    corner_id(i, j + 1, k + 1), // c011
+                    corner_id(i, j, k),             // c000
+                    corner_id(i + 1, j, k),         // c100
+                    corner_id(i, j + 1, k),         // c010
+                    corner_id(i + 1, j + 1, k),     // c110
+                    corner_id(i, j, k + 1),         // c001
+                    corner_id(i + 1, j, k + 1),     // c101
+                    corner_id(i, j + 1, k + 1),     // c011
                     corner_id(i + 1, j + 1, k + 1), // c111
                 ];
                 // Center vertex: mean of the (jittered) corners, so it stays
@@ -318,7 +322,10 @@ pub fn generate_with_target(
         }
     }
     if keep.len() < target {
-        return Err(GenerateError::TargetTooLarge { available: keep.len(), target });
+        return Err(GenerateError::TargetTooLarge {
+            available: keep.len(),
+            target,
+        });
     }
     Ok(full.restrict_to(&keep)?)
 }
@@ -341,8 +348,7 @@ mod tests {
         assert_eq!(m.connected_component_size(), m.num_cells());
         // Every tet has exactly 4 faces; interior faces are counted once per
         // incident pair.
-        let total_face_slots: usize =
-            2 * m.interior_faces().len() + m.boundary_faces().len();
+        let total_face_slots: usize = 2 * m.interior_faces().len() + m.boundary_faces().len();
         assert_eq!(total_face_slots, 4 * m.num_cells());
     }
 
@@ -361,11 +367,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate(&GeneratorConfig::cube(3, 1)).unwrap();
         let b = generate(&GeneratorConfig::cube(3, 2)).unwrap();
-        let same = a
-            .vertices()
-            .iter()
-            .zip(b.vertices())
-            .all(|(x, y)| x == y);
+        let same = a.vertices().iter().zip(b.vertices()).all(|(x, y)| x == y);
         assert!(!same, "jitter should depend on the seed");
     }
 
@@ -394,7 +396,11 @@ mod tests {
     #[test]
     fn cylinder_carve_removes_cells() {
         let mut cfg = GeneratorConfig::cube(5, 11);
-        cfg.carve = Carve::CylinderHole { cx: 0.5, cy: 0.5, radius: 0.25 };
+        cfg.carve = Carve::CylinderHole {
+            cx: 0.5,
+            cy: 0.5,
+            radius: 0.25,
+        };
         let carved = generate(&cfg).unwrap();
         let full = generate(&GeneratorConfig::cube(5, 11)).unwrap();
         assert!(carved.num_cells() < full.num_cells());

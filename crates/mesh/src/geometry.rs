@@ -22,7 +22,11 @@ pub type Point3 = Vec3;
 
 impl Vec3 {
     /// The zero vector / origin.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Constructs a vector from components.
     #[inline]

@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod face;
 pub mod generator;
@@ -44,6 +45,6 @@ pub use geometry::{Point3, Vec3};
 pub use presets::MeshPreset;
 pub use quality::{quality_report, tet_quality, QualityReport};
 pub use svg::{levels_svg, to_svg as to_svg_2d, ColorMap};
-pub use vtk::to_vtk;
 pub use tet::{MeshError, TetMesh};
 pub use tri2d::TriMesh2d;
+pub use vtk::to_vtk;

@@ -31,8 +31,12 @@ pub enum MeshPreset {
 
 impl MeshPreset {
     /// All presets, smallest first.
-    pub const ALL: [MeshPreset; 4] =
-        [MeshPreset::Tetonly, MeshPreset::WellLogging, MeshPreset::Long, MeshPreset::Prismtet];
+    pub const ALL: [MeshPreset; 4] = [
+        MeshPreset::Tetonly,
+        MeshPreset::WellLogging,
+        MeshPreset::Long,
+        MeshPreset::Prismtet,
+    ];
 
     /// The paper's cell count for this mesh.
     pub fn paper_cells(self) -> usize {
@@ -82,34 +86,50 @@ impl MeshPreset {
     fn config_for_target(self, target: usize) -> GeneratorConfig {
         // Aspect ratios (hex counts proportional to these) and carving.
         let (ax, ay, az, carve, extent, seed) = match self {
-            MeshPreset::Tetonly => {
-                (1.0, 1.0, 1.0, Carve::None, Vec3::new(1.0, 1.0, 1.0), 0x7e70u64)
-            }
+            MeshPreset::Tetonly => (
+                1.0,
+                1.0,
+                1.0,
+                Carve::None,
+                Vec3::new(1.0, 1.0, 1.0),
+                0x7e70u64,
+            ),
             MeshPreset::WellLogging => (
                 1.0,
                 1.0,
                 1.0,
-                Carve::CylinderHole { cx: 0.5, cy: 0.5, radius: 0.18 },
+                Carve::CylinderHole {
+                    cx: 0.5,
+                    cy: 0.5,
+                    radius: 0.18,
+                },
                 Vec3::new(1.0, 1.0, 1.0),
                 0x3e11u64,
             ),
-            MeshPreset::Long => {
-                (4.0, 1.0, 1.0, Carve::None, Vec3::new(4.0, 1.0, 1.0), 0x10e6u64)
-            }
-            MeshPreset::Prismtet => {
-                (1.0, 1.0, 0.6, Carve::None, Vec3::new(1.0, 1.0, 0.6), 0x9215u64)
-            }
+            MeshPreset::Long => (
+                4.0,
+                1.0,
+                1.0,
+                Carve::None,
+                Vec3::new(4.0, 1.0, 1.0),
+                0x10e6u64,
+            ),
+            MeshPreset::Prismtet => (
+                1.0,
+                1.0,
+                0.6,
+                Carve::None,
+                Vec3::new(1.0, 1.0, 0.6),
+                0x9215u64,
+            ),
         };
         // Solve for a scale factor s with 12 * (ax*s)(ay*s)(az*s) >= margin * target.
         let kept_fraction = match carve {
-            Carve::CylinderHole { radius, .. } => {
-                1.0 - std::f64::consts::PI * radius * radius
-            }
+            Carve::CylinderHole { radius, .. } => 1.0 - std::f64::consts::PI * radius * radius,
             _ => 1.0,
         };
         let margin = 1.25; // headroom for BFS trimming
-        let s = (margin * target as f64 / (12.0 * ax * ay * az * kept_fraction))
-            .cbrt();
+        let s = (margin * target as f64 / (12.0 * ax * ay * az * kept_fraction)).cbrt();
         GeneratorConfig {
             nx: ((ax * s).ceil() as usize).max(2),
             ny: ((ay * s).ceil() as usize).max(2),
@@ -158,7 +178,10 @@ mod tests {
             maxx = maxx.max(v.x);
             maxy = maxy.max(v.y);
         }
-        assert!(maxx > 2.0 * maxy, "domain should be elongated: {maxx} vs {maxy}");
+        assert!(
+            maxx > 2.0 * maxy,
+            "domain should be elongated: {maxx} vs {maxy}"
+        );
     }
 
     #[test]

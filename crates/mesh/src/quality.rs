@@ -83,7 +83,11 @@ pub fn quality_report(mesh: &TetMesh) -> QualityReport {
     QualityReport {
         min_volume,
         max_volume,
-        volume_ratio: if min_volume > 0.0 { max_volume / min_volume } else { f64::INFINITY },
+        volume_ratio: if min_volume > 0.0 {
+            max_volume / min_volume
+        } else {
+            f64::INFINITY
+        },
         min_radius_ratio: if min_q.is_finite() { min_q } else { 0.0 },
         mean_radius_ratio: sum_q / n as f64,
         max_neighbors,
@@ -133,8 +137,16 @@ mod tests {
         let r = quality_report(&mesh);
         assert!(r.min_volume > 0.0);
         assert!(r.volume_ratio < 100.0, "grading {:.1}", r.volume_ratio);
-        assert!(r.min_radius_ratio > 0.01, "worst tet {:.4}", r.min_radius_ratio);
-        assert!(r.mean_radius_ratio > 0.3, "mean quality {:.3}", r.mean_radius_ratio);
+        assert!(
+            r.min_radius_ratio > 0.01,
+            "worst tet {:.4}",
+            r.min_radius_ratio
+        );
+        assert!(
+            r.mean_radius_ratio > 0.3,
+            "mean quality {:.3}",
+            r.mean_radius_ratio
+        );
         assert!(r.max_neighbors <= 4);
     }
 

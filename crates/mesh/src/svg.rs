@@ -56,7 +56,9 @@ pub fn to_svg(
 
     let (vmin, vmax) = values
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let range = (vmax - vmin).max(1e-300);
 
     let mut out = String::new();
@@ -74,9 +76,8 @@ pub fn to_svg(
             }
             ColorMap::Categorical => {
                 const PALETTE: [&str; 12] = [
-                    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
-                    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
-                    "#1b9e77", "#d95f02",
+                    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1",
+                    "#ff9da7", "#9c755f", "#bab0ac", "#1b9e77", "#d95f02",
                 ];
                 PALETTE[(values[c].abs() as usize) % PALETTE.len()].to_string()
             }
@@ -103,11 +104,7 @@ pub fn to_svg(
 /// Convenience: renders the sweep level of every cell for one direction's
 /// level map (`level_of[cell]`), blue (upstream) to red (downstream) —
 /// the wavefront picture of the paper's Figure 1(b).
-pub fn levels_svg(
-    mesh: &TriMesh2d,
-    level_of: &[u32],
-    width_px: u32,
-) -> Result<String, String> {
+pub fn levels_svg(mesh: &TriMesh2d, level_of: &[u32], width_px: u32) -> Result<String, String> {
     let values: Vec<f64> = level_of.iter().map(|&l| l as f64).collect();
     to_svg(mesh, &values, ColorMap::BlueRed, width_px)
 }

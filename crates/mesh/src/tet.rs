@@ -65,8 +65,12 @@ type FaceIncidences = Vec<(u32, [usize; 3], usize)>;
 
 /// The four triangular faces of tet `(v0,v1,v2,v3)`, each listed with the
 /// index of the opposite vertex.
-const TET_FACES: [([usize; 3], usize); 4] =
-    [([1, 2, 3], 0), ([0, 2, 3], 1), ([0, 1, 3], 2), ([0, 1, 2], 3)];
+const TET_FACES: [([usize; 3], usize); 4] = [
+    ([1, 2, 3], 0),
+    ([0, 2, 3], 1),
+    ([0, 1, 3], 2),
+    ([0, 1, 2], 3),
+];
 
 impl TetMesh {
     /// Assembles a mesh from raw connectivity. Derives centroids, volumes,
@@ -76,7 +80,10 @@ impl TetMesh {
         for (ci, c) in cells.iter().enumerate() {
             for &v in c {
                 if v >= nv {
-                    return Err(MeshError::VertexOutOfRange { cell: ci as u32, vertex: v });
+                    return Err(MeshError::VertexOutOfRange {
+                        cell: ci as u32,
+                        vertex: v,
+                    });
                 }
             }
         }
@@ -94,8 +101,7 @@ impl TetMesh {
         }
 
         // Group the four faces of every tet by their sorted vertex triple.
-        let mut by_key: HashMap<[u32; 3], FaceIncidences> =
-            HashMap::with_capacity(cells.len() * 2);
+        let mut by_key: HashMap<[u32; 3], FaceIncidences> = HashMap::with_capacity(cells.len() * 2);
         for (ci, c) in cells.iter().enumerate() {
             for (fv, opp) in TET_FACES {
                 let mut key = [c[fv[0]], c[fv[1]], c[fv[2]]];
@@ -153,7 +159,14 @@ impl TetMesh {
         interior.sort_unstable_by_key(|f| (f.a, f.b));
         boundary.sort_unstable_by_key(|f| f.cell);
 
-        Ok(TetMesh { vertices, cells, centroids, volumes, interior, boundary })
+        Ok(TetMesh {
+            vertices,
+            cells,
+            centroids,
+            volumes,
+            interior,
+            boundary,
+        })
     }
 
     /// Vertex coordinates.

@@ -103,7 +103,13 @@ impl TriMesh2d {
         }
         interior.sort_unstable_by_key(|f| (f.a, f.b));
         boundary.sort_unstable_by_key(|f| f.cell);
-        Ok(TriMesh2d { vertices, cells, centroids, interior, boundary })
+        Ok(TriMesh2d {
+            vertices,
+            cells,
+            centroids,
+            interior,
+            boundary,
+        })
     }
 
     /// Generates an `nx × ny` jittered random-diagonal grid over

@@ -67,7 +67,11 @@ mod tests {
         let vtk = to_vtk(&mesh, &[("cell_id", &field)]).unwrap();
         assert!(vtk.starts_with("# vtk DataFile"));
         assert!(vtk.contains(&format!("POINTS {} double", mesh.vertices().len())));
-        assert!(vtk.contains(&format!("CELLS {} {}", mesh.num_cells(), mesh.num_cells() * 5)));
+        assert!(vtk.contains(&format!(
+            "CELLS {} {}",
+            mesh.num_cells(),
+            mesh.num_cells() * 5
+        )));
         assert!(vtk.contains("CELL_TYPES"));
         assert!(vtk.contains("SCALARS cell_id double 1"));
         // One scalar line per cell.

@@ -110,13 +110,7 @@ pub fn initial_bisection(
 /// while keeping side 0's weight within `tol` of `target0` (moves that
 /// strictly improve balance are always allowed). Runs up to `max_passes`
 /// passes, each with rollback to its best prefix. Returns the final cut.
-pub fn fm_refine(
-    g: &CsrGraph,
-    side: &mut [u8],
-    target0: u64,
-    tol: u64,
-    max_passes: usize,
-) -> u64 {
+pub fn fm_refine(g: &CsrGraph, side: &mut [u8], target0: u64, tol: u64, max_passes: usize) -> u64 {
     let n = g.num_vertices();
     let mut cut = cut_weight(g, side);
     if n < 2 {
@@ -136,8 +130,7 @@ pub fn fm_refine(
             }
         }
         // One heap per source side, lazily invalidated.
-        let mut heaps: [BinaryHeap<(i64, u32)>; 2] =
-            [BinaryHeap::new(), BinaryHeap::new()];
+        let mut heaps: [BinaryHeap<(i64, u32)>; 2] = [BinaryHeap::new(), BinaryHeap::new()];
         for v in 0..n as u32 {
             heaps[side[v as usize] as usize].push((gain[v as usize], v));
         }
@@ -147,8 +140,7 @@ pub fn fm_refine(
         let mut best_cut = cut as i64;
         let mut best_len = 0usize;
 
-        let imbalance =
-            |w0: u64| -> u64 { w0.abs_diff(target0) };
+        let imbalance = |w0: u64| -> u64 { w0.abs_diff(target0) };
 
         loop {
             // Prefer moving from the side whose weight is too high;
@@ -229,9 +221,7 @@ pub fn fm_refine(
                 }
                 heaps[side[u as usize] as usize].push((gain[u as usize], u));
             }
-            if cur_cut < best_cut
-                || (cur_cut == best_cut && imbalance(w0) <= tol)
-            {
+            if cur_cut < best_cut || (cur_cut == best_cut && imbalance(w0) <= tol) {
                 best_cut = cur_cut;
                 best_len = moves.len();
             }

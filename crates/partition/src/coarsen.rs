@@ -157,10 +157,7 @@ mod tests {
     fn coarse_cut_projects_exactly() {
         // Any coarse bipartition, projected to the fine graph, must have the
         // same cut weight.
-        let g = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)],
-        );
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
         let c = coarsen_step(&g, 7).unwrap();
         let nc = c.graph.num_vertices();
         // Bipartition coarse vertices: even/odd.

@@ -21,8 +21,7 @@ impl CsrGraph {
     /// Builds a unit-weight graph from an undirected edge list (each pair
     /// listed once). Duplicate pairs accumulate edge weight.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
-        let mut weighted: Vec<(u32, u32, u32)> =
-            edges.iter().map(|&(a, b)| (a, b, 1)).collect();
+        let mut weighted: Vec<(u32, u32, u32)> = edges.iter().map(|&(a, b)| (a, b, 1)).collect();
         weighted.retain(|&(a, b, _)| a != b);
         Self::from_weighted_edges(n, &weighted)
     }
@@ -35,7 +34,10 @@ impl CsrGraph {
     pub fn from_weighted_edges(n: usize, edges: &[(u32, u32, u32)]) -> CsrGraph {
         let mut sym: Vec<(u32, u32, u32)> = Vec::with_capacity(edges.len() * 2);
         for &(a, b, w) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop at {a}");
             sym.push((a, b, w));
             sym.push((b, a, w));
@@ -58,7 +60,12 @@ impl CsrGraph {
         }
         let adjncy: Vec<u32> = merged.iter().map(|&(_, b, _)| b).collect();
         let ewgt: Vec<u32> = merged.iter().map(|&(_, _, w)| w).collect();
-        CsrGraph { xadj, adjncy, vwgt: vec![1; n], ewgt }
+        CsrGraph {
+            xadj,
+            adjncy,
+            vwgt: vec![1; n],
+            ewgt,
+        }
     }
 
     /// Builds from a CSR adjacency produced by
@@ -66,7 +73,12 @@ impl CsrGraph {
     pub fn from_csr_parts(xadj: Vec<u32>, adjncy: Vec<u32>) -> CsrGraph {
         let n = xadj.len() - 1;
         let m = adjncy.len();
-        CsrGraph { xadj, adjncy, vwgt: vec![1; n], ewgt: vec![1; m] }
+        CsrGraph {
+            xadj,
+            adjncy,
+            vwgt: vec![1; n],
+            ewgt: vec![1; m],
+        }
     }
 
     /// Number of vertices.
@@ -84,8 +96,14 @@ impl CsrGraph {
     /// Neighbours of `v` with their edge weights.
     #[inline]
     pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
-        let (s, e) = (self.xadj[v as usize] as usize, self.xadj[v as usize + 1] as usize);
-        self.adjncy[s..e].iter().copied().zip(self.ewgt[s..e].iter().copied())
+        let (s, e) = (
+            self.xadj[v as usize] as usize,
+            self.xadj[v as usize + 1] as usize,
+        );
+        self.adjncy[s..e]
+            .iter()
+            .copied()
+            .zip(self.ewgt[s..e].iter().copied())
     }
 
     /// Total vertex weight.

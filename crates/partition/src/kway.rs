@@ -24,7 +24,10 @@ pub fn kway_refine(
     passes: usize,
 ) -> u64 {
     assert!(nparts > 0, "nparts must be positive");
-    assert!(part.iter().all(|&p| (p as usize) < nparts), "part id out of range");
+    assert!(
+        part.iter().all(|&p| (p as usize) < nparts),
+        "part id out of range"
+    );
     let n = g.num_vertices();
     assert_eq!(part.len(), n);
 
@@ -147,7 +150,11 @@ mod tests {
         // optimizer: expect real but modest improvement from a random
         // start (the multilevel pipeline supplies good starts).
         assert!(after < before, "no improvement: {after} vs {before}");
-        assert!(imbalance(&g, &part, 4) <= 1.3, "{}", imbalance(&g, &part, 4));
+        assert!(
+            imbalance(&g, &part, 4) <= 1.3,
+            "{}",
+            imbalance(&g, &part, 4)
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod bisect;
 pub mod coarsen;
@@ -42,6 +43,4 @@ pub use bisect::{cut_weight, fm_refine, initial_bisection, Bisection};
 pub use coarsen::{coarsen_step, coarsen_to, Coarsening};
 pub use csr::CsrGraph;
 pub use kway::kway_refine;
-pub use multilevel::{
-    block_partition, edge_cut, imbalance, partition, PartitionOptions,
-};
+pub use multilevel::{block_partition, edge_cut, imbalance, partition, PartitionOptions};

@@ -252,7 +252,11 @@ mod tests {
         let cut = edge_cut(&g, &part);
         // Optimal 4-way cut of a 16x16 grid is 32 (two straight cuts).
         assert!(cut <= 56, "cut {cut}");
-        assert!(imbalance(&g, &part, 4) <= 1.15, "{}", imbalance(&g, &part, 4));
+        assert!(
+            imbalance(&g, &part, 4) <= 1.15,
+            "{}",
+            imbalance(&g, &part, 4)
+        );
     }
 
     #[test]
@@ -261,7 +265,11 @@ mod tests {
         let part = partition(&g, 7, &PartitionOptions::default());
         let used: std::collections::HashSet<u32> = part.iter().copied().collect();
         assert_eq!(used.len(), 7);
-        assert!(imbalance(&g, &part, 7) <= 1.25, "{}", imbalance(&g, &part, 7));
+        assert!(
+            imbalance(&g, &part, 7) <= 1.25,
+            "{}",
+            imbalance(&g, &part, 7)
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -134,7 +135,10 @@ impl QuadratureSet {
             }
         }
         debug_assert_eq!(ordinates.len(), n * (n + 2));
-        Ok(QuadratureSet { ordinates, name: format!("S{n}") })
+        Ok(QuadratureSet {
+            ordinates,
+            name: format!("S{n}"),
+        })
     }
 
     /// Product quadrature: `n_polar` Gauss–Legendre polar levels ×
@@ -189,7 +193,10 @@ impl QuadratureSet {
                 weight,
             });
         }
-        Ok(QuadratureSet { ordinates, name: format!("random{k}") })
+        Ok(QuadratureSet {
+            ordinates,
+            name: format!("random{k}"),
+        })
     }
 
     /// `k` directions uniformly spaced on the unit circle (for 2-D meshes),
@@ -202,10 +209,16 @@ impl QuadratureSet {
         let ordinates = (0..k)
             .map(|i| {
                 let th = (i as f64 + 0.5) / k as f64 * 2.0 * std::f64::consts::PI;
-                Ordinate { dir: Vec3::new(th.cos(), th.sin(), 0.0), weight }
+                Ordinate {
+                    dir: Vec3::new(th.cos(), th.sin(), 0.0),
+                    weight,
+                }
             })
             .collect();
-        Ok(QuadratureSet { ordinates, name: format!("fan{k}") })
+        Ok(QuadratureSet {
+            ordinates,
+            name: format!("fan{k}"),
+        })
     }
 
     /// Builds a set from explicit directions (normalized internally) with
@@ -218,7 +231,10 @@ impl QuadratureSet {
         Ok(QuadratureSet {
             ordinates: dirs
                 .iter()
-                .map(|d| Ordinate { dir: d.normalized(), weight })
+                .map(|d| Ordinate {
+                    dir: d.normalized(),
+                    weight,
+                })
                 .collect(),
             name: format!("explicit{}", dirs.len()),
         })
@@ -326,7 +342,10 @@ mod tests {
     #[test]
     fn bad_orders_rejected() {
         for n in [0usize, 1, 3, 5, 26, 100] {
-            assert!(QuadratureSet::level_symmetric(n).is_err(), "S{n} should fail");
+            assert!(
+                QuadratureSet::level_symmetric(n).is_err(),
+                "S{n} should fail"
+            );
         }
     }
 
@@ -340,7 +359,11 @@ mod tests {
             assert!((x.dir.norm() - 1.0).abs() < EPS);
         }
         let c = QuadratureSet::random_unit(32, 8).unwrap();
-        assert!(a.ordinates().iter().zip(c.ordinates()).any(|(x, y)| x.dir != y.dir));
+        assert!(a
+            .ordinates()
+            .iter()
+            .zip(c.ordinates())
+            .any(|(x, y)| x.dir != y.dir));
     }
 
     #[test]
@@ -369,9 +392,18 @@ mod tests {
 
     #[test]
     fn empty_sets_rejected() {
-        assert_eq!(QuadratureSet::random_unit(0, 0).unwrap_err(), QuadratureError::Empty);
-        assert_eq!(QuadratureSet::uniform_2d(0).unwrap_err(), QuadratureError::Empty);
-        assert_eq!(QuadratureSet::from_directions(&[]).unwrap_err(), QuadratureError::Empty);
+        assert_eq!(
+            QuadratureSet::random_unit(0, 0).unwrap_err(),
+            QuadratureError::Empty
+        );
+        assert_eq!(
+            QuadratureSet::uniform_2d(0).unwrap_err(),
+            QuadratureError::Empty
+        );
+        assert_eq!(
+            QuadratureSet::from_directions(&[]).unwrap_err(),
+            QuadratureError::Empty
+        );
     }
 
     #[test]
@@ -459,8 +491,7 @@ mod product_tests {
     fn gauss_legendre_integrates_polynomials_exactly() {
         // n-point GL is exact through degree 2n-1: check x^4 with n = 3.
         let (nodes, weights) = gauss_legendre(3);
-        let integral: f64 =
-            nodes.iter().zip(&weights).map(|(x, w)| w * x.powi(4)).sum();
+        let integral: f64 = nodes.iter().zip(&weights).map(|(x, w)| w * x.powi(4)).sum();
         assert!((integral - 2.0 / 5.0).abs() < 1e-12);
     }
 

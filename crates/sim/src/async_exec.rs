@@ -37,6 +37,51 @@ pub struct AsyncReport {
     pub utilization: f64,
 }
 
+/// One task execution in an [`AsyncTrace`]: task `(cell, dir)` ran on
+/// `proc` over `[start, finish)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceExec {
+    /// Packed task id (`dir·n + cell`).
+    pub task: u64,
+    /// Executing processor.
+    pub proc: u32,
+    /// Execution start time.
+    pub start: f64,
+    /// Execution finish time (= completion, when successors are notified).
+    pub finish: f64,
+}
+
+/// One cross-processor message in an [`AsyncTrace`]: the face flux sent
+/// when `from_task` completes, consumed by `to_task`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceMessage {
+    /// Producing task (packed id).
+    pub from_task: u64,
+    /// Sender processor.
+    pub from_proc: u32,
+    /// Send time (= sender's completion time).
+    pub send: f64,
+    /// Consuming task (packed id).
+    pub to_task: u64,
+    /// Receiver processor.
+    pub to_proc: u32,
+    /// Arrival time (`send + latency`).
+    pub arrive: f64,
+}
+
+/// A full execution trace of [`async_makespan_traced`]: every task
+/// execution plus every cross-processor message, in simulation order.
+/// Together with the instance's DAG edges these induce the
+/// happens-before partial order that `sweep-analyze` checks for
+/// message races.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AsyncTrace {
+    /// Task executions, in the order they started.
+    pub execs: Vec<TraceExec>,
+    /// Cross-processor messages, in send order.
+    pub messages: Vec<TraceMessage>,
+}
+
 /// Event-driven simulation of a distributed sweep under per-task
 /// `priority` (smaller first), optional per-cell `weights` (unit cost
 /// when `None`), and cross-processor message `latency`.
@@ -63,6 +108,21 @@ pub fn async_makespan(
     weights: Option<&[u64]>,
     latency: f64,
 ) -> AsyncReport {
+    async_makespan_traced(instance, assignment, priority, weights, latency).0
+}
+
+/// [`async_makespan`] plus the full [`AsyncTrace`] of executions and
+/// cross-processor messages, for happens-before analysis.
+///
+/// # Panics
+/// Panics on mismatched array lengths or negative latency.
+pub fn async_makespan_traced(
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    priority: &[i64],
+    weights: Option<&[u64]>,
+    latency: f64,
+) -> (AsyncReport, AsyncTrace) {
     let n = instance.num_cells();
     let k = instance.num_directions();
     let total = n * k;
@@ -123,15 +183,17 @@ pub fn async_makespan(
     let mut messages = 0u64;
     let mut makespan = 0.0f64;
     let mut done = 0usize;
+    let mut trace = AsyncTrace::default();
 
     // Try to start work on processor p at time `now`.
     let start_if_possible = |p: usize,
-                                 now: f64,
-                                 ready: &mut Vec<BinaryHeap<Reverse<(i64, u64)>>>,
-                                 events: &mut BinaryHeap<Reverse<Ev>>,
-                                 idle: &mut Vec<bool>,
-                                 busy_until: &mut Vec<f64>,
-                                 busy: &mut Vec<f64>| {
+                             now: f64,
+                             ready: &mut Vec<BinaryHeap<Reverse<(i64, u64)>>>,
+                             events: &mut BinaryHeap<Reverse<Ev>>,
+                             idle: &mut Vec<bool>,
+                             busy_until: &mut Vec<f64>,
+                             busy: &mut Vec<f64>,
+                             trace: &mut AsyncTrace| {
         if !idle[p] {
             return;
         }
@@ -141,12 +203,27 @@ pub fn async_makespan(
             idle[p] = false;
             busy_until[p] = now + d;
             busy[p] += d;
+            trace.execs.push(TraceExec {
+                task,
+                proc: p as u32,
+                start: now,
+                finish: now + d,
+            });
             events.push(Reverse(Ev(now + d, 1, p as u32, task)));
         }
     };
 
     for p in 0..m {
-        start_if_possible(p, 0.0, &mut ready, &mut events, &mut idle, &mut busy_until, &mut busy);
+        start_if_possible(
+            p,
+            0.0,
+            &mut ready,
+            &mut events,
+            &mut idle,
+            &mut busy_until,
+            &mut busy,
+            &mut trace,
+        );
     }
 
     while let Some(Reverse(Ev(t, kind, p, payload))) = events.pop() {
@@ -157,7 +234,14 @@ pub fn async_makespan(
                 let task = payload;
                 ready[p].push(Reverse((priority[task as usize], task)));
                 start_if_possible(
-                    p, t, &mut ready, &mut events, &mut idle, &mut busy_until, &mut busy,
+                    p,
+                    t,
+                    &mut ready,
+                    &mut events,
+                    &mut idle,
+                    &mut busy_until,
+                    &mut busy,
+                    &mut trace,
                 );
             }
             _ => {
@@ -176,6 +260,14 @@ pub fn async_makespan(
                         t
                     } else {
                         messages += 1;
+                        trace.messages.push(TraceMessage {
+                            from_task: task,
+                            from_proc: p as u32,
+                            send: t,
+                            to_task: wt as u64,
+                            to_proc: wp as u32,
+                            arrive: t + latency,
+                        });
                         t + latency
                     };
                     avail[wt] = avail[wt].max(arrives);
@@ -185,17 +277,19 @@ pub fn async_makespan(
                         if avail[wt] <= t && wp == p {
                             ready[p].push(Reverse((priority[wt], wt as u64)));
                         } else {
-                            events.push(Reverse(Ev(
-                                avail[wt].max(t),
-                                0,
-                                wp as u32,
-                                wt as u64,
-                            )));
+                            events.push(Reverse(Ev(avail[wt].max(t), 0, wp as u32, wt as u64)));
                         }
                     }
                 }
                 start_if_possible(
-                    p, t, &mut ready, &mut events, &mut idle, &mut busy_until, &mut busy,
+                    p,
+                    t,
+                    &mut ready,
+                    &mut events,
+                    &mut idle,
+                    &mut busy_until,
+                    &mut busy,
+                    &mut trace,
                 );
             }
         }
@@ -206,15 +300,21 @@ pub fn async_makespan(
     } else {
         1.0
     };
-    AsyncReport { makespan, messages, busy, utilization: util }
+    (
+        AsyncReport {
+            makespan,
+            messages,
+            busy,
+            utilization: util,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sweep_core::{
-        delayed_level_priorities, greedy_schedule, random_delays, validate,
-    };
+    use sweep_core::{delayed_level_priorities, greedy_schedule, random_delays, validate};
 
     fn rdp_priorities(inst: &SweepInstance, seed: u64) -> Vec<i64> {
         let d = random_delays(inst.num_directions(), seed);
@@ -299,6 +399,28 @@ mod tests {
             let prio = vec![0i64; inst.num_tasks()];
             let r = async_makespan(&inst, &a, &prio, None, 0.0);
             assert!(r.makespan <= s.makespan() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_covers_every_task_and_message() {
+        let inst = SweepInstance::random_layered(50, 3, 6, 2, 9);
+        let a = Assignment::random_cells(50, 5, 4);
+        let prio = rdp_priorities(&inst, 1);
+        let (r, tr) = async_makespan_traced(&inst, &a, &prio, None, 0.75);
+        assert_eq!(tr.execs.len(), inst.num_tasks());
+        assert_eq!(tr.messages.len() as u64, r.messages);
+        let mut seen: Vec<u64> = tr.execs.iter().map(|e| e.task).collect();
+        seen.sort_unstable();
+        assert!(seen.windows(2).all(|w| w[0] != w[1]), "each task runs once");
+        for e in &tr.execs {
+            let v = (e.task % 50) as u32;
+            assert_eq!(e.proc, a.proc_of(v), "task runs on its cell's processor");
+            assert!(e.finish > e.start);
+        }
+        for msg in &tr.messages {
+            assert_ne!(msg.from_proc, msg.to_proc);
+            assert!((msg.arrive - msg.send - 0.75).abs() < 1e-9);
         }
     }
 

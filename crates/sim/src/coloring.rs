@@ -16,7 +16,10 @@
 /// Panics on out-of-range endpoints or self-loops.
 pub fn color_edges(m: usize, edges: &[(u32, u32)]) -> (Vec<u32>, usize) {
     for &(a, b) in edges {
-        assert!((a as usize) < m && (b as usize) < m, "endpoint out of range");
+        assert!(
+            (a as usize) < m && (b as usize) < m,
+            "endpoint out of range"
+        );
         assert_ne!(a, b, "processors do not message themselves");
     }
     // used[v] holds a bitmask of colors taken at vertex v (chunked u64s).

@@ -4,10 +4,9 @@
 //! on real threads — one worker per simulated processor — to demonstrate
 //! that an [`Assignment`] drives an actual parallel computation. Each task
 //! performs a small upwind flux update; dependence tracking uses one
-//! atomic remaining-predecessor counter per task, and per-worker
-//! `crossbeam` lock-free queues carry readiness notifications across
-//! workers (a message-passing pattern mirroring the MPI structure of real
-//! sweep codes).
+//! atomic remaining-predecessor counter per task, and per-worker mutex
+//! queues carry readiness notifications across workers (a message-passing
+//! pattern mirroring the MPI structure of real sweep codes).
 //!
 //! Data-race freedom: a task's flux slot is written exactly once (by its
 //! owner) before the `fetch_sub(AcqRel)` on each successor's counter; the
@@ -15,12 +14,32 @@
 //! before every read — the release/acquire pattern of the Rust atomics
 //! guide.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use crossbeam::queue::SegQueue;
 use sweep_core::Assignment;
 use sweep_dag::{SweepInstance, TaskId};
+
+/// A multi-producer work queue (one per simulated processor). A plain
+/// mutexed deque is plenty here — contention is per-message, and the
+/// executor is a demonstration, not an MPI replacement.
+struct WorkQueue(Mutex<VecDeque<u64>>);
+
+impl WorkQueue {
+    fn new() -> WorkQueue {
+        WorkQueue(Mutex::new(VecDeque::new()))
+    }
+
+    fn push(&self, task: u64) {
+        self.0.lock().expect("queue mutex poisoned").push_back(task);
+    }
+
+    fn pop(&self) -> Option<u64> {
+        self.0.lock().expect("queue mutex poisoned").pop_front()
+    }
+}
 
 /// Result of a parallel sweep execution.
 #[derive(Debug, Clone)]
@@ -66,7 +85,7 @@ pub fn execute_parallel(
         })
         .collect();
     let flux: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
-    let queues: Vec<SegQueue<u64>> = (0..m).map(|_| SegQueue::new()).collect();
+    let queues: Vec<WorkQueue> = (0..m).map(|_| WorkQueue::new()).collect();
     let remaining = AtomicUsize::new(total);
     let done_count: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(0)).collect();
 
@@ -124,11 +143,16 @@ pub fn execute_parallel(
     });
     let wall_seconds = start.elapsed().as_secs_f64();
 
-    let checksum =
-        flux.iter().map(|f| f64::from_bits(f.load(Ordering::Relaxed))).sum();
+    let checksum = flux
+        .iter()
+        .map(|f| f64::from_bits(f.load(Ordering::Relaxed)))
+        .sum();
     ExecReport {
         wall_seconds,
-        tasks_per_proc: done_count.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        tasks_per_proc: done_count
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
         checksum,
     }
 }

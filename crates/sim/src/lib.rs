@@ -10,7 +10,7 @@
 //!   distributed edge-coloring idea the paper cites);
 //! * [`coloring`] — greedy message edge coloring (≤ 2Δ−1 rounds);
 //! * [`execute_parallel`] — a real multithreaded sweep executor (one
-//!   thread per simulated processor, crossbeam queues, atomic dependence
+//!   thread per simulated processor, per-worker message queues, atomic dependence
 //!   counters) demonstrating that assignments drive actual parallel runs;
 //! * [`latency_makespan`] — an overlap-capable message-latency model
 //!   sitting between the paper's two communication extremes;
@@ -19,6 +19,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod async_exec;
 pub mod coloring;
@@ -27,7 +28,9 @@ pub mod latency;
 pub mod sync_sim;
 pub mod transport;
 
-pub use async_exec::{async_makespan, AsyncReport};
+pub use async_exec::{
+    async_makespan, async_makespan_traced, AsyncReport, AsyncTrace, TraceExec, TraceMessage,
+};
 pub use coloring::{color_edges, is_proper_coloring, max_degree};
 pub use executor::{execute_parallel, execute_sequential, ExecReport};
 pub use latency::{latency_makespan, LatencyReport};

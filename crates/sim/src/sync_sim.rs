@@ -40,7 +40,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { compute_cost: 1.0, comm_cost: 1.0, model: CommModel::MaxSend }
+        SimConfig {
+            compute_cost: 1.0,
+            comm_cost: 1.0,
+            model: CommModel::MaxSend,
+        }
     }
 }
 
@@ -113,8 +117,7 @@ pub fn simulate(instance: &SweepInstance, schedule: &Schedule, config: &SimConfi
         compute_steps: steps as u64,
         total_messages,
         comm_units,
-        total_time: config.compute_cost * steps as f64
-            + config.comm_cost * comm_units as f64,
+        total_time: config.compute_cost * steps as f64 + config.comm_cost * comm_units as f64,
     }
 }
 
@@ -134,7 +137,11 @@ mod tests {
     #[test]
     fn ignore_model_is_pure_makespan() {
         let (inst, s) = setup(4, 1);
-        let cfg = SimConfig { compute_cost: 2.0, comm_cost: 9.0, model: CommModel::Ignore };
+        let cfg = SimConfig {
+            compute_cost: 2.0,
+            comm_cost: 9.0,
+            model: CommModel::Ignore,
+        };
         let r = simulate(&inst, &s, &cfg);
         assert_eq!(r.compute_steps, s.makespan() as u64);
         assert_eq!(r.comm_units, 0);
@@ -163,7 +170,10 @@ mod tests {
         let color = simulate(
             &inst,
             &s,
-            &SimConfig { model: CommModel::EdgeColoring, ..SimConfig::default() },
+            &SimConfig {
+                model: CommModel::EdgeColoring,
+                ..SimConfig::default()
+            },
         );
         assert!(color.comm_units >= send.comm_units);
     }

@@ -119,7 +119,15 @@ impl<'m, M: SweepMesh> TransportSolver<'m, M> {
         let stencils = (0..quadrature.len())
             .map(|d| stencil_for_direction(mesh, &instance, quadrature, d))
             .collect();
-        Ok(TransportSolver { mesh, quadrature, instance, materials, h, topo, stencils })
+        Ok(TransportSolver {
+            mesh,
+            quadrature,
+            instance,
+            materials,
+            h,
+            topo,
+            stencils,
+        })
     }
 
     /// The solver's sweep instance (schedulable with `sweep-core`).
@@ -132,8 +140,7 @@ impl<'m, M: SweepMesh> TransportSolver<'m, M> {
     pub fn solve(&self, max_iters: usize, tol: f64) -> TransportResult {
         let n = self.mesh.num_cells();
         let k = self.quadrature.len();
-        let weight_total: f64 =
-            self.quadrature.ordinates().iter().map(|o| o.weight).sum();
+        let weight_total: f64 = self.quadrature.ordinates().iter().map(|o| o.weight).sum();
         let mut phi = vec![0.0f64; n];
         let mut psi = vec![0.0f64; n]; // per-direction workspace
         let mut iterations = 0usize;
@@ -154,8 +161,7 @@ impl<'m, M: SweepMesh> TransportSolver<'m, M> {
                     // Upwind balance: attenuated inflow plus the cell's
                     // isotropic emission (fixed source + scattering of the
                     // previous iterate's scalar flux).
-                    let emission = (mat.source + mat.sigma_s * phi[v as usize])
-                        / weight_total;
+                    let emission = (mat.source + mat.sigma_s * phi[v as usize]) / weight_total;
                     psi[v as usize] = (inflow + emission * self.h) / atten;
                 }
                 for v in 0..n {
@@ -169,10 +175,20 @@ impl<'m, M: SweepMesh> TransportSolver<'m, M> {
                 .fold(0.0, f64::max);
             phi = phi_new;
             if residual <= tol {
-                return TransportResult { phi, iterations, residual, converged: true };
+                return TransportResult {
+                    phi,
+                    iterations,
+                    residual,
+                    converged: true,
+                };
             }
         }
-        TransportResult { phi, iterations, residual, converged: false }
+        TransportResult {
+            phi,
+            iterations,
+            residual,
+            converged: false,
+        }
     }
 
     /// Mean scalar flux over the mesh.
@@ -239,7 +255,11 @@ mod tests {
         TransportSolver::new(
             mesh,
             quad,
-            Material { sigma_t: 1.0, sigma_s, source: 1.0 },
+            Material {
+                sigma_t: 1.0,
+                sigma_s,
+                source: 1.0,
+            },
         )
         .unwrap()
     }
@@ -286,13 +306,21 @@ mod tests {
         let s1 = TransportSolver::new(
             mesh1,
             quad1,
-            Material { sigma_t: 1.0, sigma_s: 0.3, source: 1.0 },
+            Material {
+                sigma_t: 1.0,
+                sigma_s: 0.3,
+                source: 1.0,
+            },
         )
         .unwrap();
         let s2 = TransportSolver::new(
             mesh1,
             quad1,
-            Material { sigma_t: 1.0, sigma_s: 0.3, source: 2.0 },
+            Material {
+                sigma_t: 1.0,
+                sigma_s: 0.3,
+                source: 2.0,
+            },
         )
         .unwrap();
         let r1 = s1.solve(300, 1e-12);
@@ -304,10 +332,34 @@ mod tests {
 
     #[test]
     fn bad_materials_rejected() {
-        assert!(Material { sigma_t: 0.0, sigma_s: 0.0, source: 1.0 }.validated().is_err());
-        assert!(Material { sigma_t: 1.0, sigma_s: 1.0, source: 1.0 }.validated().is_err());
-        assert!(Material { sigma_t: 1.0, sigma_s: 0.5, source: -1.0 }.validated().is_err());
-        assert!(Material { sigma_t: 1.0, sigma_s: 0.5, source: 1.0 }.validated().is_ok());
+        assert!(Material {
+            sigma_t: 0.0,
+            sigma_s: 0.0,
+            source: 1.0
+        }
+        .validated()
+        .is_err());
+        assert!(Material {
+            sigma_t: 1.0,
+            sigma_s: 1.0,
+            source: 1.0
+        }
+        .validated()
+        .is_err());
+        assert!(Material {
+            sigma_t: 1.0,
+            sigma_s: 0.5,
+            source: -1.0
+        }
+        .validated()
+        .is_err());
+        assert!(Material {
+            sigma_t: 1.0,
+            sigma_s: 0.5,
+            source: 1.0
+        }
+        .validated()
+        .is_ok());
     }
 
     #[test]
@@ -352,8 +404,7 @@ mod tests {
                 right_n += 1;
             }
         }
-        let (left_mean, right_mean) =
-            (left_sum / left_n as f64, right_sum / right_n as f64);
+        let (left_mean, right_mean) = (left_sum / left_n as f64, right_sum / right_n as f64);
         assert!(
             left_mean > 2.0 * right_mean,
             "source region flux {left_mean:.4} vs void {right_mean:.4}"
@@ -368,14 +419,27 @@ mod tests {
         let quad: &'static QuadratureSet =
             Box::leak(Box::new(QuadratureSet::uniform_2d(4).unwrap()));
         // Wrong length.
-        let too_few = vec![Material { sigma_t: 1.0, sigma_s: 0.0, source: 1.0 }; 3];
+        let too_few = vec![
+            Material {
+                sigma_t: 1.0,
+                sigma_s: 0.0,
+                source: 1.0
+            };
+            3
+        ];
         match TransportSolver::with_materials(mesh, quad, too_few) {
             Err(e) => assert!(e.contains("one material per cell"), "{e}"),
             Ok(_) => panic!("length mismatch must be rejected"),
         }
         // Invalid entry.
-        let mut mats =
-            vec![Material { sigma_t: 1.0, sigma_s: 0.0, source: 1.0 }; mesh.num_cells()];
+        let mut mats = vec![
+            Material {
+                sigma_t: 1.0,
+                sigma_s: 0.0,
+                source: 1.0
+            };
+            mesh.num_cells()
+        ];
         mats[0].sigma_s = 2.0;
         assert!(TransportSolver::with_materials(mesh, quad, mats).is_err());
     }
@@ -389,7 +453,11 @@ mod tests {
         let s = TransportSolver::new(
             mesh,
             quad,
-            Material { sigma_t: 1.0, sigma_s: 0.5, source: 1.0 },
+            Material {
+                sigma_t: 1.0,
+                sigma_s: 0.5,
+                source: 1.0,
+            },
         )
         .unwrap();
         let r = s.solve(300, 1e-8);

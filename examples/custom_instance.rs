@@ -9,8 +9,8 @@
 //! cargo run --release --example custom_instance
 //! ```
 
+use sweep_scheduling::core::{random_delay, random_delay_with};
 use sweep_scheduling::prelude::*;
-use sweep_scheduling::core::{random_delay_with, random_delay};
 
 fn report(label: &str, instance: &SweepInstance, m: usize) {
     let assignment = Assignment::random_cells(instance.num_cells(), m, 21);
@@ -32,9 +32,17 @@ fn main() {
     let m = 32;
     println!("scheduling non-geometric instances on {m} processors:\n");
 
-    report("random layered", &SweepInstance::random_layered(4000, 16, 40, 3, 1), m);
+    report(
+        "random layered",
+        &SweepInstance::random_layered(4000, 16, 40, 3, 1),
+        m,
+    );
     report("random chains", &SweepInstance::random_chains(800, 8, 2), m);
-    report("bottleneck (w=64, d=20)", &SweepInstance::bottleneck(64, 20, 8), m);
+    report(
+        "bottleneck (w=64, d=20)",
+        &SweepInstance::bottleneck(64, 20, 8),
+        m,
+    );
 
     // The adversarial family: identical chains in every direction.
     println!("\nidentical chains (n=200, k=16) — why random delays matter:");
@@ -43,8 +51,17 @@ fn main() {
     let no_delay = random_delay_with(&inst, a.clone(), &[0; 16]);
     let with_delay = random_delay(&inst, a.clone(), 7);
     let compacted = Algorithm::RandomDelayPriorities.run(&inst, a, 7);
-    println!("  layer-sequential, zero delays : {:>6}  (= n·k, full serialization)", no_delay.makespan());
-    println!("  layer-sequential, random delays: {:>6}", with_delay.makespan());
-    println!("  with priority compaction       : {:>6}  (lower bound {})",
-        compacted.makespan(), lower_bounds(&inst, m).best());
+    println!(
+        "  layer-sequential, zero delays : {:>6}  (= n·k, full serialization)",
+        no_delay.makespan()
+    );
+    println!(
+        "  layer-sequential, random delays: {:>6}",
+        with_delay.makespan()
+    );
+    println!(
+        "  with priority compaction       : {:>6}  (lower bound {})",
+        compacted.makespan(),
+        lower_bounds(&inst, m).best()
+    );
 }

@@ -37,10 +37,8 @@ fn main() {
     let svg_levels = levels_svg(&mesh, &lv.level_of, 480).expect("svg");
     std::fs::write("figure1_levels.svg", &svg_levels).expect("write svg");
     let assignment = Assignment::random_cells(mesh.num_cells(), 4, 3);
-    let procs: Vec<f64> =
-        assignment.as_slice().iter().map(|&p| p as f64).collect();
-    let svg_procs =
-        to_svg_2d(&mesh, &procs, ColorMap::Categorical, 480).expect("svg");
+    let procs: Vec<f64> = assignment.as_slice().iter().map(|&p| p as f64).collect();
+    let svg_procs = to_svg_2d(&mesh, &procs, ColorMap::Categorical, 480).expect("svg");
     std::fs::write("figure1_processors.svg", &svg_procs).expect("write svg");
     println!("wrote figure1_levels.svg and figure1_processors.svg");
 
@@ -48,7 +46,10 @@ fn main() {
     match to_dot(instance.dag(0), "figure1_direction0", 200) {
         Ok(dot) => {
             std::fs::write("figure1_dag.dot", &dot).expect("write dot");
-            println!("wrote figure1_dag.dot ({} ranks) — render with `dot -Tpng`", lv.depth());
+            println!(
+                "wrote figure1_dag.dot ({} ranks) — render with `dot -Tpng`",
+                lv.depth()
+            );
         }
         Err(e) => println!("skipping DOT export: {e}"),
     }

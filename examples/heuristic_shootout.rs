@@ -29,7 +29,10 @@ fn main() {
     let graph = CsrGraph::from_csr_parts(xadj, adjncy);
     let blocks = block_partition(&graph, 8, &PartitionOptions::default());
 
-    println!("\n{:<22} {:>9} {:>9} {:>7}", "algorithm", "m=16", "m=48", "m=96");
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>7}",
+        "algorithm", "m=16", "m=48", "m=96"
+    );
     println!("{}", "-".repeat(50));
     for alg in Algorithm::COMPARISON_SET {
         print!("{:<22}", alg.name());

@@ -29,9 +29,14 @@ fn main() {
     let seq_time = t0.elapsed().as_secs_f64();
     println!("sequential reference: checksum {reference:.3}, {seq_time:.3}s");
 
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     println!("hardware threads available: {hw}\n");
-    println!("{:>4} {:>10} {:>9} {:>11}", "m", "wall (s)", "speedup", "checksum ok");
+    println!(
+        "{:>4} {:>10} {:>9} {:>11}",
+        "m", "wall (s)", "speedup", "checksum ok"
+    );
     for m in [1usize, 2, 4, 8] {
         if m > hw {
             break;

@@ -10,7 +10,9 @@ fn main() {
     // 1. A synthetic unstructured tetrahedral mesh (2% of the paper's
     //    `tetonly`: ~630 cells) and the S4 quadrature (24 directions, as in
     //    the paper's Figure 2).
-    let mesh = MeshPreset::Tetonly.build_scaled(0.02).expect("mesh generation");
+    let mesh = MeshPreset::Tetonly
+        .build_scaled(0.02)
+        .expect("mesh generation");
     let quad = QuadratureSet::level_symmetric(4).expect("S4 quadrature");
     println!(
         "mesh: {} cells, {} interior faces; quadrature: {} ({} directions)",

@@ -22,7 +22,9 @@ fn main() {
     // (0.15 ≤ r < 0.3), background elsewhere.
     let center = Vec3::new(0.5, 0.5, 0.5);
     let region = |c: u32| -> u8 {
-        let r = mesh.centroid(sweep_scheduling::mesh::CellId(c)).distance(center);
+        let r = mesh
+            .centroid(sweep_scheduling::mesh::CellId(c))
+            .distance(center);
         if r < 0.15 {
             0 // source
         } else if r < 0.3 {
@@ -33,9 +35,21 @@ fn main() {
     };
     let materials: Vec<Material> = (0..n as u32)
         .map(|c| match region(c) {
-            0 => Material { sigma_t: 1.0, sigma_s: 0.5, source: 10.0 },
-            1 => Material { sigma_t: 5.0, sigma_s: 0.5, source: 0.0 },
-            _ => Material { sigma_t: 0.5, sigma_s: 0.25, source: 0.0 },
+            0 => Material {
+                sigma_t: 1.0,
+                sigma_s: 0.5,
+                source: 10.0,
+            },
+            1 => Material {
+                sigma_t: 5.0,
+                sigma_s: 0.5,
+                source: 0.0,
+            },
+            _ => Material {
+                sigma_t: 0.5,
+                sigma_s: 0.25,
+                source: 0.0,
+            },
         })
         .collect();
     let counts = (0..n as u32).fold([0usize; 3], |mut acc, c| {
@@ -47,8 +61,7 @@ fn main() {
         counts[0], counts[1], counts[2]
     );
 
-    let solver =
-        TransportSolver::with_materials(&mesh, &quad, materials).expect("solver");
+    let solver = TransportSolver::with_materials(&mesh, &quad, materials).expect("solver");
     let result = solver.solve(800, 1e-8);
     println!(
         "transport: {} iterations, residual {:.1e}, converged = {}",

@@ -23,7 +23,11 @@ fn main() {
     );
 
     // --- Physics: a mildly scattering medium with a unit source. ---
-    let material = Material { sigma_t: 1.0, sigma_s: 0.6, source: 1.0 };
+    let material = Material {
+        sigma_t: 1.0,
+        sigma_s: 0.6,
+        source: 1.0,
+    };
     let solver = TransportSolver::new(&mesh, &quad, material).expect("solver");
     let result = solver.solve(500, 1e-8);
     println!(
@@ -38,7 +42,11 @@ fn main() {
     // --- Scheduling the very sweeps the solver just ran. ---
     let instance = solver.instance();
     let m = 64;
-    println!("\nscheduling {} tasks on {} processors:", instance.num_tasks(), m);
+    println!(
+        "\nscheduling {} tasks on {} processors:",
+        instance.num_tasks(),
+        m
+    );
 
     // Per-cell random assignment (Algorithm 2 as analyzed).
     let per_cell = Assignment::random_cells(instance.num_cells(), m, 1);
@@ -59,7 +67,11 @@ fn main() {
         let rep = simulate(
             instance,
             s,
-            &SimConfig { compute_cost: 1.0, comm_cost: 0.1, model: CommModel::MaxSend },
+            &SimConfig {
+                compute_cost: 1.0,
+                comm_cost: 0.1,
+                model: CommModel::MaxSend,
+            },
         );
         println!(
             "  {name:9} makespan {:5} (ratio {:.2})  C1 {:7}  C2 {:6}  est. time {:.0}",

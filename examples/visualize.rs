@@ -42,7 +42,11 @@ fn main() {
     let solver = TransportSolver::new(
         &mesh,
         &quad,
-        Material { sigma_t: 1.0, sigma_s: 0.5, source: 1.0 },
+        Material {
+            sigma_t: 1.0,
+            sigma_s: 0.5,
+            source: 1.0,
+        },
     )
     .expect("solver");
     let result = solver.solve(300, 1e-7);
@@ -56,8 +60,7 @@ fn main() {
         .map(|v| schedule.proc_of_cell(v) as f64)
         .collect();
     let level0 = sweep_scheduling::dag::levels(instance.dag(0));
-    let level_field: Vec<f64> =
-        (0..n).map(|v| level0.level_of[v] as f64).collect();
+    let level_field: Vec<f64> = (0..n).map(|v| level0.level_of[v] as f64).collect();
     let start_field: Vec<f64> = (0..n as u32)
         .map(|v| schedule.start_of(TaskId::pack(v, 0, n)) as f64)
         .collect();

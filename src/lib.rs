@@ -12,6 +12,7 @@
 //! | [`partition`] | multilevel graph partitioner (METIS stand-in) for block assignment |
 //! | [`core`] | Algorithms 1–3 (Random Delay family), Level/Descendant/DFDS heuristics, list-scheduling engine, C1/C2 metrics, lower bounds |
 //! | [`sim`] | step-synchronous simulator, edge-coloring communication rounds, threaded sweep executor, toy S_n transport solver |
+//! | [`analyze`] | static analysis: SW0xx diagnostics (cycle witnesses, collect-all schedule validation, bound certification, message-race detection) with text/JSON/SARIF output |
 //!
 //! ## Quickstart
 //!
@@ -35,7 +36,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub use sweep_analyze as analyze;
 pub use sweep_core as core;
 pub use sweep_dag as dag;
 pub use sweep_mesh as mesh;
@@ -45,17 +48,20 @@ pub use sweep_sim as sim;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use sweep_analyze::{
+        analyze_all, analyze_assignment, analyze_instance, analyze_schedule, AnalyzeOptions, Code,
+        Report, Severity,
+    };
     pub use sweep_core::{
-        approx_ratio, c1_interprocessor_edges, c2_comm_delay, greedy_schedule,
-        kba_assignment, list_schedule, lower_bounds, optimal_sweep_makespan,
-        random_delay, random_delay_priorities, render_gantt, replicate, validate,
-        validate_weighted, weighted_lower_bound, weighted_random_delay_priorities,
-        Algorithm, Assignment, AssignmentDraw, PriorityScheme, Schedule,
+        approx_ratio, c1_interprocessor_edges, c2_comm_delay, greedy_schedule, kba_assignment,
+        list_schedule, lower_bounds, optimal_sweep_makespan, random_delay, random_delay_priorities,
+        render_gantt, replicate, validate, validate_weighted, weighted_lower_bound,
+        weighted_random_delay_priorities, Algorithm, Assignment, AssignmentDraw, PriorityScheme,
+        Schedule,
     };
     pub use sweep_dag::{dag_stats, instance_stats, SweepInstance, TaskDag, TaskId};
     pub use sweep_mesh::{
-        quality_report, to_vtk, GeneratorConfig, MeshPreset, SweepMesh, TetMesh,
-        TriMesh2d, Vec3,
+        quality_report, to_vtk, GeneratorConfig, MeshPreset, SweepMesh, TetMesh, TriMesh2d, Vec3,
     };
     pub use sweep_partition::{block_partition, CsrGraph, PartitionOptions};
     pub use sweep_quadrature::{DirectionId, QuadratureSet};

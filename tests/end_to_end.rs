@@ -2,6 +2,9 @@
 //! induction → (optional) partitioning → scheduling → validation →
 //! metrics, across every algorithm.
 
+// Integration tests assert via unwrap/expect by design.
+#![allow(clippy::unwrap_used)]
+
 use sweep_scheduling::prelude::*;
 use sweep_scheduling::sim::execute_sequential;
 
@@ -28,8 +31,7 @@ fn full_pipeline_3d_all_algorithms() {
     for alg in Algorithm::COMPARISON_SET {
         let assignment = Assignment::random_cells(instance.num_cells(), m, 7);
         let schedule = alg.run(&instance, assignment, 8);
-        validate(&instance, &schedule)
-            .unwrap_or_else(|e| panic!("{} infeasible: {e}", alg.name()));
+        validate(&instance, &schedule).unwrap_or_else(|e| panic!("{} infeasible: {e}", alg.name()));
         assert!(
             schedule.makespan() as u64 >= lb.best(),
             "{} beat the lower bound",
@@ -107,7 +109,10 @@ fn simulator_consistent_with_metrics() {
     let colored = simulate(
         &instance,
         &schedule,
-        &SimConfig { model: CommModel::EdgeColoring, ..SimConfig::default() },
+        &SimConfig {
+            model: CommModel::EdgeColoring,
+            ..SimConfig::default()
+        },
     );
     assert!(colored.comm_units >= report.comm_units);
 }
@@ -128,7 +133,11 @@ fn transport_solver_runs_on_generated_mesh() {
     let solver = TransportSolver::new(
         &mesh,
         &quad,
-        Material { sigma_t: 1.0, sigma_s: 0.4, source: 1.0 },
+        Material {
+            sigma_t: 1.0,
+            sigma_s: 0.4,
+            source: 1.0,
+        },
     )
     .expect("solver");
     let result = solver.solve(300, 1e-7);
@@ -144,7 +153,9 @@ fn transport_solver_runs_on_generated_mesh() {
 #[test]
 fn all_mesh_presets_build_and_induce_acyclic_dags() {
     for preset in MeshPreset::ALL {
-        let mesh = preset.build_scaled(0.005).unwrap_or_else(|_| panic!("{}", preset.name()));
+        let mesh = preset
+            .build_scaled(0.005)
+            .unwrap_or_else(|_| panic!("{}", preset.name()));
         let quad = QuadratureSet::level_symmetric(2).unwrap();
         let (instance, _) = SweepInstance::from_mesh(&mesh, &quad, preset.name());
         for d in instance.dags() {
@@ -158,8 +169,11 @@ fn all_mesh_presets_build_and_induce_acyclic_dags() {
 fn single_processor_everything_serializes() {
     let (mesh, quad) = small_3d();
     let (instance, _) = SweepInstance::from_mesh(&mesh, &quad, "serial");
-    let schedule = Algorithm::RandomDelayPriorities
-        .run(&instance, Assignment::single(instance.num_cells()), 1);
+    let schedule = Algorithm::RandomDelayPriorities.run(
+        &instance,
+        Assignment::single(instance.num_cells()),
+        1,
+    );
     validate(&instance, &schedule).unwrap();
     assert_eq!(schedule.makespan() as usize, instance.num_tasks());
     assert_eq!(c1_interprocessor_edges(&instance, schedule.assignment()), 0);

@@ -1,143 +1,165 @@
-//! Property tests for the extension modules: weighted scheduling, the
-//! latency/async execution models, the exact optimizer, edge coloring,
-//! KBA, and schedule serialization.
+//! Property-style tests for the extension modules, run as deterministic
+//! parameter sweeps: weighted scheduling, the latency/async execution
+//! models, the exact optimizer, edge coloring, KBA, and schedule
+//! serialization.
 
-use proptest::prelude::*;
+// Integration tests assert via unwrap/expect by design.
+#![allow(clippy::unwrap_used)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use sweep_scheduling::core::{
-    delayed_level_priorities, from_csv, optimal_makespan_fixed_assignment,
-    optimal_sweep_makespan, random_delays, to_csv, validate_weighted,
-    weighted_list_schedule, weighted_lower_bound, weighted_random_delay_priorities,
+    delayed_level_priorities, from_csv, optimal_makespan_fixed_assignment, optimal_sweep_makespan,
+    random_delays, to_csv, validate_weighted, weighted_list_schedule, weighted_lower_bound,
+    weighted_random_delay_priorities,
 };
 use sweep_scheduling::prelude::*;
 use sweep_scheduling::sim::{async_makespan, color_edges, is_proper_coloring, max_degree};
 
-fn small_instance() -> impl Strategy<Value = (SweepInstance, usize, u64)> {
-    (2usize..40, 1usize..4, 2usize..6, 0u64..500, 1usize..8).prop_map(
-        |(n, k, depth, seed, m)| {
+/// Deterministic `(instance, m, seed)` cases mirroring the old proptest
+/// `small_instance()` strategy.
+fn small_cases(count: usize) -> Vec<(SweepInstance, usize, u64)> {
+    let mut rng = StdRng::seed_from_u64(0xeeee_0001);
+    (0..count)
+        .map(|_| {
+            let n = rng.random_range(2..40usize);
+            let k = rng.random_range(1..4usize);
+            let depth = rng.random_range(2..6usize);
+            let seed = rng.random_range(0..500u64);
+            let m = rng.random_range(1..8usize);
             (SweepInstance::random_layered(n, k, depth, 2, seed), m, seed)
-        },
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn weighted_schedules_always_feasible_and_bounded(
-        (inst, m, seed) in small_instance(),
-        wmax in 2u64..12,
-    ) {
+#[test]
+fn weighted_schedules_always_feasible_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for (inst, m, seed) in small_cases(40) {
+        let wmax = rng.random_range(2..12u64);
         let n = inst.num_cells();
         let weights: Vec<u64> = (0..n as u64).map(|v| 1 + (v * 7 + seed) % wmax).collect();
         let a = Assignment::random_cells(n, m, seed);
         let s = weighted_random_delay_priorities(&inst, a, &weights, seed);
-        prop_assert!(validate_weighted(&inst, &s, &weights).is_ok());
+        assert!(validate_weighted(&inst, &s, &weights).is_ok());
         let lb = weighted_lower_bound(&inst, &weights, m);
-        prop_assert!(s.makespan >= lb);
+        assert!(s.makespan >= lb);
         // Work-conserving upper bound: total work.
         let total: u64 = weights.iter().sum::<u64>() * inst.num_directions() as u64;
-        prop_assert!(s.makespan <= total);
+        assert!(s.makespan <= total);
     }
+}
 
-    #[test]
-    fn weighted_single_proc_exact((inst, _m, seed) in small_instance()) {
+#[test]
+fn weighted_single_proc_exact() {
+    for (inst, _m, _seed) in small_cases(20) {
         let n = inst.num_cells();
         let weights: Vec<u64> = (0..n as u64).map(|v| 1 + v % 5).collect();
         let prio = vec![0i64; inst.num_tasks()];
         let s = weighted_list_schedule(&inst, Assignment::single(n), &weights, &prio);
         let total: u64 = weights.iter().sum::<u64>() * inst.num_directions() as u64;
-        prop_assert_eq!(s.makespan, total);
-        let _ = seed;
+        assert_eq!(s.makespan, total);
     }
+}
 
-    #[test]
-    fn async_zero_latency_bounded_by_serial((inst, m, seed) in small_instance()) {
+#[test]
+fn async_zero_latency_bounded_by_serial() {
+    for (inst, m, seed) in small_cases(40) {
         let n = inst.num_cells();
         let a = Assignment::random_cells(n, m, seed);
         let d = random_delays(inst.num_directions(), seed);
         let prio = delayed_level_priorities(&inst, &d);
         let r = async_makespan(&inst, &a, &prio, None, 0.0);
-        prop_assert!(r.makespan <= inst.num_tasks() as f64 + 1e-9);
-        prop_assert!(r.makespan >= (inst.num_tasks() as f64 / m as f64).floor());
-        prop_assert_eq!(r.messages, c1_interprocessor_edges(&inst, &a));
+        assert!(r.makespan <= inst.num_tasks() as f64 + 1e-9);
+        assert!(r.makespan >= (inst.num_tasks() as f64 / m as f64).floor());
+        assert_eq!(r.messages, c1_interprocessor_edges(&inst, &a));
     }
+}
 
-    /// Latency cannot collapse the makespan below half its zero-latency
-    /// value. (Strict monotonicity is *not* a theorem — greedy dispatch
-    /// has Graham-style anomalies where extra delay reorders work
-    /// beneficially — but the list-scheduling 2-approximation gives
-    /// `r0 ≤ 2·OPT_0 ≤ 2·OPT_lat ≤ 2·r_lat`.)
-    #[test]
-    fn async_latency_never_halves_makespan(
-        (inst, m, seed) in small_instance(),
-        lat in 0.0f64..8.0,
-    ) {
+/// Latency cannot collapse the makespan below half its zero-latency
+/// value. (Strict monotonicity is *not* a theorem — greedy dispatch has
+/// Graham-style anomalies where extra delay reorders work beneficially —
+/// but the list-scheduling 2-approximation gives
+/// `r0 ≤ 2·OPT_0 ≤ 2·OPT_lat ≤ 2·r_lat`.)
+#[test]
+fn async_latency_never_halves_makespan() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for (inst, m, seed) in small_cases(40) {
+        let lat: f64 = rng.random_range(0.0..8.0);
         let n = inst.num_cells();
         let a = Assignment::random_cells(n, m, seed);
         let prio = vec![0i64; inst.num_tasks()];
         let r0 = async_makespan(&inst, &a, &prio, None, 0.0);
         let r1 = async_makespan(&inst, &a, &prio, None, lat);
-        prop_assert!(2.0 * r1.makespan + 1e-9 >= r0.makespan);
+        assert!(2.0 * r1.makespan + 1e-9 >= r0.makespan);
     }
+}
 
-    #[test]
-    fn latency_model_matches_async_messages((inst, m, seed) in small_instance()) {
+#[test]
+fn latency_model_matches_async_messages() {
+    for (inst, m, seed) in small_cases(30) {
         let n = inst.num_cells();
         let a = Assignment::random_cells(n, m, seed);
         let s = greedy_schedule(&inst, a.clone());
         let rep = latency_makespan(&inst, &s, 1.0);
-        prop_assert_eq!(rep.messages, c1_interprocessor_edges(&inst, &a));
+        assert_eq!(rep.messages, c1_interprocessor_edges(&inst, &a));
     }
+}
 
-    #[test]
-    fn schedule_csv_round_trips((inst, m, seed) in small_instance()) {
+#[test]
+fn schedule_csv_round_trips() {
+    for (inst, m, seed) in small_cases(30) {
         let a = Assignment::random_cells(inst.num_cells(), m, seed);
         let s = Algorithm::RandomDelayPriorities.run(&inst, a, seed);
         let text = to_csv(&inst, &s);
         let back = from_csv(&text, inst.num_cells(), inst.num_directions()).unwrap();
-        prop_assert_eq!(back.starts(), s.starts());
-        prop_assert!(validate(&inst, &back).is_ok());
+        assert_eq!(back.starts(), s.starts());
+        assert!(validate(&inst, &back).is_ok());
     }
+}
 
-    #[test]
-    fn coloring_always_proper_and_bounded(
-        m in 2usize..12,
-        raw in proptest::collection::vec((0u32..12, 0u32..12), 0..80),
-    ) {
-        let edges: Vec<(u32, u32)> = raw
-            .into_iter()
-            .map(|(a, b)| (a % m as u32, b % m as u32))
+#[test]
+fn coloring_always_proper_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(40);
+    for _ in 0..40 {
+        let m = rng.random_range(2..12usize);
+        let ne = rng.random_range(0..80usize);
+        let edges: Vec<(u32, u32)> = (0..ne)
+            .map(|_| (rng.random_range(0..m as u32), rng.random_range(0..m as u32)))
             .filter(|(a, b)| a != b)
             .collect();
         let (colors, nc) = color_edges(m, &edges);
-        prop_assert!(is_proper_coloring(m, &edges, &colors));
+        assert!(is_proper_coloring(m, &edges, &colors));
         let delta = max_degree(m, &edges);
         if delta > 0 {
-            prop_assert!(nc < 2 * delta);
-            prop_assert!(nc >= delta);
+            assert!(nc < 2 * delta);
+            assert!(nc >= delta);
         } else {
-            prop_assert_eq!(nc, 0);
+            assert_eq!(nc, 0);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// OPT is sandwiched between every lower bound and every feasible
-    /// schedule, and the fixed-assignment optimum dominates the free one.
-    #[test]
-    fn exact_optimum_sandwich(n in 2usize..7, k in 1usize..3, m in 1usize..4, seed in 0u64..60) {
+/// OPT is sandwiched between every lower bound and every feasible
+/// schedule, and the fixed-assignment optimum dominates the free one.
+#[test]
+fn exact_optimum_sandwich() {
+    let mut rng = StdRng::seed_from_u64(60);
+    for _ in 0..12 {
+        let n = rng.random_range(2..7usize);
+        let k = rng.random_range(1..3usize);
+        let m = rng.random_range(1..4usize);
+        let seed = rng.random_range(0..60u64);
         let inst = SweepInstance::random_layered(n, k, 2, 2, seed);
         let opt = optimal_sweep_makespan(&inst, m);
         let lb = lower_bounds(&inst, m).best() as u32;
-        prop_assert!(opt >= lb);
+        assert!(opt >= lb);
         let a = Assignment::random_cells(n, m, seed);
         let fixed = optimal_makespan_fixed_assignment(&inst, &a);
-        prop_assert!(fixed >= opt, "free optimum beats fixed");
+        assert!(fixed >= opt, "free optimum beats fixed");
         let s = greedy_schedule(&inst, a);
-        prop_assert!(s.makespan() >= fixed, "greedy beats its own fixed optimum");
+        assert!(s.makespan() >= fixed, "greedy beats its own fixed optimum");
     }
 }
 

@@ -1,6 +1,9 @@
 //! Scaled-down versions of the paper's headline empirical claims, run as
 //! regression tests so the full benchmark harness cannot silently drift.
 
+// Integration tests assert via unwrap/expect by design.
+#![allow(clippy::unwrap_used)]
+
 use sweep_scheduling::core::{layer_congestion, random_delay_with, random_delays};
 use sweep_scheduling::prelude::*;
 
@@ -92,7 +95,10 @@ fn lemma2_congestion_collapse() {
         let s = layer_congestion(&inst, &a, &d);
         worst = worst.max(s.max_copies_per_cell_layer);
     }
-    assert!(worst <= 8, "delayed copy congestion {worst} not logarithmic-ish");
+    assert!(
+        worst <= 8,
+        "delayed copy congestion {worst} not logarithmic-ish"
+    );
 }
 
 /// The adversarial separation driving the whole paper: on identical
