@@ -11,6 +11,13 @@
 //! * `analyze` — static analysis (SW0xx diagnostics) of an instance and
 //!   optionally an assignment/schedule/async trace, as text, JSON, or
 //!   SARIF; exits nonzero when any error-level diagnostic fires.
+//! * `trace` — run the full pipeline (mesh → DAGs → schedule → simulators)
+//!   with telemetry recording and export the collected spans/metrics.
+//!
+//! Every subcommand additionally understands the global `--telemetry
+//! <chrome|prom|text>` / `--telemetry-out <path>` flags: telemetry is
+//! enabled around the command and the collected spans/metrics are exported
+//! afterwards (appended to the report, or written to the given file).
 //!
 //! Everything returns its report as a `String` so the logic is unit
 //! testable; `main.rs` only prints.
@@ -30,6 +37,7 @@ use sweep_dag::{instance_stats, SweepInstance};
 use sweep_mesh::{quality_report, MeshPreset, SweepMesh, TetMesh};
 use sweep_partition::{block_partition, CsrGraph, PartitionOptions};
 use sweep_quadrature::QuadratureSet;
+use sweep_telemetry as telemetry;
 
 /// Usage text.
 pub const HELP: &str = "\
@@ -54,7 +62,16 @@ COMMANDS:
              [--sn N] [--m M] [--algorithm A] [--seed S] [--async]
              [--latency F] [--format text|json|sarif] [--out FILE]
              [--imbalance F] [--comm-fraction F] [--envelope F]
+  trace      <preset> [--scale F] [--sn N] [--m M] [--algorithm A]
+             [--seed S] [--latency F]     (full pipeline with telemetry)
   help
+
+GLOBAL FLAGS (any command):
+  --telemetry chrome|prom|text   record spans/metrics and export them
+                                 (Chrome trace_event JSON / Prometheus
+                                 text exposition / plain-text tree)
+  --telemetry-out FILE           write the export to FILE instead of
+                                 appending it to the report
 
 Defaults: --scale 0.02, --sn 4 (24 directions), --seed 2005.
 
@@ -154,9 +171,39 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
     let Some(command) = args.first() else {
         return Ok((HELP.to_string(), 0));
     };
-    let flags = parse_flags(&args[1..])?;
+    // `trace` takes its preset positionally: `sweep trace tetonly …`.
+    let mut rest: Vec<String> = args[1..].to_vec();
+    if command == "trace" {
+        if let Some(first) = rest.first() {
+            if !first.starts_with("--") {
+                let preset = rest.remove(0);
+                rest.push("--preset".to_string());
+                rest.push(preset);
+            }
+        }
+    }
+    let mut flags = parse_flags(&rest)?;
+
+    // Global telemetry flags, valid on every subcommand; `trace` records
+    // by default (text report when no --telemetry is given).
+    let telemetry_format = match flags.remove("telemetry") {
+        Some(f) => {
+            if !matches!(f.as_str(), "chrome" | "prom" | "text") {
+                return Err(format!("unknown telemetry format '{f}' (chrome|prom|text)"));
+            }
+            Some(f)
+        }
+        None if command == "trace" => Some("text".to_string()),
+        None => None,
+    };
+    let telemetry_out = flags.remove("telemetry-out");
+    if telemetry_format.is_some() {
+        telemetry::reset();
+        telemetry::set_enabled(true);
+    }
+
     let plain = |r: Result<String, String>| r.map(|out| (out, 0));
-    match command.as_str() {
+    let result = match command.as_str() {
         "help" | "--help" | "-h" => Ok((HELP.to_string(), 0)),
         "mesh" => plain(cmd_mesh(&flags)),
         "instance" => plain(cmd_instance(&flags)),
@@ -165,8 +212,99 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
         "transport" => plain(cmd_transport(&flags)),
         "optimal" => plain(cmd_optimal(&flags)),
         "analyze" => cmd_analyze(&flags),
+        "trace" => plain(cmd_trace(&flags)),
         other => Err(format!("unknown command '{other}' (try `sweep help`)")),
+    };
+
+    // Snapshot and disable even when the command failed, so an error exit
+    // never leaves the global collector recording.
+    let snapshot = telemetry_format.as_ref().map(|_| {
+        let snap = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        snap
+    });
+    let (mut out, status) = result?;
+    if let (Some(format), Some(snap)) = (telemetry_format, snapshot) {
+        let rendered = match format.as_str() {
+            "chrome" => {
+                let text = telemetry::to_chrome_trace(&snap);
+                // Self-check: an empty or malformed trace is a bug, not a
+                // user error — CI relies on this failing loudly.
+                telemetry::validate_chrome_trace(&text)
+                    .map_err(|e| format!("internal: invalid chrome trace: {e}"))?;
+                text
+            }
+            "prom" => {
+                let text = telemetry::to_prometheus(&snap);
+                telemetry::validate_prometheus(&text)
+                    .map_err(|e| format!("internal: invalid prometheus exposition: {e}"))?;
+                text
+            }
+            _ => telemetry::to_text_report(&snap),
+        };
+        match telemetry_out {
+            Some(path) => {
+                std::fs::write(&path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "wrote telemetry ({format}) to {path}: {} spans, {} categories ({})",
+                    snap.spans.len(),
+                    snap.categories().len(),
+                    snap.categories().join(", "),
+                );
+            }
+            None => {
+                out.push_str("\n-- telemetry --\n");
+                out.push_str(&rendered);
+            }
+        }
     }
+    Ok((out, status))
+}
+
+/// `trace` — runs the full pipeline (mesh build, DAG induction, scheduling,
+/// synchronous and asynchronous simulation) under telemetry so the export
+/// covers every span category. The schedule's start times serve as the
+/// async priorities, mirroring how a distributed run would replay an
+/// offline schedule.
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<String, String> {
+    let (name, _mesh, inst) = build_instance_or_file(flags)?;
+    let m: usize = get(flags, "m", 8)?;
+    if m == 0 {
+        return Err("--m must be positive".into());
+    }
+    let seed: u64 = get(flags, "seed", 2005)?;
+    let latency: f64 = get(flags, "latency", 1.0)?;
+    if latency < 0.0 {
+        return Err("--latency must be non-negative".into());
+    }
+    let alg = parse_algorithm(
+        flags.get("algorithm").map(String::as_str).unwrap_or("rdp"),
+        flags.contains_key("delays"),
+    )?;
+    let assignment = Assignment::random_cells(inst.num_cells(), m, seed);
+    let schedule = alg.run(&inst, assignment.clone(), seed ^ 0xabcd);
+    validate(&inst, &schedule).map_err(|e| format!("internal: infeasible schedule: {e}"))?;
+    let sim = sweep_sim::simulate(&inst, &schedule, &sweep_sim::SimConfig::default());
+    let prio: Vec<i64> = schedule.starts().iter().map(|&t| t as i64).collect();
+    let (async_report, trace) =
+        sweep_sim::async_makespan_traced(&inst, &assignment, &prio, None, latency);
+    sweep_sim::publish_trace(&trace);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {} with {} ({} tasks, m = {m}): makespan {}, sync C2 time {:.1}, \
+         async makespan {:.1} (latency {latency}, {} messages)",
+        name,
+        alg.name(),
+        inst.num_tasks(),
+        schedule.makespan(),
+        sim.total_time,
+        async_report.makespan,
+        async_report.messages,
+    );
+    Ok(out)
 }
 
 fn cmd_mesh(flags: &HashMap<String, String>) -> Result<String, String> {
@@ -491,6 +629,12 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(String, i32), String>
 mod tests {
     use super::*;
 
+    /// Tests that enable the global telemetry collector must not overlap
+    /// (cargo's test harness is multithreaded and the collector is
+    /// process-wide); they also tolerate spans recorded by unrelated
+    /// concurrent tests by asserting lower bounds / membership only.
+    static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
     }
@@ -811,6 +955,105 @@ mod tests {
         let sarif = std::fs::read_to_string(&path).unwrap();
         assert!(sarif.contains("\"version\": \"2.1.0\""));
         assert!(sarif.contains("sweep-analyze"));
+    }
+
+    #[test]
+    fn trace_default_text_report_covers_pipeline() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let out = run(&args(&["trace", "tetonly", "--scale", "0.01", "--sn", "2"])).unwrap();
+        assert!(out.contains("trace tetonly"), "{out}");
+        assert!(out.contains("-- telemetry --"), "{out}");
+        for needle in ["mesh.build", "dag.induce", "sched.", "sim."] {
+            assert!(out.contains(needle), "missing {needle}: {out}");
+        }
+    }
+
+    #[test]
+    fn trace_chrome_export_is_valid_and_multi_category() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join("sweep-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = run(&args(&[
+            "trace",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--telemetry",
+            "chrome",
+            "--telemetry-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote telemetry (chrome)"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let info = telemetry::validate_chrome_trace(&text).unwrap();
+        assert!(info.spans >= 4, "expected a real trace, got {}", info.spans);
+        for cat in ["mesh", "dag", "sched", "sim"] {
+            assert!(
+                info.categories.iter().any(|c| c == cat),
+                "missing category {cat}: {:?}",
+                info.categories
+            );
+        }
+    }
+
+    #[test]
+    fn trace_prometheus_export_has_counters_and_histograms() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let out = run(&args(&[
+            "trace",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--telemetry",
+            "prom",
+        ]))
+        .unwrap();
+        telemetry::validate_prometheus(out.split("-- telemetry --\n").nth(1).unwrap()).unwrap();
+        assert!(out.contains("sweep_sched_tasks_scheduled_total"), "{out}");
+        assert!(out.contains("sweep_sim_async_msg_latency_count"), "{out}");
+        assert!(out.contains("_bucket{le="), "{out}");
+    }
+
+    #[test]
+    fn telemetry_flag_works_on_other_subcommands() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let out = run(&args(&[
+            "schedule",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--telemetry",
+            "text",
+        ]))
+        .unwrap();
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("-- telemetry --"), "{out}");
+        assert!(out.contains("mesh.build"), "{out}");
+    }
+
+    #[test]
+    fn telemetry_rejects_unknown_format() {
+        let err = run(&args(&["trace", "tetonly", "--telemetry", "yaml"])).unwrap_err();
+        assert!(err.contains("unknown telemetry format"), "{err}");
+    }
+
+    #[test]
+    fn trace_requires_a_preset() {
+        // Locked: even a failing `trace` resets the global collector.
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let err = run(&args(&["trace"])).unwrap_err();
+        assert!(err.contains("--preset"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! `O(log m · log log log m)` analysis (Theorem 3).
 
 use sweep_dag::{SweepInstance, TaskDag, TaskId};
+use sweep_telemetry as telemetry;
 
 use crate::assignment::Assignment;
 use crate::list_schedule::list_schedule;
@@ -61,6 +62,7 @@ pub fn graham_steps(dag: &TaskDag, m: usize) -> (Vec<u32>, u32) {
 /// tasks. Returns `steps[task]` (indexed by `TaskId::index`) and the
 /// makespan `T`.
 pub fn graham_union_steps(instance: &SweepInstance, m: usize) -> (Vec<u32>, u32) {
+    let _span = telemetry::span!("sched.improved.graham");
     assert!(m > 0);
     let n = instance.num_cells();
     let k = instance.num_directions();
@@ -119,6 +121,7 @@ pub fn improved_random_delay_with(
     assignment: Assignment,
     delays: &[u32],
 ) -> Schedule {
+    let _span = telemetry::span!("sched.improved");
     let prio = improved_priorities(instance, assignment.num_procs(), delays);
     layer_sequential_by(instance, assignment, &prio)
 }
@@ -131,6 +134,7 @@ pub fn improved_with_priorities(
     assignment: Assignment,
     seed: u64,
 ) -> Schedule {
+    let _span = telemetry::span!("sched.improved");
     let delays = random_delays(instance.num_directions(), seed);
     let prio = improved_priorities(instance, assignment.num_procs(), delays.as_slice());
     list_schedule(instance, assignment, &prio, None)

@@ -15,6 +15,8 @@
 //! meshes `hex = cell / 12` and the column coordinates recover directly;
 //! [`kba_assignment`] encapsulates that arithmetic.
 
+use sweep_telemetry as telemetry;
+
 use crate::assignment::Assignment;
 
 /// Chooses a processor-grid factorization `px × py = m` with `px` as
@@ -50,6 +52,7 @@ pub fn processor_grid(m: usize) -> (usize, usize) {
 /// Panics when `num_cells != nx·ny·nz·12` (the mesh was carved or
 /// trimmed, so the hex arithmetic no longer applies) or `m == 0`.
 pub fn kba_assignment(nx: usize, ny: usize, nz: usize, num_cells: usize, m: usize) -> Assignment {
+    let _span = telemetry::span!("sched.kba.assignment");
     assert!(m > 0, "need at least one processor");
     assert_eq!(
         num_cells,

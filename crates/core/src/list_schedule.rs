@@ -16,6 +16,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use sweep_dag::{SweepInstance, TaskId};
+use sweep_telemetry as telemetry;
 
 use crate::assignment::Assignment;
 use crate::schedule::Schedule;
@@ -37,6 +38,10 @@ pub fn list_schedule(
     priority: &[i64],
     release: Option<&[u32]>,
 ) -> Schedule {
+    let _span = telemetry::span!("sched.list_schedule");
+    // Sampled once: the per-step ready-depth probe below is skipped
+    // entirely on the disabled path.
+    let recording = telemetry::enabled();
     let n = instance.num_cells();
     let k = instance.num_directions();
     let m = assignment.num_procs();
@@ -87,8 +92,12 @@ pub fn list_schedule(
     }
 
     let mut completed: Vec<u64> = Vec::with_capacity(m);
+    let mut ready_peak = 0usize;
     let mut t_now: u32 = 0;
     while pending > 0 {
+        if recording {
+            ready_peak = ready_peak.max(heaps.iter().map(|h| h.len()).sum());
+        }
         if let Some(bucket) = release_buckets.get_mut(t_now as usize) {
             for task in std::mem::take(bucket) {
                 heaps[proc_of_task(task)].push(Reverse((priority[task as usize], task)));
@@ -128,6 +137,11 @@ pub fn list_schedule(
             (t_now as u64) <= (n * k) as u64 + max_release as u64 + 1,
             "list scheduler failed to make progress"
         );
+    }
+    if recording {
+        telemetry::counter_add("sched.tasks_scheduled", (n * k) as u64);
+        telemetry::counter_add("sched.list_schedule.steps", t_now as u64);
+        telemetry::gauge_max("sched.list_schedule.ready_peak", ready_peak as f64);
     }
     Schedule::new_checked(start, assignment)
 }

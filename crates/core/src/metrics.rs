@@ -89,8 +89,14 @@ pub fn load_profile(instance: &SweepInstance, schedule: &Schedule) -> Vec<u32> {
 }
 
 /// Total idle processor-steps: `m · makespan − n·k`.
+///
+/// Saturates at 0: on an empty schedule (makespan 0, no tasks) the answer
+/// is 0, and on an *invalid* schedule that packs more tasks than
+/// `m · makespan` slots the difference would go negative — callers probing
+/// unchecked schedules get 0 instead of a debug-build underflow panic.
 pub fn idle_slots(schedule: &Schedule) -> u64 {
-    schedule.num_procs() as u64 * schedule.makespan() as u64 - schedule.starts().len() as u64
+    (schedule.num_procs() as u64 * schedule.makespan() as u64)
+        .saturating_sub(schedule.starts().len() as u64)
 }
 
 #[cfg(test)]
@@ -188,5 +194,26 @@ mod tests {
             idle_slots(&s),
             4 * s.makespan() as u64 - inst.num_tasks() as u64
         );
+    }
+
+    #[test]
+    fn idle_slots_zero_on_empty_schedule() {
+        // Regression: `m · makespan − tasks` used to underflow-panic (debug)
+        // whenever the product was smaller than the task count; the empty
+        // schedule is the simplest such boundary (0·0 − 0).
+        let inst = SweepInstance::new(0, vec![TaskDag::edgeless(0)], "empty");
+        let s = greedy_schedule(&inst, Assignment::single(0));
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(idle_slots(&s), 0);
+    }
+
+    #[test]
+    fn idle_slots_saturates_on_conflicting_schedule() {
+        // An unchecked schedule packing two tasks into the same (proc, step)
+        // slot has m·makespan = 1 < 2 tasks; the metric must clamp to 0,
+        // not wrap around to u64::MAX − 1.
+        let s = Schedule::new_checked(vec![0, 0], Assignment::single(2));
+        assert_eq!(s.makespan(), 1);
+        assert_eq!(idle_slots(&s), 0);
     }
 }

@@ -9,6 +9,7 @@
 //! in the paper's experiments where directions are "randomly delayed".
 
 use sweep_dag::{b_levels, descendant_counts, levels, DescendantMode, SweepInstance, TaskId};
+use sweep_telemetry as telemetry;
 
 use crate::assignment::Assignment;
 use crate::list_schedule::list_schedule;
@@ -142,6 +143,13 @@ pub fn schedule_with_priorities(
     scheme: PriorityScheme,
     delays: Option<u64>, // seed for the delay draw; None = no delays
 ) -> Schedule {
+    // Static span name per scheme so the guard stays allocation-free.
+    let _span = telemetry::span(match scheme {
+        PriorityScheme::Level => "sched.priorities.level",
+        PriorityScheme::Descendant(DescendantMode::Exact) => "sched.priorities.descendant_exact",
+        PriorityScheme::Descendant(DescendantMode::Approximate) => "sched.priorities.descendant",
+        PriorityScheme::Dfds => "sched.priorities.dfds",
+    });
     let prio = match scheme {
         PriorityScheme::Level => level_priorities(instance),
         PriorityScheme::Descendant(mode) => descendant_priorities(instance, mode),

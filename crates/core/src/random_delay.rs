@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use sweep_dag::{levels, SweepInstance, TaskId};
+use sweep_telemetry as telemetry;
 
 use crate::assignment::Assignment;
 use crate::list_schedule::list_schedule;
@@ -26,6 +27,7 @@ use crate::schedule::Schedule;
 /// Draws the per-direction delays `X_i ∈ {0, …, k−1}` (step 1 of every
 /// random-delay algorithm).
 pub fn random_delays(k: usize, seed: u64) -> Vec<u32> {
+    let _span = telemetry::span!("sched.random_delay.delay_draw");
     let mut rng = StdRng::seed_from_u64(seed);
     (0..k).map(|_| rng.random_range(0..k as u32)).collect()
 }
@@ -33,6 +35,7 @@ pub fn random_delays(k: usize, seed: u64) -> Vec<u32> {
 /// The priorities `Γ(v,i) = level_i(v) + X_i` of Algorithm 2, reusable by
 /// any list scheduler. Returned indexed by `TaskId::index`.
 pub fn delayed_level_priorities(instance: &SweepInstance, delays: &[u32]) -> Vec<i64> {
+    let _span = telemetry::span!("sched.random_delay.priorities");
     let n = instance.num_cells();
     let k = instance.num_directions();
     assert_eq!(delays.len(), k, "one delay per direction");
@@ -63,6 +66,7 @@ pub fn random_delay_with(
     assignment: Assignment,
     delays: &[u32],
 ) -> Schedule {
+    let _span = telemetry::span!("sched.random_delay");
     let n = instance.num_cells();
     let k = instance.num_directions();
     assert_eq!(delays.len(), k, "one delay per direction");
@@ -116,8 +120,10 @@ pub fn random_delay_with(
             next_slot[p] += 1;
             layer_span = layer_span.max(next_slot[p] - clock);
         }
+        telemetry::histogram_record("sched.random_delay.layer_span", layer_span as f64);
         clock += layer_span;
     }
+    telemetry::counter_add("sched.tasks_scheduled", (n * k) as u64);
     Schedule::new_checked(start, assignment)
 }
 

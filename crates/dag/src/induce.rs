@@ -14,6 +14,7 @@
 
 use sweep_mesh::{SweepMesh, Vec3};
 use sweep_quadrature::QuadratureSet;
+use sweep_telemetry as telemetry;
 
 use crate::graph::TaskDag;
 
@@ -79,12 +80,23 @@ pub fn induce_all(
     mesh: &impl SweepMesh,
     quadrature: &QuadratureSet,
 ) -> (Vec<TaskDag>, Vec<InduceStats>) {
+    let _span = telemetry::span!("dag.induce");
     let mut dags = Vec::with_capacity(quadrature.len());
     let mut stats = Vec::with_capacity(quadrature.len());
     for (_, omega) in quadrature.iter() {
         let (d, s) = induce_dag(mesh, omega);
         dags.push(d);
         stats.push(s);
+    }
+    if telemetry::enabled() {
+        telemetry::counter_add(
+            "dag.induce.raw_edges",
+            stats.iter().map(|s| s.raw_edges as u64).sum(),
+        );
+        telemetry::counter_add(
+            "dag.induce.dropped_edges",
+            stats.iter().map(|s| s.dropped_edges as u64).sum(),
+        );
     }
     (dags, stats)
 }

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sweep_mesh::SweepMesh;
 use sweep_quadrature::QuadratureSet;
+use sweep_telemetry as telemetry;
 
 use crate::graph::TaskDag;
 use crate::induce::{induce_all, InduceStats};
@@ -92,6 +93,7 @@ impl SweepInstance {
         quadrature: &QuadratureSet,
         name: impl Into<String>,
     ) -> (SweepInstance, Vec<InduceStats>) {
+        let _span = telemetry::span!("dag.instance.from_mesh");
         let (dags, stats) = induce_all(mesh, quadrature);
         (
             SweepInstance {

@@ -25,6 +25,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
+use sweep_telemetry as telemetry;
+
 use crate::face::{CellId, SweepMesh};
 use crate::geometry::{Point3, Vec3};
 use crate::tet::{MeshError, TetMesh};
@@ -150,6 +152,7 @@ impl From<MeshError> for GenerateError {
 
 /// Generates the full (untrimmed) synthetic mesh for `cfg`.
 pub fn generate(cfg: &GeneratorConfig) -> Result<TetMesh, GenerateError> {
+    let _span = telemetry::span!("mesh.generate");
     let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
     if nx == 0 || ny == 0 || nz == 0 {
         return Err(GenerateError::BadConfig(

@@ -12,6 +12,8 @@
 //! `scale ∈ (0, 1]` factor producing a smaller mesh of the same shape with
 //! `⌈scale · cells⌉` cells, used by tests and smoke-mode benchmarks.
 
+use sweep_telemetry as telemetry;
+
 use crate::generator::{generate_with_target, Carve, GenerateError, GeneratorConfig};
 use crate::geometry::Vec3;
 use crate::tet::TetMesh;
@@ -71,6 +73,7 @@ impl MeshPreset {
     /// Builds a geometrically similar mesh with `⌈scale · paper_cells⌉`
     /// cells, `0 < scale ≤ 1`.
     pub fn build_scaled(self, scale: f64) -> Result<TetMesh, GenerateError> {
+        let _span = telemetry::span!("mesh.build");
         if !(scale > 0.0 && scale <= 1.0) {
             return Err(GenerateError::BadConfig(format!(
                 "scale {scale} outside (0, 1]"

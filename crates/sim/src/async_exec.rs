@@ -23,6 +23,7 @@ use std::collections::BinaryHeap;
 
 use sweep_core::Assignment;
 use sweep_dag::{SweepInstance, TaskId};
+use sweep_telemetry as telemetry;
 
 /// Result of an asynchronous distributed simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +124,7 @@ pub fn async_makespan_traced(
     weights: Option<&[u64]>,
     latency: f64,
 ) -> (AsyncReport, AsyncTrace) {
+    let _span = telemetry::span!("sim.async.exec");
     let n = instance.num_cells();
     let k = instance.num_directions();
     let total = n * k;
@@ -184,6 +186,10 @@ pub fn async_makespan_traced(
     let mut makespan = 0.0f64;
     let mut done = 0usize;
     let mut trace = AsyncTrace::default();
+    // Sampled once: the ready-depth probe in the event loop vanishes when
+    // telemetry is disabled.
+    let recording = telemetry::enabled();
+    let mut ready_peak = 0usize;
 
     // Try to start work on processor p at time `now`.
     let start_if_possible = |p: usize,
@@ -227,6 +233,9 @@ pub fn async_makespan_traced(
     }
 
     while let Some(Reverse(Ev(t, kind, p, payload))) = events.pop() {
+        if recording {
+            ready_peak = ready_peak.max(ready.iter().map(BinaryHeap::len).sum());
+        }
         let p = p as usize;
         match kind {
             0 => {
@@ -295,6 +304,9 @@ pub fn async_makespan_traced(
         }
     }
     debug_assert_eq!(done, total, "all tasks must complete");
+    if recording {
+        telemetry::gauge_max("sim.async.ready_peak", ready_peak as f64);
+    }
     let util = if makespan > 0.0 {
         busy.iter().sum::<f64>() / (m as f64 * makespan)
     } else {
@@ -309,6 +321,29 @@ pub fn async_makespan_traced(
         },
         trace,
     )
+}
+
+/// Publishes an [`AsyncTrace`] to the global telemetry collector: every
+/// task execution becomes a virtual-clock span named `sim.async.step` on
+/// its processor's track (Chrome export shows them under the "simulated
+/// time" process, one row per processor), messages become the
+/// `sim.async.messages` counter plus a `sim.async.msg_latency` histogram
+/// of arrive−send times. Per-message *events* are deliberately not
+/// emitted — realistic runs carry tens of thousands of messages and would
+/// swamp the trace.
+///
+/// No-op when telemetry is disabled.
+pub fn publish_trace(trace: &AsyncTrace) {
+    if !telemetry::enabled() {
+        return;
+    }
+    for e in &trace.execs {
+        telemetry::virtual_span("sim.async.step", e.proc, e.start, e.finish - e.start);
+    }
+    telemetry::counter_add("sim.async.messages", trace.messages.len() as u64);
+    for msg in &trace.messages {
+        telemetry::histogram_record("sim.async.msg_latency", msg.arrive - msg.send);
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,8 @@ pub mod sync_sim;
 pub mod transport;
 
 pub use async_exec::{
-    async_makespan, async_makespan_traced, AsyncReport, AsyncTrace, TraceExec, TraceMessage,
+    async_makespan, async_makespan_traced, publish_trace, AsyncReport, AsyncTrace, TraceExec,
+    TraceMessage,
 };
 pub use coloring::{color_edges, is_proper_coloring, max_degree};
 pub use executor::{execute_parallel, execute_sequential, ExecReport};

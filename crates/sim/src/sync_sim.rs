@@ -11,6 +11,7 @@
 
 use sweep_core::Schedule;
 use sweep_dag::{SweepInstance, TaskId};
+use sweep_telemetry as telemetry;
 
 use crate::coloring::{color_edges, max_degree};
 
@@ -68,6 +69,10 @@ pub struct SimReport {
 /// Panics (in debug builds) if the schedule is infeasible; run
 /// `sweep_core::validate` first when in doubt.
 pub fn simulate(instance: &SweepInstance, schedule: &Schedule, config: &SimConfig) -> SimReport {
+    let _span = telemetry::span!("sim.sync");
+    // Sampled once so the per-step histogram probes below vanish when
+    // telemetry is disabled.
+    let recording = telemetry::enabled();
     let n = instance.num_cells();
     let steps = schedule.makespan() as usize;
     // Group cut-edge messages by the source task's completion step.
@@ -95,7 +100,11 @@ pub fn simulate(instance: &SweepInstance, schedule: &Schedule, config: &SimConfi
                 for &(pu, _) in msgs {
                     sends[pu as usize] += 1;
                 }
-                comm_units += sends.iter().copied().max().unwrap_or(0);
+                let step_units = sends.iter().copied().max().unwrap_or(0);
+                if recording {
+                    telemetry::histogram_record("sim.sync.step_comm_units", step_units as f64);
+                }
+                comm_units += step_units;
                 for &(pu, _) in msgs {
                     sends[pu as usize] = 0;
                 }
@@ -109,9 +118,16 @@ pub fn simulate(instance: &SweepInstance, schedule: &Schedule, config: &SimConfi
                 // Self-messages cannot occur (pu != pv by construction).
                 let (_, colors) = color_edges(m, msgs);
                 debug_assert!(colors >= max_degree(m, msgs).div_ceil(2));
+                if recording {
+                    telemetry::histogram_record("sim.sync.step_comm_units", colors as f64);
+                }
                 comm_units += colors as u64;
             }
         }
+    }
+    if recording {
+        telemetry::counter_add("sim.sync.messages", total_messages);
+        telemetry::counter_add("sim.sync.steps", steps as u64);
     }
     SimReport {
         compute_steps: steps as u64,

@@ -1,0 +1,481 @@
+//! The thread-safe span/metric collector and its RAII span guard.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+
+/// Which clock a span's timestamps live on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Real monotonic time, microseconds since the collector's epoch.
+    Wall,
+    /// Simulated time (e.g. the async executor's event clock), scaled to
+    /// microseconds so trace viewers render it alongside wall time.
+    Virtual,
+}
+
+/// One closed span: a named interval on a track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Dotted taxonomy name, e.g. `sched.random_delay.delay_draw`.
+    pub name: Cow<'static, str>,
+    /// Lane: the recording thread (wall clock) or simulated processor
+    /// (virtual clock).
+    pub track: u32,
+    /// Clock the timestamps are on.
+    pub clock: Clock,
+    /// Start, microseconds since epoch (wall) or since t=0 (virtual).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Nesting depth at open time (0 = top level). Virtual spans are
+    /// always depth 0.
+    pub depth: u32,
+}
+
+impl SpanEvent {
+    /// The taxonomy category: the segment before the first `.`
+    /// (`sched.random_delay` → `sched`).
+    pub fn category(&self) -> &str {
+        self.name.split('.').next().unwrap_or("")
+    }
+}
+
+/// Point-in-time copy of a collector's contents, consumed by the
+/// exporters in [`crate::export`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All closed spans, in close order.
+    pub spans: Vec<SpanEvent>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram contents by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Aggregate over all closed spans sharing one name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// The shared span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: usize,
+    /// Total duration, microseconds.
+    pub total_us: u64,
+    /// Median duration, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile duration, microseconds.
+    pub p99_us: u64,
+}
+
+impl Snapshot {
+    /// Distinct span categories present, sorted.
+    pub fn categories(&self) -> Vec<String> {
+        let mut cats: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| s.category().to_string())
+            .collect();
+        cats.sort();
+        cats.dedup();
+        cats
+    }
+
+    /// Per-name span aggregates (count, total, p50, p99), sorted by name.
+    /// This is the "per-phase" summary the bench harness persists.
+    pub fn span_summaries(&self) -> Vec<SpanSummary> {
+        let mut by_name: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+        for s in &self.spans {
+            by_name.entry(&s.name).or_default().push(s.dur_us);
+        }
+        by_name
+            .into_iter()
+            .map(|(name, mut durs)| {
+                durs.sort_unstable();
+                let count = durs.len();
+                let q = |p: f64| durs[((p * (count - 1) as f64).round() as usize).min(count - 1)];
+                SpanSummary {
+                    name: name.to_string(),
+                    count,
+                    total_us: durs.iter().sum(),
+                    p50_us: q(0.50),
+                    p99_us: q(0.99),
+                }
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<SpanEvent>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe telemetry sink. Most code uses the process-global
+/// instance through [`crate::global`] and the free functions / the
+/// [`crate::span!`] macro; tests may build private collectors.
+pub struct Collector {
+    enabled: AtomicBool,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+/// Distinct wall-clock track ids, one per recording thread.
+static NEXT_TRACK: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static TRACK: Cell<Option<u32>> = const { Cell::new(None) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_track() -> u32 {
+    TRACK.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_TRACK.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+impl Collector {
+    /// An empty, *disabled* collector whose epoch is "now".
+    pub fn new() -> Collector {
+        Collector {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the collector is recording. One relaxed atomic load — this
+    /// is the entire disabled-path cost of every instrumentation point.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds elapsed since the collector's epoch.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic while holding the lock poisons it; the data is plain
+        // values, so recovering the guard is always safe here.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Opens a wall-clock span; it records when the guard drops. When the
+    /// collector is disabled this returns an inert guard without touching
+    /// any shared state.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                collector: None,
+                name,
+                start_us: 0,
+                track: 0,
+                depth: 0,
+            };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard {
+            collector: Some(self),
+            name,
+            start_us: self.now_us(),
+            track: thread_track(),
+            depth,
+        }
+    }
+
+    fn record_span(&self, ev: SpanEvent) {
+        // Auto-aggregate wall-span durations so Prometheus output always
+        // carries latency histograms wherever spans fire.
+        if ev.clock == Clock::Wall {
+            let key = format!("span.{}", ev.name);
+            let secs = ev.dur_us as f64 / 1e6;
+            let mut inner = self.lock();
+            inner.histograms.entry(key).or_default().record(secs);
+            inner.spans.push(ev);
+        } else {
+            self.lock().spans.push(ev);
+        }
+    }
+
+    /// Records a closed span on the simulated clock (`start_s`/`dur_s`
+    /// in simulated seconds, `track` = simulated processor).
+    pub fn virtual_span(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        track: u32,
+        start_s: f64,
+        dur_s: f64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_span(SpanEvent {
+            name: name.into(),
+            track,
+            clock: Clock::Virtual,
+            start_us: (start_s * 1e6).round().max(0.0) as u64,
+            dur_us: (dur_s * 1e6).round().max(0.0) as u64,
+            depth: 0,
+        });
+    }
+
+    /// Adds `delta` to the named counter.
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets the named gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Raises the named gauge to `value` if larger — peak tracking
+    /// (e.g. maximum ready-queue depth).
+    #[inline]
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(v) => *v = v.max(value),
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records one sample into the named histogram.
+    #[inline]
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Clones the current contents.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            spans: inner.spans.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Clears everything recorded so far; the enabled flag is unchanged.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        *inner = Inner::default();
+    }
+}
+
+/// RAII wall-clock span handle returned by [`Collector::span`]; records
+/// the interval when dropped. Inert (and allocation-free) when the
+/// collector was disabled at open time.
+pub struct SpanGuard<'a> {
+    collector: Option<&'a Collector>,
+    name: &'static str,
+    start_us: u64,
+    track: u32,
+    depth: u32,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(c) = self.collector else {
+            return;
+        };
+        DEPTH.with(|d| d.set(self.depth));
+        let end = c.now_us();
+        c.record_span(SpanEvent {
+            name: Cow::Borrowed(self.name),
+            track: self.track,
+            clock: Clock::Wall,
+            start_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+            depth: self.depth,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_collector_spans_nest_and_time() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        {
+            let _a = c.span("a.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _b = c.span("a.outer.inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Inner closes first.
+        let inner = &snap.spans[0];
+        let outer = &snap.spans[1];
+        assert_eq!(inner.name, "a.outer.inner");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(inner.start_us >= outer.start_us);
+        assert_eq!(inner.track, outer.track);
+        assert_eq!(outer.category(), "a");
+    }
+
+    #[test]
+    fn disabled_collector_is_inert() {
+        let c = Collector::new();
+        {
+            let _s = c.span("x.y");
+            c.counter_add("c", 1);
+            c.gauge_max("g", 2.0);
+            c.histogram_record("h", 3.0);
+            c.virtual_span("v", 0, 0.0, 1.0);
+        }
+        let snap = c.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        c.counter_add("c", 1);
+        c.counter_add("c", 4);
+        c.gauge_set("g", 7.0);
+        c.gauge_set("g", 3.0);
+        c.gauge_max("p", 1.0);
+        c.gauge_max("p", 9.0);
+        c.gauge_max("p", 2.0);
+        for v in [1.0, 2.0, 3.0] {
+            c.histogram_record("h", v);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 3.0);
+        assert_eq!(snap.gauges["p"], 9.0);
+        assert_eq!(snap.histograms["h"].count(), 3);
+    }
+
+    #[test]
+    fn virtual_spans_scale_to_microseconds() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        c.virtual_span("sim.task", 3, 1.5, 0.25);
+        let snap = c.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let s = &snap.spans[0];
+        assert_eq!(s.clock, Clock::Virtual);
+        assert_eq!(s.track, 3);
+        assert_eq!(s.start_us, 1_500_000);
+        assert_eq!(s.dur_us, 250_000);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        c.counter_add("c", 1);
+        c.reset();
+        assert!(c.is_enabled());
+        assert!(c.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn span_summaries_aggregate_by_name() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        for i in 0..5 {
+            c.virtual_span("sim.step", 0, i as f64, 1.0 + i as f64);
+        }
+        let snap = c.snapshot();
+        let sums = snap.span_summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].name, "sim.step");
+        assert_eq!(sums[0].count, 5);
+        assert_eq!(
+            sums[0].total_us,
+            (1.0f64 + 2.0 + 3.0 + 4.0 + 5.0) as u64 * 1_000_000
+        );
+        assert_eq!(sums[0].p50_us, 3_000_000);
+        assert_eq!(sums[0].p99_us, 5_000_000);
+    }
+}

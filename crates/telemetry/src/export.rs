@@ -1,0 +1,371 @@
+//! Exporters: Chrome `trace_event` JSON, Prometheus text exposition,
+//! and a human-readable text tree — plus validators used by tests and
+//! the CI trace job.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::collector::{Clock, Snapshot};
+use crate::json::{self, Value};
+
+/// Wall-clock events' Chrome trace process id.
+const PID_WALL: u32 = 1;
+/// Virtual-clock (simulated time) events' process id.
+const PID_VIRTUAL: u32 = 2;
+
+/// Renders the snapshot as Chrome `trace_event` JSON (the "JSON object
+/// format"), loadable in `chrome://tracing` and Perfetto. Wall-clock
+/// spans appear under process 1 ("wall clock", one thread lane per
+/// recording thread); virtual spans under process 2 ("simulated time",
+/// one lane per simulated processor).
+pub fn to_chrome_trace(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    for (pid, label) in [(PID_WALL, "wall clock"), (PID_VIRTUAL, "simulated time")] {
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    for s in &snapshot.spans {
+        let pid = match s.clock {
+            Clock::Wall => PID_WALL,
+            Clock::Virtual => PID_VIRTUAL,
+        };
+        push(
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\
+                 \"tid\":{},\"ts\":{},\"dur\":{}}}",
+                json::escape(&s.name),
+                json::escape(s.category()),
+                s.track,
+                s.start_us,
+                s.dur_us,
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Shape summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeTraceInfo {
+    /// Number of complete (`ph == "X"`) span events.
+    pub spans: usize,
+    /// Distinct `cat` values among span events, sorted.
+    pub categories: Vec<String>,
+}
+
+/// Parses a Chrome trace document and checks its shape: a `traceEvents`
+/// array whose `"X"` events all carry `name`, `ts`, and `dur`. Errors on
+/// malformed JSON or an event-free trace.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceInfo, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut spans = 0usize;
+    let mut categories = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph != "X" {
+            continue;
+        }
+        ev.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        for field in ["ts", "dur"] {
+            ev.get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric {field}"))?;
+        }
+        if let Some(cat) = ev.get("cat").and_then(Value::as_str) {
+            categories.insert(cat.to_string());
+        }
+        spans += 1;
+    }
+    if spans == 0 {
+        return Err("trace contains no span events".to_string());
+    }
+    Ok(ChromeTraceInfo {
+        spans,
+        categories: categories.into_iter().collect(),
+    })
+}
+
+/// Maps a dotted telemetry name onto the Prometheus metric-name grammar
+/// (`sweep_` prefix, `[a-zA-Z0-9_]` body).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("sweep_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders counters, gauges, and histograms in the Prometheus text
+/// exposition format (version 0.0.4). Counter names get a `_total`
+/// suffix; histogram bucket lines are emitted cumulatively at the
+/// boundaries where counts change, plus the mandatory `+Inf`.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let mut p = prom_name(name);
+        if !p.ends_with("_total") {
+            p.push_str("_total");
+        }
+        let _ = writeln!(out, "# TYPE {p} counter");
+        let _ = writeln!(out, "{p} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} gauge");
+        let _ = writeln!(out, "{p} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} histogram");
+        for (bound, cum) in h.cumulative_buckets() {
+            let _ = writeln!(out, "{p}_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{p}_sum {}", h.sum());
+        let _ = writeln!(out, "{p}_count {}", h.count());
+    }
+    out
+}
+
+/// Checks `text` against the Prometheus text exposition grammar: every
+/// line is a comment (`# TYPE` / `# HELP` / `#` note), blank, or a
+/// `name[{labels}] value` sample with a parseable float value.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    fn is_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Split off an optional {labels} block.
+        let (name_part, rest) = match line.find('{') {
+            Some(open) => {
+                let close = line[open..]
+                    .find('}')
+                    .map(|c| open + c)
+                    .ok_or_else(|| format!("line {}: unclosed label block", i + 1))?;
+                let labels = &line[open + 1..close];
+                for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {}: bad label '{pair}'", i + 1))?;
+                    if !is_name(k) || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(format!("line {}: bad label '{pair}'", i + 1));
+                    }
+                }
+                (&line[..open], &line[close + 1..])
+            }
+            None => match line.split_once(' ') {
+                Some((n, r)) => (n, r),
+                None => return Err(format!("line {}: missing value", i + 1)),
+            },
+        };
+        if !is_name(name_part) {
+            return Err(format!("line {}: bad metric name '{name_part}'", i + 1));
+        }
+        let value = rest.trim();
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return Err(format!("line {}: bad value '{value}'", i + 1));
+        }
+    }
+    Ok(())
+}
+
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.1} ms", us as f64 / 1e3)
+    } else {
+        format!("{:.3} s", us as f64 / 1e6)
+    }
+}
+
+/// Renders a plain-text report: per-track span trees (indented by
+/// nesting depth, in start order), then counters, gauges, and histogram
+/// summaries.
+pub fn to_text_report(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (clock, heading) in [
+        (Clock::Wall, "wall clock"),
+        (Clock::Virtual, "simulated time"),
+    ] {
+        let mut spans: Vec<_> = snapshot.spans.iter().filter(|s| s.clock == clock).collect();
+        if spans.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "spans ({heading}):");
+        spans.sort_by_key(|s| (s.track, s.start_us, s.depth));
+        let tracks: BTreeSet<u32> = spans.iter().map(|s| s.track).collect();
+        for track in tracks {
+            let _ = writeln!(out, "  track {track}:");
+            for s in spans.iter().filter(|s| s.track == track) {
+                let _ = writeln!(
+                    out,
+                    "    {:indent$}{:<44} {:>10}",
+                    "",
+                    s.name,
+                    fmt_us(s.dur_us),
+                    indent = 2 * s.depth as usize
+                );
+            }
+        }
+    }
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<46} {v:>10}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<46} {v:>10}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms:\n  {:<38} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<38} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                name,
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+
+    fn sample_snapshot() -> Snapshot {
+        let c = Collector::new();
+        c.set_enabled(true);
+        {
+            let _a = c.span("mesh.build");
+            let _b = c.span("mesh.build.generate");
+        }
+        c.virtual_span("sim.async.task", 2, 0.5, 1.0);
+        c.counter_add("sim.async.messages", 42);
+        c.gauge_max("sim.async.ready_peak", 7.0);
+        c.histogram_record("sched.layer_span", 3.0);
+        c.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_carries_categories() {
+        let text = to_chrome_trace(&sample_snapshot());
+        let info = validate_chrome_trace(&text).unwrap();
+        assert_eq!(info.spans, 3);
+        assert_eq!(info.categories, vec!["mesh".to_string(), "sim".to_string()]);
+    }
+
+    #[test]
+    fn chrome_validator_rejects_empty_and_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(validate_chrome_trace("{\"other\": 1}").is_err());
+        // Metadata-only traces count as empty.
+        let meta = "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1}]}";
+        assert!(validate_chrome_trace(meta).is_err());
+    }
+
+    #[test]
+    fn prometheus_output_matches_grammar() {
+        let text = to_prometheus(&sample_snapshot());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE sweep_sim_async_messages_total counter"));
+        assert!(text.contains("sweep_sim_async_messages_total 42"));
+        assert!(text.contains("# TYPE sweep_sim_async_ready_peak gauge"));
+        assert!(text.contains("# TYPE sweep_sched_layer_span histogram"));
+        assert!(text.contains("sweep_sched_layer_span_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("sweep_sched_layer_span_count 1"));
+        // Wall spans auto-export duration histograms.
+        assert!(text.contains("sweep_span_mesh_build_count 1"));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_bad_lines() {
+        assert!(validate_prometheus("9metric 1").is_err());
+        assert!(validate_prometheus("name{le=\"0.1\" 3").is_err());
+        assert!(validate_prometheus("name notanumber").is_err());
+        assert!(validate_prometheus("name{k=unquoted} 1").is_err());
+        validate_prometheus("ok_name{le=\"+Inf\"} 12\n# comment\n\nplain 1.5").unwrap();
+    }
+
+    #[test]
+    fn text_report_nests_and_lists_metrics() {
+        let text = to_text_report(&sample_snapshot());
+        assert!(text.contains("spans (wall clock):"));
+        assert!(text.contains("spans (simulated time):"));
+        assert!(text.contains("mesh.build.generate"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("sim.async.messages"));
+        assert!(text.contains("histograms:"));
+        // The inner span is indented deeper than the outer.
+        let outer_col = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("mesh.build "))
+            .map(|l| l.len() - l.trim_start().len())
+            .expect("outer span line");
+        let inner_col = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("mesh.build.generate"))
+            .map(|l| l.len() - l.trim_start().len())
+            .expect("inner span line");
+        assert!(inner_col > outer_col);
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("sim.async.step"), "sweep_sim_async_step");
+        assert_eq!(prom_name("weird-name/1"), "sweep_weird_name_1");
+    }
+}

@@ -1,0 +1,201 @@
+//! # sweep-telemetry — dependency-free spans and metrics
+//!
+//! A self-contained observability layer for the sweep-scheduling
+//! workspace, mirroring the offline-build approach of `sweep-rng`: no
+//! `tracing`, no `metrics`, no serde — just the standard library.
+//!
+//! Three ingredients:
+//!
+//! * **Spans** — RAII guards ([`span`]/[`span!`]) with monotonic wall-clock
+//!   timing, per-thread tracks, and nesting depth. Simulated executions
+//!   (e.g. `sweep-sim`'s `AsyncTrace`) inject *virtual-clock* spans through
+//!   [`virtual_span`], so one exporter serves both wall-clock and
+//!   simulated time.
+//! * **Metrics** — a registry of counters, gauges (with a `max` mode for
+//!   peaks), and fixed-bucket log-scale histograms with p50/p90/p99
+//!   summaries.
+//! * **Exporters** — Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing` / Perfetto), Prometheus text exposition format,
+//!   and a plain-text tree report.
+//!
+//! Collection is **off by default**: every entry point first checks one
+//! relaxed atomic, so instrumented hot paths pay only that load (plus a
+//! guard construction) when telemetry is disabled. Enable it with
+//! [`set_enabled`]; spans record on guard drop into a global
+//! [`Collector`] (local collectors are available for tests and embedded
+//! use).
+//!
+//! ```
+//! sweep_telemetry::set_enabled(true);
+//! {
+//!     let _s = sweep_telemetry::span!("demo.outer");
+//!     sweep_telemetry::counter_add("demo.widgets", 3);
+//!     sweep_telemetry::histogram_record("demo.latency_seconds", 0.002);
+//! }
+//! let snap = sweep_telemetry::snapshot();
+//! assert!(snap.spans.iter().any(|s| s.name == "demo.outer"));
+//! sweep_telemetry::set_enabled(false);
+//! sweep_telemetry::reset();
+//! ```
+//!
+//! Span names form a dotted taxonomy (`mesh.build`, `dag.induce`,
+//! `sched.random_delay`, `sim.async.step`, …); the segment before the
+//! first dot is the span's *category*, which exporters surface (Chrome
+//! `cat` field, Prometheus metric prefixes). See DESIGN.md for the full
+//! taxonomy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod collector;
+pub mod export;
+pub mod json;
+pub mod metrics;
+
+pub use collector::{Clock, Collector, Snapshot, SpanEvent, SpanGuard, SpanSummary};
+pub use export::{
+    to_chrome_trace, to_prometheus, to_text_report, validate_chrome_trace, validate_prometheus,
+    ChromeTraceInfo,
+};
+pub use metrics::{Histogram, HistogramSnapshot};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Collector> = OnceLock::new();
+
+/// The process-wide collector used by the free functions below and by
+/// all in-tree instrumentation.
+pub fn global() -> &'static Collector {
+    GLOBAL.get_or_init(Collector::new)
+}
+
+/// Turns global collection on or off. Off (the default) makes every
+/// instrumentation point a near-no-op.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Whether the global collector is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Opens a wall-clock span on the global collector; the span closes (and
+/// records) when the returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+/// Adds `delta` to a global counter (created at zero on first use).
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    global().counter_add(name, delta);
+}
+
+/// Sets a global gauge to `value`.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    global().gauge_set(name, value);
+}
+
+/// Raises a global gauge to `value` if larger (peak tracking).
+#[inline]
+pub fn gauge_max(name: &str, value: f64) {
+    global().gauge_max(name, value);
+}
+
+/// Records one sample into a global fixed-bucket histogram.
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    global().histogram_record(name, value);
+}
+
+/// Records a closed span on the *virtual* (simulated-time) clock, e.g.
+/// one task execution out of an async-simulator trace. Times are in
+/// simulated seconds; `track` is the simulated processor lane.
+#[inline]
+pub fn virtual_span(
+    name: impl Into<std::borrow::Cow<'static, str>>,
+    track: u32,
+    start_s: f64,
+    dur_s: f64,
+) {
+    global().virtual_span(name, track, start_s, dur_s);
+}
+
+/// Clones the global collector's current contents.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Clears all recorded spans and metrics on the global collector
+/// (the enabled flag is left unchanged).
+pub fn reset() {
+    global().reset();
+}
+
+/// Opens a wall-clock span guard on the global collector:
+/// `let _s = span!("sched.random_delay");`. The name must be a `'static`
+/// dotted taxonomy path; the guard records on drop.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tests touching the *global* collector serialize on this lock so
+    /// `cargo test`'s threaded runner cannot interleave them.
+    pub(crate) static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        let _g = GLOBAL_LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span!("test.nothing");
+            counter_add("test.c", 1);
+            histogram_record("test.h", 1.0);
+        }
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn global_round_trip_records_spans_and_metrics() {
+        let _g = GLOBAL_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span!("test.outer");
+            let _inner = span!("test.outer.inner");
+            counter_add("test.count", 2);
+            gauge_max("test.peak", 5.0);
+            gauge_max("test.peak", 3.0);
+            virtual_span("test.virtual", 0, 1.0, 0.5);
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        reset();
+        assert!(snap.spans.iter().any(|s| s.name == "test.outer"));
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.name == "test.virtual" && s.clock == Clock::Virtual));
+        assert_eq!(snap.counters["test.count"], 2);
+        assert_eq!(snap.gauges["test.peak"], 5.0);
+        // Closed wall spans auto-record duration histograms.
+        assert!(snap.histograms.contains_key("span.test.outer"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Fixed-bucket log-scale histograms with quantile summaries.
+//!
+//! Buckets are fixed at construction — 5 per decade from `1e-7` to
+//! `1e7`, plus one overflow bucket — so recording is O(1), memory is
+//! constant, and merging snapshots is trivial. Quantiles are read off
+//! the cumulative bucket counts (upper-bound estimate, clamped to the
+//! observed min/max), which is accurate to one bucket width (~58%
+//! relative) — plenty for p50/p90/p99 *summaries* of durations and
+//! queue depths.
+
+/// Log-bucket layout shared by every histogram.
+const BUCKETS_PER_DECADE: i32 = 5;
+const MIN_EXP: i32 = -7;
+const MAX_EXP: i32 = 7;
+/// Number of finite bucket upper bounds.
+const NUM_BOUNDS: usize = ((MAX_EXP - MIN_EXP) * BUCKETS_PER_DECADE) as usize;
+
+/// Upper bound of finite bucket `i` (`0 ≤ i < NUM_BOUNDS`).
+fn bound(i: usize) -> f64 {
+    10f64.powf(MIN_EXP as f64 + (i as f64 + 1.0) / BUCKETS_PER_DECADE as f64)
+}
+
+/// Bucket index for a sample (the last slot is the +Inf overflow).
+fn bucket_of(value: f64) -> usize {
+    if value.is_nan() || value <= 1e-7 {
+        // Zero, negative, NaN, and tiny values all land in bucket 0.
+        return 0;
+    }
+    let idx = ((value.log10() - MIN_EXP as f64) * BUCKETS_PER_DECADE as f64).floor() as isize;
+    idx.clamp(0, NUM_BOUNDS as isize) as usize
+}
+
+/// A mutable fixed-bucket histogram (see the module docs for layout).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BOUNDS + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Immutable copy for export.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Frozen histogram contents, as stored in a
+/// [`crate::Snapshot`](crate::collector::Snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the `⌈q·count⌉`-th sample, clamped to `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let ub = if i < NUM_BOUNDS { bound(i) } else { self.max };
+                return ub.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs at the bucket
+    /// boundaries where the cumulative count changes, ready for
+    /// Prometheus `_bucket{le=…}` lines (the `+Inf` bucket is the
+    /// caller's `count()`).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts[..NUM_BOUNDS].iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bound(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.record(i as f64 / 1000.0); // 1ms .. 100ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert!((s.mean() - 0.0505).abs() < 1e-9);
+        // Upper-bound estimates: within one log-bucket of the truth and
+        // never outside [min, max].
+        assert!(s.p50() >= 0.05 && s.p50() <= 0.1, "p50 {}", s.p50());
+        assert!(s.p99() >= 0.09 && s.p99() <= 0.1, "p99 {}", s.p99());
+        assert!(s.quantile(0.0) >= s.min() && s.quantile(1.0) <= s.max());
+    }
+
+    #[test]
+    fn extreme_and_degenerate_values_are_absorbed() {
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(1e12);
+        h.record(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4);
+        // NaN contaminates sum/min/max but counting still works.
+        assert_eq!(s.cumulative_buckets().len(), 1); // the tiny bucket
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let mut h = Histogram::default();
+        for v in [0.001, 0.001, 0.5, 2.0, 900.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let b = s.cumulative_buckets();
+        assert!(b.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(b.last().map(|x| x.1), Some(5));
+    }
+
+    #[test]
+    fn single_value_quantiles_collapse() {
+        let mut h = Histogram::default();
+        h.record(0.25);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0.25);
+        assert_eq!(s.p99(), 0.25);
+    }
+}

@@ -1,0 +1,182 @@
+//! Exporter round-trip and concurrency tests (ISSUE 2 satellite):
+//! Chrome traces must parse back and nest correctly, Prometheus output
+//! must match the exposition grammar, and spans recorded from many
+//! threads must all survive.
+
+#![allow(clippy::unwrap_used)]
+
+use sweep_telemetry::{
+    json, to_chrome_trace, to_prometheus, to_text_report, validate_chrome_trace,
+    validate_prometheus, Clock, Collector,
+};
+
+#[test]
+fn chrome_trace_round_trip_preserves_nesting() {
+    let c = Collector::new();
+    c.set_enabled(true);
+    {
+        let _outer = c.span("sched.random_delay");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        {
+            let _inner = c.span("sched.random_delay.delay_draw");
+        }
+        {
+            let _inner2 = c.span("sched.random_delay.layering");
+        }
+    }
+    let snap = c.snapshot();
+    let text = to_chrome_trace(&snap);
+    let info = validate_chrome_trace(&text).expect("trace must parse");
+    assert_eq!(info.spans, 3);
+    assert_eq!(info.categories, vec!["sched".to_string()]);
+
+    // Re-parse and check interval containment: both children lie inside
+    // the parent span on the same tid.
+    let doc = json::parse(&text).unwrap();
+    let events: Vec<_> = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_array)
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+        .collect();
+    let interval = |name: &str| {
+        let e = events
+            .iter()
+            .find(|e| e.get("name").and_then(json::Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("missing event {name}"));
+        let ts = e.get("ts").and_then(json::Value::as_f64).unwrap();
+        let dur = e.get("dur").and_then(json::Value::as_f64).unwrap();
+        let tid = e.get("tid").and_then(json::Value::as_f64).unwrap();
+        (ts, ts + dur, tid)
+    };
+    let (p0, p1, ptid) = interval("sched.random_delay");
+    for child in [
+        "sched.random_delay.delay_draw",
+        "sched.random_delay.layering",
+    ] {
+        let (c0, c1, ctid) = interval(child);
+        assert_eq!(ctid, ptid, "{child} shares the parent's track");
+        assert!(
+            c0 >= p0 && c1 <= p1,
+            "{child} [{c0},{c1}] inside [{p0},{p1}]"
+        );
+    }
+}
+
+#[test]
+fn virtual_and_wall_spans_export_under_separate_pids() {
+    let c = Collector::new();
+    c.set_enabled(true);
+    {
+        let _w = c.span("sched.list_schedule");
+    }
+    c.virtual_span("sim.async.task", 0, 0.0, 2.0);
+    let text = to_chrome_trace(&c.snapshot());
+    let doc = json::parse(&text).unwrap();
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_array)
+        .unwrap();
+    let pid_of = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(json::Value::as_str) == Some(name))
+            .and_then(|e| e.get("pid"))
+            .and_then(json::Value::as_f64)
+            .unwrap_or_else(|| panic!("missing {name}"))
+    };
+    assert_eq!(pid_of("sched.list_schedule"), 1.0);
+    assert_eq!(pid_of("sim.async.task"), 2.0);
+}
+
+#[test]
+fn prometheus_round_trip_carries_counters_and_histograms() {
+    let c = Collector::new();
+    c.set_enabled(true);
+    c.counter_add("sim.sync.messages", 17);
+    for v in [0.5, 1.5, 2.5, 120.0] {
+        c.histogram_record("sim.sync.step_comm_units", v);
+    }
+    let text = to_prometheus(&c.snapshot());
+    validate_prometheus(&text).expect("exposition grammar");
+    assert!(text.contains("sweep_sim_sync_messages_total 17"));
+    assert!(text.contains("sweep_sim_sync_step_comm_units_count 4"));
+    assert!(text.contains("sweep_sim_sync_step_comm_units_sum 124.5"));
+    // Bucket lines are cumulative and end at +Inf.
+    let buckets: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("sweep_sim_sync_step_comm_units_bucket"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(buckets.last(), Some(&4));
+}
+
+#[test]
+fn concurrent_spans_from_many_threads_interleave_without_loss() {
+    const THREADS: usize = 8;
+    const SPANS_PER_THREAD: usize = 100;
+    // A leaked collector gives the 'static lifetime the guards of
+    // spawned threads need; one allocation in a test is fine.
+    let c: &'static Collector = Box::leak(Box::new(Collector::new()));
+    c.set_enabled(true);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for _ in 0..SPANS_PER_THREAD {
+                    let _outer = c.span("load.outer");
+                    let _inner = c.span("load.outer.inner");
+                    c.counter_add("load.count", 1);
+                }
+                let _ = t;
+            });
+        }
+    });
+    let snap = c.snapshot();
+    assert_eq!(
+        snap.spans.len(),
+        THREADS * SPANS_PER_THREAD * 2,
+        "no spans lost"
+    );
+    assert_eq!(
+        snap.counters["load.count"],
+        (THREADS * SPANS_PER_THREAD) as u64
+    );
+    // Every thread got its own track, and nesting depth is consistent.
+    let tracks: std::collections::BTreeSet<u32> = snap.spans.iter().map(|s| s.track).collect();
+    assert_eq!(tracks.len(), THREADS);
+    for s in &snap.spans {
+        match s.name.as_ref() {
+            "load.outer" => assert_eq!(s.depth, 0),
+            _ => assert_eq!(s.depth, 1),
+        }
+    }
+    // The whole pile still exports to valid artifacts.
+    let info = validate_chrome_trace(&to_chrome_trace(&snap)).unwrap();
+    assert_eq!(info.spans, THREADS * SPANS_PER_THREAD * 2);
+    validate_prometheus(&to_prometheus(&snap)).unwrap();
+    assert!(!to_text_report(&snap).is_empty());
+}
+
+#[test]
+fn snapshot_is_stable_while_recording_continues() {
+    let c = Collector::new();
+    c.set_enabled(true);
+    c.counter_add("x", 1);
+    let before = c.snapshot();
+    c.counter_add("x", 1);
+    assert_eq!(before.counters["x"], 1);
+    assert_eq!(c.snapshot().counters["x"], 2);
+}
+
+#[test]
+fn span_events_expose_clock_and_category() {
+    let c = Collector::new();
+    c.set_enabled(true);
+    c.virtual_span("sim.async.step", 4, 1.0, 1.0);
+    let snap = c.snapshot();
+    assert_eq!(snap.spans[0].clock, Clock::Virtual);
+    assert_eq!(snap.spans[0].category(), "sim");
+    assert_eq!(snap.categories(), vec!["sim".to_string()]);
+}
