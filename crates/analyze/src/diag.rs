@@ -21,8 +21,11 @@
 //! | SW014 | warning | makespan exceeds the random-delay O(log) envelope |
 //! | SW015 | warning | pre-scheduling C1 communication bound is high |
 //! | SW016 | warning | message race: concurrent sends, tied arrival |
+//! | SW017 | error | trace executes a task more than once |
+//! | SW018 | error | trace violates a precedence or delivers late |
 //! | SW020 | info | structural statistics |
 //! | SW021 | info | schedule certified against the paper bounds |
+//! | SW022 | info | fault-injected trace certified exactly-once and precedence-correct |
 
 use std::fmt;
 
@@ -78,8 +81,11 @@ pub enum Code {
     DelayEnvelopeExceeded,
     HighCommBound,
     MessageRace,
+    DuplicateExecution,
+    TracePrecedenceViolation,
     Stats,
     Certified,
+    FaultTraceCertified,
 }
 
 impl Code {
@@ -100,8 +106,11 @@ impl Code {
             Code::DelayEnvelopeExceeded => "SW014",
             Code::HighCommBound => "SW015",
             Code::MessageRace => "SW016",
+            Code::DuplicateExecution => "SW017",
+            Code::TracePrecedenceViolation => "SW018",
             Code::Stats => "SW020",
             Code::Certified => "SW021",
+            Code::FaultTraceCertified => "SW022",
         }
     }
 
@@ -122,8 +131,13 @@ impl Code {
             Code::DelayEnvelopeExceeded => "makespan exceeds the random-delay envelope",
             Code::HighCommBound => "pre-scheduling C1 communication bound is high",
             Code::MessageRace => "message race: concurrent sends with tied arrival",
+            Code::DuplicateExecution => "trace executes a task more than once",
+            Code::TracePrecedenceViolation => "trace violates a precedence or delivers late",
             Code::Stats => "structural statistics",
             Code::Certified => "schedule certified against the paper bounds",
+            Code::FaultTraceCertified => {
+                "fault-injected trace certified exactly-once and precedence-correct"
+            }
         }
     }
 
@@ -136,7 +150,9 @@ impl Code {
             | Code::SplitCellCopies
             | Code::TaskCountMismatch
             | Code::AssignmentMismatch
-            | Code::MakespanBelowBound => Severity::Error,
+            | Code::MakespanBelowBound
+            | Code::DuplicateExecution
+            | Code::TracePrecedenceViolation => Severity::Error,
             Code::EmptyProcessor
             | Code::LoadImbalance
             | Code::UnreachableCell
@@ -144,7 +160,7 @@ impl Code {
             | Code::DelayEnvelopeExceeded
             | Code::HighCommBound
             | Code::MessageRace => Severity::Warning,
-            Code::Stats | Code::Certified => Severity::Info,
+            Code::Stats | Code::Certified | Code::FaultTraceCertified => Severity::Info,
         }
     }
 }

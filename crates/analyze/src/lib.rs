@@ -49,6 +49,7 @@ mod assignment;
 mod happens_before;
 mod instance;
 mod schedule;
+mod trace_integrity;
 
 pub use assignment::{analyze_assignment, analyze_assignment_with};
 pub use diag::{json_string, Anchor, Code, Diagnostic, Report, Severity};
@@ -58,6 +59,7 @@ pub use schedule::{
     analyze_raw_schedule, analyze_raw_schedule_with, analyze_schedule, analyze_schedule_with,
     RawSchedule,
 };
+pub use trace_integrity::analyze_trace_integrity;
 
 /// Tunable thresholds for the warning-level checks.
 #[derive(Debug, Clone, Copy, PartialEq)]

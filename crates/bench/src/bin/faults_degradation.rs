@@ -1,0 +1,113 @@
+//! **Extension: robustness of priority schemes under faults** — how does
+//! the degraded makespan grow with the fault rate, and do the paper's
+//! random-delay priorities stay ahead of the DFDS heuristic when
+//! processors crash and messages drop?
+//!
+//! For each fault rate `r` a deterministic `FaultPlan` (crash rate `r`,
+//! drop rate `r`, seeded) is injected into the async simulator for both
+//! priority schemes on the same tetonly instance and assignment. Besides
+//! the CSV, the run writes `BENCH_faults.json` with both degradation
+//! series so the robustness trajectory is tracked across PRs.
+//!
+//! ```sh
+//! cargo run --release -p sweep-bench --bin faults_degradation -- --scale 0.05
+//! ```
+
+use std::fmt::Write as _;
+
+use sweep_bench::{BenchArgs, CsvSink};
+use sweep_core::{delayed_level_priorities, dfds_priorities, random_delays, Assignment};
+use sweep_faults::FaultConfig;
+use sweep_mesh::MeshPreset;
+use sweep_sim::{degradation_curve, DegradationPoint};
+
+const RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.4];
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (_, instance) = args.instance(MeshPreset::Tetonly, 2);
+    let n = instance.num_cells();
+    let m = 8;
+    let latency = 1.0;
+    let assignment = Assignment::random_cells(n, m, args.seed);
+
+    let rdp = delayed_level_priorities(
+        &instance,
+        &random_delays(instance.num_directions(), args.seed ^ 1),
+    );
+    let dfds = dfds_priorities(&instance, &assignment);
+
+    let cfg = FaultConfig::default();
+    let curve_rdp = degradation_curve(
+        &instance,
+        &assignment,
+        &rdp,
+        None,
+        latency,
+        &cfg,
+        &RATES,
+        args.seed,
+    );
+    let curve_dfds = degradation_curve(
+        &instance,
+        &assignment,
+        &dfds,
+        None,
+        latency,
+        &cfg,
+        &RATES,
+        args.seed,
+    );
+
+    let mut sink = CsvSink::new(
+        &args,
+        "faults_degradation",
+        "rate,makespan_rdp,makespan_dfds,degradation_rdp,degradation_dfds,\
+         retries_rdp,retries_dfds,recovered_rdp,recovered_dfds",
+    );
+    for (a, b) in curve_rdp.iter().zip(&curve_dfds) {
+        sink.row(format_args!(
+            "{},{},{},{:.4},{:.4},{},{},{},{}",
+            a.rate,
+            a.makespan,
+            b.makespan,
+            a.makespan / a.fault_free,
+            b.makespan / b.fault_free,
+            a.retries,
+            b.retries,
+            a.recovered_tasks,
+            b.recovered_tasks,
+        ));
+    }
+    let json = faults_json(&curve_rdp, &curve_dfds);
+    let jpath = args.out.join("BENCH_faults.json");
+    let _ = std::fs::create_dir_all(&args.out);
+    match std::fs::write(&jpath, &json) {
+        Ok(()) => eprintln!("# wrote {}", jpath.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", jpath.display()),
+    }
+    sink.finish();
+}
+
+/// Renders the two degradation series as the `BENCH_faults.json`
+/// document (stable key order, one record per rate).
+fn faults_json(rdp: &[DegradationPoint], dfds: &[DegradationPoint]) -> String {
+    let series = |points: &[DegradationPoint]| {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"rate\": {}, \"makespan\": {}, \"fault_free\": {}, \
+                     \"retries\": {}, \"recovered_tasks\": {}}}",
+                    p.rate, p.makespan, p.fault_free, p.retries, p.recovered_tasks
+                )
+            })
+            .collect();
+        rows.join(",\n")
+    };
+    let mut out = String::from("{\n  \"experiment\": \"faults_degradation\",\n");
+    let _ = writeln!(out, "  \"rdp\": [\n{}\n  ],", series(rdp));
+    let _ = writeln!(out, "  \"dfds\": [\n{}\n  ]", series(dfds));
+    out.push_str("}\n");
+    out
+}

@@ -13,6 +13,11 @@
 //!   SARIF; exits nonzero when any error-level diagnostic fires.
 //! * `trace` — run the full pipeline (mesh → DAGs → schedule → simulators)
 //!   with telemetry recording and export the collected spans/metrics.
+//! * `faults` — run the fault-injected distributed simulator
+//!   (`sweep-faults` plan: crashes, message loss, duplicates, stragglers,
+//!   partitions), certify the recovered trace with the SW017/SW018/SW022
+//!   analyzers, and report the degraded makespan as text or JSON;
+//!   optionally export a `makespan(fault_rate)` degradation curve CSV.
 //!
 //! Every subcommand additionally understands the global `--telemetry
 //! <chrome|prom|text>` / `--telemetry-out <path>` flags: telemetry is
@@ -64,6 +69,11 @@ COMMANDS:
              [--imbalance F] [--comm-fraction F] [--envelope F]
   trace      <preset> [--scale F] [--sn N] [--m M] [--algorithm A]
              [--seed S] [--latency F]     (full pipeline with telemetry)
+  faults     <preset> [--scale F] [--sn N] [--m M] [--algorithm A]
+             [--seed S] [--latency F] [--crash-rate F] [--drop-rate F]
+             [--dup-rate F] [--jitter F] [--straggler-rate F]
+             [--straggler-factor F] [--partition-rate F] [--min-rto F]
+             [--format text|json] [--out FILE] [--curve FILE]
   help
 
 GLOBAL FLAGS (any command):
@@ -80,6 +90,13 @@ feasibility/bound errors, SW010-SW016 warnings, SW020/SW021 info) and
 exits with status 2 when any error-level diagnostic fires. With --m it
 also builds an assignment + schedule and certifies them; with --async it
 additionally runs the happens-before message-race detector.
+
+`faults` runs the async simulator under a seed-deterministic fault plan
+(crashes with whole-cell work reassignment, lossy retried messaging,
+duplicates, stragglers, link partitions), certifies the recovered trace
+(SW017 duplicate execution / SW018 precedence or delivery violation /
+SW022 certified), and exits 2 if certification fails. --curve FILE also
+writes a makespan(fault_rate) degradation CSV.
 ";
 
 /// Parses `--key value` pairs after the subcommand.
@@ -171,9 +188,10 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
     let Some(command) = args.first() else {
         return Ok((HELP.to_string(), 0));
     };
-    // `trace` takes its preset positionally: `sweep trace tetonly …`.
+    // `trace` and `faults` take their preset positionally:
+    // `sweep trace tetonly …`, `sweep faults tetonly …`.
     let mut rest: Vec<String> = args[1..].to_vec();
-    if command == "trace" {
+    if command == "trace" || command == "faults" {
         if let Some(first) = rest.first() {
             if !first.starts_with("--") {
                 let preset = rest.remove(0);
@@ -213,6 +231,7 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
         "optimal" => plain(cmd_optimal(&flags)),
         "analyze" => cmd_analyze(&flags),
         "trace" => plain(cmd_trace(&flags)),
+        "faults" => cmd_faults(&flags),
         other => Err(format!("unknown command '{other}' (try `sweep help`)")),
     };
 
@@ -305,6 +324,121 @@ fn cmd_trace(flags: &HashMap<String, String>) -> Result<String, String> {
         async_report.messages,
     );
     Ok(out)
+}
+
+/// `sweep faults <preset> …`: fault-injected execution + recovery,
+/// trace certification, optional degradation curve.
+fn cmd_faults(flags: &HashMap<String, String>) -> Result<(String, i32), String> {
+    use sweep_faults::{FaultConfig, FaultPlan};
+
+    let (name, _mesh, inst) = build_instance_or_file(flags)?;
+    let m: usize = get(flags, "m", 8)?;
+    if m == 0 {
+        return Err("--m must be positive".into());
+    }
+    let seed: u64 = get(flags, "seed", 2005)?;
+    let latency: f64 = get(flags, "latency", 1.0)?;
+    if latency < 0.0 {
+        return Err("--latency must be non-negative".into());
+    }
+    let cfg = FaultConfig {
+        crash_rate: get(flags, "crash-rate", 0.1)?,
+        drop_rate: get(flags, "drop-rate", 0.05)?,
+        dup_rate: get(flags, "dup-rate", 0.02)?,
+        jitter: get(flags, "jitter", 0.0)?,
+        straggler_rate: get(flags, "straggler-rate", 0.0)?,
+        straggler_factor: get(flags, "straggler-factor", 4.0)?,
+        partition_rate: get(flags, "partition-rate", 0.0)?,
+        min_rto: get(flags, "min-rto", 1.0)?,
+    };
+    cfg.validate()?;
+    let alg = parse_algorithm(
+        flags.get("algorithm").map(String::as_str).unwrap_or("rdp"),
+        flags.contains_key("delays"),
+    )?;
+    let assignment = Assignment::random_cells(inst.num_cells(), m, seed);
+    let schedule = alg.run(&inst, assignment.clone(), seed ^ 0xabcd);
+    validate(&inst, &schedule).map_err(|e| format!("internal: infeasible schedule: {e}"))?;
+    let prio: Vec<i64> = schedule.starts().iter().map(|&t| t as i64).collect();
+
+    // Fault-free baseline: the degradation denominator and the horizon
+    // the plan's fault times are sampled over.
+    let base = sweep_sim::async_makespan(&inst, &assignment, &prio, None, latency);
+    let horizon = base.makespan.max(1.0);
+    let plan = FaultPlan::random(m, horizon, &cfg, seed);
+    let (mut report, trace) =
+        sweep_sim::async_makespan_faulty(&inst, &assignment, &prio, None, latency, &plan);
+    report.fault_free_makespan = base.makespan;
+    sweep_sim::publish_fault_report(&plan, &report);
+
+    // Always certify the recovered trace: exactly-once + precedences +
+    // delivery (SW017/SW018/SW022).
+    let integrity = sweep_analyze::analyze_trace_integrity(&inst, &trace);
+    let status = if integrity.has_errors() { 2 } else { 0 };
+
+    let rendered = match flags.get("format").map(String::as_str).unwrap_or("text") {
+        "json" => report.render_json(),
+        "text" => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "faults {} with {} ({} tasks, m = {m}, seed {seed}): \
+                 {} crash(es), {} slowdown window(s), {} partition(s) planned",
+                name,
+                alg.name(),
+                inst.num_tasks(),
+                plan.crashes.len(),
+                plan.slowdowns.len(),
+                plan.partitions.len(),
+            );
+            out.push_str(&report.render_text());
+            let _ = writeln!(
+                out,
+                "integrity: {}",
+                if status == 0 {
+                    "certified (SW022: exactly-once, precedence-correct, delivery-backed)"
+                } else {
+                    "FAILED"
+                }
+            );
+            if status != 0 {
+                out.push_str(&integrity.render_text());
+            }
+            out
+        }
+        other => return Err(format!("unknown format '{other}' (text|json)")),
+    };
+
+    if let Some(path) = flags.get("curve") {
+        let rates = [0.0, 0.05, 0.1, 0.2, 0.4];
+        let points = sweep_sim::degradation_curve(
+            &inst,
+            &assignment,
+            &prio,
+            None,
+            latency,
+            &cfg,
+            &rates,
+            seed,
+        );
+        let csv = sweep_sim::degradation_csv(&points);
+        std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+        Ok((
+            format!(
+                "wrote {path} ({} bytes); degraded makespan {:.3} ({:.3} fault-free)\n",
+                rendered.len(),
+                report.makespan,
+                report.fault_free_makespan,
+            ),
+            status,
+        ))
+    } else {
+        Ok((rendered, status))
+    }
 }
 
 fn cmd_mesh(flags: &HashMap<String, String>) -> Result<String, String> {
@@ -1064,5 +1198,152 @@ mod tests {
         assert!(run(&args(&["analyze", "--demo-cycle", "--async"]))
             .unwrap_err()
             .contains("--async needs --m"));
+    }
+
+    #[test]
+    fn faults_text_report_certifies_and_exits_zero() {
+        let (out, status) = run_with_status(&args(&[
+            "faults",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--seed",
+            "7",
+            "--crash-rate",
+            "0.3",
+            "--drop-rate",
+            "0.1",
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("faults tetonly"), "{out}");
+        assert!(out.contains("degraded makespan"), "{out}");
+        assert!(out.contains("certified (SW022"), "{out}");
+    }
+
+    #[test]
+    fn faults_json_is_deterministic_and_degraded() {
+        let cmd = [
+            "faults",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--seed",
+            "7",
+            "--crash-rate",
+            "0.3",
+            "--drop-rate",
+            "0.1",
+            "--format",
+            "json",
+        ];
+        let (a, status) = run_with_status(&args(&cmd)).unwrap();
+        let (b, _) = run_with_status(&args(&cmd)).unwrap();
+        assert_eq!(status, 0);
+        assert_eq!(a, b, "same seed must reproduce the same FaultReport");
+        assert!(a.contains("\"makespan\":"), "{a}");
+        assert!(a.contains("\"fault_free_makespan\":"), "{a}");
+        assert!(a.contains("\"recovered_tasks\":"), "{a}");
+    }
+
+    #[test]
+    fn faults_zero_rates_match_fault_free_baseline() {
+        let (out, status) = run_with_status(&args(&[
+            "faults",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--seed",
+            "3",
+            "--crash-rate",
+            "0",
+            "--drop-rate",
+            "0",
+            "--dup-rate",
+            "0",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(status, 0);
+        // With an empty plan the degraded makespan equals the baseline:
+        // the JSON carries the identical value for both keys.
+        let grab = |key: &str| -> String {
+            let tail = out.split(key).nth(1).unwrap();
+            tail[1..tail.find(',').unwrap()].trim().to_string()
+        };
+        assert_eq!(
+            grab("\"makespan\":"),
+            grab("\"fault_free_makespan\":"),
+            "{out}"
+        );
+        assert!(out.contains("\"crashed_procs\": []"), "{out}");
+    }
+
+    #[test]
+    fn faults_curve_and_out_files() {
+        let dir = std::env::temp_dir().join("sweep-cli-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("report.json");
+        let curve = dir.join("curve.csv");
+        let (out, status) = run_with_status(&args(&[
+            "faults",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--seed",
+            "7",
+            "--format",
+            "json",
+            "--out",
+            json.to_str().unwrap(),
+            "--curve",
+            curve.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"timeline\""), "{report}");
+        let csv = std::fs::read_to_string(&curve).unwrap();
+        assert!(csv.starts_with("rate,makespan"), "{csv}");
+        assert_eq!(csv.lines().count(), 6, "5 rates + header: {csv}");
+    }
+
+    #[test]
+    fn faults_rejects_bad_rates_and_format() {
+        assert!(run(&args(&[
+            "faults",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--crash-rate",
+            "1.5",
+        ]))
+        .unwrap_err()
+        .contains("crash_rate"));
+        assert!(run(&args(&[
+            "faults", "tetonly", "--scale", "0.01", "--sn", "2", "--format", "yaml",
+        ]))
+        .unwrap_err()
+        .contains("unknown format"));
     }
 }

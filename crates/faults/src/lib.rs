@@ -1,0 +1,50 @@
+//! # sweep-faults — deterministic fault injection for distributed sweeps
+//!
+//! The asynchronous simulator in `sweep-sim` models a *perfect* cluster:
+//! no processor ever stalls or dies, and every face-flux message arrives
+//! exactly `latency` after it is sent. Real S_n sweep runs at scale hit
+//! stragglers, dropped packets, and node failures constantly; what
+//! matters in practice is how gracefully a schedule's makespan degrades
+//! under imperfect execution.
+//!
+//! This crate provides the *model* half of that robustness axis:
+//!
+//! * [`FaultConfig`] — the knobs (crash rate, per-message drop rate,
+//!   duplicate rate, delivery jitter, straggler windows, link
+//!   partitions);
+//! * [`FaultPlan`] — a concrete, seed-driven plan sampled from a config:
+//!   which processors crash when, which processors slow down over which
+//!   windows, which links partition, plus deterministic per-message
+//!   drop/duplicate/jitter decisions (a hash of the plan seed and the
+//!   message identity, so replaying a plan is bit-reproducible);
+//! * [`FaultReport`] — what the fault-aware engine
+//!   (`sweep_sim::async_makespan_faulty`) observed: degraded makespan,
+//!   retries, redeliveries, recovered tasks, reassigned cells, and a
+//!   bounded per-fault [`FaultEvent`] timeline, renderable as text or
+//!   stable JSON (CI diffs the JSON against a golden file).
+//!
+//! The crate is dependency-free apart from the in-tree `sweep-rng`
+//! alias, mirroring the offline-build policy of the rest of the
+//! workspace. It deliberately knows nothing about instances, schedules,
+//! or the engine — the execution semantics live in `sweep-sim`, the
+//! trace certification in `sweep-analyze`.
+//!
+//! ```
+//! use sweep_faults::{FaultConfig, FaultPlan};
+//!
+//! let cfg = FaultConfig { crash_rate: 0.25, drop_rate: 0.1, ..FaultConfig::default() };
+//! let plan = FaultPlan::random(8, 100.0, &cfg, 42);
+//! assert_eq!(plan, FaultPlan::random(8, 100.0, &cfg, 42)); // reproducible
+//! assert!(plan.crashes.len() < 8, "at least one survivor");
+//! assert!(FaultPlan::none().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod plan;
+mod report;
+
+pub use plan::{CrashFault, FaultConfig, FaultPlan, LinkPartition, SlowdownWindow};
+pub use report::{FaultEvent, FaultKind, FaultReport, MAX_TIMELINE};

@@ -1,0 +1,482 @@
+//! Fault configurations and concrete, seed-driven fault plans.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Tunable fault intensities. All rates are probabilities in `[0, 1]`;
+/// the default config injects nothing (and [`FaultPlan::random`] then
+/// returns an empty plan).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that each processor crashes (permanently) during the
+    /// run. The sampler always leaves at least one survivor.
+    pub crash_rate: f64,
+    /// Per-delivery-attempt probability that a cross-processor message
+    /// is dropped (and must be retried after a timeout).
+    pub drop_rate: f64,
+    /// Probability that a successfully delivered message is *also*
+    /// redelivered (the receiver discards the duplicate).
+    pub dup_rate: f64,
+    /// Maximum extra delivery latency per message, sampled uniformly
+    /// from `[0, jitter]` — models reordering: a later send can overtake
+    /// an earlier one once jitter exceeds the send spacing.
+    pub jitter: f64,
+    /// Probability that each processor gets one slowdown (straggler)
+    /// window during the run.
+    pub straggler_rate: f64,
+    /// Duration multiplier applied to tasks started inside a slowdown
+    /// window (`>= 1`).
+    pub straggler_factor: f64,
+    /// Expected number of transient link partitions, per 8 processors.
+    pub partition_rate: f64,
+    /// Floor on the sender's retransmission timeout (the engine uses
+    /// `max(min_rto, 2 × latency)`).
+    pub min_rto: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            crash_rate: 0.0,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            jitter: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 4.0,
+            partition_rate: 0.0,
+            min_rto: 1.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The same config with crash and drop rates replaced by `rate` —
+    /// the x-axis of a degradation curve `makespan(fault_rate)`.
+    pub fn at_rate(&self, rate: f64) -> FaultConfig {
+        FaultConfig {
+            crash_rate: rate,
+            drop_rate: rate,
+            ..self.clone()
+        }
+    }
+
+    /// Validates every rate; returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("crash_rate", self.crash_rate),
+            ("drop_rate", self.drop_rate),
+            ("dup_rate", self.dup_rate),
+            ("straggler_rate", self.straggler_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        if self.jitter < 0.0 {
+            return Err(format!("jitter must be non-negative, got {}", self.jitter));
+        }
+        if self.straggler_factor < 1.0 {
+            return Err(format!(
+                "straggler_factor must be >= 1, got {}",
+                self.straggler_factor
+            ));
+        }
+        if self.partition_rate < 0.0 {
+            return Err(format!(
+                "partition_rate must be non-negative, got {}",
+                self.partition_rate
+            ));
+        }
+        if self.min_rto.is_nan() || self.min_rto <= 0.0 {
+            return Err(format!("min_rto must be positive, got {}", self.min_rto));
+        }
+        Ok(())
+    }
+}
+
+/// A permanent processor failure at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashFault {
+    /// The processor that dies.
+    pub proc: u32,
+    /// Simulated time of death; work in flight at that instant aborts.
+    pub at: f64,
+}
+
+/// A straggler window: tasks *started* on `proc` during `[start, end)`
+/// take `factor ×` their nominal duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowdownWindow {
+    /// The slowed processor.
+    pub proc: u32,
+    /// Window start (inclusive).
+    pub start: f64,
+    /// Window end (exclusive).
+    pub end: f64,
+    /// Duration multiplier (`>= 1`).
+    pub factor: f64,
+}
+
+/// A transient link partition: every delivery attempt between `a` and
+/// `b` (either direction) during `[start, end)` is dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkPartition {
+    /// One endpoint.
+    pub a: u32,
+    /// The other endpoint.
+    pub b: u32,
+    /// Window start (inclusive).
+    pub start: f64,
+    /// Window end (exclusive).
+    pub end: f64,
+}
+
+/// A concrete fault schedule plus the per-message randomness source.
+///
+/// Structural faults (crashes, slowdowns, partitions) are explicit
+/// lists; per-message faults (drop / duplicate / jitter) are sampled
+/// lazily but *deterministically* from `seed` and the message identity,
+/// so two runs of the same plan observe exactly the same faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Processor crashes, at most `m − 1` of them.
+    pub crashes: Vec<CrashFault>,
+    /// Straggler windows.
+    pub slowdowns: Vec<SlowdownWindow>,
+    /// Transient link partitions.
+    pub partitions: Vec<LinkPartition>,
+    /// Per-attempt message drop probability.
+    pub drop_rate: f64,
+    /// Per-delivery duplicate probability.
+    pub dup_rate: f64,
+    /// Maximum extra delivery latency (uniform `[0, jitter]`).
+    pub jitter: f64,
+    /// Retransmission-timeout floor.
+    pub min_rto: f64,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing. The fault-aware engine under
+    /// this plan is bit-identical to the fault-free one.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            crashes: Vec::new(),
+            slowdowns: Vec::new(),
+            partitions: Vec::new(),
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            jitter: 0.0,
+            min_rto: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Samples a plan for `m` processors over a run expected to last
+    /// about `horizon` time units (use the fault-free makespan).
+    /// Structural faults land in the middle 70% of the horizon so they
+    /// actually interact with the execution. Deterministic in all
+    /// arguments.
+    ///
+    /// # Panics
+    /// Panics when `cfg` fails [`FaultConfig::validate`], `m == 0`, or
+    /// `horizon` is not finite and positive.
+    pub fn random(m: usize, horizon: f64, cfg: &FaultConfig, seed: u64) -> FaultPlan {
+        assert!(m > 0, "need at least one processor");
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be finite and positive"
+        );
+        if let Err(e) = cfg.validate() {
+            panic!("invalid fault config: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_F1A9);
+        let mut crashes = Vec::new();
+        for p in 0..m as u32 {
+            // Keep at least one survivor: never crash everyone.
+            if crashes.len() + 1 >= m {
+                break;
+            }
+            if rng.random_range(0.0..1.0) < cfg.crash_rate {
+                let at = horizon * rng.random_range(0.15..0.85);
+                crashes.push(CrashFault { proc: p, at });
+            }
+        }
+        let mut slowdowns = Vec::new();
+        for p in 0..m as u32 {
+            if rng.random_range(0.0..1.0) < cfg.straggler_rate {
+                let start = horizon * rng.random_range(0.0..0.7);
+                let len = horizon * rng.random_range(0.1..0.3);
+                slowdowns.push(SlowdownWindow {
+                    proc: p,
+                    start,
+                    end: start + len,
+                    factor: cfg.straggler_factor,
+                });
+            }
+        }
+        let mut partitions = Vec::new();
+        if m >= 2 {
+            let count = (cfg.partition_rate * m as f64 / 8.0).round() as usize;
+            for _ in 0..count {
+                let a = rng.random_range(0..m as u32);
+                let mut b = rng.random_range(0..m as u32 - 1);
+                if b >= a {
+                    b += 1;
+                }
+                let start = horizon * rng.random_range(0.0..0.7);
+                let len = horizon * rng.random_range(0.05..0.2);
+                partitions.push(LinkPartition {
+                    a,
+                    b,
+                    start,
+                    end: start + len,
+                });
+            }
+        }
+        FaultPlan {
+            crashes,
+            slowdowns,
+            partitions,
+            drop_rate: cfg.drop_rate,
+            dup_rate: cfg.dup_rate,
+            jitter: cfg.jitter,
+            min_rto: cfg.min_rto,
+            seed,
+        }
+    }
+
+    /// `true` when the plan injects nothing at all; the engine then
+    /// reproduces the fault-free execution exactly.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.slowdowns.is_empty()
+            && self.partitions.is_empty()
+            && self.drop_rate == 0.0
+            && self.dup_rate == 0.0
+            && self.jitter == 0.0
+    }
+
+    /// When (if ever) processor `p` crashes.
+    pub fn crash_time(&self, p: u32) -> Option<f64> {
+        self.crashes.iter().find(|c| c.proc == p).map(|c| c.at)
+    }
+
+    /// Whether delivery attempt `attempt` of the message `from → to`
+    /// (packed task ids) is dropped by the lossy link. Deterministic.
+    #[inline]
+    pub fn drops_attempt(&self, from: u64, to: u64, attempt: u32) -> bool {
+        self.drop_rate > 0.0 && self.unit(0xD80F, from, to, attempt) < self.drop_rate
+    }
+
+    /// Whether the delivered message `from → to` is also redelivered
+    /// (a duplicate the receiver must discard). Deterministic.
+    #[inline]
+    pub fn duplicates(&self, from: u64, to: u64) -> bool {
+        self.dup_rate > 0.0 && self.unit(0xD0_B1E, from, to, 0) < self.dup_rate
+    }
+
+    /// Extra delivery latency for attempt `attempt` of `from → to`,
+    /// uniform in `[0, jitter]`. Deterministic; exactly `0.0` when the
+    /// plan has no jitter.
+    #[inline]
+    pub fn jitter_of(&self, from: u64, to: u64, attempt: u32) -> f64 {
+        if self.jitter <= 0.0 {
+            0.0
+        } else {
+            self.jitter * self.unit(0x117E6, from, to, attempt)
+        }
+    }
+
+    /// Whether the link between `a` and `b` is partitioned at time `t`.
+    pub fn partitioned(&self, a: u32, b: u32, t: f64) -> bool {
+        self.partitions.iter().any(|w| {
+            ((w.a == a && w.b == b) || (w.a == b && w.b == a)) && t >= w.start && t < w.end
+        })
+    }
+
+    /// The slowdown factor of processor `p` at time `t` (`1.0` outside
+    /// every window).
+    pub fn slowdown_factor(&self, p: u32, t: f64) -> f64 {
+        self.slowdowns
+            .iter()
+            .find(|w| w.proc == p && t >= w.start && t < w.end)
+            .map_or(1.0, |w| w.factor)
+    }
+
+    /// A uniform `[0, 1)` hash of `(seed, salt, from, to, attempt)` —
+    /// SplitMix64 finalization over the mixed words.
+    fn unit(&self, salt: u64, from: u64, to: u64, attempt: u32) -> f64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt);
+        for w in [from, to.rotate_left(17), attempt as u64] {
+            x = splitmix(x ^ w);
+        }
+        // 53 high bits → [0, 1).
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit permutation.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.drops_attempt(1, 2, 0));
+        assert!(!p.duplicates(1, 2));
+        assert_eq!(p.jitter_of(1, 2, 0), 0.0);
+        assert!(!p.partitioned(0, 1, 5.0));
+        assert_eq!(p.slowdown_factor(0, 5.0), 1.0);
+        assert_eq!(p.crash_time(0), None);
+    }
+
+    #[test]
+    fn default_config_samples_empty_plan() {
+        let plan = FaultPlan::random(8, 100.0, &FaultConfig::default(), 9);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn random_plan_is_reproducible_and_seed_sensitive() {
+        let cfg = FaultConfig {
+            crash_rate: 0.5,
+            drop_rate: 0.2,
+            straggler_rate: 0.5,
+            partition_rate: 2.0,
+            ..FaultConfig::default()
+        };
+        let a = FaultPlan::random(8, 50.0, &cfg, 1);
+        let b = FaultPlan::random(8, 50.0, &cfg, 1);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, 50.0, &cfg, 2);
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn crashes_always_leave_a_survivor() {
+        let cfg = FaultConfig {
+            crash_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        for m in 1..6 {
+            for seed in 0..8 {
+                let plan = FaultPlan::random(m, 30.0, &cfg, seed);
+                assert!(plan.crashes.len() < m, "m={m} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_faults_land_inside_the_horizon() {
+        let cfg = FaultConfig {
+            crash_rate: 1.0,
+            straggler_rate: 1.0,
+            partition_rate: 8.0,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::random(8, 40.0, &cfg, 3);
+        for c in &plan.crashes {
+            assert!(c.at > 0.0 && c.at < 40.0);
+        }
+        for w in &plan.slowdowns {
+            assert!(w.start >= 0.0 && w.end > w.start && w.factor >= 1.0);
+        }
+        for w in &plan.partitions {
+            assert_ne!(w.a, w.b);
+            assert!(w.end > w.start);
+        }
+        assert!(!plan.partitions.is_empty());
+    }
+
+    #[test]
+    fn message_faults_are_deterministic_and_rate_shaped() {
+        let cfg = FaultConfig {
+            drop_rate: 0.3,
+            dup_rate: 0.2,
+            jitter: 2.0,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::random(4, 10.0, &cfg, 77);
+        let trials = 20_000u64;
+        let drops = (0..trials)
+            .filter(|&i| plan.drops_attempt(i, i * 31 + 7, 0))
+            .count() as f64;
+        let rate = drops / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "empirical drop rate {rate}");
+        // Deterministic replay.
+        assert_eq!(
+            plan.drops_attempt(5, 9, 1),
+            plan.drops_attempt(5, 9, 1),
+            "same decision twice"
+        );
+        // Jitter bounded.
+        for i in 0..100 {
+            let j = plan.jitter_of(i, i + 1, 0);
+            assert!((0.0..=2.0).contains(&j));
+        }
+        // Attempts decorrelated: not all attempts of one message agree.
+        let varies = (0..32).any(|a| plan.drops_attempt(3, 4, a) != plan.drops_attempt(3, 4, 0));
+        assert!(varies);
+    }
+
+    #[test]
+    fn partition_window_is_symmetric_and_timed() {
+        let mut plan = FaultPlan::none();
+        plan.partitions.push(LinkPartition {
+            a: 0,
+            b: 2,
+            start: 5.0,
+            end: 10.0,
+        });
+        assert!(plan.partitioned(0, 2, 5.0));
+        assert!(plan.partitioned(2, 0, 9.9));
+        assert!(!plan.partitioned(0, 2, 10.0));
+        assert!(!plan.partitioned(0, 1, 7.0));
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_rates() {
+        let bad = FaultConfig {
+            crash_rate: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("crash_rate"));
+        let bad = FaultConfig {
+            straggler_factor: 0.5,
+            ..FaultConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("straggler_factor"));
+        let bad = FaultConfig {
+            jitter: -1.0,
+            ..FaultConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("jitter"));
+        assert!(FaultConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn at_rate_overrides_crash_and_drop() {
+        let cfg = FaultConfig {
+            dup_rate: 0.1,
+            ..FaultConfig::default()
+        };
+        let r = cfg.at_rate(0.4);
+        assert_eq!(r.crash_rate, 0.4);
+        assert_eq!(r.drop_rate, 0.4);
+        assert_eq!(r.dup_rate, 0.1);
+    }
+}

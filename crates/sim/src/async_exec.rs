@@ -34,7 +34,9 @@ pub struct AsyncReport {
     pub messages: u64,
     /// Per-processor busy time (Σ task durations).
     pub busy: Vec<f64>,
-    /// Mean processor utilization `Σ busy / (m · makespan)`.
+    /// Mean processor utilization `Σ busy / (m · makespan)`. Defined as
+    /// `1.0` when `makespan == 0` (an empty instance has nothing to
+    /// waste), matching `Schedule::utilization` — never `NaN`.
     pub utilization: f64,
 }
 
@@ -465,5 +467,20 @@ mod tests {
         let inst = SweepInstance::identical_chains(2, 1);
         let a = Assignment::single(2);
         async_makespan(&inst, &a, &[0, 0], None, -0.5);
+    }
+
+    #[test]
+    fn empty_instance_utilization_is_one_not_nan() {
+        // Regression: `Σ busy / (m · makespan)` divides by zero on an
+        // empty instance; the report must pin utilization to 1.0
+        // (consistent with `Schedule::utilization`), never NaN.
+        let inst = SweepInstance::new(0, vec![sweep_dag::TaskDag::edgeless(0)], "empty");
+        let a = Assignment::from_vec(vec![], 4);
+        let (r, tr) = async_makespan_traced(&inst, &a, &[], None, 1.0);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.messages, 0);
+        assert!(r.utilization.is_finite(), "utilization must not be NaN");
+        assert_eq!(r.utilization, 1.0);
+        assert!(tr.execs.is_empty() && tr.messages.is_empty());
     }
 }

@@ -14,6 +14,11 @@
 //!   counters) demonstrating that assignments drive actual parallel runs;
 //! * [`latency_makespan`] — an overlap-capable message-latency model
 //!   sitting between the paper's two communication extremes;
+//! * [`async_makespan_faulty`] — the event-driven engine under a
+//!   deterministic `sweep-faults` plan: lossy retried messaging,
+//!   stragglers, link partitions, and crash recovery by whole-cell
+//!   reassignment (bit-identical to [`async_makespan`] when the plan is
+//!   empty);
 //! * [`TransportSolver`] — a toy one-group S_n source-iteration solver,
 //!   the application sweeps exist for.
 
@@ -24,6 +29,7 @@
 pub mod async_exec;
 pub mod coloring;
 pub mod executor;
+pub mod faulty;
 pub mod latency;
 pub mod sync_sim;
 pub mod transport;
@@ -34,6 +40,10 @@ pub use async_exec::{
 };
 pub use coloring::{color_edges, is_proper_coloring, max_degree};
 pub use executor::{execute_parallel, execute_sequential, ExecReport};
+pub use faulty::{
+    async_makespan_faulty, degradation_csv, degradation_curve, publish_fault_report,
+    DegradationPoint,
+};
 pub use latency::{latency_makespan, LatencyReport};
 pub use sync_sim::{simulate, CommModel, SimConfig, SimReport};
 pub use transport::{Material, TransportResult, TransportSolver};
