@@ -26,6 +26,7 @@
 //! | SW020 | info | structural statistics |
 //! | SW021 | info | schedule certified against the paper bounds |
 //! | SW022 | info | fault-injected trace certified exactly-once and precedence-correct |
+//! | SW023 | error | parallel execution nondeterministic or pool dropped queued tasks |
 
 use std::fmt;
 
@@ -86,6 +87,7 @@ pub enum Code {
     Stats,
     Certified,
     FaultTraceCertified,
+    PoolNondeterminism,
 }
 
 impl Code {
@@ -111,6 +113,7 @@ impl Code {
             Code::Stats => "SW020",
             Code::Certified => "SW021",
             Code::FaultTraceCertified => "SW022",
+            Code::PoolNondeterminism => "SW023",
         }
     }
 
@@ -138,6 +141,9 @@ impl Code {
             Code::FaultTraceCertified => {
                 "fault-injected trace certified exactly-once and precedence-correct"
             }
+            Code::PoolNondeterminism => {
+                "parallel execution nondeterministic or pool dropped queued tasks"
+            }
         }
     }
 
@@ -152,7 +158,8 @@ impl Code {
             | Code::AssignmentMismatch
             | Code::MakespanBelowBound
             | Code::DuplicateExecution
-            | Code::TracePrecedenceViolation => Severity::Error,
+            | Code::TracePrecedenceViolation
+            | Code::PoolNondeterminism => Severity::Error,
             Code::EmptyProcessor
             | Code::LoadImbalance
             | Code::UnreachableCell

@@ -23,7 +23,10 @@
 //!   the first violation) and certification against the paper's bounds
 //!   (SW007, SW014, SW021);
 //! * [`analyze_async`] — a vector-clock happens-before race detector
-//!   over the distributed execution trace (SW016).
+//!   over the distributed execution trace (SW016);
+//! * [`analyze_parallel_determinism`] — re-runs a best-of-`b`
+//!   certification sequentially and twice through the worker pool and
+//!   diffs the results bit-for-bit (SW023).
 //!
 //! ```
 //! use sweep_analyze::{analyze_instance, Code};
@@ -48,6 +51,7 @@ pub mod diag;
 mod assignment;
 mod happens_before;
 mod instance;
+mod parallel;
 mod schedule;
 mod trace_integrity;
 
@@ -55,6 +59,7 @@ pub use assignment::{analyze_assignment, analyze_assignment_with};
 pub use diag::{json_string, Anchor, Code, Diagnostic, Report, Severity};
 pub use happens_before::{analyze_async, analyze_trace};
 pub use instance::{analyze_instance, analyze_quadrature};
+pub use parallel::{analyze_parallel_determinism, CERT_TRIALS};
 pub use schedule::{
     analyze_raw_schedule, analyze_raw_schedule_with, analyze_schedule, analyze_schedule_with,
     RawSchedule,

@@ -1,0 +1,158 @@
+//! Sequential-vs-parallel wall-clock measurement of the parallel
+//! execution layer (ISSUE 4): `induce_all` + `best_of_trials` on the
+//! tetonly-scale preset at 1/2/4/8 workers.
+//!
+//! Besides the timings, every width's outputs (induced DAGs, induction
+//! stats, winning schedule, full per-trial record) are diffed against
+//! the 1-worker reference — the run aborts with a non-zero exit if any
+//! width produces a different bit pattern. Results land in
+//! `<out>/par_speedup.csv` and `<out>/BENCH_par.json`; the JSON also
+//! records the host's available parallelism, since measured speedup is
+//! bounded by physical cores (a 1-core container shows ≈ 1× regardless
+//! of worker count).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sweep_bench::{BenchArgs, CsvSink};
+use sweep_core::{best_of_trials, Algorithm, Assignment, BestOfTrials};
+use sweep_dag::{induce_all, SweepInstance};
+use sweep_mesh::{MeshPreset, SweepMesh as _};
+use sweep_quadrature::QuadratureSet;
+
+/// Independent random-delay draws per width.
+const TRIALS: usize = 32;
+/// Processors for the scheduling trials.
+const PROCS: usize = 16;
+
+struct Measurement {
+    threads: usize,
+    induce_ms: f64,
+    trials_ms: f64,
+    best: BestOfTrials,
+    instance: SweepInstance,
+    stats_fingerprint: Vec<(usize, usize, usize)>,
+}
+
+fn measure(
+    args: &BenchArgs,
+    mesh: &sweep_mesh::TetMesh,
+    quad: &QuadratureSet,
+    threads: usize,
+) -> Measurement {
+    sweep_pool::set_global_threads(threads);
+    let t0 = Instant::now();
+    let (dags, stats) = induce_all(mesh, quad);
+    let induce_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let instance = SweepInstance::new(mesh.num_cells(), dags, "par_speedup");
+    let assignment = Assignment::random_cells(instance.num_cells(), PROCS, args.seed);
+    let t1 = Instant::now();
+    let best = best_of_trials(
+        &instance,
+        &assignment,
+        Algorithm::RandomDelayPriorities,
+        TRIALS,
+        args.seed,
+    );
+    let trials_ms = t1.elapsed().as_secs_f64() * 1e3;
+    Measurement {
+        threads,
+        induce_ms,
+        trials_ms,
+        best,
+        instance,
+        stats_fingerprint: stats
+            .iter()
+            .map(|s| (s.raw_edges, s.dropped_edges, s.nontrivial_sccs))
+            .collect(),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mesh = args.mesh(MeshPreset::Tetonly);
+    let quad = QuadratureSet::level_symmetric(4).expect("S4 quadrature");
+    let host = sweep_pool::available_threads();
+
+    let mut sink = CsvSink::new(
+        &args,
+        "par_speedup",
+        "threads,induce_ms,trials_ms,total_ms,speedup,identical",
+    );
+
+    let reference = measure(&args, &mesh, &quad, 1);
+    let seq_total = reference.induce_ms + reference.trials_ms;
+
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for &threads in &[1usize, 2, 4, 8] {
+        let m = if threads == 1 {
+            // Re-measure so width 1 pays the same cache-warm conditions
+            // as the other widths instead of the cold first run.
+            measure(&args, &mesh, &quad, 1)
+        } else {
+            measure(&args, &mesh, &quad, threads)
+        };
+        let identical = m.instance.dags() == reference.instance.dags()
+            && m.stats_fingerprint == reference.stats_fingerprint
+            && m.best.trial == reference.best.trial
+            && m.best.seed == reference.best.seed
+            && m.best.outcomes == reference.best.outcomes
+            && m.best.schedule.starts() == reference.best.schedule.starts();
+        all_identical &= identical;
+        let total = m.induce_ms + m.trials_ms;
+        let speedup = seq_total / total;
+        sink.row(format_args!(
+            "{},{:.2},{:.2},{:.2},{:.3},{}",
+            m.threads, m.induce_ms, m.trials_ms, total, speedup, identical
+        ));
+        rows.push((
+            m.threads,
+            m.induce_ms,
+            m.trials_ms,
+            total,
+            speedup,
+            identical,
+        ));
+    }
+    sink.finish();
+    sweep_pool::set_global_threads(0);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"par_speedup\",");
+    let _ = writeln!(json, "  \"preset\": \"tetonly\",");
+    let _ = writeln!(json, "  \"scale\": {},", args.scale);
+    let _ = writeln!(json, "  \"directions\": {},", quad.len());
+    let _ = writeln!(json, "  \"cells\": {},", mesh.num_cells());
+    let _ = writeln!(json, "  \"trials\": {TRIALS},");
+    let _ = writeln!(json, "  \"procs\": {PROCS},");
+    let _ = writeln!(json, "  \"host_available_parallelism\": {host},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"speedup is relative to the forced sequential path (threads=1); wall-clock gains are bounded by host_available_parallelism — on a single-core host all widths measure ~1x while outputs stay bit-identical\","
+    );
+    let _ = writeln!(json, "  \"sequential_total_ms\": {seq_total:.2},");
+    json.push_str("  \"widths\": [\n");
+    for (i, (threads, induce_ms, trials_ms, total, speedup, identical)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"induce_ms\": {induce_ms:.2}, \"trials_ms\": {trials_ms:.2}, \"total_ms\": {total:.2}, \"speedup\": {speedup:.3}, \"identical\": {identical}}}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = args.out.join("BENCH_par.json");
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("warning: cannot create {}: {e}", args.out.display());
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    if !all_identical {
+        eprintln!("ERROR: some worker count produced non-identical outputs");
+        std::process::exit(1);
+    }
+}

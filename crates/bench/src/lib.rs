@@ -7,7 +7,10 @@
 //! * `--scale <f>` — mesh scale relative to the paper's cell counts
 //!   (default 0.05; `1.0` reproduces the full-size meshes);
 //! * `--out <dir>` — directory for CSV output (default `results/`);
-//! * `--seed <u64>` — base RNG seed (default 2005, the paper's year).
+//! * `--seed <u64>` — base RNG seed (default 2005, the paper's year);
+//! * `--threads <n>` — worker threads for the parallel execution layer
+//!   (default: available parallelism; `1` forces the sequential path —
+//!   outputs are bit-identical either way).
 //!
 //! Output goes to stdout *and* `<out>/<experiment>.csv`.
 
@@ -42,16 +45,20 @@ pub struct BenchArgs {
     pub out: PathBuf,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for the parallel execution layer (`0` = available
+    /// parallelism).
+    pub threads: usize,
 }
 
 impl BenchArgs {
-    /// Parses `--scale`, `--out`, `--seed` from `std::env::args`.
-    /// Unknown flags abort with a usage message.
+    /// Parses `--scale`, `--out`, `--seed`, `--threads` from
+    /// `std::env::args`. Unknown flags abort with a usage message.
     pub fn parse() -> BenchArgs {
         let mut args = BenchArgs {
             scale: 0.05,
             out: PathBuf::from("results"),
             seed: 2005,
+            threads: 0,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -65,8 +72,11 @@ impl BenchArgs {
                 "--scale" => args.scale = value("--scale").parse().expect("numeric --scale"),
                 "--out" => args.out = PathBuf::from(value("--out")),
                 "--seed" => args.seed = value("--seed").parse().expect("integer --seed"),
+                "--threads" => {
+                    args.threads = value("--threads").parse().expect("integer --threads")
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bench> [--scale f] [--out dir] [--seed u64]");
+                    eprintln!("usage: <bench> [--scale f] [--out dir] [--seed u64] [--threads n]");
                     std::process::exit(0);
                 }
                 other => {
@@ -79,6 +89,7 @@ impl BenchArgs {
             args.scale > 0.0 && args.scale <= 1.0,
             "--scale must be in (0, 1]"
         );
+        sweep_pool::set_global_threads(args.threads);
         // Every bench binary records telemetry; CsvSink::finish persists
         // the aggregates next to the CSV as BENCH_telemetry.json.
         telemetry::reset();
@@ -119,6 +130,20 @@ impl BenchArgs {
         }
         ms
     }
+}
+
+/// Fans an experiment grid across the global thread pool, preserving
+/// input order.
+///
+/// Each cell must be a pure function of its input (derive any RNG seed
+/// from the cell's own parameters, as the bench binaries already do);
+/// the result vector is then bit-identical at every `--threads` count.
+pub fn par_grid<C, R>(cells: &[C], f: impl Fn(&C) -> R + Sync) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+{
+    sweep_pool::global().par_map(cells, |_, c| f(c))
 }
 
 /// Block partition of a mesh's cell-adjacency graph.
@@ -278,7 +303,10 @@ pub fn run_fig3(
         let block = args.scaled_block(paper_block);
         let blocks = mesh_blocks(&mesh, block);
         let ms = args.proc_sweep(512, instance.num_tasks());
-        for &m in &ms {
+        // Each m-cell is a pure function of (instance, blocks, m, seed),
+        // so the grid fans out over the pool and the rows come back in
+        // m-order — the CSV is bit-identical at every --threads count.
+        let rows = par_grid(&ms, |&m| {
             let seed = args.seed ^ ((m as u64) << 16) ^ sn as u64;
             let a = Assignment::random_blocks(&blocks, m, seed);
             let s_rdp = random_delay_priorities(&instance, a.clone(), seed);
@@ -287,12 +315,15 @@ pub fn run_fig3(
             for s in [&s_rdp, &s_heur, &s_heur_d] {
                 validate(&instance, s).expect("feasible");
             }
-            sink.row(format_args!(
+            format!(
                 "{k},{m},{block},{r0:.3},{r1:.3},{r2:.3}",
                 r0 = approx_ratio(&instance, m, s_rdp.makespan()),
                 r1 = approx_ratio(&instance, m, s_heur.makespan()),
                 r2 = approx_ratio(&instance, m, s_heur_d.makespan()),
-            ));
+            )
+        });
+        for row in rows {
+            sink.row(format_args!("{row}"));
         }
     }
     sink.finish();
@@ -315,6 +346,7 @@ mod tests {
             scale: 0.01,
             out: std::env::temp_dir().join("sweep-bench-test"),
             seed: 1,
+            threads: 0,
         }
     }
 
@@ -370,6 +402,7 @@ mod tests {
             scale: 0.003,
             out: std::env::temp_dir().join("sweep-bench-fig3-test"),
             seed: 1,
+            threads: 0,
         };
         run_fig3(
             &args,
@@ -393,6 +426,7 @@ mod tests {
             scale: 0.01,
             out: std::env::temp_dir().join("sweep-bench-telemetry-test"),
             seed: 1,
+            threads: 0,
         };
         telemetry::reset();
         telemetry::set_enabled(true);
@@ -417,6 +451,19 @@ mod tests {
                 > 0.0,
             "{text}"
         );
+    }
+
+    #[test]
+    fn par_grid_is_order_preserving_and_thread_invariant() {
+        let cells: Vec<u64> = (0..40).collect();
+        let f = |&c: &u64| c.wrapping_mul(0x9e37_79b9).rotate_left(11);
+        sweep_pool::set_global_threads(1);
+        let seq = par_grid(&cells, f);
+        sweep_pool::set_global_threads(4);
+        let par = par_grid(&cells, f);
+        sweep_pool::set_global_threads(0);
+        assert_eq!(seq, par);
+        assert_eq!(seq, cells.iter().map(f).collect::<Vec<_>>());
     }
 
     #[test]

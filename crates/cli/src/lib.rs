@@ -23,6 +23,10 @@
 //! <chrome|prom|text>` / `--telemetry-out <path>` flags: telemetry is
 //! enabled around the command and the collected spans/metrics are exported
 //! afterwards (appended to the report, or written to the given file).
+//! The global `--threads N` flag sizes the process-wide worker pool used
+//! by parallel DAG induction, multi-trial scheduling, and the bench
+//! grids (`--threads 1` forces the sequential path, `--threads 0` or
+//! omitting it uses the host's available parallelism).
 //!
 //! Everything returns its report as a `String` so the logic is unit
 //! testable; `main.rs` only prints.
@@ -65,8 +69,9 @@ COMMANDS:
   optimal    --n N --k K --m M [--seed S]      (tiny instances only)
   analyze    (--preset P | --instance FILE | --demo-cycle) [--scale F]
              [--sn N] [--m M] [--algorithm A] [--seed S] [--async]
-             [--latency F] [--format text|json|sarif] [--out FILE]
-             [--imbalance F] [--comm-fraction F] [--envelope F]
+             [--par-check] [--latency F] [--format text|json|sarif]
+             [--out FILE] [--imbalance F] [--comm-fraction F]
+             [--envelope F]
   trace      <preset> [--scale F] [--sn N] [--m M] [--algorithm A]
              [--seed S] [--latency F]     (full pipeline with telemetry)
   faults     <preset> [--scale F] [--sn N] [--m M] [--algorithm A]
@@ -82,6 +87,11 @@ GLOBAL FLAGS (any command):
                                  text exposition / plain-text tree)
   --telemetry-out FILE           write the export to FILE instead of
                                  appending it to the report
+  --threads N                    size of the process-wide worker pool
+                                 (parallel DAG induction, best-of-b
+                                 trials, bench grids); 1 forces the
+                                 sequential path, 0 or unset uses the
+                                 host's available parallelism
 
 Defaults: --scale 0.02, --sn 4 (24 directions), --seed 2005.
 
@@ -89,7 +99,10 @@ Defaults: --scale 0.02, --sn 4 (24 directions), --seed 2005.
 feasibility/bound errors, SW010-SW016 warnings, SW020/SW021 info) and
 exits with status 2 when any error-level diagnostic fires. With --m it
 also builds an assignment + schedule and certifies them; with --async it
-additionally runs the happens-before message-race detector.
+additionally runs the happens-before message-race detector; with
+--par-check it re-runs a best-of-8 certification sequentially and twice
+through the worker pool and diffs all three bit-for-bit (SW023 on any
+divergence or dropped trial).
 
 `faults` runs the async simulator under a seed-deterministic fault plan
 (crashes with whole-cell work reassignment, lossy retried messaging,
@@ -108,7 +121,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("expected --flag, got '{flag}'"));
         };
         // Boolean flags.
-        if matches!(key, "quality" | "gantt" | "delays" | "demo-cycle" | "async") {
+        if matches!(
+            key,
+            "quality" | "gantt" | "delays" | "demo-cycle" | "async" | "par-check"
+        ) {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -201,6 +217,14 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
         }
     }
     let mut flags = parse_flags(&rest)?;
+
+    // Global worker-pool sizing, valid on every subcommand. 0 (or the
+    // flag's absence) leaves the pool at the host's available
+    // parallelism; 1 forces the sequential path.
+    if let Some(t) = flags.remove("threads") {
+        let threads: usize = t.parse().map_err(|e| format!("--threads: {e}"))?;
+        sweep_pool::set_global_threads(threads);
+    }
 
     // Global telemetry flags, valid on every subcommand; `trace` records
     // by default (text report when no --telemetry is given).
@@ -731,9 +755,19 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(String, i32), String>
                 let prio = vec![0i64; inst.num_tasks()];
                 report.merge(analyze_async(&inst, &assignment, &prio, latency));
             }
+            if flags.contains_key("par-check") {
+                report.merge(sweep_analyze::analyze_parallel_determinism(
+                    &inst,
+                    m,
+                    sweep_pool::global_threads(),
+                    seed,
+                ));
+            }
         }
     } else if flags.contains_key("async") {
         return Err("--async needs --m (it analyzes a distributed execution)".into());
+    } else if flags.contains_key("par-check") {
+        return Err("--par-check needs --m (it certifies a best-of-b schedule)".into());
     }
 
     let rendered = match flags.get("format").map(String::as_str).unwrap_or("text") {
@@ -1031,6 +1065,61 @@ mod tests {
     }
 
     #[test]
+    fn analyze_par_check_certifies_determinism() {
+        let (out, status) = run_with_status(&args(&[
+            "analyze",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--par-check",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("parallel execution certified"), "{out}");
+        assert!(!out.contains("SW023"), "{out}");
+        // Don't leak the 4-thread setting into other tests in this
+        // process.
+        sweep_pool::set_global_threads(0);
+    }
+
+    #[test]
+    fn threads_flag_is_global_and_validated() {
+        let (out, status) = run_with_status(&args(&[
+            "schedule",
+            "--preset",
+            "tetonly",
+            "--scale",
+            "0.01",
+            "--sn",
+            "2",
+            "--m",
+            "4",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("makespan"), "{out}");
+        let err = run(&args(&[
+            "stats",
+            "--preset",
+            "tetonly",
+            "--threads",
+            "lots",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        sweep_pool::set_global_threads(0);
+    }
+
+    #[test]
     fn analyze_cyclic_instance_file_from_unchecked_parser() {
         let dir = std::env::temp_dir().join("sweep-cli-analyze-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1198,6 +1287,9 @@ mod tests {
         assert!(run(&args(&["analyze", "--demo-cycle", "--async"]))
             .unwrap_err()
             .contains("--async needs --m"));
+        assert!(run(&args(&["analyze", "--demo-cycle", "--par-check"]))
+            .unwrap_err()
+            .contains("--par-check needs --m"));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod priorities;
 pub mod random_delay;
 pub mod replicate;
 pub mod schedule;
+pub mod trials;
 pub mod weighted;
 
 pub use algorithms::Algorithm;
@@ -77,6 +78,10 @@ pub use random_delay::{
 };
 pub use replicate::{replicate, AssignmentDraw, ReplicateSummary};
 pub use schedule::{validate, Schedule, ScheduleBuildError, ScheduleViolation};
+pub use trials::{
+    best_of_trials, best_of_trials_seq, best_of_trials_with_pool, trial_seeds, BestOfTrials,
+    TrialOutcome,
+};
 pub use weighted::{
     validate_weighted, weighted_list_schedule, weighted_lower_bound,
     weighted_random_delay_priorities, WeightedSchedule, WeightedViolation,

@@ -71,9 +71,22 @@ pub fn list_schedule(
     // One ready-heap per processor; min-heap via Reverse.
     let mut heaps: Vec<BinaryHeap<Reverse<(i64, u64)>>> = vec![BinaryHeap::new(); m];
     // Tasks whose predecessors are done but whose direction is not yet
-    // released, bucketed by release time.
+    // released, bucketed by release time. Buckets are pre-sized to their
+    // worst case — direction `d`'s tasks only ever enter bucket
+    // `release[d]`, and at most all `n` of them do — so no bucket
+    // reallocates mid-schedule (asserted at drain time below).
     let max_release = release.map_or(0, |r| r[..k].iter().copied().max().unwrap_or(0));
-    let mut release_buckets: Vec<Vec<u64>> = vec![Vec::new(); max_release as usize + 1];
+    let mut bucket_cap = vec![0usize; max_release as usize + 1];
+    if let Some(r) = release {
+        for &rel in &r[..k] {
+            if rel > 0 {
+                bucket_cap[rel as usize] += n;
+            }
+        }
+    }
+    let mut release_buckets: Vec<Vec<u64>> =
+        bucket_cap.iter().map(|&c| Vec::with_capacity(c)).collect();
+    let bucket_caps: Vec<usize> = release_buckets.iter().map(Vec::capacity).collect();
 
     let proc_of_task = |t: u64| -> usize { assignment.proc_of((t % n as u64) as u32) as usize };
     let dir_of_task = |t: u64| -> usize { (t / n as u64) as usize };
@@ -99,6 +112,12 @@ pub fn list_schedule(
             ready_peak = ready_peak.max(heaps.iter().map(|h| h.len()).sum());
         }
         if let Some(bucket) = release_buckets.get_mut(t_now as usize) {
+            debug_assert!(
+                bucket.capacity() == bucket_caps[t_now as usize],
+                "release bucket {t_now} reallocated ({} -> {})",
+                bucket_caps[t_now as usize],
+                bucket.capacity()
+            );
             for task in std::mem::take(bucket) {
                 heaps[proc_of_task(task)].push(Reverse((priority[task as usize], task)));
             }
@@ -284,6 +303,19 @@ mod tests {
         let s = greedy_schedule(&inst, a);
         let c = compact(&inst, &s);
         assert_eq!(c.makespan(), s.makespan());
+    }
+
+    #[test]
+    fn release_buckets_never_reallocate_on_tetonly() {
+        // Exercises the drain-time capacity micro-assert (active under
+        // debug assertions) on the tetonly preset with real random
+        // delays — the workload the pre-sizing is tuned for.
+        let mesh = sweep_mesh::MeshPreset::Tetonly.build_scaled(0.01).unwrap();
+        let quad = sweep_quadrature::QuadratureSet::level_symmetric(2).unwrap();
+        let (inst, _) = SweepInstance::from_mesh(&mesh, &quad, "tetonly");
+        let a = Assignment::random_cells(inst.num_cells(), 8, 1);
+        let s = crate::random_delay::random_delay_priorities(&inst, a, 7);
+        validate(&inst, &s).unwrap();
     }
 
     #[test]

@@ -18,8 +18,6 @@
 //!   (set partitions into ≤ m blocks) so processor symmetry is not
 //!   re-explored.
 
-use std::collections::HashMap;
-
 use sweep_dag::{SweepInstance, TaskId};
 
 use crate::assignment::Assignment;
@@ -28,11 +26,25 @@ use crate::bounds::lower_bounds;
 /// Hard cap on task count for the exact search.
 pub const MAX_TASKS: usize = 24;
 
+/// Sentinel marking a done-mask state the search has not reached yet.
+const UNSEEN: u32 = u32::MAX;
+
 /// Exact optimal makespan for a *fixed* assignment.
 ///
 /// # Panics
 /// Panics when `n·k > MAX_TASKS` (the bitmask search would blow up).
 pub fn optimal_makespan_fixed_assignment(instance: &SweepInstance, assignment: &Assignment) -> u32 {
+    optimal_fixed_with_memo(instance, assignment, &mut Vec::new())
+}
+
+/// Implementation of [`optimal_makespan_fixed_assignment`] with a
+/// caller-owned memo buffer, so [`optimal_sweep_makespan`]'s assignment
+/// enumeration reuses one allocation across its whole search.
+fn optimal_fixed_with_memo(
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    memo: &mut Vec<u32>,
+) -> u32 {
     let total = instance.num_tasks();
     assert!(
         total <= MAX_TASKS,
@@ -76,25 +88,30 @@ pub fn optimal_makespan_fixed_assignment(instance: &SweepInstance, assignment: &
         pred_mask: Vec<u32>,
         proc: Vec<u8>,
         tail: Vec<u32>,
-        // best known completion time from a done-mask (memo stores the best
-        // *lower bound proven* / exact remaining time once solved).
-        memo: HashMap<u32, u32>,
+        // Flat memo keyed directly by the done-mask (2^total entries,
+        // UNSEEN = not reached): earliest elapsed time this state was
+        // reached at. Replaces the former HashMap — the probe on the
+        // search's innermost path is one indexed load, no hashing.
+        memo: Vec<u32>,
+        // Scratch per-processor load vector for remaining_lb, reused
+        // across the whole search instead of allocated per node.
+        load: Vec<u32>,
         best: u32,
     }
 
     impl Ctx {
         /// Remaining-time lower bound from state `done`.
-        fn remaining_lb(&self, done: u32) -> u32 {
+        fn remaining_lb(&mut self, done: u32) -> u32 {
             let remaining = self.total as u32 - done.count_ones();
-            let mut load = vec![0u32; self.m];
+            self.load.iter_mut().for_each(|x| *x = 0);
             let mut cp = 0u32;
             for t in 0..self.total {
                 if done & (1 << t) == 0 {
-                    load[self.proc[t] as usize] += 1;
+                    self.load[self.proc[t] as usize] += 1;
                     cp = cp.max(self.tail[t]);
                 }
             }
-            let maxload = load.into_iter().max().unwrap_or(0);
+            let maxload = self.load.iter().copied().max().unwrap_or(0);
             maxload.max(cp).max(remaining.div_ceil(self.m as u32))
         }
 
@@ -106,41 +123,69 @@ pub fn optimal_makespan_fixed_assignment(instance: &SweepInstance, assignment: &
             if elapsed + self.remaining_lb(done) >= self.best {
                 return;
             }
-            if let Some(&seen) = self.memo.get(&done) {
-                if seen <= elapsed {
-                    return; // reached this state at least as early before
-                }
+            let seen = self.memo[done as usize];
+            if seen != UNSEEN && seen <= elapsed {
+                return; // reached this state at least as early before
             }
-            self.memo.insert(done, elapsed);
+            self.memo[done as usize] = elapsed;
 
-            // Ready tasks per processor.
-            let mut ready_per_proc: Vec<Vec<u32>> = vec![Vec::new(); self.m];
+            // Ready tasks bucketed by processor in CSR form, entirely on
+            // the stack (total ≤ MAX_TASKS, proc ids fit u8): counts,
+            // then prefix offsets, then a fill pass. No per-node heap
+            // allocation on the search's hot path.
+            let mut count = [0u8; 256];
             for t in 0..self.total {
                 let bit = 1u32 << t;
                 if done & bit == 0 && self.pred_mask[t] & !done == 0 {
-                    ready_per_proc[self.proc[t] as usize].push(t as u32);
+                    count[self.proc[t] as usize] += 1;
                 }
             }
+            // proc ids are stored as u8, so at most 256 buckets matter
+            // even when the assignment declares more processors.
+            let pm = self.m.min(256);
+            let mut offset = [0u8; 257];
+            for p in 0..pm {
+                offset[p + 1] = offset[p] + count[p];
+            }
+            let mut fill = offset;
+            let mut ready = [0u32; MAX_TASKS];
+            for t in 0..self.total {
+                let bit = 1u32 << t;
+                if done & bit == 0 && self.pred_mask[t] & !done == 0 {
+                    let p = self.proc[t] as usize;
+                    ready[fill[p] as usize] = t as u32;
+                    fill[p] += 1;
+                }
+            }
+            // (start, len) ranges of processors that have ready work.
+            let mut busy = [(0u8, 0u8); MAX_TASKS];
+            let mut nb = 0usize;
+            for p in 0..pm {
+                if count[p] > 0 {
+                    busy[nb] = (offset[p], count[p]);
+                    nb += 1;
+                }
+            }
+            debug_assert!(nb > 0, "acyclic instance always has ready work");
+
             // Branch over the cartesian product of per-processor choices.
             // By the exchange argument a processor with ready tasks never
             // idles in some optimal schedule, so "idle" is not a branch.
-            let busy: Vec<&Vec<u32>> = ready_per_proc.iter().filter(|r| !r.is_empty()).collect();
-            debug_assert!(!busy.is_empty(), "acyclic instance always has ready work");
-            let mut choice = vec![0usize; busy.len()];
+            let mut choice = [0u8; MAX_TASKS];
             loop {
                 let mut next = done;
-                for (ci, r) in busy.iter().enumerate() {
-                    next |= 1 << r[choice[ci]];
+                for (ci, &(s, _)) in busy[..nb].iter().enumerate() {
+                    next |= 1 << ready[(s + choice[ci]) as usize];
                 }
                 self.dfs(next, elapsed + 1);
                 // Increment the mixed-radix counter.
                 let mut pos = 0;
                 loop {
-                    if pos == busy.len() {
+                    if pos == nb {
                         return;
                     }
                     choice[pos] += 1;
-                    if choice[pos] < busy[pos].len() {
+                    if choice[pos] < busy[pos].1 {
                         break;
                     }
                     choice[pos] = 0;
@@ -150,16 +195,20 @@ pub fn optimal_makespan_fixed_assignment(instance: &SweepInstance, assignment: &
         }
     }
 
+    memo.clear();
+    memo.resize(1usize << total, UNSEEN);
     let mut ctx = Ctx {
         total,
         m,
         pred_mask,
         proc,
         tail,
-        memo: HashMap::new(),
+        memo: std::mem::take(memo),
+        load: vec![0u32; m],
         best: total as u32, // serial schedule always feasible
     };
     ctx.dfs(0, 0);
+    *memo = ctx.memo;
     ctx.best
 }
 
@@ -189,12 +238,16 @@ pub fn optimal_sweep_makespan(instance: &SweepInstance, m: usize) -> u32 {
     }
     let lb = lower_bounds(instance, m).best() as u32;
     let mut best = u32::MAX;
+    // One memo allocation for the whole enumeration: each fixed-
+    // assignment search refills it instead of reallocating 2^total
+    // entries per restricted growth string.
+    let mut memo: Vec<u32> = Vec::new();
     // Restricted growth strings: a[0] = 0; a[i] <= max(a[0..i]) + 1, < m.
     let mut a = vec![0u32; n];
     loop {
         let used = a.iter().copied().max().unwrap_or(0) as usize + 1;
         let assignment = Assignment::from_vec(a.clone(), used.max(1));
-        let ms = optimal_makespan_fixed_assignment(instance, &assignment);
+        let ms = optimal_fixed_with_memo(instance, &assignment, &mut memo);
         best = best.min(ms);
         if best == lb {
             return best; // cannot do better than the lower bound

@@ -1,0 +1,225 @@
+//! Best-of-`b` multi-trial scheduling with deterministic parallelism.
+//!
+//! The paper's randomized algorithms (random delay, RDP, Algorithm 3)
+//! hold their guarantees in expectation; in practice one runs several
+//! independent delay draws and keeps the best schedule. The draws are
+//! embarrassingly parallel, so [`best_of_trials`] fans them across the
+//! [`sweep_pool`] worker threads.
+//!
+//! Determinism is preserved by construction: trial `i` runs with the
+//! child seed `rand::split_seed(master_seed, i)` — a pure function of
+//! `(master_seed, i)` — so every trial's schedule is independent of
+//! which worker ran it or in what order. Combined with the pool's
+//! index-ordered results and a `(makespan, trial index)` tie-break, the
+//! returned schedule is bit-identical to the sequential reference loop
+//! ([`best_of_trials_seq`]) at every worker count.
+
+use sweep_dag::SweepInstance;
+use sweep_pool::ThreadPool;
+use sweep_telemetry as telemetry;
+
+use crate::algorithms::Algorithm;
+use crate::assignment::Assignment;
+use crate::schedule::Schedule;
+
+/// One trial's result in a best-of-`b` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Trial index in `0..b`.
+    pub trial: usize,
+    /// The child seed the trial ran with
+    /// (`rand::split_seed(master_seed, trial)`).
+    pub seed: u64,
+    /// Makespan the trial achieved.
+    pub makespan: u32,
+}
+
+/// Result of [`best_of_trials`]: the winning schedule plus the full
+/// per-trial record (for variance studies and reporting).
+#[derive(Debug, Clone)]
+pub struct BestOfTrials {
+    /// Minimum-makespan schedule; ties broken by lowest trial index.
+    pub schedule: Schedule,
+    /// Index of the winning trial.
+    pub trial: usize,
+    /// Child seed of the winning trial.
+    pub seed: u64,
+    /// Every trial's outcome, in trial order.
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+/// The `b` child seeds a master seed splits into — trial `i` always
+/// gets `split_seed(master_seed, i)`, in every execution mode.
+pub fn trial_seeds(master_seed: u64, b: usize) -> Vec<u64> {
+    (0..b as u64)
+        .map(|i| rand::split_seed(master_seed, i))
+        .collect()
+}
+
+/// Runs `b` independent trials of `algorithm` on the global thread pool
+/// and keeps the best schedule. See [`best_of_trials_with_pool`].
+pub fn best_of_trials(
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    algorithm: Algorithm,
+    b: usize,
+    master_seed: u64,
+) -> BestOfTrials {
+    best_of_trials_with_pool(
+        &sweep_pool::global(),
+        instance,
+        assignment,
+        algorithm,
+        b,
+        master_seed,
+    )
+}
+
+/// Runs `b` independent trials of `algorithm` on an explicit pool and
+/// keeps the minimum-makespan schedule (ties → lowest trial index).
+///
+/// Bit-identical to [`best_of_trials_seq`] at every worker count: each
+/// trial's seed is split from the master ahead of time, so its schedule
+/// does not depend on the execution interleaving.
+///
+/// # Panics
+/// Panics when `b == 0` — there is no schedule to return.
+pub fn best_of_trials_with_pool(
+    pool: &ThreadPool,
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    algorithm: Algorithm,
+    b: usize,
+    master_seed: u64,
+) -> BestOfTrials {
+    assert!(b > 0, "best_of_trials needs at least one trial");
+    let _span = telemetry::span!("sched.best_of_trials");
+    let seeds = trial_seeds(master_seed, b);
+    let schedules = pool.par_map(&seeds, |_, &seed| {
+        algorithm.run(instance, assignment.clone(), seed)
+    });
+    telemetry::counter_add("sched.trials", b as u64);
+    select_best(seeds, schedules)
+}
+
+/// The sequential reference loop: same seeds, same selection rule, no
+/// pool. Exists so tests (and the SW023 analyzer) can diff the parallel
+/// path against an independent implementation.
+pub fn best_of_trials_seq(
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    algorithm: Algorithm,
+    b: usize,
+    master_seed: u64,
+) -> BestOfTrials {
+    assert!(b > 0, "best_of_trials needs at least one trial");
+    let seeds = trial_seeds(master_seed, b);
+    let schedules: Vec<Schedule> = seeds
+        .iter()
+        .map(|&seed| algorithm.run(instance, assignment.clone(), seed))
+        .collect();
+    select_best(seeds, schedules)
+}
+
+fn select_best(seeds: Vec<u64>, schedules: Vec<Schedule>) -> BestOfTrials {
+    let outcomes: Vec<TrialOutcome> = seeds
+        .iter()
+        .zip(&schedules)
+        .enumerate()
+        .map(|(trial, (&seed, s))| TrialOutcome {
+            trial,
+            seed,
+            makespan: s.makespan(),
+        })
+        .collect();
+    let winner = outcomes
+        .iter()
+        .min_by_key(|o| (o.makespan, o.trial))
+        .expect("b > 0 checked by callers")
+        .trial;
+    let schedule = schedules
+        .into_iter()
+        .nth(winner)
+        .expect("winner index in range");
+    BestOfTrials {
+        schedule,
+        trial: winner,
+        seed: outcomes[winner].seed,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::validate;
+
+    #[test]
+    fn parallel_matches_sequential_reference() {
+        let inst = SweepInstance::random_layered(60, 4, 6, 2, 11);
+        let a = Assignment::random_cells(60, 6, 3);
+        for b in [1usize, 2, 7, 16] {
+            let seq = best_of_trials_seq(&inst, &a, Algorithm::RandomDelayPriorities, b, 42);
+            for threads in [1usize, 2, 4, 8] {
+                let pool = ThreadPool::new(threads);
+                let par = best_of_trials_with_pool(
+                    &pool,
+                    &inst,
+                    &a,
+                    Algorithm::RandomDelayPriorities,
+                    b,
+                    42,
+                );
+                assert_eq!(par.trial, seq.trial, "b={b} threads={threads}");
+                assert_eq!(par.seed, seq.seed);
+                assert_eq!(par.outcomes, seq.outcomes);
+                assert_eq!(par.schedule.starts(), seq.schedule.starts());
+            }
+        }
+    }
+
+    #[test]
+    fn winner_is_the_minimum_makespan() {
+        let inst = SweepInstance::random_layered(50, 3, 5, 2, 5);
+        let a = Assignment::random_cells(50, 5, 9);
+        let best = best_of_trials(&inst, &a, Algorithm::RandomDelay, 12, 7);
+        validate(&inst, &best.schedule).unwrap();
+        assert_eq!(best.outcomes.len(), 12);
+        let min = best.outcomes.iter().map(|o| o.makespan).min().unwrap();
+        assert_eq!(best.schedule.makespan(), min);
+        assert_eq!(best.outcomes[best.trial].makespan, min);
+        // Outcomes arrive in trial order regardless of worker count.
+        assert!(best
+            .outcomes
+            .windows(2)
+            .all(|w| w[0].trial + 1 == w[1].trial));
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_trial_index() {
+        // Greedy ignores the seed, so all trials tie — the winner must
+        // be trial 0 under the (makespan, trial) ordering.
+        let inst = SweepInstance::random_layered(40, 3, 5, 2, 2);
+        let a = Assignment::random_cells(40, 4, 1);
+        let best = best_of_trials(&inst, &a, Algorithm::Greedy, 8, 123);
+        assert_eq!(best.trial, 0);
+    }
+
+    #[test]
+    fn seeds_are_split_not_sequential() {
+        let seeds = trial_seeds(99, 4);
+        assert_eq!(seeds.len(), 4);
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, rand::split_seed(99, i as u64));
+            assert_ne!(s, 99, "child seed must not collapse to the master");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let inst = SweepInstance::random_layered(10, 2, 3, 1, 0);
+        let a = Assignment::single(10);
+        best_of_trials(&inst, &a, Algorithm::Greedy, 0, 0);
+    }
+}

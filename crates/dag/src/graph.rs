@@ -12,7 +12,10 @@
 /// cost for callers that guarantee it); use [`TaskDag::is_acyclic`] or
 /// [`TaskDag::topo_order`] to check, and
 /// [`crate::induce::break_cycles`] to repair cyclic edge sets.
-#[derive(Debug, Clone)]
+// Structural equality is well-defined because `from_edges` canonicalizes
+// (sorts + dedups) the CSR arrays — used by the parallel-determinism
+// tests to diff whole induced instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskDag {
     n: usize,
     succ_xadj: Vec<u32>,

@@ -76,15 +76,22 @@ pub fn induce_dag(mesh: &impl SweepMesh, omega: Vec3) -> (TaskDag, InduceStats) 
 
 /// Induces all `k` DAGs for a quadrature set; returns the DAGs and the
 /// per-direction repair statistics.
+///
+/// The per-direction inductions are independent, so they fan out over
+/// the [`sweep_pool::global`] thread pool. Each induction is a pure
+/// function of `(mesh, ω)` and results come back ordered by direction
+/// index, so the output is bit-identical at every worker count
+/// (`--threads 1` reproduces the historical sequential loop exactly).
 pub fn induce_all(
-    mesh: &impl SweepMesh,
+    mesh: &(impl SweepMesh + Sync),
     quadrature: &QuadratureSet,
 ) -> (Vec<TaskDag>, Vec<InduceStats>) {
     let _span = telemetry::span!("dag.induce");
+    let omegas: Vec<Vec3> = quadrature.iter().map(|(_, omega)| omega).collect();
+    let per_dir = sweep_pool::global().par_map(&omegas, |_, &omega| induce_dag(mesh, omega));
     let mut dags = Vec::with_capacity(quadrature.len());
     let mut stats = Vec::with_capacity(quadrature.len());
-    for (_, omega) in quadrature.iter() {
-        let (d, s) = induce_dag(mesh, omega);
+    for (d, s) in per_dir {
         dags.push(d);
         stats.push(s);
     }

@@ -88,8 +88,11 @@ impl SweepInstance {
 
     /// Induces the instance from a mesh and a quadrature set (cycles broken
     /// geometrically); also returns per-direction induction statistics.
+    ///
+    /// Per-direction inductions run on the global thread pool (see
+    /// [`induce_all`]); the `Sync` bound lets workers share the mesh.
     pub fn from_mesh(
-        mesh: &impl SweepMesh,
+        mesh: &(impl SweepMesh + Sync),
         quadrature: &QuadratureSet,
         name: impl Into<String>,
     ) -> (SweepInstance, Vec<InduceStats>) {

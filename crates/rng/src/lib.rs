@@ -153,6 +153,26 @@ pub trait RngExt: RngCore {
 
 impl<R: RngCore + ?Sized> RngExt for R {}
 
+/// Derives an independent child seed from a master seed and a stream
+/// index.
+///
+/// This is the workspace's seed-splitting scheme: child `i` of master
+/// `m` is `splitmix64(m ⊕ golden·(i+1))` — a pure function of
+/// `(m, i)`, so a batch of children can be computed in any order (or
+/// on any thread) and still match the sequential enumeration exactly.
+/// `sweep-core::best_of_trials` relies on this for bit-identical
+/// parallel/sequential results. The `i+1` offset keeps stream 0 from
+/// collapsing to the master seed itself.
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    // One SplitMix64 step over the decorrelated input — the same
+    // finalizer `StdRng::seed_from_u64` uses for state expansion.
+    let x = master ^ stream.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Named generators (mirrors `rand::rngs`).
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -350,5 +370,26 @@ mod tests {
     fn empty_range_panics() {
         let mut r = StdRng::seed_from_u64(0);
         let _: u32 = r.random_range(5..5u32);
+    }
+
+    #[test]
+    fn split_seed_is_pure_and_decorrelated() {
+        use super::split_seed;
+        // Pure function of (master, stream): order of evaluation is
+        // irrelevant — the property the parallel trial runner needs.
+        assert_eq!(split_seed(42, 7), split_seed(42, 7));
+        // No collisions across a realistic trial batch, and no stream
+        // reproducing its master.
+        let mut seen: Vec<u64> = (0..4096).map(|i| split_seed(2005, i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4096);
+        assert!((0..64).all(|i| split_seed(2005, i) != 2005));
+        // Children of different masters diverge too.
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+        // Golden values pin the scheme so a refactor cannot silently
+        // change every downstream experiment.
+        assert_eq!(split_seed(0, 0), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(split_seed(2005, 1), 0x2f8f_8019_ae7c_4018);
     }
 }

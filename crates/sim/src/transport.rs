@@ -70,14 +70,22 @@ pub struct TransportSolver<'m, M: SweepMesh> {
     materials: Vec<Material>,
     /// Characteristic cell size `h ≈ n^{-1/dim}` of the unit-ish domain.
     h: f64,
-    /// Topological order per direction (the sequential sweep order).
-    topo: Vec<Vec<u32>>,
-    /// Per direction, per cell: incoming `(upstream cell, normalized
-    /// area weight)` stencil consistent with the (cycle-broken) DAG.
-    stencils: Vec<Vec<Vec<(u32, f64)>>>,
+    /// Topological orders of all directions, concatenated: direction
+    /// `d`'s sequential sweep order is `topo[d·n .. (d+1)·n]`. Flat so
+    /// the inner sweep loop walks one contiguous allocation.
+    topo: Vec<u32>,
+    /// CSR offsets into the stencil arrays, indexed by `d·n + cell`
+    /// (length `k·n + 1`).
+    stencil_xadj: Vec<u32>,
+    /// Upstream cell of each stencil entry (parallel to
+    /// [`Self::stencil_w`]).
+    stencil_up: Vec<u32>,
+    /// Normalized area weight of each stencil entry, consistent with
+    /// the (cycle-broken) DAG.
+    stencil_w: Vec<f64>,
 }
 
-impl<'m, M: SweepMesh> TransportSolver<'m, M> {
+impl<'m, M: SweepMesh + Sync> TransportSolver<'m, M> {
     /// Builds the solver for a uniform material (induces the
     /// per-direction DAGs internally).
     pub fn new(
@@ -109,16 +117,31 @@ impl<'m, M: SweepMesh> TransportSolver<'m, M> {
             .map(Material::validated)
             .collect::<Result<_, _>>()?;
         let (instance, _) = SweepInstance::from_mesh(mesh, quadrature, "transport");
-        let topo: Vec<Vec<u32>> = instance
-            .dags()
-            .iter()
-            .map(|d| d.topo_order().expect("induced DAGs are acyclic"))
-            .collect();
         let n = mesh.num_cells();
+        let k = quadrature.len();
         let h = 1.0 / (n as f64).powf(1.0 / mesh.dim() as f64);
-        let stencils = (0..quadrature.len())
-            .map(|d| stencil_for_direction(mesh, &instance, quadrature, d))
-            .collect();
+        // Flatten the per-direction topological orders and stencils
+        // into CSR-style arrays: one offset table indexed by
+        // `d·n + cell`, one flat upstream-cell array, one flat weight
+        // array. The solve loop then streams contiguous memory instead
+        // of chasing a Vec<Vec<Vec<_>>>.
+        let mut topo = Vec::with_capacity(k * n);
+        for dag in instance.dags() {
+            topo.extend(dag.topo_order().expect("induced DAGs are acyclic"));
+        }
+        let mut stencil_xadj = Vec::with_capacity(k * n + 1);
+        let mut stencil_up = Vec::new();
+        let mut stencil_w = Vec::new();
+        stencil_xadj.push(0u32);
+        for d in 0..k {
+            for cell in stencil_for_direction(mesh, &instance, quadrature, d) {
+                for (up, w) in cell {
+                    stencil_up.push(up);
+                    stencil_w.push(w);
+                }
+                stencil_xadj.push(stencil_up.len() as u32);
+            }
+        }
         Ok(TransportSolver {
             mesh,
             quadrature,
@@ -126,7 +149,9 @@ impl<'m, M: SweepMesh> TransportSolver<'m, M> {
             materials,
             h,
             topo,
-            stencils,
+            stencil_xadj,
+            stencil_up,
+            stencil_w,
         })
     }
 
@@ -150,13 +175,17 @@ impl<'m, M: SweepMesh> TransportSolver<'m, M> {
             let mut phi_new = vec![0.0f64; n];
             for d in 0..k {
                 let w_d = self.quadrature.ordinates()[d].weight;
-                let stencil = &self.stencils[d];
-                for &v in &self.topo[d] {
+                let base = d * n;
+                for &v in &self.topo[base..base + n] {
                     let mat = self.materials[v as usize];
                     let atten = 1.0 + mat.sigma_t * self.h;
                     let mut inflow = 0.0f64;
-                    for &(u, w) in &stencil[v as usize] {
-                        inflow += w * psi[u as usize];
+                    let (s, e) = (
+                        self.stencil_xadj[base + v as usize] as usize,
+                        self.stencil_xadj[base + v as usize + 1] as usize,
+                    );
+                    for (u, w) in self.stencil_up[s..e].iter().zip(&self.stencil_w[s..e]) {
+                        inflow += w * psi[*u as usize];
                     }
                     // Upwind balance: attenuated inflow plus the cell's
                     // isotropic emission (fixed source + scattering of the

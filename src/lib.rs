@@ -12,7 +12,8 @@
 //! | [`partition`] | multilevel graph partitioner (METIS stand-in) for block assignment |
 //! | [`core`] | Algorithms 1–3 (Random Delay family), Level/Descendant/DFDS heuristics, list-scheduling engine, C1/C2 metrics, lower bounds |
 //! | [`sim`] | step-synchronous simulator, edge-coloring communication rounds, threaded sweep executor, toy S_n transport solver |
-//! | [`analyze`] | static analysis: SW0xx diagnostics (cycle witnesses, collect-all schedule validation, bound certification, message-race detection) with text/JSON/SARIF output |
+//! | [`analyze`] | static analysis: SW0xx diagnostics (cycle witnesses, collect-all schedule validation, bound certification, message-race detection, parallel-determinism certification) with text/JSON/SARIF output |
+//! | [`pool`] | dependency-free work-stealing thread pool backing parallel DAG induction, best-of-`b` trials, and the bench grids |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use sweep_core as core;
 pub use sweep_dag as dag;
 pub use sweep_mesh as mesh;
 pub use sweep_partition as partition;
+pub use sweep_pool as pool;
 pub use sweep_quadrature as quadrature;
 pub use sweep_sim as sim;
 
@@ -56,14 +58,16 @@ pub mod prelude {
         approx_ratio, c1_interprocessor_edges, c2_comm_delay, greedy_schedule, kba_assignment,
         list_schedule, lower_bounds, optimal_sweep_makespan, random_delay, random_delay_priorities,
         render_gantt, replicate, validate, validate_weighted, weighted_lower_bound,
-        weighted_random_delay_priorities, Algorithm, Assignment, AssignmentDraw, PriorityScheme,
-        Schedule,
+        weighted_random_delay_priorities, Algorithm, Assignment, AssignmentDraw, BestOfTrials,
+        PriorityScheme, Schedule,
     };
+    pub use sweep_core::{best_of_trials, best_of_trials_seq};
     pub use sweep_dag::{dag_stats, instance_stats, SweepInstance, TaskDag, TaskId};
     pub use sweep_mesh::{
         quality_report, to_vtk, GeneratorConfig, MeshPreset, SweepMesh, TetMesh, TriMesh2d, Vec3,
     };
     pub use sweep_partition::{block_partition, CsrGraph, PartitionOptions};
+    pub use sweep_pool::{set_global_threads, ThreadPool};
     pub use sweep_quadrature::{DirectionId, QuadratureSet};
     pub use sweep_sim::{
         execute_parallel, latency_makespan, simulate, CommModel, Material, SimConfig,
