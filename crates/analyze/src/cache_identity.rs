@@ -1,0 +1,187 @@
+//! Cache-identity certification (SW024 / SW021).
+//!
+//! The serving layer (`sweep-serve`) promises that a schedule answered
+//! from its content-addressed cache is **bit-identical** to what a cold
+//! recomputation of the same request would produce — caching must be an
+//! optimization, never an approximation. This analyzer checks that
+//! promise on a concrete pair of schedules: the cache-served artifact
+//! and an independently recomputed one.
+//!
+//! The diff is exhaustive: every task start time, every cell's
+//! processor, the makespan, and the winning-trial metadata. Any
+//! divergence (a stale entry surviving a content change, digest
+//! aliasing, an execution-order-dependent winner) is reported as SW024
+//! at error severity; a clean diff — after re-validating the cached
+//! schedule's feasibility against the instance — pushes the SW021
+//! certification.
+
+use sweep_core::{validate, Schedule};
+use sweep_dag::SweepInstance;
+
+use crate::diag::{Anchor, Code, Diagnostic, Report};
+
+/// Trial metadata accompanying the two schedules under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheIdentityMeta {
+    /// The tier-2 content digest the cached artifact was addressed by.
+    pub digest: u64,
+    /// Winning trial index recorded in the cache.
+    pub cached_trial: usize,
+    /// Winning trial index of the cold recomputation.
+    pub cold_trial: usize,
+    /// Winning trial's child seed recorded in the cache.
+    pub cached_seed: u64,
+    /// Winning trial's child seed of the cold recomputation.
+    pub cold_seed: u64,
+}
+
+/// Diffs a cache-served schedule against a cold recomputation of the
+/// same content-addressed request. See the module docs for what SW024
+/// covers.
+pub fn analyze_cache_identity(
+    instance: &SweepInstance,
+    cached: &Schedule,
+    cold: &Schedule,
+    meta: CacheIdentityMeta,
+) -> Report {
+    let mut report = Report::new(format!(
+        "cache identity for '{}' (digest {:016x})",
+        instance.name(),
+        meta.digest
+    ));
+    let mut clean = true;
+
+    if meta.cached_trial != meta.cold_trial || meta.cached_seed != meta.cold_seed {
+        clean = false;
+        report.push(Diagnostic::new(
+            Code::CacheDivergence,
+            Anchor::none(),
+            format!(
+                "winning trial differs: cache holds trial {} (seed {:#x}), cold run picked \
+                 trial {} (seed {:#x})",
+                meta.cached_trial, meta.cached_seed, meta.cold_trial, meta.cold_seed
+            ),
+        ));
+    }
+    if cached.makespan() != cold.makespan() {
+        clean = false;
+        report.push(Diagnostic::new(
+            Code::CacheDivergence,
+            Anchor::none(),
+            format!(
+                "makespan differs: cached {} vs cold {}",
+                cached.makespan(),
+                cold.makespan()
+            ),
+        ));
+    }
+    if cached.starts() != cold.starts() {
+        clean = false;
+        let witness = cached
+            .starts()
+            .iter()
+            .zip(cold.starts())
+            .position(|(a, b)| a != b);
+        report.push(Diagnostic::new(
+            Code::CacheDivergence,
+            Anchor::none(),
+            format!(
+                "start times differ{}",
+                witness.map_or_else(
+                    || " in length".to_string(),
+                    |t| format!(" (first divergent task index {t})")
+                )
+            ),
+        ));
+    }
+    let n = instance.num_cells() as u32;
+    if let Some(cell) = (0..n).find(|&v| cached.proc_of_cell(v) != cold.proc_of_cell(v)) {
+        clean = false;
+        report.push(Diagnostic::new(
+            Code::CacheDivergence,
+            Anchor::cell(cell),
+            format!(
+                "assignment differs: cached puts cell {cell} on processor {}, cold on {}",
+                cached.proc_of_cell(cell),
+                cold.proc_of_cell(cell)
+            ),
+        ));
+    }
+    if let Err(e) = validate(instance, cached) {
+        clean = false;
+        report.push(Diagnostic::new(
+            Code::CacheDivergence,
+            Anchor::none(),
+            format!("cached schedule is not even feasible for the instance: {e}"),
+        ));
+    }
+
+    if clean {
+        report.push(Diagnostic::new(
+            Code::Certified,
+            Anchor::none(),
+            format!(
+                "cache identity certified: digest {:016x} serves a schedule bit-identical \
+                 to a cold recomputation (makespan {}, winning trial {})",
+                meta.digest,
+                cached.makespan(),
+                meta.cached_trial
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweep_core::{Algorithm, Assignment};
+
+    fn pair() -> (SweepInstance, Schedule) {
+        let inst = SweepInstance::random_layered(40, 3, 5, 2, 8);
+        let a = Assignment::random_cells(40, 4, 2);
+        let s = Algorithm::RandomDelayPriorities.run(&inst, a, 77);
+        (inst, s)
+    }
+
+    fn meta() -> CacheIdentityMeta {
+        CacheIdentityMeta {
+            digest: 0xfeed,
+            cached_trial: 1,
+            cold_trial: 1,
+            cached_seed: 0xabc,
+            cold_seed: 0xabc,
+        }
+    }
+
+    #[test]
+    fn identical_schedules_certify() {
+        let (inst, s) = pair();
+        let r = analyze_cache_identity(&inst, &s, &s.clone(), meta());
+        assert!(!r.has_errors(), "{}", r.render_text());
+        assert!(r.has_code(Code::Certified));
+        assert!(!r.has_code(Code::CacheDivergence));
+    }
+
+    #[test]
+    fn divergent_starts_and_metadata_fire_sw024() {
+        let (inst, s) = pair();
+        let a = Assignment::random_cells(40, 4, 2);
+        let other = Algorithm::RandomDelayPriorities.run(&inst, a, 78);
+        let mut m = meta();
+        m.cold_trial = 2;
+        let r = analyze_cache_identity(&inst, &s, &other, m);
+        assert!(r.has_errors());
+        assert!(r.has_code(Code::CacheDivergence));
+        assert!(!r.has_code(Code::Certified));
+    }
+
+    #[test]
+    fn sw024_registry_entry_is_stable() {
+        assert_eq!(Code::CacheDivergence.as_str(), "SW024");
+        assert_eq!(
+            Code::CacheDivergence.severity(),
+            crate::diag::Severity::Error
+        );
+    }
+}

@@ -27,6 +27,7 @@
 //! | SW021 | info | schedule certified against the paper bounds |
 //! | SW022 | info | fault-injected trace certified exactly-once and precedence-correct |
 //! | SW023 | error | parallel execution nondeterministic or pool dropped queued tasks |
+//! | SW024 | error | cache-served schedule differs from a cold recomputation |
 
 use std::fmt;
 
@@ -88,6 +89,7 @@ pub enum Code {
     Certified,
     FaultTraceCertified,
     PoolNondeterminism,
+    CacheDivergence,
 }
 
 impl Code {
@@ -114,6 +116,7 @@ impl Code {
             Code::Certified => "SW021",
             Code::FaultTraceCertified => "SW022",
             Code::PoolNondeterminism => "SW023",
+            Code::CacheDivergence => "SW024",
         }
     }
 
@@ -144,6 +147,7 @@ impl Code {
             Code::PoolNondeterminism => {
                 "parallel execution nondeterministic or pool dropped queued tasks"
             }
+            Code::CacheDivergence => "cache-served schedule differs from a cold recomputation",
         }
     }
 
@@ -159,7 +163,8 @@ impl Code {
             | Code::MakespanBelowBound
             | Code::DuplicateExecution
             | Code::TracePrecedenceViolation
-            | Code::PoolNondeterminism => Severity::Error,
+            | Code::PoolNondeterminism
+            | Code::CacheDivergence => Severity::Error,
             Code::EmptyProcessor
             | Code::LoadImbalance
             | Code::UnreachableCell

@@ -49,6 +49,7 @@
 pub mod diag;
 
 mod assignment;
+mod cache_identity;
 mod happens_before;
 mod instance;
 mod parallel;
@@ -56,6 +57,7 @@ mod schedule;
 mod trace_integrity;
 
 pub use assignment::{analyze_assignment, analyze_assignment_with};
+pub use cache_identity::{analyze_cache_identity, CacheIdentityMeta};
 pub use diag::{json_string, Anchor, Code, Diagnostic, Report, Severity};
 pub use happens_before::{analyze_async, analyze_trace};
 pub use instance::{analyze_instance, analyze_quadrature};

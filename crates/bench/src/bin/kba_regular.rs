@@ -1,5 +1,5 @@
 //! **Extension: KBA on regular meshes** — the paper's related work notes
-//! that "when the mesh is very regular, the KBA algorithm [6] is known to
+//! that "when the mesh is very regular, the KBA algorithm \[6\] is known to
 //! be essentially optimal". This experiment builds a *structured*
 //! (zero-jitter) mesh, runs the classical KBA columnar assignment with a
 //! wavefront (level-priority) schedule, and compares makespan and C1

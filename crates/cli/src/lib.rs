@@ -18,6 +18,10 @@
 //!   partitions), certify the recovered trace with the SW017/SW018/SW022
 //!   analyzers, and report the degraded makespan as text or JSON;
 //!   optionally export a `makespan(fault_rate)` degradation curve CSV.
+//! * `serve` — run the HTTP scheduling service (`sweep-serve`): a
+//!   content-addressed two-tier schedule cache behind `POST
+//!   /v1/schedule`, plus `/v1/presets`, `/metrics`, and `/healthz`.
+//!   Blocks until killed; see API.md for the wire protocol.
 //!
 //! Every subcommand additionally understands the global `--telemetry
 //! <chrome|prom|text>` / `--telemetry-out <path>` flags: telemetry is
@@ -50,7 +54,7 @@ use sweep_telemetry as telemetry;
 
 /// Usage text.
 pub const HELP: &str = "\
-sweep — parallel sweep scheduling on unstructured meshes (IPDPS 2005)
+sweep — parallel sweep scheduling on unstructured meshes (IPPS 2005)
 
 USAGE:
   sweep <COMMAND> [--key value]...
@@ -79,6 +83,8 @@ COMMANDS:
              [--dup-rate F] [--jitter F] [--straggler-rate F]
              [--straggler-factor F] [--partition-rate F] [--min-rto F]
              [--format text|json] [--out FILE] [--curve FILE]
+  serve      [--addr HOST:PORT] [--threads N] [--cache-mb MB]
+             [--max-inflight N]    (HTTP scheduling service; see API.md)
   help
 
 GLOBAL FLAGS (any command):
@@ -110,6 +116,13 @@ duplicates, stragglers, link partitions), certifies the recovered trace
 (SW017 duplicate execution / SW018 precedence or delivery violation /
 SW022 certified), and exits 2 if certification fails. --curve FILE also
 writes a makespan(fault_rate) degradation CSV.
+
+`serve` answers POST /v1/schedule (preset or inline instance + m +
+algorithm) from a content-addressed cache — identical requests after the
+first are served without recomputation, bit-identical (certified by the
+SW024 analyzer). It sheds load with 429 + Retry-After past
+--max-inflight, and blocks until the process is killed. The wire
+protocol is documented in API.md.
 ";
 
 /// Parses `--key value` pairs after the subcommand.
@@ -221,7 +234,9 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
     // Global worker-pool sizing, valid on every subcommand. 0 (or the
     // flag's absence) leaves the pool at the host's available
     // parallelism; 1 forces the sequential path.
-    if let Some(t) = flags.remove("threads") {
+    // (`get`, not `remove`: `serve` reuses the same flag to size its
+    // HTTP worker pool.)
+    if let Some(t) = flags.get("threads") {
         let threads: usize = t.parse().map_err(|e| format!("--threads: {e}"))?;
         sweep_pool::set_global_threads(threads);
     }
@@ -256,6 +271,7 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
         "analyze" => cmd_analyze(&flags),
         "trace" => plain(cmd_trace(&flags)),
         "faults" => cmd_faults(&flags),
+        "serve" => plain(cmd_serve(&flags)),
         other => Err(format!("unknown command '{other}' (try `sweep help`)")),
     };
 
@@ -463,6 +479,35 @@ fn cmd_faults(flags: &HashMap<String, String>) -> Result<(String, i32), String> 
     } else {
         Ok((rendered, status))
     }
+}
+
+/// `serve` — binds the HTTP scheduling service and blocks in its accept
+/// loop until the process is killed. The listen address is printed
+/// immediately (before blocking) so scripts can wait on it.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
+    let addr: String = get(flags, "addr", "127.0.0.1:7469".to_string())?;
+    let threads: usize = get(flags, "threads", 0)?;
+    let cache_mb: usize = get(flags, "cache-mb", 64)?;
+    let max_inflight: usize = get(flags, "max-inflight", 32)?;
+    let config = sweep_serve::ServerConfig {
+        addr,
+        threads: if threads == 0 {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            threads
+        },
+        cache_bytes: cache_mb.max(1) * 1024 * 1024,
+        max_inflight: max_inflight.max(1),
+        ..sweep_serve::ServerConfig::default()
+    };
+    let server = sweep_serve::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "sweep-serve listening on http://{addr} \
+         (POST /v1/schedule, GET /v1/presets, GET /metrics, GET /healthz)"
+    );
+    server.run().map_err(|e| e.to_string())?;
+    Ok(format!("sweep-serve on {addr} shut down cleanly\n"))
 }
 
 fn cmd_mesh(flags: &HashMap<String, String>) -> Result<String, String> {
@@ -818,6 +863,14 @@ mod tests {
         assert!(run(&args(&["frobnicate"]))
             .unwrap_err()
             .contains("unknown command"));
+    }
+
+    #[test]
+    fn serve_is_in_help_and_rejects_a_bad_bind_address() {
+        assert!(HELP.contains("serve"));
+        assert!(run(&args(&["serve", "--addr", "not-an-address"]))
+            .unwrap_err()
+            .contains("bind"));
     }
 
     #[test]

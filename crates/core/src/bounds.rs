@@ -9,7 +9,7 @@
 //!   separately for clarity);
 //! * **Graham witness** — relaxing the same-processor constraint can only
 //!   help, so `OPT_sweep ≥ OPT_relaxed ≥ graham/(2 − 1/m)` where `graham`
-//!   is the greedy makespan of the union DAG on `m` machines [Graham].
+//!   is the greedy makespan of the union DAG on `m` machines \[Graham\].
 
 use sweep_dag::SweepInstance;
 

@@ -1,5 +1,5 @@
 //! KBA-style columnar assignment — the classical algorithm for *regular*
-//! meshes (Koch–Baker–Alcouffe, the paper's reference [6]).
+//! meshes (Koch–Baker–Alcouffe, the paper's reference \[6\]).
 //!
 //! KBA decomposes a structured grid into vertical columns, assigns each
 //! column of cells to one processor arranged in a 2-D processor grid, and

@@ -2,9 +2,9 @@
 //!
 //! Implementation of Anil Kumar, Marathe, Parthasarathy, Srinivasan &
 //! Zust, *Provable Algorithms for Parallel Sweep Scheduling on
-//! Unstructured Meshes* (IPDPS 2005):
+//! Unstructured Meshes* (IPPS 2005):
 //!
-//! * [`random_delay`] — Algorithm 1, the `O(log² n)`-approximate
+//! * [`random_delay()`](random_delay()) — Algorithm 1, the `O(log² n)`-approximate
 //!   layer-sequential Random Delay algorithm;
 //! * [`random_delay_priorities`] — Algorithm 2, the priority-compacted
 //!   variant (same guarantee, much better in practice);
@@ -12,7 +12,7 @@
 //!   with the `O(log m · log log log m)` expected guarantee;
 //! * [`priorities`] — the Level / Descendant / DFDS heuristics of §5.2,
 //!   each composable with random delays;
-//! * [`list_schedule`] — the shared priority list-scheduling engine;
+//! * [`list_schedule()`](list_schedule()) — the shared priority list-scheduling engine;
 //! * [`metrics`] — the communication measures C1 and C2;
 //! * [`bounds`] — lower bounds (`max{nk/m, k, D}` and a Graham witness);
 //! * [`concentration`] — Chernoff/balls-in-bins helpers mirroring

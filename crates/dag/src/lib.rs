@@ -6,7 +6,7 @@
 //!   constraints;
 //! * [`induce_dag`] / [`induce_all`] — induction of per-direction DAGs
 //!   from face normals, with geometric cycle breaking (paper §3);
-//! * [`levels`] / [`b_levels`] — the layer structure `L_{i,j}` that both
+//! * [`levels()`](levels()) / [`b_levels`] — the layer structure `L_{i,j}` that both
 //!   the Random Delay algorithms and the Level/DFDS priorities consume;
 //! * [`descendant_counts`] — exact and approximate descendant counts for
 //!   the Plimpton-style priority;

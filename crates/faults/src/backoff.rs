@@ -1,0 +1,61 @@
+//! Shared exponential-backoff arithmetic.
+//!
+//! Two consumers need the same retry discipline:
+//!
+//! * `sweep_sim::async_makespan_faulty` — the ack/timeout/retry
+//!   protocol waits `rto · 2^attempt` before retransmitting a flux
+//!   message (capped so a pathological plan still terminates);
+//! * `sweep-serve` — an overloaded server answers `429` with a
+//!   `Retry-After` hint drawn from the same curve, so clients back off
+//!   at the rate the simulator's protocol was validated against.
+//!
+//! Keeping the arithmetic here means a change to the backoff policy is
+//! one edit, and the fault-injection golden files in CI immediately
+//! catch an unintended drift.
+
+/// Default doubling cap: `rto · 2^6` is the longest single wait. With a
+/// per-attempt failure probability `p < 1` the chance of ever reaching
+/// the cap is negligible; it exists so `drop_rate = 1` still terminates.
+pub const DEFAULT_BACKOFF_CAP: u32 = 6;
+
+/// The capped exponential backoff delay for retry `attempt` (0-based):
+/// `rto · 2^min(attempt, cap)`.
+#[inline]
+pub fn backoff_delay(rto: f64, attempt: u32, cap: u32) -> f64 {
+    rto * (1u64 << attempt.min(cap)) as f64
+}
+
+/// [`backoff_delay`] with the default cap.
+#[inline]
+pub fn delay(rto: f64, attempt: u32) -> f64 {
+    backoff_delay(rto, attempt, DEFAULT_BACKOFF_CAP)
+}
+
+/// The delay rounded up to whole seconds and clamped to at least 1 —
+/// the shape an HTTP `Retry-After` header wants.
+pub fn retry_after_secs(rto: f64, attempt: u32) -> u64 {
+    delay(rto, attempt).ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_the_cap() {
+        assert_eq!(backoff_delay(1.5, 0, 6), 1.5);
+        assert_eq!(backoff_delay(1.5, 1, 6), 3.0);
+        assert_eq!(backoff_delay(1.5, 3, 6), 12.0);
+        assert_eq!(backoff_delay(1.5, 6, 6), 96.0);
+        // Capped: attempts past the cap wait the same.
+        assert_eq!(backoff_delay(1.5, 7, 6), 96.0);
+        assert_eq!(backoff_delay(1.5, 63, 6), 96.0);
+    }
+
+    #[test]
+    fn retry_after_is_whole_positive_seconds() {
+        assert_eq!(retry_after_secs(0.3, 0), 1);
+        assert_eq!(retry_after_secs(1.5, 1), 3);
+        assert_eq!(retry_after_secs(2.5, 2), 10);
+    }
+}

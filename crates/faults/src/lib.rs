@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod backoff;
 mod plan;
 mod report;
 

@@ -1,7 +1,24 @@
-//! Minimal JSON support: escaping for the emitters and a small
-//! recursive-descent parser for the validators and round-trip tests.
+//! # sweep-json — the workspace's shared mini-JSON codec
+//!
+//! Escaping for the emitters and a small recursive-descent parser for
+//! the validators, the serving layer, and round-trip tests.
 //! Dependency-free by design; handles the full JSON grammar (including
 //! `\uXXXX` escapes and surrogate pairs) with a fixed nesting limit.
+//!
+//! Historically this lived inside `sweep-telemetry`; it is now a crate
+//! of its own so `sweep-serve`, `sweep-faults`, and `sweep-analyze` can
+//! share one implementation instead of growing private copies
+//! (`sweep_telemetry::json` remains available as a re-export).
+//!
+//! ```
+//! let v = sweep_json::parse(r#"{"makespan": 42, "cache": "hit"}"#).unwrap();
+//! assert_eq!(v.get("makespan").and_then(sweep_json::Value::as_f64), Some(42.0));
+//! assert_eq!(v.get("cache").and_then(sweep_json::Value::as_str), Some("hit"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +66,25 @@ impl Value {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if this is a number with an
+    /// exact `u64` representation (no fraction, no overflow).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
             _ => None,
         }
     }

@@ -3,7 +3,7 @@
 //! This crate provides the mesh layer underneath the sweep-scheduling
 //! algorithms of Anil Kumar, Marathe, Parthasarathy, Srinivasan & Zust,
 //! *Provable Algorithms for Parallel Sweep Scheduling on Unstructured
-//! Meshes* (IPDPS 2005):
+//! Meshes* (IPPS 2005):
 //!
 //! * [`TetMesh`] / [`TriMesh2d`] — conforming unstructured tetrahedral and
 //!   triangular meshes with derived face adjacency and oriented unit

@@ -1,0 +1,423 @@
+//! The content-addressed two-tier cache.
+//!
+//! * **Tier 1** — induced [`SweepInstance`]s, keyed by
+//!   [`instance_digest`](crate::digest::instance_digest) (mesh bytes +
+//!   quadrature order). Induction walks every face of every direction,
+//!   so a hit here saves the dominant cost of a cold request.
+//! * **Tier 2** — winning best-of-`b` schedules
+//!   ([`ScheduleArtifact`]), keyed by
+//!   [`schedule_digest`](crate::digest::schedule_digest) (tier-1 key +
+//!   `m`, algorithm, seed, `b`). A hit here answers the request without
+//!   touching the pool at all.
+//!
+//! Both tiers are LRU-bounded by an approximate **byte** budget rather
+//! than an entry count, so one prismtet-scale instance can't silently
+//! evict dozens of small ones while "respecting" the limit. Hits,
+//! misses, evictions, and coalesced waits are surfaced through
+//! `sweep-telemetry` (`serve.cache.*` counters + a `serve.cache.bytes`
+//! gauge), which `GET /metrics` exports.
+//!
+//! **Single-flight coalescing:** when N identical requests race on a
+//! cold key, the first becomes the *leader* and computes; the other
+//! N−1 block on a condvar and receive the leader's `Arc` — one
+//! computation, N responses. Leader failure is propagated to every
+//! waiter and the flight is cleared so a later request can retry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use sweep_core::Schedule;
+use sweep_dag::SweepInstance;
+use sweep_telemetry as telemetry;
+
+/// The tier-2 value: a winning schedule plus the trial record a
+/// response needs, sized for the LRU accounting.
+#[derive(Debug, Clone)]
+pub struct ScheduleArtifact {
+    /// The winning (minimum-makespan) schedule.
+    pub schedule: Schedule,
+    /// Index of the winning trial in `0..b`.
+    pub trial: usize,
+    /// Child seed the winning trial ran with.
+    pub trial_seed: u64,
+    /// Every trial's makespan, in trial order.
+    pub trial_makespans: Vec<u32>,
+    /// The tier-2 content digest this artifact is addressed by.
+    pub digest: u64,
+}
+
+/// Point-in-time cache counters (also exported via `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a tier (tier-1 and tier-2 combined).
+    pub hits: u64,
+    /// Requests that had to compute.
+    pub misses: u64,
+    /// Entries dropped to respect the byte budget.
+    pub evictions: u64,
+    /// Requests that piggybacked on another request's computation.
+    pub coalesced: u64,
+    /// Approximate resident bytes across both tiers.
+    pub bytes: usize,
+}
+
+/// One LRU tier: digest → (value, approx bytes, last-use stamp).
+struct Lru<V> {
+    map: HashMap<u64, (V, usize, u64)>,
+    clock: u64,
+    bytes: usize,
+    budget: usize,
+}
+
+impl<V> Lru<V> {
+    fn new(budget: usize) -> Lru<V> {
+        Lru {
+            map: HashMap::new(),
+            clock: 0,
+            bytes: 0,
+            budget,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|e| {
+            e.2 = clock;
+            &e.0
+        })
+    }
+
+    /// Inserts and evicts least-recently-used entries until the budget
+    /// holds (the new entry itself is never evicted, so a single value
+    /// larger than the whole budget still caches — and is evicted by
+    /// the next insert). Returns the number of evictions.
+    fn insert(&mut self, key: u64, value: V, approx_bytes: usize) -> u64 {
+        self.clock += 1;
+        if let Some((_, old, _)) = self.map.insert(key, (value, approx_bytes, self.clock)) {
+            self.bytes -= old;
+        }
+        self.bytes += approx_bytes;
+        let mut evicted = 0;
+        while self.bytes > self.budget && self.map.len() > 1 {
+            let Some((&victim, _)) = self
+                .map
+                .iter()
+                .filter(|(&k, _)| k != key)
+                .min_by_key(|(_, e)| e.2)
+            else {
+                break;
+            };
+            if let Some((_, b, _)) = self.map.remove(&victim) {
+                self.bytes -= b;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// A single-flight slot: the leader computes, waiters block on the
+/// condvar until `done` holds the shared result.
+struct Flight<V> {
+    done: Mutex<Option<Result<V, String>>>,
+    cv: Condvar,
+}
+
+/// Outcome of claiming a flight: either this caller leads, or it waits.
+enum Claim<V> {
+    Leader(Arc<Flight<V>>),
+    Follower(Arc<Flight<V>>),
+}
+
+/// Keyed single-flight table.
+struct SingleFlight<V> {
+    inflight: Mutex<HashMap<u64, Arc<Flight<V>>>>,
+}
+
+impl<V: Clone> SingleFlight<V> {
+    fn new() -> SingleFlight<V> {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn claim(&self, key: u64) -> Claim<V> {
+        let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(f) = map.get(&key) {
+            Claim::Follower(Arc::clone(f))
+        } else {
+            let f = Arc::new(Flight {
+                done: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            map.insert(key, Arc::clone(&f));
+            Claim::Leader(f)
+        }
+    }
+
+    fn publish(&self, key: u64, flight: &Arc<Flight<V>>, result: Result<V, String>) {
+        {
+            let mut done = flight.done.lock().unwrap_or_else(|p| p.into_inner());
+            *done = Some(result);
+        }
+        flight.cv.notify_all();
+        self.inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&key);
+    }
+
+    fn wait(&self, flight: &Arc<Flight<V>>) -> Result<V, String> {
+        let mut done = flight.done.lock().unwrap_or_else(|p| p.into_inner());
+        while done.is_none() {
+            done = flight.cv.wait(done).unwrap_or_else(|p| p.into_inner());
+        }
+        match done.as_ref() {
+            Some(r) => r.clone(),
+            None => Err("single-flight slot emptied while waiting".to_string()),
+        }
+    }
+}
+
+/// The two-tier content-addressed cache with single-flight coalescing.
+pub struct ScheduleCache {
+    instances: Mutex<Lru<Arc<SweepInstance>>>,
+    schedules: Mutex<Lru<Arc<ScheduleArtifact>>>,
+    instance_flights: SingleFlight<Arc<SweepInstance>>,
+    schedule_flights: SingleFlight<Arc<ScheduleArtifact>>,
+    stats: Mutex<CacheStats>,
+}
+
+/// Rough resident size of an induced instance: CSR edges dominate
+/// (two u32 ends per edge, forward + reverse adjacency), plus the
+/// offset arrays.
+fn instance_bytes(inst: &SweepInstance) -> usize {
+    let edges = inst.total_edges();
+    let tasks = inst.num_tasks();
+    16 * edges + 8 * tasks + 256
+}
+
+/// Rough resident size of a schedule artifact: one u32 start per task
+/// plus one u32 processor per cell plus the trial record.
+fn artifact_bytes(a: &ScheduleArtifact) -> usize {
+    4 * a.schedule.starts().len() + 4 * a.trial_makespans.len() + 256
+}
+
+impl ScheduleCache {
+    /// A cache with `budget_bytes` *per tier* (half each would starve
+    /// tier 1: instances are an order of magnitude bigger than
+    /// schedules at equal request rates).
+    pub fn new(budget_bytes: usize) -> ScheduleCache {
+        ScheduleCache {
+            instances: Mutex::new(Lru::new(budget_bytes)),
+            schedules: Mutex::new(Lru::new(budget_bytes)),
+            instance_flights: SingleFlight::new(),
+            schedule_flights: SingleFlight::new(),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = *self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        s.bytes = self
+            .instances
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .bytes
+            + self
+                .schedules
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .bytes;
+        s
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut CacheStats)) {
+        let mut s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut s);
+    }
+
+    /// Tier-1 lookup-or-induce with single-flight coalescing. Returns
+    /// the instance and whether it was served from cache (a coalesced
+    /// wait counts as a hit: no second induction ran).
+    pub fn instance(
+        &self,
+        key: u64,
+        induce: impl FnOnce() -> Result<SweepInstance, String>,
+    ) -> Result<(Arc<SweepInstance>, bool), String> {
+        if let Some(found) = self
+            .instances
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(key)
+            .cloned()
+        {
+            self.bump(|s| s.hits += 1);
+            telemetry::counter_add("serve.cache.hits", 1);
+            return Ok((found, true));
+        }
+        match self.instance_flights.claim(key) {
+            Claim::Follower(f) => {
+                self.bump(|s| {
+                    s.hits += 1;
+                    s.coalesced += 1;
+                });
+                telemetry::counter_add("serve.cache.hits", 1);
+                telemetry::counter_add("serve.cache.coalesced", 1);
+                Ok((self.instance_flights.wait(&f)?, true))
+            }
+            Claim::Leader(f) => {
+                self.bump(|s| s.misses += 1);
+                telemetry::counter_add("serve.cache.misses", 1);
+                let result = induce().map(Arc::new);
+                if let Ok(inst) = &result {
+                    let evicted = self
+                        .instances
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(key, Arc::clone(inst), instance_bytes(inst));
+                    self.note_evictions(evicted);
+                }
+                self.instance_flights.publish(key, &f, result.clone());
+                self.update_bytes_gauge();
+                result.map(|inst| (inst, false))
+            }
+        }
+    }
+
+    /// Tier-2 lookup-or-compute with single-flight coalescing; same
+    /// contract as [`ScheduleCache::instance`].
+    pub fn schedule(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<ScheduleArtifact, String>,
+    ) -> Result<(Arc<ScheduleArtifact>, bool), String> {
+        if let Some(found) = self
+            .schedules
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(key)
+            .cloned()
+        {
+            self.bump(|s| s.hits += 1);
+            telemetry::counter_add("serve.cache.hits", 1);
+            return Ok((found, true));
+        }
+        match self.schedule_flights.claim(key) {
+            Claim::Follower(f) => {
+                self.bump(|s| {
+                    s.hits += 1;
+                    s.coalesced += 1;
+                });
+                telemetry::counter_add("serve.cache.hits", 1);
+                telemetry::counter_add("serve.cache.coalesced", 1);
+                Ok((self.schedule_flights.wait(&f)?, true))
+            }
+            Claim::Leader(f) => {
+                self.bump(|s| s.misses += 1);
+                telemetry::counter_add("serve.cache.misses", 1);
+                let result = compute().map(Arc::new);
+                if let Ok(art) = &result {
+                    let evicted = self
+                        .schedules
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(key, Arc::clone(art), artifact_bytes(art));
+                    self.note_evictions(evicted);
+                }
+                self.schedule_flights.publish(key, &f, result.clone());
+                self.update_bytes_gauge();
+                result.map(|art| (art, false))
+            }
+        }
+    }
+
+    fn note_evictions(&self, n: u64) {
+        if n > 0 {
+            self.bump(|s| s.evictions += n);
+            telemetry::counter_add("serve.cache.evictions", n);
+        }
+    }
+
+    fn update_bytes_gauge(&self) {
+        telemetry::gauge_set("serve.cache.bytes", self.stats().bytes as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweep_dag::TaskDag;
+
+    fn tiny(name: &str) -> SweepInstance {
+        let d = TaskDag::from_edges(3, &[(0, 1), (1, 2)]);
+        SweepInstance::new(3, vec![d], name)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache = ScheduleCache::new(1 << 20);
+        let (a, hit_a) = cache.instance(7, || Ok(tiny("a"))).unwrap();
+        let (b, hit_b) = cache.instance(7, || panic!("must not re-induce")).unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_byte_pressure() {
+        // Budget fits roughly one tiny instance (fixed overhead is 256
+        // per entry plus edges); three inserts must evict.
+        let cache = ScheduleCache::new(400);
+        for key in 0..3u64 {
+            cache.instance(key, || Ok(tiny("x"))).unwrap();
+        }
+        let s = cache.stats();
+        assert!(s.evictions >= 1, "{s:?}");
+        // Most recent key must still be resident.
+        let (_, hit) = cache.instance(2, || panic!("key 2 was evicted")).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn leader_failure_propagates_and_clears_the_flight() {
+        let cache = ScheduleCache::new(1 << 20);
+        let err = cache
+            .instance(9, || Err("broken mesh".to_string()))
+            .unwrap_err();
+        assert!(err.contains("broken mesh"));
+        // The flight is cleared: a retry runs a fresh computation.
+        let (_, hit) = cache.instance(9, || Ok(tiny("retry"))).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_to_one_computation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ScheduleCache::new(1 << 20);
+        let computations = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (inst, _) = cache
+                        .instance(42, || {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            // Give followers time to pile onto the flight.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            Ok(tiny("shared"))
+                        })
+                        .unwrap();
+                    assert_eq!(inst.num_cells(), 3);
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
+        assert_eq!(s.misses, 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! A deliberately small HTTP/1.1 subset — just enough wire protocol for
+//! the four endpoints, on std only.
+//!
+//! One request per connection (`Connection: close` is always returned):
+//! the service's unit of work is a whole scheduling request, so
+//! keep-alive would buy latency only for `/healthz` pollers while
+//! complicating the drain logic. Requests are parsed from a buffered
+//! reader with hard limits on request-line, header, and body sizes;
+//! anything outside the subset gets a clean 4xx instead of a hang.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most header bytes accepted per request.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (inline instances can be sizable).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed request: method, path (query string stripped and kept
+/// separately), lower-cased headers, raw body bytes.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method, e.g. `GET`.
+    pub method: String,
+    /// Decoded path, e.g. `/v1/schedule`.
+    pub path: String,
+    /// The raw query string after `?`, if any (unparsed; no endpoint
+    /// takes query parameters today).
+    pub query: Option<String>,
+    /// Header map with lower-cased names; values are trimmed.
+    pub headers: HashMap<String, String>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// How reading a request failed: either a protocol error (answer 4xx)
+/// or an I/O error/timeout (drop the connection).
+#[derive(Debug)]
+pub enum ReadError {
+    /// The bytes violate the accepted HTTP subset; respond with the
+    /// given status and message.
+    Bad(u16, String),
+    /// The connection died or timed out mid-request.
+    Io(std::io::Error),
+}
+
+impl Request {
+    /// Reads one request from `reader`. `Err(ReadError::Bad)` means the
+    /// caller should answer with that status; `Io` means hang up.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Request, ReadError> {
+        let line = read_line_limited(reader, MAX_REQUEST_LINE)?;
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ReadError::Bad(
+                400,
+                format!("malformed request line '{line}'"),
+            ));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ReadError::Bad(
+                505,
+                format!("unsupported version '{version}'"),
+            ));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+
+        let mut headers = HashMap::new();
+        let mut header_bytes = 0usize;
+        loop {
+            let line = read_line_limited(reader, MAX_HEADER_BYTES)?;
+            if line.is_empty() {
+                break;
+            }
+            header_bytes += line.len();
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(ReadError::Bad(431, "header section too large".to_string()));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ReadError::Bad(400, format!("malformed header '{line}'")));
+            };
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+
+        let body = match headers.get("content-length") {
+            None => Vec::new(),
+            Some(v) => {
+                let len: usize = v
+                    .parse()
+                    .map_err(|_| ReadError::Bad(400, format!("bad Content-Length '{v}'")))?;
+                if len > MAX_BODY_BYTES {
+                    return Err(ReadError::Bad(
+                        413,
+                        format!("body of {len} bytes exceeds the {MAX_BODY_BYTES} limit"),
+                    ));
+                }
+                let mut body = vec![0u8; len];
+                reader.read_exact(&mut body).map_err(ReadError::Io)?;
+                body
+            }
+        };
+        Ok(Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+
+    /// The body as UTF-8, or a 400-shaped error.
+    pub fn body_utf8(&self) -> Result<&str, ReadError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ReadError::Bad(400, "body is not valid UTF-8".to_string()))
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, rejecting lines past `max`.
+fn read_line_limited(reader: &mut impl BufRead, max: usize) -> Result<String, ReadError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(ReadError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before a request",
+                    )));
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > max {
+                    return Err(ReadError::Bad(431, "line too long".to_string()));
+                }
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ReadError::Bad(400, "non-UTF-8 header bytes".to_string()))
+}
+
+/// An outgoing response; [`Response::write_to`] serializes it.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers, e.g. `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with a JSON body.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A 200 response with a plain-text body.
+    pub fn text(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// An error response carrying `{"error": …}` JSON.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: format!("{{\"error\": \"{}\"}}\n", sweep_json::escape(message)),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.extra_headers.push((name.to_string(), value));
+        self
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes status line, headers, and body to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse(
+            "POST /v1/schedule?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/schedule");
+        assert_eq!(req.query.as_deref(), Some("x=1"));
+        assert_eq!(req.headers["host"], "localhost");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(matches!(
+            parse("NONSENSE\r\n\r\n"),
+            Err(ReadError::Bad(400, _))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ReadError::Bad(505, _))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ReadError::Bad(400, _))
+        ));
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(matches!(parse(&huge), Err(ReadError::Bad(413, _))));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ReadError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_extra_headers() {
+        let mut out = Vec::new();
+        Response::error(429, "busy")
+            .with_header("Retry-After", "2".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close"));
+        assert!(text.ends_with("{\"error\": \"busy\"}\n"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # sweep-serve — batched scheduling service with a content-addressed cache
+//!
+//! The serving layer of the sweep-scheduling workspace: a
+//! dependency-free HTTP/1.1 service (std `TcpListener` + the shared
+//! [`sweep_json`] codec) that answers scheduling requests for the
+//! paper's mesh presets and inline instances, amortizing the expensive
+//! parts — DAG induction and best-of-`b` trial scheduling — across
+//! requests through a **content-addressed two-tier cache**.
+//!
+//! * `POST /v1/schedule` — mesh preset (or inline instance text) +
+//!   quadrature + `m` + algorithm → schedule summary (makespan, bounds,
+//!   C1/C2, winning trial, cache disposition).
+//! * `GET /v1/presets` — the four paper meshes with their cell counts.
+//! * `GET /metrics` — Prometheus text exposition via `sweep-telemetry`
+//!   (request/latency/cache counters).
+//! * `GET /healthz` — liveness.
+//!
+//! Cache keys are [FxHash-style digests](digest) of the *content* of a
+//! request — mesh spec bytes, quadrature order, `m`, algorithm, seed,
+//! and trial count — so equal work is recognized no matter how it is
+//! phrased. Tier 1 holds induced [`sweep_dag::SweepInstance`]s, tier 2
+//! winning [`sweep_core::Schedule`] summaries, both LRU-bounded by
+//! bytes. N concurrent identical requests trigger **one** computation
+//! (single-flight coalescing); the accept loop bounds in-flight work
+//! and sheds load with `429 Too Many Requests` + a backoff hint
+//! (`sweep_faults::backoff`) when saturated.
+//!
+//! The service core is plain Rust and fully testable without sockets:
+//!
+//! ```
+//! use sweep_serve::{ScheduleRequest, SweepService, ServiceConfig};
+//!
+//! let svc = SweepService::new(ServiceConfig::default());
+//! let req = ScheduleRequest::preset("tetonly", 0.01, 2, 4);
+//! let first = svc.schedule(&req).unwrap();
+//! let second = svc.schedule(&req).unwrap();
+//! assert!(!first.cache_hit && second.cache_hit);
+//! assert_eq!(first.makespan, second.makespan);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod digest;
+pub mod http;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheStats, ScheduleCache};
+pub use digest::{fx_digest, instance_digest, schedule_digest};
+pub use http::{Request, Response};
+pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use service::{
+    certify_cache_identity, ScheduleRequest, ScheduleResponse, ServiceConfig, SweepService,
+};

@@ -1,0 +1,319 @@
+//! The socket layer: a bounded accept loop feeding a fixed worker pool,
+//! overload shedding, and cooperative graceful shutdown.
+//!
+//! Design notes:
+//!
+//! * **Bounded in-flight work.** The accept loop tracks how many
+//!   connections are queued or being served; past
+//!   [`ServerConfig::max_inflight`] it answers `429 Too Many Requests`
+//!   *itself* (cheap — no scheduling work happens) with a `Retry-After`
+//!   hint from [`sweep_faults::backoff`]: consecutive rejections walk up
+//!   the same capped exponential curve the fault simulator's retry
+//!   protocol was validated against.
+//! * **Graceful shutdown without signals.** The workspace forbids
+//!   `unsafe`, so there is no signal handler; instead a
+//!   [`ShutdownHandle`] flips an atomic flag and pokes the listener with
+//!   a throwaway local connection to wake the blocking `accept`. The
+//!   loop then stops accepting, the channel to the workers is dropped,
+//!   and every in-flight request is drained before `run` returns.
+//! * **Per-connection timeouts.** Read and write timeouts bound how
+//!   long a slow or dead peer can hold a worker; a timeout mid-request
+//!   drops the connection (`ReadError::Io`), a malformed request gets a
+//!   clean 4xx.
+
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sweep_telemetry as telemetry;
+
+use crate::http::{ReadError, Request, Response};
+use crate::service::{ServiceConfig, SweepService};
+
+/// Socket-level configuration; service semantics live in
+/// [`ServiceConfig`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7469`. Port `0` picks an ephemeral
+    /// port (query it with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub threads: usize,
+    /// Byte budget per cache tier.
+    pub cache_bytes: usize,
+    /// Connections allowed in flight (queued + being served) before the
+    /// accept loop sheds load with `429`.
+    pub max_inflight: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Base of the `Retry-After` backoff curve, in seconds.
+    pub retry_base_secs: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7469".to_string(),
+            threads: 4,
+            cache_bytes: ServiceConfig::default().cache_bytes,
+            max_inflight: 32,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            retry_base_secs: 1.0,
+        }
+    }
+}
+
+/// A clonable handle that asks a running [`Server`] to stop.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: stops accepting new connections and drains
+    /// the in-flight ones. Idempotent; returns immediately (join the
+    /// thread running [`Server::run`] to wait for the drain).
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; if the
+        // connect fails the listener is already gone, which is fine.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound (not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    service: Arc<SweepService>,
+    flag: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the service (empty caches).
+    /// Telemetry collection is switched on so `/metrics` has data.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        telemetry::set_enabled(true);
+        let service = Arc::new(SweepService::new(ServiceConfig {
+            cache_bytes: config.cache_bytes,
+            ..ServiceConfig::default()
+        }));
+        Ok(Server {
+            listener,
+            config,
+            service,
+            flag: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.flag),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// The shared service (cache stats introspection in tests/benches).
+    pub fn service(&self) -> Arc<SweepService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Runs the accept loop until [`ShutdownHandle::shutdown`] is
+    /// called, then drains in-flight connections and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = self.config.threads.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = Arc::clone(&rx);
+                let inflight = Arc::clone(&inflight);
+                let service = Arc::clone(&self.service);
+                let config = &self.config;
+                scope.spawn(move || loop {
+                    // Hold the lock only for the recv; hangup means the
+                    // accept loop is done and the queue is drained.
+                    let next = rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
+                    let Ok(stream) = next else { break };
+                    handle_connection(&service, config, stream);
+                    let now = inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+                    telemetry::gauge_set("serve.inflight", now as f64);
+                });
+            }
+
+            // Consecutive sheds walk the Retry-After hint up the capped
+            // exponential backoff curve; any accepted request resets it.
+            let mut sheds: u32 = 0;
+            for stream in self.listener.incoming() {
+                if self.flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if inflight.load(Ordering::SeqCst) >= self.config.max_inflight {
+                    telemetry::counter_add("serve.http.requests", 1);
+                    telemetry::counter_add("serve.http.responses_429", 1);
+                    let hint =
+                        sweep_faults::backoff::retry_after_secs(self.config.retry_base_secs, sheds);
+                    sheds = sheds.saturating_add(1);
+                    shed(stream, self.config.write_timeout, hint);
+                    continue;
+                }
+                sheds = 0;
+                let now = inflight.fetch_add(1, Ordering::SeqCst) + 1;
+                telemetry::gauge_set("serve.inflight", now as f64);
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            drop(tx); // workers drain the queue, then exit
+        });
+        Ok(())
+    }
+}
+
+/// Answers an over-capacity connection with `429` + `Retry-After`
+/// without handing it to a worker. Runs on a short-lived detached
+/// thread: after writing the response the connection must be drained
+/// until the peer closes — dropping a socket with unread request bytes
+/// makes the kernel send RST, which would discard the 429 from the
+/// client's receive buffer — and that drain must not block the accept
+/// loop.
+fn shed(stream: TcpStream, write_timeout: Duration, retry_after_secs: u64) {
+    std::thread::spawn(move || {
+        use std::io::Read as _;
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        let _ = stream.set_read_timeout(Some(write_timeout));
+        let _ = Response::error(429, "server is at its in-flight request limit")
+            .with_header("Retry-After", retry_after_secs.to_string())
+            .write_to(&mut stream);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut scratch = [0u8; 4096];
+        while let Ok(n) = stream.read(&mut scratch) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+}
+
+/// Serves exactly one request on `stream` (the protocol is
+/// `Connection: close`), recording end-to-end latency.
+fn handle_connection(service: &SweepService, config: &ServerConfig, stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    match Request::read_from(&mut reader) {
+        Ok(request) => {
+            let response = service.route(&request);
+            let _ = response.write_to(&mut writer);
+        }
+        Err(ReadError::Bad(status, message)) => {
+            // route() never saw this request, so count it here.
+            telemetry::counter_add("serve.http.requests", 1);
+            telemetry::counter_add("serve.http.responses_4xx", 1);
+            let _ = Response::error(status, &message).write_to(&mut writer);
+            // The request was only partially read; drain it so closing
+            // the socket doesn't RST the error reply away (see `shed`).
+            use std::io::Read as _;
+            let _ = writer.shutdown(std::net::Shutdown::Write);
+            let mut scratch = [0u8; 4096];
+            while let Ok(n) = writer.read(&mut scratch) {
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+        // Timeout or peer hangup mid-request: nothing to answer.
+        Err(ReadError::Io(_)) => {}
+    }
+    let _ = writer.flush();
+    telemetry::histogram_record(
+        "serve.http.latency_us",
+        started.elapsed().as_secs_f64() * 1e6,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    /// A config bound to an ephemeral port with a tiny worker pool.
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            max_inflight: 4,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn raw_request(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_healthz_and_shuts_down() {
+        let server = Server::bind(test_config()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || server.run());
+
+        let reply = raw_request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.ends_with("ok\n"));
+
+        let reply = raw_request(addr, "BROKEN\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400 "), "{reply}");
+
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        assert!(handle.is_shutdown());
+    }
+
+    #[test]
+    fn shed_writes_a_retry_after_hint() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (stream, _) = listener.accept().unwrap();
+        shed(stream, Duration::from_secs(1), 3);
+        let reply = client.join().unwrap();
+        assert!(reply.starts_with("HTTP/1.1 429 "), "{reply}");
+        assert!(reply.contains("Retry-After: 3\r\n"));
+    }
+}

@@ -1,0 +1,686 @@
+//! The socket-free service core: request model, JSON wire codec,
+//! routing, and the cached compute path.
+//!
+//! Everything here takes plain values and returns plain values, so the
+//! whole service — including cache-hit behaviour and error mapping — is
+//! unit-testable without opening a port. [`server`](crate::server) is
+//! only the accept loop around [`SweepService::route`].
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use sweep_core::{
+    best_of_trials_with_pool, c1_interprocessor_edges, c2_comm_delay, lower_bounds, validate,
+    Algorithm, Assignment,
+};
+use sweep_dag::SweepInstance;
+use sweep_json::Value;
+use sweep_mesh::MeshPreset;
+use sweep_quadrature::QuadratureSet;
+use sweep_telemetry as telemetry;
+
+use crate::cache::{ScheduleArtifact, ScheduleCache};
+use crate::digest::{instance_digest, schedule_digest};
+use crate::http::{Request, Response};
+
+/// Where a request's mesh comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeshSource {
+    /// One of the paper's presets, built at `scale`.
+    Preset {
+        /// Preset name (`tetonly`, `well_logging`, `long`, `prismtet`).
+        name: String,
+        /// Mesh scale in `(0, 1]`.
+        scale: f64,
+    },
+    /// An inline `sweep-instance v1` document (as produced by
+    /// `sweep instance --out`); `sn` is ignored for inline instances
+    /// because the direction set is part of the document.
+    Inline {
+        /// The serialized instance text.
+        text: String,
+    },
+}
+
+/// A parsed `POST /v1/schedule` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// Mesh source (preset or inline instance).
+    pub mesh: MeshSource,
+    /// S_n quadrature order (preset meshes only).
+    pub sn: usize,
+    /// Processor count.
+    pub m: usize,
+    /// Algorithm name (the CLI's `--algorithm` vocabulary).
+    pub algorithm: String,
+    /// Compose random delays onto the priority heuristics.
+    pub delays: bool,
+    /// Master seed for the assignment draw and trial splitting.
+    pub seed: u64,
+    /// Best-of-`b` trial count.
+    pub b: usize,
+}
+
+impl ScheduleRequest {
+    /// A preset-mesh request with the service defaults
+    /// (`algorithm = "rdp"`, `seed = 2005`, `b = 8`).
+    pub fn preset(name: &str, scale: f64, sn: usize, m: usize) -> ScheduleRequest {
+        ScheduleRequest {
+            mesh: MeshSource::Preset {
+                name: name.to_string(),
+                scale,
+            },
+            sn,
+            m,
+            algorithm: "rdp".to_string(),
+            delays: false,
+            seed: 2005,
+            b: 8,
+        }
+    }
+
+    /// Parses the JSON body of `POST /v1/schedule`. See API.md for the
+    /// schema; unknown fields are rejected so typos fail loudly.
+    pub fn from_json(body: &str) -> Result<ScheduleRequest, String> {
+        let doc = sweep_json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let Value::Obj(members) = &doc else {
+            return Err("request body must be a JSON object".to_string());
+        };
+        const KNOWN: [&str; 8] = [
+            "preset",
+            "scale",
+            "instance",
+            "sn",
+            "m",
+            "algorithm",
+            "delays",
+            "seed",
+        ];
+        for (key, _) in members {
+            if !KNOWN.contains(&key.as_str()) && key != "b" {
+                return Err(format!("unknown field '{key}'"));
+            }
+        }
+        let num = |key: &str, default: f64| -> Result<f64, String> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| format!("'{key}' must be a number")),
+            }
+        };
+        let int = |key: &str, default: u64| -> Result<u64, String> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+            }
+        };
+        let mesh = match (doc.get("preset"), doc.get("instance")) {
+            (Some(_), Some(_)) => {
+                return Err("give either 'preset' or 'instance', not both".to_string())
+            }
+            (None, None) => return Err("missing mesh: give 'preset' or 'instance'".to_string()),
+            (Some(p), None) => MeshSource::Preset {
+                name: p
+                    .as_str()
+                    .ok_or_else(|| "'preset' must be a string".to_string())?
+                    .to_string(),
+                scale: num("scale", 0.02)?,
+            },
+            (None, Some(i)) => MeshSource::Inline {
+                text: i
+                    .as_str()
+                    .ok_or_else(|| "'instance' must be a string".to_string())?
+                    .to_string(),
+            },
+        };
+        let m = int("m", 0)? as usize;
+        if m == 0 {
+            return Err("'m' must be a positive integer".to_string());
+        }
+        let b = (int("b", 8)? as usize).clamp(1, 64);
+        let delays = match doc.get("delays") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "'delays' must be a boolean".to_string())?,
+        };
+        Ok(ScheduleRequest {
+            mesh,
+            sn: int("sn", 4)? as usize,
+            m,
+            algorithm: match doc.get("algorithm") {
+                None => "rdp".to_string(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| "'algorithm' must be a string".to_string())?
+                    .to_string(),
+            },
+            delays,
+            seed: int("seed", 2005)?,
+            b,
+        })
+    }
+
+    /// The canonical content bytes of the mesh part of this request —
+    /// what tier-1 digests hash.
+    pub fn mesh_bytes(&self) -> Vec<u8> {
+        match &self.mesh {
+            MeshSource::Preset { name, scale } => {
+                format!("preset:{name}:{:016x}", scale.to_bits()).into_bytes()
+            }
+            MeshSource::Inline { text } => text.clone().into_bytes(),
+        }
+    }
+}
+
+/// Maps the CLI's algorithm vocabulary onto [`Algorithm`].
+pub fn algorithm_from_name(name: &str, delays: bool) -> Result<Algorithm, String> {
+    Ok(match name {
+        "rdp" => Algorithm::RandomDelayPriorities,
+        "rd" => Algorithm::RandomDelay,
+        "improved" => Algorithm::ImprovedRandomDelay,
+        "greedy" => Algorithm::Greedy,
+        "level" => Algorithm::LevelPriority { delays },
+        "descendant" => Algorithm::DescendantPriority { delays },
+        "dfds" => Algorithm::Dfds { delays },
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+/// A computed (or cache-served) schedule summary, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct ScheduleResponse {
+    /// Instance name (preset name or the inline instance's own name).
+    pub name: String,
+    /// Cells, directions, tasks of the instance.
+    pub cells: usize,
+    /// Number of sweep directions.
+    pub directions: usize,
+    /// Total task count (`cells × directions`).
+    pub tasks: usize,
+    /// Processor count the schedule targets.
+    pub m: usize,
+    /// Algorithm name as requested.
+    pub algorithm: String,
+    /// Makespan of the winning trial.
+    pub makespan: u32,
+    /// Certified lower bound `max{nk/m, k, D}`.
+    pub lower_bound: u64,
+    /// C1: interprocessor DAG edges under the assignment.
+    pub c1: u64,
+    /// C2: communication-delay cost of the schedule.
+    pub c2: u64,
+    /// Winning trial index in `0..b`.
+    pub trial: usize,
+    /// Trial count the request ran.
+    pub b: usize,
+    /// Whether the schedule came out of the tier-2 cache.
+    pub cache_hit: bool,
+    /// Whether the induced instance came out of the tier-1 cache.
+    pub instance_cache_hit: bool,
+    /// Tier-2 content digest (hex; the cache address of this result).
+    pub digest: u64,
+}
+
+impl ScheduleResponse {
+    /// Serializes the response body (stable field order).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": \"{}\",", sweep_json::escape(&self.name));
+        let _ = writeln!(out, "  \"cells\": {},", self.cells);
+        let _ = writeln!(out, "  \"directions\": {},", self.directions);
+        let _ = writeln!(out, "  \"tasks\": {},", self.tasks);
+        let _ = writeln!(out, "  \"m\": {},", self.m);
+        let _ = writeln!(
+            out,
+            "  \"algorithm\": \"{}\",",
+            sweep_json::escape(&self.algorithm)
+        );
+        let _ = writeln!(out, "  \"makespan\": {},", self.makespan);
+        let _ = writeln!(out, "  \"lower_bound\": {},", self.lower_bound);
+        let _ = writeln!(
+            out,
+            "  \"ratio\": {:.4},",
+            self.makespan as f64 / self.lower_bound.max(1) as f64
+        );
+        let _ = writeln!(out, "  \"c1\": {},", self.c1);
+        let _ = writeln!(out, "  \"c2\": {},", self.c2);
+        let _ = writeln!(out, "  \"trial\": {},", self.trial);
+        let _ = writeln!(out, "  \"b\": {},", self.b);
+        let _ = writeln!(
+            out,
+            "  \"cache\": \"{}\",",
+            if self.cache_hit { "hit" } else { "miss" }
+        );
+        let _ = writeln!(
+            out,
+            "  \"instance_cache\": \"{}\",",
+            if self.instance_cache_hit {
+                "hit"
+            } else {
+                "miss"
+            }
+        );
+        let _ = writeln!(out, "  \"digest\": \"{:016x}\"", self.digest);
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Service-level configuration (the server adds socket concerns on top).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Byte budget per cache tier.
+    pub cache_bytes: usize,
+    /// Largest accepted `cells × directions` product, so one request
+    /// can't wedge every worker (the paper-size prismtet at S4 is
+    /// ~2.8M tasks; the default admits it with headroom).
+    pub max_tasks: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            cache_bytes: 64 * 1024 * 1024,
+            max_tasks: 8_000_000,
+        }
+    }
+}
+
+/// The scheduling service: config + the two-tier cache.
+pub struct SweepService {
+    config: ServiceConfig,
+    cache: ScheduleCache,
+}
+
+impl SweepService {
+    /// A service with a fresh, empty cache.
+    pub fn new(config: ServiceConfig) -> SweepService {
+        let cache = ScheduleCache::new(config.cache_bytes);
+        SweepService { config, cache }
+    }
+
+    /// The underlying cache (stats introspection).
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// Builds (or fetches) the induced instance for a request.
+    fn instance_for(
+        &self,
+        req: &ScheduleRequest,
+    ) -> Result<(Arc<SweepInstance>, bool, u64), String> {
+        let key = instance_digest(&req.mesh_bytes(), req.sn);
+        let max_tasks = self.config.max_tasks;
+        let (inst, hit) = self.cache.instance(key, || {
+            let _span = telemetry::span!("serve.induce");
+            let inst = match &req.mesh {
+                MeshSource::Preset { name, scale } => {
+                    let preset = MeshPreset::from_name(name)
+                        .ok_or_else(|| format!("unknown preset '{name}'"))?;
+                    let mesh = preset.build_scaled(*scale).map_err(|e| e.to_string())?;
+                    let quad = QuadratureSet::level_symmetric(req.sn).map_err(|e| e.to_string())?;
+                    let (inst, _) = SweepInstance::from_mesh(&mesh, &quad, preset.name());
+                    inst
+                }
+                MeshSource::Inline { text } => sweep_dag::from_text(text)?,
+            };
+            if inst.num_tasks() > max_tasks {
+                return Err(format!(
+                    "instance has {} tasks, over the service limit of {max_tasks}",
+                    inst.num_tasks()
+                ));
+            }
+            Ok(inst)
+        })?;
+        Ok((inst, hit, key))
+    }
+
+    /// The full cached compute path for one schedule request.
+    pub fn schedule(&self, req: &ScheduleRequest) -> Result<ScheduleResponse, String> {
+        let _span = telemetry::span!("serve.schedule");
+        let algorithm = algorithm_from_name(&req.algorithm, req.delays)?;
+        let (inst, inst_hit, inst_key) = self.instance_for(req)?;
+        let key = schedule_digest(inst_key, req.m, &req.algorithm, req.delays, req.seed, req.b);
+        let (artifact, hit) = self.cache.schedule(key, || {
+            let _span = telemetry::span!("serve.compute");
+            let assignment = Assignment::random_cells(inst.num_cells(), req.m, req.seed);
+            let best = best_of_trials_with_pool(
+                &sweep_pool::global(),
+                &inst,
+                &assignment,
+                algorithm,
+                req.b,
+                req.seed,
+            );
+            validate(&inst, &best.schedule)
+                .map_err(|e| format!("internal: infeasible schedule: {e}"))?;
+            Ok(ScheduleArtifact {
+                trial: best.trial,
+                trial_seed: best.seed,
+                trial_makespans: best.outcomes.iter().map(|o| o.makespan).collect(),
+                schedule: best.schedule,
+                digest: key,
+            })
+        })?;
+        let lb = lower_bounds(&inst, req.m);
+        Ok(ScheduleResponse {
+            name: inst.name().to_string(),
+            cells: inst.num_cells(),
+            directions: inst.num_directions(),
+            tasks: inst.num_tasks(),
+            m: req.m,
+            algorithm: req.algorithm.clone(),
+            makespan: artifact.schedule.makespan(),
+            lower_bound: lb.best(),
+            c1: c1_interprocessor_edges(&inst, artifact.schedule.assignment()),
+            c2: c2_comm_delay(&inst, &artifact.schedule),
+            trial: artifact.trial,
+            b: req.b,
+            cache_hit: hit,
+            instance_cache_hit: inst_hit,
+            digest: key,
+        })
+    }
+
+    /// Recomputes a request **cold** — no cache read, no cache write —
+    /// for the SW024 identity certification.
+    pub fn compute_cold(
+        &self,
+        req: &ScheduleRequest,
+    ) -> Result<(SweepInstance, ScheduleArtifact), String> {
+        let algorithm = algorithm_from_name(&req.algorithm, req.delays)?;
+        let inst = match &req.mesh {
+            MeshSource::Preset { name, scale } => {
+                let preset = MeshPreset::from_name(name)
+                    .ok_or_else(|| format!("unknown preset '{name}'"))?;
+                let mesh = preset.build_scaled(*scale).map_err(|e| e.to_string())?;
+                let quad = QuadratureSet::level_symmetric(req.sn).map_err(|e| e.to_string())?;
+                SweepInstance::from_mesh(&mesh, &quad, preset.name()).0
+            }
+            MeshSource::Inline { text } => sweep_dag::from_text(text)?,
+        };
+        let assignment = Assignment::random_cells(inst.num_cells(), req.m, req.seed);
+        let best = best_of_trials_with_pool(
+            &sweep_pool::global(),
+            &inst,
+            &assignment,
+            algorithm,
+            req.b,
+            req.seed,
+        );
+        let key = schedule_digest(
+            instance_digest(&req.mesh_bytes(), req.sn),
+            req.m,
+            &req.algorithm,
+            req.delays,
+            req.seed,
+            req.b,
+        );
+        let artifact = ScheduleArtifact {
+            trial: best.trial,
+            trial_seed: best.seed,
+            trial_makespans: best.outcomes.iter().map(|o| o.makespan).collect(),
+            schedule: best.schedule,
+            digest: key,
+        };
+        Ok((inst, artifact))
+    }
+
+    /// Routes one parsed HTTP request. All endpoint semantics (including
+    /// error mapping) live here so they are socket-independent.
+    pub fn route(&self, req: &Request) -> Response {
+        telemetry::counter_add("serve.http.requests", 1);
+        let response = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::text("ok\n".to_string()),
+            ("GET", "/v1/presets") => Response::json(render_presets()),
+            ("GET", "/metrics") => {
+                let text = telemetry::to_prometheus(&telemetry::snapshot());
+                Response {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    extra_headers: Vec::new(),
+                    body: text,
+                }
+            }
+            ("POST", "/v1/schedule") => match std::str::from_utf8(&req.body) {
+                Err(_) => Response::error(400, "body is not valid UTF-8"),
+                Ok(body) => match ScheduleRequest::from_json(body) {
+                    Err(e) => Response::error(400, &e),
+                    Ok(parsed) => match self.schedule(&parsed) {
+                        Ok(resp) => Response::json(resp.render_json()),
+                        // A well-formed request naming something that
+                        // doesn't exist or doesn't fit is the client's
+                        // problem (422); an internal inconsistency is ours.
+                        Err(e) if e.starts_with("internal:") => Response::error(500, &e),
+                        Err(e) => Response::error(422, &e),
+                    },
+                },
+            },
+            (_, "/healthz" | "/v1/presets" | "/metrics") => {
+                Response::error(405, "use GET on this endpoint")
+            }
+            (_, "/v1/schedule") => Response::error(405, "use POST on this endpoint"),
+            (_, path) => Response::error(404, &format!("no such endpoint '{path}'")),
+        };
+        let class = match response.status {
+            200..=299 => "serve.http.responses_2xx",
+            429 => "serve.http.responses_429",
+            400..=499 => "serve.http.responses_4xx",
+            _ => "serve.http.responses_5xx",
+        };
+        telemetry::counter_add(class, 1);
+        response
+    }
+}
+
+/// The `GET /v1/presets` body.
+fn render_presets() -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"presets\": [\n");
+    let last = MeshPreset::ALL.len() - 1;
+    for (i, p) in MeshPreset::ALL.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"paper_cells\": {}}}{}",
+            p.name(),
+            p.paper_cells(),
+            if i == last { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the SW024 cache-identity certification for one request against
+/// a service: serves it twice (the second **must** be a tier-2 hit),
+/// recomputes it cold outside the cache, and diffs the two schedules
+/// bit-for-bit through `sweep-analyze`.
+pub fn certify_cache_identity(
+    service: &SweepService,
+    req: &ScheduleRequest,
+) -> Result<sweep_analyze::Report, String> {
+    service.schedule(req)?; // warm (miss or pre-existing)
+    let warm = service.schedule(req)?; // must now be a hit
+    if !warm.cache_hit {
+        return Err("second identical request did not hit the schedule cache".to_string());
+    }
+    let key = schedule_digest(
+        instance_digest(&req.mesh_bytes(), req.sn),
+        req.m,
+        &req.algorithm,
+        req.delays,
+        req.seed,
+        req.b,
+    );
+    let (cached, _) = service.cache().schedule(key, || {
+        Err("internal: artifact vanished after a hit".to_string())
+    })?;
+    let (inst, cold) = service.compute_cold(req)?;
+    Ok(sweep_analyze::analyze_cache_identity(
+        &inst,
+        &cached.schedule,
+        &cold.schedule,
+        sweep_analyze::CacheIdentityMeta {
+            digest: key,
+            cached_trial: cached.trial,
+            cold_trial: cold.trial,
+            cached_seed: cached.trial_seed,
+            cold_seed: cold.trial_seed,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tiny() -> ScheduleRequest {
+        ScheduleRequest::preset("tetonly", 0.01, 2, 4)
+    }
+
+    #[test]
+    fn parses_minimal_and_full_bodies() {
+        let r = ScheduleRequest::from_json(r#"{"preset": "tetonly", "m": 4}"#).unwrap();
+        assert_eq!(r, {
+            let mut want = ScheduleRequest::preset("tetonly", 0.02, 4, 4);
+            want.b = 8;
+            want
+        });
+        let r = ScheduleRequest::from_json(
+            r#"{"preset": "long", "scale": 0.05, "sn": 2, "m": 16,
+                "algorithm": "dfds", "delays": true, "seed": 7, "b": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(r.algorithm, "dfds");
+        assert!(r.delays);
+        assert_eq!((r.seed, r.b, r.sn, r.m), (7, 3, 2, 16));
+    }
+
+    #[test]
+    fn rejects_bad_bodies() {
+        for (body, needle) in [
+            ("nonsense", "invalid JSON"),
+            ("[1]", "must be a JSON object"),
+            (r#"{"m": 4}"#, "missing mesh"),
+            (r#"{"preset": "tetonly"}"#, "'m' must be a positive"),
+            (r#"{"preset": "t", "instance": "x", "m": 1}"#, "not both"),
+            (
+                r#"{"preset": "tetonly", "m": 4, "typo": 1}"#,
+                "unknown field",
+            ),
+            (r#"{"preset": "tetonly", "m": -2}"#, "non-negative"),
+            (r#"{"preset": 5, "m": 4}"#, "'preset' must be a string"),
+        ] {
+            let err = ScheduleRequest::from_json(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn schedule_twice_hits_and_matches() {
+        let svc = SweepService::new(ServiceConfig::default());
+        let first = svc.schedule(&tiny()).unwrap();
+        let second = svc.schedule(&tiny()).unwrap();
+        assert!(!first.cache_hit && second.cache_hit);
+        assert!(second.instance_cache_hit);
+        assert_eq!(first.makespan, second.makespan);
+        assert_eq!(first.digest, second.digest);
+        assert!(first.makespan as u64 >= first.lower_bound);
+    }
+
+    #[test]
+    fn different_content_means_different_digest_and_recompute() {
+        let svc = SweepService::new(ServiceConfig::default());
+        let a = svc.schedule(&tiny()).unwrap();
+        let mut other = tiny();
+        other.seed += 1;
+        let b = svc.schedule(&other).unwrap();
+        assert_ne!(a.digest, b.digest);
+        assert!(!b.cache_hit);
+        // Same mesh though: tier 1 must hit.
+        assert!(b.instance_cache_hit);
+    }
+
+    #[test]
+    fn inline_instance_round_trips() {
+        let inst = SweepInstance::random_layered(30, 2, 4, 2, 5);
+        let text = sweep_dag::to_text(&inst);
+        let req = ScheduleRequest {
+            mesh: MeshSource::Inline { text },
+            sn: 0,
+            m: 3,
+            algorithm: "greedy".to_string(),
+            delays: false,
+            seed: 1,
+            b: 2,
+        };
+        let svc = SweepService::new(ServiceConfig::default());
+        let resp = svc.schedule(&req).unwrap();
+        assert_eq!(resp.cells, 30);
+        assert_eq!(resp.directions, 2);
+    }
+
+    #[test]
+    fn unknown_preset_and_algorithm_are_client_errors() {
+        let svc = SweepService::new(ServiceConfig::default());
+        let mut req = tiny();
+        req.algorithm = "quantum".to_string();
+        assert!(svc
+            .schedule(&req)
+            .unwrap_err()
+            .contains("unknown algorithm"));
+        let mut req = tiny();
+        req.mesh = MeshSource::Preset {
+            name: "nope".to_string(),
+            scale: 0.01,
+        };
+        assert!(svc.schedule(&req).unwrap_err().contains("unknown preset"));
+    }
+
+    #[test]
+    fn routing_matrix() {
+        let svc = SweepService::new(ServiceConfig::default());
+        let get = |path: &str| Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: None,
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(svc.route(&get("/healthz")).status, 200);
+        let presets = svc.route(&get("/v1/presets"));
+        assert_eq!(presets.status, 200);
+        assert!(presets.body.contains("well_logging"));
+        assert_eq!(svc.route(&get("/metrics")).status, 200);
+        assert_eq!(svc.route(&get("/nope")).status, 404);
+        let mut post = get("/v1/schedule");
+        post.method = "POST".to_string();
+        post.body = br#"{"preset": "tetonly", "scale": 0.01, "sn": 2, "m": 4}"#.to_vec();
+        let resp = svc.route(&post);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"cache\": \"miss\""));
+        let again = svc.route(&post);
+        assert!(again.body.contains("\"cache\": \"hit\""));
+        let mut wrong = get("/v1/schedule");
+        wrong.method = "GET".to_string();
+        assert_eq!(svc.route(&wrong).status, 405);
+        post.body = br#"{"preset": "tetonly", "m": 0}"#.to_vec();
+        assert_eq!(svc.route(&post).status, 400);
+        post.body = br#"{"preset": "mars", "m": 4}"#.to_vec();
+        assert_eq!(svc.route(&post).status, 422);
+    }
+
+    #[test]
+    fn sw024_certifies_the_cache() {
+        let svc = SweepService::new(ServiceConfig::default());
+        let report = certify_cache_identity(&svc, &tiny()).unwrap();
+        assert!(!report.has_errors(), "{}", report.render_text());
+        assert!(report.has_code(sweep_analyze::Code::Certified));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper (§5) notes that realizing the C2 communication measure
 //! requires coordination, "one way this can be done in a distributed
-//! manner is to use an edge coloring algorithm [11]". Messages exchanged
+//! manner is to use an edge coloring algorithm \[11\]". Messages exchanged
 //! after one computation step form a multigraph over processors; a proper
 //! edge coloring groups them into rounds in which every processor sends
 //! and receives at most one message. Greedy coloring uses at most

@@ -47,9 +47,6 @@ use crate::async_exec::{async_makespan, AsyncTrace, TraceExec, TraceMessage};
 /// pathological `drop_rate = 1` plan still terminates.
 const MAX_ATTEMPTS: u32 = 64;
 
-/// Backoff doubling cap: `rto · 2^6` is the longest single wait.
-const MAX_BACKOFF_EXP: u32 = 6;
-
 /// Simulation events, ordered by time. Ties break readiness arrivals
 /// (0) before completions (1) before crashes (2), then by processor and
 /// payload — the same deterministic order as the fault-free engine,
@@ -211,7 +208,7 @@ impl<'a> Engine<'a> {
                 FaultKind::Drop,
                 format!("flux of task {from} to proc {q} lost (attempt {attempt})"),
             );
-            send += self.rto * (1u64 << attempt.min(MAX_BACKOFF_EXP)) as f64;
+            send += sweep_faults::backoff::delay(self.rto, attempt);
             attempt += 1;
         }
     }

@@ -6,7 +6,7 @@
 //!
 //! Three ingredients:
 //!
-//! * **Spans** — RAII guards ([`span`]/[`span!`]) with monotonic wall-clock
+//! * **Spans** — RAII guards ([`span()`](span())/[`span!`]) with monotonic wall-clock
 //!   timing, per-thread tracks, and nesting depth. Simulated executions
 //!   (e.g. `sweep-sim`'s `AsyncTrace`) inject *virtual-clock* spans through
 //!   [`virtual_span`], so one exporter serves both wall-clock and
@@ -50,8 +50,12 @@
 
 pub mod collector;
 pub mod export;
-pub mod json;
 pub mod metrics;
+
+/// The shared mini-JSON codec, re-exported so existing
+/// `sweep_telemetry::json::…` paths keep working now that the
+/// implementation lives in the `sweep-json` crate.
+pub use sweep_json as json;
 
 pub use collector::{Clock, Collector, Snapshot, SpanEvent, SpanGuard, SpanSummary};
 pub use export::{

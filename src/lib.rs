@@ -2,7 +2,7 @@
 //!
 //! A full reproduction of Anil Kumar, Marathe, Parthasarathy, Srinivasan &
 //! Zust, *Provable Algorithms for Parallel Sweep Scheduling on Unstructured
-//! Meshes* (IPDPS 2005), including every substrate the paper depends on:
+//! Meshes* (IPPS 2005), including every substrate the paper depends on:
 //!
 //! | crate | contents |
 //! |---|---|
