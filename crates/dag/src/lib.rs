@@ -44,5 +44,5 @@ pub use graph::TaskDag;
 pub use induce::{break_cycles, induce_all, induce_dag, InduceStats};
 pub use instance::{SweepInstance, TaskId};
 pub use levels::{b_levels, critical_path_len, levels, Levels};
-pub use serialize::{from_text, from_text_unchecked, to_text};
+pub use serialize::{from_text, from_text_unchecked, peek_counts, to_text};
 pub use stats::{dag_stats, instance_stats, to_dot, DagStats, InstanceStats};

@@ -47,10 +47,12 @@ pub fn from_text(text: &str) -> Result<SweepInstance, String> {
     Ok(inst)
 }
 
-/// Parses the v1 text format **without** the acyclicity check, so that
-/// cyclic inputs can be loaded for diagnosis (`sweep-analyze` reports a
-/// witness cycle rather than refusing to parse).
-pub fn from_text_unchecked(text: &str) -> Result<SweepInstance, String> {
+/// Parses the fixed document prefix (format header, `name`, `cells`,
+/// `directions`) and returns the line iterator positioned at the first
+/// `dag` header.
+fn parse_prefix(
+    text: &str,
+) -> Result<(String, usize, usize, impl Iterator<Item = &str>), String> {
     let mut lines = text
         .lines()
         .map(str::trim)
@@ -74,6 +76,23 @@ pub fn from_text_unchecked(text: &str) -> Result<SweepInstance, String> {
     if k == 0 {
         return Err("instance needs at least one direction".into());
     }
+    Ok((name, n, k, lines))
+}
+
+/// Reads just the `cells` and `directions` counts from a v1 document's
+/// header, without materializing any DAG — so a caller can bound
+/// `cells × directions` *before* paying for the full parse (the
+/// per-direction node arrays alone are `O(cells × directions)`).
+pub fn peek_counts(text: &str) -> Result<(usize, usize), String> {
+    let (_, n, k, _) = parse_prefix(text)?;
+    Ok((n, k))
+}
+
+/// Parses the v1 text format **without** the acyclicity check, so that
+/// cyclic inputs can be loaded for diagnosis (`sweep-analyze` reports a
+/// witness cycle rather than refusing to parse).
+pub fn from_text_unchecked(text: &str) -> Result<SweepInstance, String> {
+    let (name, n, k, mut lines) = parse_prefix(text)?;
     let mut dags = Vec::with_capacity(k);
     for i in 0..k {
         let head = lines
@@ -129,6 +148,17 @@ pub fn from_text_unchecked(text: &str) -> Result<SweepInstance, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peek_counts_reads_the_header_only() {
+        let inst = SweepInstance::random_layered(40, 3, 5, 2, 7);
+        assert_eq!(peek_counts(&to_text(&inst)).unwrap(), (40, 3));
+        // The counts come from the header alone: a document claiming an
+        // enormous size peeks fine with no size-proportional work.
+        let text = "sweep-instance v1\nname big\ncells 1000000000\ndirections 1000\n";
+        assert_eq!(peek_counts(text).unwrap(), (1_000_000_000, 1000));
+        assert!(peek_counts("nonsense").is_err());
+    }
 
     #[test]
     fn round_trip_preserves_structure() {

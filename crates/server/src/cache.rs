@@ -21,7 +21,9 @@
 //! cold key, the first becomes the *leader* and computes; the other
 //! N−1 block on a condvar and receive the leader's `Arc` — one
 //! computation, N responses. Leader failure is propagated to every
-//! waiter and the flight is cleared so a later request can retry.
+//! waiter and the flight is cleared so a later request can retry —
+//! including failure by *panic*: a drop guard publishes the error
+//! during the unwind, so waiters never wedge on a dead leader.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -168,6 +170,42 @@ impl<V: Clone> SingleFlight<V> {
             .remove(&key);
     }
 
+    /// Runs the leader's computation and publishes its result — with
+    /// unwind protection: if `compute` panics, a drop guard publishes
+    /// an `Err` and clears the flight *during* the unwind, so every
+    /// current and future waiter unblocks instead of wedging forever
+    /// on a result that will never arrive.
+    fn lead(
+        &self,
+        key: u64,
+        flight: &Arc<Flight<V>>,
+        compute: impl FnOnce() -> Result<V, String>,
+    ) -> Result<V, String> {
+        struct Abort<'a, V: Clone> {
+            flights: &'a SingleFlight<V>,
+            key: u64,
+            flight: &'a Arc<Flight<V>>,
+        }
+        impl<V: Clone> Drop for Abort<'_, V> {
+            fn drop(&mut self) {
+                self.flights.publish(
+                    self.key,
+                    self.flight,
+                    Err("internal: cache leader panicked mid-computation".to_string()),
+                );
+            }
+        }
+        let abort = Abort {
+            flights: self,
+            key,
+            flight,
+        };
+        let result = compute();
+        std::mem::forget(abort); // defuse: the normal publish below runs instead
+        self.publish(key, flight, result.clone());
+        result
+    }
+
     fn wait(&self, flight: &Arc<Flight<V>>) -> Result<V, String> {
         let mut done = flight.done.lock().unwrap_or_else(|p| p.into_inner());
         while done.is_none() {
@@ -271,16 +309,16 @@ impl ScheduleCache {
             Claim::Leader(f) => {
                 self.bump(|s| s.misses += 1);
                 telemetry::counter_add("serve.cache.misses", 1);
-                let result = induce().map(Arc::new);
-                if let Ok(inst) = &result {
+                let result = self.instance_flights.lead(key, &f, || {
+                    let inst = Arc::new(induce()?);
                     let evicted = self
                         .instances
                         .lock()
                         .unwrap_or_else(|p| p.into_inner())
-                        .insert(key, Arc::clone(inst), instance_bytes(inst));
+                        .insert(key, Arc::clone(&inst), instance_bytes(&inst));
                     self.note_evictions(evicted);
-                }
-                self.instance_flights.publish(key, &f, result.clone());
+                    Ok(inst)
+                });
                 self.update_bytes_gauge();
                 result.map(|inst| (inst, false))
             }
@@ -318,16 +356,16 @@ impl ScheduleCache {
             Claim::Leader(f) => {
                 self.bump(|s| s.misses += 1);
                 telemetry::counter_add("serve.cache.misses", 1);
-                let result = compute().map(Arc::new);
-                if let Ok(art) = &result {
+                let result = self.schedule_flights.lead(key, &f, || {
+                    let art = Arc::new(compute()?);
                     let evicted = self
                         .schedules
                         .lock()
                         .unwrap_or_else(|p| p.into_inner())
-                        .insert(key, Arc::clone(art), artifact_bytes(art));
+                        .insert(key, Arc::clone(&art), artifact_bytes(&art));
                     self.note_evictions(evicted);
-                }
-                self.schedule_flights.publish(key, &f, result.clone());
+                    Ok(art)
+                });
                 self.update_bytes_gauge();
                 result.map(|art| (art, false))
             }
@@ -392,6 +430,36 @@ mod tests {
         assert!(err.contains("broken mesh"));
         // The flight is cleared: a retry runs a fresh computation.
         let (_, hit) = cache.instance(9, || Ok(tiny("retry"))).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn leader_panic_unblocks_followers_and_clears_the_flight() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cache = ScheduleCache::new(1 << 20);
+        let leading = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| {
+                cache.instance(5, || {
+                    leading.store(true, Ordering::SeqCst);
+                    // Keep the flight open long enough for the main
+                    // thread to pile on as a follower.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("poisoned request")
+                })
+            });
+            while !leading.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // We are now guaranteed to be a follower on the same key;
+            // without the unwind guard this wait would never return.
+            let err = cache.instance(5, || Ok(tiny("follower"))).unwrap_err();
+            assert!(err.contains("panicked"), "{err}");
+            assert!(leader.join().is_err(), "leader must have panicked");
+        });
+        // The flight is cleared: a retry computes fresh instead of
+        // blocking on the dead leader.
+        let (_, hit) = cache.instance(5, || Ok(tiny("retry"))).unwrap();
         assert!(!hit);
     }
 

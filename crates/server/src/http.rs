@@ -6,7 +6,9 @@
 //! keep-alive would buy latency only for `/healthz` pollers while
 //! complicating the drain logic. Requests are parsed from a buffered
 //! reader with hard limits on request-line, header, and body sizes;
-//! anything outside the subset gets a clean 4xx instead of a hang.
+//! anything outside the subset — including `Transfer-Encoding`, which
+//! is refused with `501` because bodies are Content-Length-only — gets
+//! a clean error response instead of a hang.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -88,6 +90,16 @@ impl Request {
             headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
         }
 
+        // The subset is Content-Length-only. A chunked body would be
+        // silently treated as empty and left unread on the socket, and
+        // closing with unread bytes makes the kernel RST the response
+        // away — so refuse the encoding loudly instead.
+        if headers.contains_key("transfer-encoding") {
+            return Err(ReadError::Bad(
+                501,
+                "Transfer-Encoding is not supported; send a Content-Length body".to_string(),
+            ));
+        }
         let body = match headers.get("content-length") {
             None => Vec::new(),
             Some(v) => {
@@ -216,6 +228,7 @@ impl Response {
             429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            501 => "Not Implemented",
             503 => "Service Unavailable",
             505 => "HTTP Version Not Supported",
             _ => "Unknown",
@@ -279,6 +292,14 @@ mod tests {
         ));
         let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
         assert!(matches!(parse(&huge), Err(ReadError::Bad(413, _))));
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused_not_ignored() {
+        let res = parse(
+            "POST /v1/schedule HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n",
+        );
+        assert!(matches!(res, Err(ReadError::Bad(501, _))), "{res:?}");
     }
 
     #[test]

@@ -154,9 +154,21 @@ impl Server {
                     // accept loop is done and the queue is drained.
                     let next = rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
                     let Ok(stream) = next else { break };
-                    handle_connection(&service, config, stream);
-                    let now = inflight.fetch_sub(1, Ordering::SeqCst) - 1;
-                    telemetry::gauge_set("serve.inflight", now as f64);
+                    // The in-flight decrement lives in a drop guard and
+                    // the handler runs under catch_unwind, so a
+                    // panicking request costs only its own connection —
+                    // never a worker thread or an in-flight slot.
+                    // AssertUnwindSafe is sound here: the service's
+                    // interior state stays consistent across an unwind
+                    // (single-flight slots publish-on-panic, mutexes
+                    // recover from poisoning with `into_inner`).
+                    let _slot = InflightSlot(&inflight);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(&service, config, stream);
+                    }));
+                    if outcome.is_err() {
+                        telemetry::counter_add("serve.http.panics", 1);
+                    }
                 });
             }
 
@@ -187,6 +199,18 @@ impl Server {
             drop(tx); // workers drain the queue, then exit
         });
         Ok(())
+    }
+}
+
+/// Releases one unit of server capacity on drop — including during a
+/// panic unwind — so a poisoned request can't leak an in-flight slot
+/// and walk the server into answering only `429`.
+struct InflightSlot<'a>(&'a AtomicUsize);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        let now = self.0.fetch_sub(1, Ordering::SeqCst) - 1;
+        telemetry::gauge_set("serve.inflight", now as f64);
     }
 }
 

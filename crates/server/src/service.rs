@@ -61,6 +61,44 @@ pub struct ScheduleRequest {
     pub b: usize,
 }
 
+/// Largest accepted processor count. The assignment draw stores
+/// processor ids as `u32` and the schedulers allocate per-processor
+/// state (`O(m)` heaps/queues), so an unbounded `m` from the network
+/// is both a truncation hazard and a memory-exhaustion vector; 2^20
+/// processors is far past any machine the paper contemplates.
+pub const MAX_M: usize = 1 << 20;
+
+/// Checks a processor count against the service bounds — used both at
+/// parse time and defensively in the compute paths, so a
+/// programmatically-built [`ScheduleRequest`] gets the same guard as a
+/// network one.
+fn check_m(m: usize) -> Result<(), String> {
+    if m == 0 {
+        return Err("'m' must be a positive integer".to_string());
+    }
+    if m > MAX_M {
+        return Err(format!(
+            "'m' = {m} exceeds the service limit of {MAX_M} processors"
+        ));
+    }
+    Ok(())
+}
+
+/// Rejects an instance whose `cells × directions` product exceeds the
+/// admission budget — called on the *predicted* size, before any mesh
+/// generation, edge-list parsing, or induction has run, so an
+/// oversized request is refused at header cost.
+fn check_task_budget(cells: usize, directions: usize, max_tasks: usize) -> Result<(), String> {
+    let tasks = cells.saturating_mul(directions);
+    if tasks > max_tasks {
+        return Err(format!(
+            "instance would have {cells} cells × {directions} directions = {tasks} tasks, \
+             over the service limit of {max_tasks}"
+        ));
+    }
+    Ok(())
+}
+
 impl ScheduleRequest {
     /// A preset-mesh request with the service defaults
     /// (`algorithm = "rdp"`, `seed = 2005`, `b = 8`).
@@ -136,10 +174,14 @@ impl ScheduleRequest {
                     .to_string(),
             },
         };
-        let m = int("m", 0)? as usize;
-        if m == 0 {
-            return Err("'m' must be a positive integer".to_string());
+        let m64 = int("m", 0)?;
+        if m64 > MAX_M as u64 {
+            return Err(format!(
+                "'m' = {m64} exceeds the service limit of {MAX_M} processors"
+            ));
         }
+        let m = m64 as usize;
+        check_m(m)?;
         let b = (int("b", 8)? as usize).clamp(1, 64);
         let delays = match doc.get("delays") {
             None => false,
@@ -322,13 +364,23 @@ impl SweepService {
                 MeshSource::Preset { name, scale } => {
                     let preset = MeshPreset::from_name(name)
                         .ok_or_else(|| format!("unknown preset '{name}'"))?;
-                    let mesh = preset.build_scaled(*scale).map_err(|e| e.to_string())?;
                     let quad = QuadratureSet::level_symmetric(req.sn).map_err(|e| e.to_string())?;
+                    // Admission check before the mesh is even built:
+                    // `build_scaled` targets `ceil(paper_cells × scale)`
+                    // cells (min 16), so the task count is known up front.
+                    let cells = ((preset.paper_cells() as f64 * scale).ceil() as usize).max(16);
+                    check_task_budget(cells, quad.len(), max_tasks)?;
+                    let mesh = preset.build_scaled(*scale).map_err(|e| e.to_string())?;
                     let (inst, _) = SweepInstance::from_mesh(&mesh, &quad, preset.name());
                     inst
                 }
-                MeshSource::Inline { text } => sweep_dag::from_text(text)?,
+                MeshSource::Inline { text } => {
+                    let (cells, directions) = sweep_dag::peek_counts(text)?;
+                    check_task_budget(cells, directions, max_tasks)?;
+                    sweep_dag::from_text(text)?
+                }
             };
+            // Backstop: the mesh generator may overshoot its target.
             if inst.num_tasks() > max_tasks {
                 return Err(format!(
                     "instance has {} tasks, over the service limit of {max_tasks}",
@@ -343,6 +395,7 @@ impl SweepService {
     /// The full cached compute path for one schedule request.
     pub fn schedule(&self, req: &ScheduleRequest) -> Result<ScheduleResponse, String> {
         let _span = telemetry::span!("serve.schedule");
+        check_m(req.m)?;
         let algorithm = algorithm_from_name(&req.algorithm, req.delays)?;
         let (inst, inst_hit, inst_key) = self.instance_for(req)?;
         let key = schedule_digest(inst_key, req.m, &req.algorithm, req.delays, req.seed, req.b);
@@ -393,6 +446,7 @@ impl SweepService {
         &self,
         req: &ScheduleRequest,
     ) -> Result<(SweepInstance, ScheduleArtifact), String> {
+        check_m(req.m)?;
         let algorithm = algorithm_from_name(&req.algorithm, req.delays)?;
         let inst = match &req.mesh {
             MeshSource::Preset { name, scale } => {
@@ -575,6 +629,8 @@ mod tests {
                 "unknown field",
             ),
             (r#"{"preset": "tetonly", "m": -2}"#, "non-negative"),
+            (r#"{"preset": "tetonly", "m": 1048577}"#, "exceeds"),
+            (r#"{"preset": "tetonly", "m": 4294967296}"#, "exceeds"),
             (r#"{"preset": 5, "m": 4}"#, "'preset' must be a string"),
         ] {
             let err = ScheduleRequest::from_json(body).unwrap_err();
@@ -624,6 +680,44 @@ mod tests {
         let resp = svc.schedule(&req).unwrap();
         assert_eq!(resp.cells, 30);
         assert_eq!(resp.directions, 2);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_before_any_work_runs() {
+        let svc = SweepService::new(ServiceConfig {
+            max_tasks: 1000,
+            ..ServiceConfig::default()
+        });
+        // Preset path: predicted cells × directions over budget is
+        // refused before the mesh is generated (this test would take
+        // visibly long otherwise).
+        let err = svc
+            .schedule(&ScheduleRequest::preset("prismtet", 1.0, 8, 4))
+            .unwrap_err();
+        assert!(err.contains("over the service limit"), "{err}");
+        // Inline path: the header alone condemns the request — no edge
+        // parsing, no O(cells × directions) allocation.
+        let huge = "sweep-instance v1\nname huge\ncells 1000000000\ndirections 1000\n";
+        let req = ScheduleRequest {
+            mesh: MeshSource::Inline {
+                text: huge.to_string(),
+            },
+            sn: 0,
+            m: 4,
+            algorithm: "greedy".to_string(),
+            delays: false,
+            seed: 1,
+            b: 1,
+        };
+        assert!(svc
+            .schedule(&req)
+            .unwrap_err()
+            .contains("over the service limit"));
+        // A programmatically-built request with an absurd m is stopped
+        // by the same guard the parser uses.
+        let mut big_m = tiny();
+        big_m.m = MAX_M + 1;
+        assert!(svc.schedule(&big_m).unwrap_err().contains("exceeds"));
     }
 
     #[test]
