@@ -1,0 +1,232 @@
+//! Concurrency model-check results → SW0xx diagnostics.
+//!
+//! `sweep-analyze` sits *below* the concurrent crates in the dependency
+//! graph (the pool depends on it transitively), so it cannot call the
+//! model checker itself. Instead this module defines the plain-data
+//! shape of a model-check run — produced by the `sweep check` CLI
+//! subcommand from `sweep_check::ExploreReport`s — and maps it onto the
+//! stable diagnostic registry:
+//!
+//! * lock-order cycles, deadlocks, double-locks, and step-bound
+//!   blowups → **SW025** ([`Code::LockOrderCycle`]);
+//! * lost wakeups → **SW026** ([`Code::LostWakeup`]), except in
+//!   single-flight models where a stuck waiter is the protocol-level
+//!   liveness violation → **SW027** ([`Code::SingleFlightLiveness`]);
+//! * non-linearizable outcomes (model assertion failures) → **SW023**
+//!   ([`Code::PoolNondeterminism`]), the same gate the wall-clock
+//!   determinism certification uses;
+//! * a clean, finding-free suite → one **SW020** info line per model,
+//!   recording executions and steps explored.
+
+use crate::diag::{Anchor, Code, Diagnostic, Report};
+
+/// What kind of concurrency defect a model-check run surfaced
+/// (a plain mirror of the checker's finding classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcurrencyFindingKind {
+    /// A cycle in the lock-order graph (potential deadlock).
+    LockOrderCycle,
+    /// A schedule on which every live thread blocks forever.
+    Deadlock,
+    /// A thread re-acquired a mutex it already holds.
+    DoubleLock,
+    /// A schedule that parks a waiter nobody can ever notify.
+    LostWakeup,
+    /// A single-flight waiter wedged on an abandoned leader.
+    SingleFlightStall,
+    /// A schedule produced a non-linearizable outcome (assertion).
+    NonLinearizable,
+    /// The exploration step bound tripped (livelock or oversized model).
+    StepBound,
+}
+
+/// One finding from a model-check run, with its witness trace.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyFinding {
+    /// Defect classification.
+    pub kind: ConcurrencyFindingKind,
+    /// One-line description from the checker.
+    pub message: String,
+    /// Witness lines (schedule tail, per-thread status, cycle edges).
+    pub witness: Vec<String>,
+}
+
+/// The outcome of model-checking one model.
+#[derive(Debug, Clone)]
+pub struct ModelCheckRun {
+    /// Model name, e.g. `pool.deque.drain` (names containing
+    /// `single-flight` route liveness findings to SW027).
+    pub model: String,
+    /// Executions explored (DFS + random).
+    pub executions: u64,
+    /// Total scheduled transitions.
+    pub steps: u64,
+    /// Whether bounded-exhaustive exploration completed.
+    pub complete: bool,
+    /// Findings (empty for a clean run).
+    pub findings: Vec<ConcurrencyFinding>,
+}
+
+impl ConcurrencyFindingKind {
+    /// The SW0xx code this defect maps to.
+    pub fn code(self) -> Code {
+        match self {
+            ConcurrencyFindingKind::LockOrderCycle
+            | ConcurrencyFindingKind::Deadlock
+            | ConcurrencyFindingKind::DoubleLock
+            | ConcurrencyFindingKind::StepBound => Code::LockOrderCycle,
+            ConcurrencyFindingKind::LostWakeup => Code::LostWakeup,
+            ConcurrencyFindingKind::SingleFlightStall => Code::SingleFlightLiveness,
+            ConcurrencyFindingKind::NonLinearizable => Code::PoolNondeterminism,
+        }
+    }
+}
+
+/// Folds a witness into a diagnostic message: the one-liner, then the
+/// trace lines indented two spaces. (Witness steps are schedule
+/// events, not mesh cells, so the cell-trail field does not apply.)
+fn fold_witness(message: &str, witness: &[String], cap: usize) -> String {
+    if witness.is_empty() {
+        return message.to_string();
+    }
+    let start = witness.len().saturating_sub(cap);
+    let mut out = String::from(message);
+    out.push_str("\n  witness:");
+    for line in &witness[start..] {
+        out.push_str("\n    ");
+        out.push_str(line);
+    }
+    out
+}
+
+/// Converts model-check runs into a [`Report`] on the SW0xx registry.
+///
+/// Every finding becomes an error-severity diagnostic with its witness
+/// folded into the message; a run with no findings contributes an
+/// SW020 info line (so "the suite ran and explored N schedules" is
+/// itself recorded, the same pattern as the SW021/SW022
+/// certifications). The report's exit-code contract matches the rest
+/// of the analyzer: any error ⇒ the CLI exits 2.
+pub fn analyze_model_checks(runs: &[ModelCheckRun]) -> Report {
+    const WITNESS_CAP: usize = 24;
+    let mut report = Report::new("model-check");
+    for run in runs {
+        if run.findings.is_empty() {
+            report.push(Diagnostic::new(
+                Code::Stats,
+                Anchor::none(),
+                format!(
+                    "{}: clean — {} execution(s), {} step(s), exploration {}",
+                    run.model,
+                    run.executions,
+                    run.steps,
+                    if run.complete {
+                        "complete (state space exhausted)"
+                    } else {
+                        "bounded (budget reached)"
+                    },
+                ),
+            ));
+            continue;
+        }
+        for finding in &run.findings {
+            let message = format!(
+                "{}: {}",
+                run.model,
+                fold_witness(&finding.message, &finding.witness, WITNESS_CAP)
+            );
+            report.push(Diagnostic::new(
+                finding.kind.code(),
+                Anchor::none(),
+                message,
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn run(model: &str, findings: Vec<ConcurrencyFinding>) -> ModelCheckRun {
+        ModelCheckRun {
+            model: model.to_string(),
+            executions: 12,
+            steps: 340,
+            complete: true,
+            findings,
+        }
+    }
+
+    fn finding(kind: ConcurrencyFindingKind) -> ConcurrencyFinding {
+        ConcurrencyFinding {
+            kind,
+            message: "boom".to_string(),
+            witness: vec!["1  t0: lock Mutex@a.rs:1:1".to_string()],
+        }
+    }
+
+    #[test]
+    fn kinds_map_to_the_registry() {
+        use ConcurrencyFindingKind as K;
+        assert_eq!(K::LockOrderCycle.code().as_str(), "SW025");
+        assert_eq!(K::Deadlock.code().as_str(), "SW025");
+        assert_eq!(K::DoubleLock.code().as_str(), "SW025");
+        assert_eq!(K::StepBound.code().as_str(), "SW025");
+        assert_eq!(K::LostWakeup.code().as_str(), "SW026");
+        assert_eq!(K::SingleFlightStall.code().as_str(), "SW027");
+        assert_eq!(K::NonLinearizable.code().as_str(), "SW023");
+    }
+
+    #[test]
+    fn clean_runs_emit_sw020_and_no_errors() {
+        let report = analyze_model_checks(&[run("pool.deque.drain", vec![])]);
+        assert!(!report.has_errors());
+        assert!(report.has_code(Code::Stats));
+        let text = report.render_text();
+        assert!(text.contains("pool.deque.drain"));
+        assert!(text.contains("complete"));
+    }
+
+    #[test]
+    fn findings_become_errors_with_witness_lines() {
+        let report = analyze_model_checks(&[run(
+            "fixture.inverted-locks",
+            vec![finding(ConcurrencyFindingKind::Deadlock)],
+        )]);
+        assert!(report.has_errors());
+        assert!(report.has_code(Code::LockOrderCycle));
+        let text = report.render_text();
+        assert!(text.contains("error[SW025]"));
+        assert!(text.contains("witness:"));
+        assert!(text.contains("lock Mutex@a.rs:1:1"));
+    }
+
+    #[test]
+    fn witness_is_capped_to_the_tail() {
+        let long: Vec<String> = (0..100).map(|i| format!("line {i}")).collect();
+        let folded = fold_witness("msg", &long, 24);
+        assert!(!folded.contains("line 75"));
+        assert!(folded.contains("line 76"));
+        assert!(folded.contains("line 99"));
+    }
+
+    #[test]
+    fn mixed_runs_keep_per_model_attribution() {
+        let report = analyze_model_checks(&[
+            run("serve.single-flight.coalesce", vec![]),
+            run(
+                "fixture.single-flight-leak",
+                vec![finding(ConcurrencyFindingKind::SingleFlightStall)],
+            ),
+        ]);
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(report.count(Severity::Info), 1);
+        assert!(report.has_code(Code::SingleFlightLiveness));
+        assert!(report
+            .render_text()
+            .contains("fixture.single-flight-leak: boom"));
+    }
+}

@@ -28,6 +28,9 @@
 //! | SW022 | info | fault-injected trace certified exactly-once and precedence-correct |
 //! | SW023 | error | parallel execution nondeterministic or pool dropped queued tasks |
 //! | SW024 | error | cache-served schedule differs from a cold recomputation |
+//! | SW025 | error | lock-order cycle or deadlocking schedule found by the model checker |
+//! | SW026 | error | lost wakeup: a schedule parks a thread no one can ever notify |
+//! | SW027 | error | single-flight liveness: a waiter can wedge on an abandoned leader |
 
 use std::fmt;
 
@@ -90,6 +93,9 @@ pub enum Code {
     FaultTraceCertified,
     PoolNondeterminism,
     CacheDivergence,
+    LockOrderCycle,
+    LostWakeup,
+    SingleFlightLiveness,
 }
 
 impl Code {
@@ -117,6 +123,9 @@ impl Code {
             Code::FaultTraceCertified => "SW022",
             Code::PoolNondeterminism => "SW023",
             Code::CacheDivergence => "SW024",
+            Code::LockOrderCycle => "SW025",
+            Code::LostWakeup => "SW026",
+            Code::SingleFlightLiveness => "SW027",
         }
     }
 
@@ -148,6 +157,13 @@ impl Code {
                 "parallel execution nondeterministic or pool dropped queued tasks"
             }
             Code::CacheDivergence => "cache-served schedule differs from a cold recomputation",
+            Code::LockOrderCycle => {
+                "lock-order cycle or deadlocking schedule found by the model checker"
+            }
+            Code::LostWakeup => "lost wakeup: a schedule parks a thread no one can ever notify",
+            Code::SingleFlightLiveness => {
+                "single-flight liveness: a waiter can wedge on an abandoned leader"
+            }
         }
     }
 
@@ -164,7 +180,10 @@ impl Code {
             | Code::DuplicateExecution
             | Code::TracePrecedenceViolation
             | Code::PoolNondeterminism
-            | Code::CacheDivergence => Severity::Error,
+            | Code::CacheDivergence
+            | Code::LockOrderCycle
+            | Code::LostWakeup
+            | Code::SingleFlightLiveness => Severity::Error,
             Code::EmptyProcessor
             | Code::LoadImbalance
             | Code::UnreachableCell

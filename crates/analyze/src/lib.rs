@@ -46,6 +46,7 @@
 // Tests exercise failure paths where unwrap is the assertion.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod concurrency;
 pub mod diag;
 
 mod assignment;
@@ -58,6 +59,9 @@ mod trace_integrity;
 
 pub use assignment::{analyze_assignment, analyze_assignment_with};
 pub use cache_identity::{analyze_cache_identity, CacheIdentityMeta};
+pub use concurrency::{
+    analyze_model_checks, ConcurrencyFinding, ConcurrencyFindingKind, ModelCheckRun,
+};
 pub use diag::{json_string, Anchor, Code, Diagnostic, Report, Severity};
 pub use happens_before::{analyze_async, analyze_trace};
 pub use instance::{analyze_instance, analyze_quadrature};

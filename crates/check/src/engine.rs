@@ -1,0 +1,988 @@
+//! The model-check scheduler: serializes instrumented threads and
+//! decides, at every synchronization operation, which thread runs next.
+//!
+//! Mechanics (CHESS-style, on real OS threads):
+//!
+//! * Every instrumented op is a **yield point**: the thread posts its
+//!   pending [`Op`] to the shared [`Session`], wakes the scheduler
+//!   logic, and blocks until the op is *granted*. At most one model
+//!   thread is ever between yield points ("running"), so an execution
+//!   is fully determined by the sequence of scheduling choices.
+//! * At each step the scheduler computes the **enabled** set (threads
+//!   whose pending op can fire: a `lock` needs the mutex free, a
+//!   `join` needs the target finished) and picks one — following a
+//!   replay plan (DFS), or a seeded PRNG (random mode).
+//! * `Condvar::wait` is a single atomic release-and-block transition;
+//!   a notify re-arms each waiter with a pending `lock` of the mutex
+//!   it released. A notify with no parked waiter is a no-op — exactly
+//!   the semantics that make lost wakeups reachable states.
+//! * Sleep sets (Godefroid-style partial-order reduction) prune
+//!   schedules that only commute independent operations; the DFS
+//!   driver in [`explore`](crate::explore) maintains them across
+//!   backtracks via [`PlanStep::sleep_extra`].
+//!
+//! Detection: double-lock at op post; deadlock / lost wakeup when the
+//! enabled set empties with live threads; lock-order edges recorded at
+//! every acquire (cycle detection runs over the merged graph in
+//! `explore`); assertion failures surface as model panics. Abandoning
+//! an execution (prune or first finding) unwinds every blocked thread
+//! with an [`AbortToken`] panic payload that the thread wrapper
+//! swallows.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::explore::{Finding, FindingKind};
+
+/// Thread id within one session (index into the thread table).
+pub(crate) type Tid = usize;
+
+/// How many trace lines a witness keeps (the tail of the execution).
+const WITNESS_TAIL: usize = 48;
+
+/// Hard cap on retained trace lines (memory guard; `max_steps` bounds
+/// the schedule length separately).
+const TRACE_CAP: usize = 10_000;
+
+/// Renders a source location as `file:line:col` — the stable "lock
+/// class" identity the lock-order analysis groups by.
+pub(crate) fn site_str(loc: &'static Location<'static>) -> String {
+    format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+}
+
+/// Classifies an atomic access for the dependency relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AtomicKind {
+    /// Pure read (independent with other reads of the same object).
+    Load,
+    /// Pure write.
+    Store,
+    /// Read-modify-write.
+    Rmw,
+}
+
+/// One instrumented operation, posted as a thread's pending transition.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// First transition of every thread (spawn barrier).
+    Begin,
+    /// Acquire a mutex (enabled iff free).
+    Lock {
+        /// Object identity (address of the underlying mutex).
+        obj: usize,
+        /// Creation site (lock class).
+        site: &'static Location<'static>,
+    },
+    /// Release a mutex (always enabled).
+    Unlock {
+        /// Object identity.
+        obj: usize,
+        /// Creation site.
+        site: &'static Location<'static>,
+    },
+    /// Atomically release `mutex` and park on `cv`.
+    CvWait {
+        /// Condvar object identity.
+        cv: usize,
+        /// Condvar creation site.
+        cv_site: &'static Location<'static>,
+        /// Mutex released while waiting (re-acquired on wakeup).
+        mutex: usize,
+        /// The mutex's creation site.
+        mutex_site: &'static Location<'static>,
+    },
+    /// Wake one or all waiters of `cv` (no-op when none are parked).
+    Notify {
+        /// Condvar object identity.
+        cv: usize,
+        /// Condvar creation site.
+        cv_site: &'static Location<'static>,
+        /// `notify_all` vs `notify_one`.
+        all: bool,
+    },
+    /// An atomic memory access.
+    Atomic {
+        /// Object identity.
+        obj: usize,
+        /// Access class.
+        kind: AtomicKind,
+        /// Type label for traces ("AtomicUsize", …).
+        label: &'static str,
+        /// Call site of the access.
+        site: &'static Location<'static>,
+    },
+    /// Wait for a model thread to finish (enabled iff it has).
+    Join {
+        /// Target thread.
+        target: Tid,
+    },
+}
+
+impl Op {
+    /// The shared objects this op touches, each with a write flag.
+    fn objects(&self) -> [Option<(usize, bool)>; 2] {
+        match *self {
+            Op::Begin | Op::Join { .. } => [None, None],
+            Op::Lock { obj, .. } | Op::Unlock { obj, .. } => [Some((obj, true)), None],
+            Op::CvWait { cv, mutex, .. } => [Some((cv, true)), Some((mutex, true))],
+            Op::Notify { cv, .. } => [Some((cv, true)), None],
+            Op::Atomic { obj, kind, .. } => [Some((obj, kind != AtomicKind::Load)), None],
+        }
+    }
+
+    /// Dependency relation for partial-order reduction: two ops are
+    /// dependent when they touch a common object and at least one of
+    /// the accesses writes it. Only independent ops may stay asleep
+    /// across each other's execution.
+    fn dependent(&self, other: &Op) -> bool {
+        for a in self.objects().into_iter().flatten() {
+            for b in other.objects().into_iter().flatten() {
+                if a.0 == b.0 && (a.1 || b.1) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Human rendering for witness traces.
+    fn describe(&self) -> String {
+        match *self {
+            Op::Begin => "begin".to_string(),
+            Op::Lock { site, .. } => format!("lock Mutex@{}", site_str(site)),
+            Op::Unlock { site, .. } => format!("unlock Mutex@{}", site_str(site)),
+            Op::CvWait {
+                cv_site,
+                mutex_site,
+                ..
+            } => format!(
+                "wait Condvar@{} (releasing Mutex@{})",
+                site_str(cv_site),
+                site_str(mutex_site)
+            ),
+            Op::Notify { cv_site, all, .. } => format!(
+                "{} Condvar@{}",
+                if all { "notify_all" } else { "notify_one" },
+                site_str(cv_site)
+            ),
+            Op::Atomic {
+                kind, label, site, ..
+            } => {
+                let verb = match kind {
+                    AtomicKind::Load => "load",
+                    AtomicKind::Store => "store",
+                    AtomicKind::Rmw => "rmw",
+                };
+                format!("{label}.{verb}@{}", site_str(site))
+            }
+            Op::Join { target } => format!("join t{target}"),
+        }
+    }
+}
+
+/// Lifecycle of a model thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    /// Registered but not yet at its first yield point; the scheduler
+    /// makes no choice while any thread is here (spawn barrier — this
+    /// is what keeps executions independent of OS timing).
+    Starting,
+    /// Between yield points, executing model code.
+    Running,
+    /// Parked at a yield point with a pending op.
+    Ready,
+    /// Parked inside `Condvar::wait`, not schedulable until notified.
+    BlockedCv,
+    /// Done (body returned, panicked, or aborted).
+    Finished,
+}
+
+/// Per-thread record.
+struct ThreadRec {
+    name: String,
+    state: TState,
+    pending: Option<Op>,
+    /// Mutexes currently held: (object, creation site).
+    held: Vec<(usize, &'static Location<'static>)>,
+    /// Sequence number of the last posted op.
+    op_seq: u64,
+    /// Sequence number of the last granted op.
+    granted: u64,
+    /// Set to force the thread to unwind at its next wakeup.
+    abort: bool,
+}
+
+/// One recorded scheduling choice (≥ 2 enabled threads).
+#[derive(Clone, Debug)]
+pub(crate) struct ChoiceRec {
+    /// Enabled thread ids, in tid order.
+    pub enabled: Vec<Tid>,
+    /// Index into `enabled` that was taken.
+    pub chosen: usize,
+    /// Sleep set on entry to this choice point.
+    pub sleep0: Vec<Tid>,
+}
+
+/// One step of a DFS replay plan.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanStep {
+    /// Index into the enabled set to take at this choice point.
+    pub idx: usize,
+    /// Enabled tids recorded when this node was first visited; replay
+    /// must see the same set or the model is nondeterministic.
+    pub expect: Vec<Tid>,
+    /// Siblings already explored at this node — added to the sleep set
+    /// before descending (the sleep-set POR backtrack rule).
+    pub sleep_extra: Vec<Tid>,
+}
+
+/// Scheduling policy for one execution.
+pub(crate) enum Mode {
+    /// Replay `plan`, then take the first non-sleeping choice.
+    Dfs {
+        /// Choice-point prefix to replay.
+        plan: Vec<PlanStep>,
+    },
+    /// Seeded uniform choice among enabled threads (no sleep sets).
+    Random {
+        /// SplitMix64 state.
+        state: u64,
+    },
+}
+
+/// SplitMix64 step — the same dependency-free generator `sweep-rng`
+/// seeds with; good enough to de-correlate schedule choices.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How an execution ended.
+pub(crate) enum Outcome {
+    /// Ran to completion (or is still running).
+    Clean,
+    /// Abandoned as redundant (all enabled threads asleep).
+    Pruned,
+    /// A bug was detected.
+    Found(Finding),
+}
+
+/// Mutable session state (all of it behind one std mutex).
+struct State {
+    threads: Vec<ThreadRec>,
+    /// mutex object → holding thread.
+    holders: HashMap<usize, Tid>,
+    /// condvar object → parked waiters (FIFO), each with the mutex
+    /// (object + site) it must re-acquire on wakeup.
+    waiters: HashMap<usize, Vec<(Tid, usize, &'static Location<'static>)>>,
+    mode: Mode,
+    /// Choice points taken so far (indexes `Mode::Dfs::plan`).
+    depth: usize,
+    choices: Vec<ChoiceRec>,
+    /// Current sleep set (threads whose pending op is provably
+    /// redundant to schedule here).
+    sleep: Vec<Tid>,
+    trace: Vec<String>,
+    steps: u64,
+    max_steps: u64,
+    outcome: Outcome,
+    /// (from class, to class) → first witness line.
+    lock_edges: HashMap<(String, String), String>,
+    done: bool,
+}
+
+/// Results handed back to the explorer after an execution.
+pub(crate) struct RunResult {
+    /// How the execution ended.
+    pub outcome: Outcome,
+    /// Recorded choice points (DFS bookkeeping).
+    pub choices: Vec<ChoiceRec>,
+    /// Transitions applied.
+    pub steps: u64,
+    /// Lock-order edges observed: (from class, to class, witness).
+    pub lock_edges: Vec<(String, String, String)>,
+}
+
+/// One model-check session: the scheduler shared by every thread of a
+/// single execution.
+pub(crate) struct Session {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+/// Panic payload used to unwind threads of an abandoned execution;
+/// swallowed by [`run_thread`], invisible to the panic hook (aborts use
+/// `resume_unwind`, which skips hooks).
+pub(crate) struct AbortToken;
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// A thread's handle to its session. `None` (the default for every
+/// thread that never entered a model) makes the sync shim fall through
+/// to real `std::sync` behavior.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    session: Arc<Session>,
+    tid: Tid,
+}
+
+/// The calling thread's model context, if it is part of a session.
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Ctx {
+    pub(crate) fn op_lock(&self, obj: usize, site: &'static Location<'static>) {
+        self.session.yield_op(self.tid, Op::Lock { obj, site });
+    }
+
+    pub(crate) fn op_unlock(&self, obj: usize, site: &'static Location<'static>) {
+        self.session.yield_op(self.tid, Op::Unlock { obj, site });
+    }
+
+    pub(crate) fn op_cv_wait(
+        &self,
+        cv: usize,
+        cv_site: &'static Location<'static>,
+        mutex: usize,
+        mutex_site: &'static Location<'static>,
+    ) {
+        self.session.yield_op(
+            self.tid,
+            Op::CvWait {
+                cv,
+                cv_site,
+                mutex,
+                mutex_site,
+            },
+        );
+    }
+
+    pub(crate) fn op_notify(&self, cv: usize, cv_site: &'static Location<'static>, all: bool) {
+        self.session
+            .yield_op(self.tid, Op::Notify { cv, cv_site, all });
+    }
+
+    pub(crate) fn op_atomic(
+        &self,
+        obj: usize,
+        kind: AtomicKind,
+        label: &'static str,
+        site: &'static Location<'static>,
+    ) {
+        self.session.yield_op(
+            self.tid,
+            Op::Atomic {
+                obj,
+                kind,
+                label,
+                site,
+            },
+        );
+    }
+
+    /// Frees a model mutex during a panic unwind without yielding: the
+    /// unwinding thread still owns the running slot, so no other thread
+    /// can be granted until it reaches its next yield or finishes.
+    pub(crate) fn release_during_unwind(&self, obj: usize) {
+        let mut st = self.session.lock_state();
+        if st.holders.get(&obj) == Some(&self.tid) {
+            st.holders.remove(&obj);
+        }
+        let tid = self.tid;
+        st.threads[tid].held.retain(|(o, _)| *o != obj);
+        let line = format!("{}: unlock during unwind", st.threads[tid].name);
+        push_trace(&mut st, line);
+    }
+
+    pub(crate) fn op_join(&self, target: Tid) {
+        self.session.yield_op(self.tid, Op::Join { target });
+    }
+
+    pub(crate) fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+}
+
+fn push_trace(st: &mut State, line: String) {
+    if st.trace.len() < TRACE_CAP {
+        st.trace.push(line);
+    }
+}
+
+impl Session {
+    /// A fresh session with the given scheduling mode and step bound.
+    pub(crate) fn new(mode: Mode, max_steps: u64) -> Arc<Session> {
+        Arc::new(Session {
+            state: StdMutex::new(State {
+                threads: Vec::new(),
+                holders: HashMap::new(),
+                waiters: HashMap::new(),
+                mode,
+                depth: 0,
+                choices: Vec::new(),
+                sleep: Vec::new(),
+                trace: Vec::new(),
+                steps: 0,
+                max_steps,
+                outcome: Outcome::Clean,
+                lock_edges: HashMap::new(),
+                done: false,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers a thread (state `Starting`); the scheduler stalls
+    /// until the thread reaches its `Begin` yield, so registration must
+    /// be followed by actually running [`run_thread`].
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut st = self.lock_state();
+        let name = format!("t{}", st.threads.len());
+        st.threads.push(ThreadRec {
+            name,
+            state: TState::Starting,
+            pending: None,
+            held: Vec::new(),
+            op_seq: 0,
+            granted: 0,
+            abort: false,
+        });
+        st.threads.len() - 1
+    }
+
+    /// Posts `op` as `tid`'s pending transition and blocks until the
+    /// scheduler grants it (or unwinds the thread on abort).
+    fn yield_op(&self, tid: Tid, op: Op) {
+        let mut st = self.lock_state();
+        if st.threads[tid].abort {
+            drop(st);
+            if std::thread::panicking() {
+                // Mid-unwind (a Drop guard doing instrumented work):
+                // starting a second panic would abort the process. The
+                // execution is being discarded anyway — skip the op.
+                return;
+            }
+            std::panic::resume_unwind(Box::new(AbortToken));
+        }
+        // Double-lock: detectable at post time (waiting would just
+        // report an opaque deadlock later).
+        if let Op::Lock { obj, site } = op {
+            if st.threads[tid].held.iter().any(|(o, _)| *o == obj) {
+                let message = format!(
+                    "double lock: thread '{}' re-acquired Mutex@{} it already holds",
+                    st.threads[tid].name,
+                    site_str(site),
+                );
+                let witness = witness_tail(&st, &[]);
+                self.raise(
+                    &mut st,
+                    Finding {
+                        kind: FindingKind::DoubleLock,
+                        message,
+                        witness,
+                    },
+                );
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                std::panic::resume_unwind(Box::new(AbortToken));
+            }
+        }
+        let rec = &mut st.threads[tid];
+        rec.pending = Some(op);
+        rec.state = TState::Ready;
+        rec.op_seq += 1;
+        let seq = rec.op_seq;
+        self.schedule(&mut st);
+        loop {
+            if st.threads[tid].abort {
+                drop(st);
+                if std::thread::panicking() {
+                    // See above: never panic out of an unwinding Drop.
+                    return;
+                }
+                std::panic::resume_unwind(Box::new(AbortToken));
+            }
+            if st.threads[tid].granted >= seq {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The scheduler: runs under the state lock whenever a thread
+    /// changes state, granting at most one thread before returning.
+    fn schedule(&self, st: &mut State) {
+        loop {
+            if !matches!(st.outcome, Outcome::Clean) {
+                return;
+            }
+            if st
+                .threads
+                .iter()
+                .any(|t| matches!(t.state, TState::Running | TState::Starting))
+            {
+                // Someone is executing model code (or racing to its
+                // first yield): no choice until the system quiesces.
+                return;
+            }
+            let live: Vec<Tid> = (0..st.threads.len())
+                .filter(|&t| st.threads[t].state != TState::Finished)
+                .collect();
+            if live.is_empty() {
+                st.done = true;
+                self.cv.notify_all();
+                return;
+            }
+            let enabled: Vec<Tid> = live
+                .iter()
+                .copied()
+                .filter(|&t| st.threads[t].state == TState::Ready && Self::is_enabled(st, t))
+                .collect();
+            if enabled.is_empty() {
+                self.report_stuck(st, &live);
+                return;
+            }
+            let Some(idx) = self.pick(st, &enabled) else {
+                // Every enabled thread is asleep: this schedule only
+                // permutes independent ops of one already explored.
+                st.outcome = Outcome::Pruned;
+                self.abort_all(st);
+                return;
+            };
+            if self.apply(st, enabled[idx]) {
+                self.cv.notify_all();
+                return;
+            }
+            // The op parked its thread (CvWait) — pick again.
+        }
+    }
+
+    /// Can `tid`'s pending op fire right now?
+    fn is_enabled(st: &State, tid: Tid) -> bool {
+        match st.threads[tid].pending {
+            Some(Op::Lock { obj, .. }) => !st.holders.contains_key(&obj),
+            Some(Op::Join { target }) => st.threads[target].state == TState::Finished,
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    /// Chooses an index into `enabled` per the session mode, recording
+    /// a choice point when there was a real alternative. `None` prunes.
+    fn pick(&self, st: &mut State, enabled: &[Tid]) -> Option<usize> {
+        let sleep0 = st.sleep.clone();
+        let non_sleeping: Vec<usize> = (0..enabled.len())
+            .filter(|&i| !sleep0.contains(&enabled[i]))
+            .collect();
+        let mut sleep_extra: Vec<Tid> = Vec::new();
+        let idx = match &mut st.mode {
+            Mode::Dfs { plan } => {
+                if st.depth < plan.len() && enabled.len() >= 2 {
+                    let step = &plan[st.depth];
+                    if step.expect != enabled || step.idx >= enabled.len() {
+                        let message = format!(
+                            "replay divergence at choice {}: expected enabled {:?}, got {:?} \
+                             (model behavior depends on something besides the schedule)",
+                            st.depth, step.expect, enabled,
+                        );
+                        let witness = witness_tail(st, &[]);
+                        self.raise(
+                            st,
+                            Finding {
+                                kind: FindingKind::ReplayDivergence,
+                                message,
+                                witness,
+                            },
+                        );
+                        return None;
+                    }
+                    sleep_extra.clone_from(&step.sleep_extra);
+                    step.idx
+                } else {
+                    *non_sleeping.first()?
+                }
+            }
+            Mode::Random { state } => {
+                if non_sleeping.is_empty() {
+                    return None;
+                }
+                let r = splitmix64(state) as usize;
+                non_sleeping[r % non_sleeping.len()]
+            }
+        };
+        if enabled.len() >= 2 {
+            st.choices.push(ChoiceRec {
+                enabled: enabled.to_vec(),
+                chosen: idx,
+                sleep0,
+            });
+            st.depth += 1;
+        }
+        // Descend: previously explored siblings join the sleep set, and
+        // anything dependent with the op about to execute is woken
+        // (handled in `apply`, which knows the op).
+        for t in sleep_extra {
+            if !st.sleep.contains(&t) {
+                st.sleep.push(t);
+            }
+        }
+        Some(idx)
+    }
+
+    /// Applies `tid`'s pending op. Returns `true` when the thread was
+    /// granted (resumes running), `false` when it parked (CvWait).
+    fn apply(&self, st: &mut State, tid: Tid) -> bool {
+        let Some(op) = st.threads[tid].pending.clone() else {
+            return false;
+        };
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let message = format!(
+                "step bound exceeded: {} transitions without termination (livelock, or raise \
+                 max_steps)",
+                st.max_steps,
+            );
+            let witness = witness_tail(st, &[]);
+            self.raise(
+                st,
+                Finding {
+                    kind: FindingKind::StepBound,
+                    message,
+                    witness,
+                },
+            );
+            return false;
+        }
+        let line = format!(
+            "{:>4}  {}: {}",
+            st.steps,
+            st.threads[tid].name,
+            op.describe()
+        );
+        push_trace(st, line);
+
+        // Sleep-set maintenance: executing an op wakes every sleeper
+        // whose pending op is dependent with it.
+        let sleep = std::mem::take(&mut st.sleep);
+        st.sleep = sleep
+            .into_iter()
+            .filter(|&s| {
+                s != tid
+                    && st.threads[s]
+                        .pending
+                        .as_ref()
+                        .is_some_and(|p| !p.dependent(&op))
+            })
+            .collect();
+
+        match op {
+            Op::Begin | Op::Atomic { .. } | Op::Join { .. } | Op::Unlock { .. } => {
+                if let Op::Unlock { obj, .. } = op {
+                    if st.holders.get(&obj) == Some(&tid) {
+                        st.holders.remove(&obj);
+                    }
+                    st.threads[tid].held.retain(|(o, _)| *o != obj);
+                }
+                if matches!(op, Op::Begin) {
+                    // A new thread changes future enabled sets in ways
+                    // the dependency relation can't see; be conservative.
+                    st.sleep.clear();
+                }
+                self.grant(st, tid)
+            }
+            Op::Lock { obj, site } => {
+                st.holders.insert(obj, tid);
+                let to = site_str(site);
+                for &(hobj, hsite) in &st.threads[tid].held {
+                    if hobj != obj {
+                        let from = site_str(hsite);
+                        let witness = format!(
+                            "thread '{}' acquired Mutex@{to} while holding Mutex@{from} (step {})",
+                            st.threads[tid].name, st.steps,
+                        );
+                        st.lock_edges.entry((from, to.clone())).or_insert(witness);
+                    }
+                }
+                st.threads[tid].held.push((obj, site));
+                self.grant(st, tid)
+            }
+            Op::CvWait {
+                cv,
+                mutex,
+                mutex_site,
+                ..
+            } => {
+                if st.holders.get(&mutex) == Some(&tid) {
+                    st.holders.remove(&mutex);
+                }
+                st.threads[tid].held.retain(|(o, _)| *o != mutex);
+                st.waiters
+                    .entry(cv)
+                    .or_default()
+                    .push((tid, mutex, mutex_site));
+                st.threads[tid].state = TState::BlockedCv;
+                st.threads[tid].pending = None;
+                false
+            }
+            Op::Notify { cv, all, .. } => {
+                let woken: Vec<(Tid, usize, &'static Location<'static>)> = {
+                    let queue = st.waiters.entry(cv).or_default();
+                    if all {
+                        std::mem::take(queue)
+                    } else if queue.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![queue.remove(0)]
+                    }
+                };
+                for (w, mutex, mutex_site) in woken {
+                    st.threads[w].state = TState::Ready;
+                    st.threads[w].pending = Some(Op::Lock {
+                        obj: mutex,
+                        site: mutex_site,
+                    });
+                }
+                // Wakeups change enabledness invisibly to the
+                // dependency relation; clear the sleep set.
+                st.sleep.clear();
+                self.grant(st, tid)
+            }
+        }
+    }
+
+    fn grant(&self, st: &mut State, tid: Tid) -> bool {
+        let rec = &mut st.threads[tid];
+        rec.pending = None;
+        rec.state = TState::Running;
+        rec.granted = rec.op_seq;
+        true
+    }
+
+    /// No enabled thread but live ones remain: deadlock or lost wakeup.
+    fn report_stuck(&self, st: &mut State, live: &[Tid]) {
+        let any_cv = live
+            .iter()
+            .any(|&t| st.threads[t].state == TState::BlockedCv);
+        let mut status = Vec::new();
+        for &t in live {
+            let rec = &st.threads[t];
+            let what = match rec.state {
+                TState::BlockedCv => "parked in Condvar::wait (nobody left to notify)".to_string(),
+                _ => rec
+                    .pending
+                    .as_ref()
+                    .map(|p| format!("blocked posting `{}`", p.describe()))
+                    .unwrap_or_else(|| "blocked".to_string()),
+            };
+            let held: Vec<String> = rec
+                .held
+                .iter()
+                .map(|(_, s)| format!("Mutex@{}", site_str(s)))
+                .collect();
+            status.push(format!(
+                "thread '{}': {what}; holds [{}]",
+                rec.name,
+                held.join(", ")
+            ));
+        }
+        let (kind, message) = if any_cv {
+            (
+                FindingKind::LostWakeup,
+                format!(
+                    "lost wakeup: {} live thread(s) stuck, at least one parked in \
+                     Condvar::wait with no live thread able to signal it",
+                    live.len()
+                ),
+            )
+        } else {
+            (
+                FindingKind::Deadlock,
+                format!(
+                    "deadlock: {} live thread(s) all blocked on lock acquisition or join",
+                    live.len()
+                ),
+            )
+        };
+        let witness = witness_tail(st, &status);
+        self.raise(
+            st,
+            Finding {
+                kind,
+                message,
+                witness,
+            },
+        );
+    }
+
+    /// Records the first finding and aborts the execution.
+    fn raise(&self, st: &mut State, finding: Finding) {
+        if matches!(st.outcome, Outcome::Clean) {
+            st.outcome = Outcome::Found(finding);
+        }
+        self.abort_all(st);
+    }
+
+    fn abort_all(&self, st: &mut State) {
+        for t in &mut st.threads {
+            if t.state != TState::Finished {
+                t.abort = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks `tid` finished, releases anything it still holds, and
+    /// reschedules.
+    fn finish_thread(&self, tid: Tid) {
+        let mut st = self.lock_state();
+        let held = std::mem::take(&mut st.threads[tid].held);
+        for (obj, _) in held {
+            if st.holders.get(&obj) == Some(&tid) {
+                st.holders.remove(&obj);
+            }
+        }
+        for queue in st.waiters.values_mut() {
+            queue.retain(|(w, _, _)| *w != tid);
+        }
+        st.threads[tid].state = TState::Finished;
+        st.threads[tid].pending = None;
+        // Join enabledness changed; conservatively wake all sleepers.
+        st.sleep.clear();
+        let line = format!("      {}: finished", st.threads[tid].name);
+        push_trace(&mut st, line);
+        self.schedule(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Records a genuine model panic (assertion failure) as a finding.
+    fn record_panic(&self, tid: Tid, message: String) {
+        let mut st = self.lock_state();
+        let message = format!(
+            "model panic in thread '{}': {message}",
+            st.threads[tid].name
+        );
+        let witness = witness_tail(&st, &[]);
+        self.raise(
+            &mut st,
+            Finding {
+                kind: FindingKind::ModelPanic,
+                message,
+                witness,
+            },
+        );
+    }
+
+    /// Blocks the driver until every registered thread has finished.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = self.lock_state();
+        loop {
+            if st.threads.iter().all(|t| t.state == TState::Finished) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Harvests the execution's results (driver-side, after
+    /// [`wait_all_finished`]).
+    pub(crate) fn take_results(&self) -> RunResult {
+        let mut st = self.lock_state();
+        let outcome = std::mem::replace(&mut st.outcome, Outcome::Clean);
+        let choices = std::mem::take(&mut st.choices);
+        let lock_edges = std::mem::take(&mut st.lock_edges)
+            .into_iter()
+            .map(|((from, to), w)| (from, to, w))
+            .collect();
+        RunResult {
+            outcome,
+            choices,
+            steps: st.steps,
+            lock_edges,
+        }
+    }
+}
+
+/// The last trace lines plus `extra` status lines — the witness
+/// attached to findings.
+fn witness_tail(st: &State, extra: &[String]) -> Vec<String> {
+    let start = st.trace.len().saturating_sub(WITNESS_TAIL);
+    let mut out: Vec<String> = st.trace[start..].to_vec();
+    out.extend_from_slice(extra);
+    out
+}
+
+/// Runs `body` as model thread `tid` of `session`: installs the thread
+/// context, passes the spawn barrier, converts panics (assertion
+/// failures → findings, [`AbortToken`] → silence), and always marks the
+/// thread finished.
+pub(crate) fn run_thread(session: &Arc<Session>, tid: Tid, body: impl FnOnce()) {
+    set_current(Some(Ctx {
+        session: Arc::clone(session),
+        tid,
+    }));
+    session.yield_op(tid, Op::Begin);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        if !payload.is::<AbortToken>() {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            session.record_panic(tid, message);
+        }
+    }
+    session.finish_thread(tid);
+    set_current(None);
+}
+
+/// Installs (once, process-wide) a panic hook that silences panics on
+/// model threads (named `sweep-mc-*`): fixture models panic by design
+/// on every buggy schedule, and the default hook would spray hundreds
+/// of backtraces over the report. All other threads keep the previous
+/// hook's behavior.
+pub(crate) fn install_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_model_thread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("sweep-mc-"));
+            if !on_model_thread {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Registers a new model thread for the *current* session (spawn path).
+pub(crate) fn register_child() -> Option<(Arc<Session>, Tid)> {
+    let ctx = current()?;
+    let tid = ctx.session.register_thread();
+    Some((Arc::clone(ctx.session()), tid))
+}
+
+/// Immediately finishes a registered thread that never ran (OS spawn
+/// failure) so the driver doesn't wait on it forever.
+pub(crate) fn finish_stillborn(session: &Arc<Session>, tid: Tid) {
+    session.finish_thread(tid);
+}

@@ -1,0 +1,409 @@
+//! The exploration driver: re-runs a model body under many schedules
+//! and aggregates what the scheduler saw.
+//!
+//! Two phases per [`explore`] call:
+//!
+//! 1. **Bounded exhaustive DFS** (stateless, CHESS-style): each
+//!    execution replays a prefix of scheduling choices and then runs
+//!    "first enabled" to completion; the recorded choice points form a
+//!    tree that is backtracked deepest-first. Sleep sets (Godefroid's
+//!    partial-order reduction) prune schedules that only commute
+//!    independent operations, which is what makes small models — a few
+//!    threads, tens of yield points — exhaustible in hundreds rather
+//!    than millions of executions. The phase stops at
+//!    [`Config::max_executions`], at the first finding, or when the
+//!    tree is exhausted (`complete = true`).
+//! 2. **Seeded random schedules**: [`Config::random_schedules`]
+//!    additional executions picking uniformly among enabled threads
+//!    with a SplitMix64 stream derived from [`Config::seed`] — the
+//!    long-tail supplement for models too large to exhaust.
+//!
+//! Independently of schedule findings, every execution's lock
+//! acquisitions feed a **lock-order graph** over lock *classes*
+//! (creation sites); cycles in the merged graph are reported as
+//! [`LockCycle`]s with one witness per edge even when no explored
+//! schedule happened to hit the deadlock itself.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::engine::{self, Mode, Outcome, PlanStep, RunResult, Session};
+
+/// Exploration limits and seeds.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Cap on DFS executions (exhaustion may finish far earlier;
+    /// hitting the cap leaves `complete = false`).
+    pub max_executions: u64,
+    /// Cap on scheduled transitions per execution; exceeding it is
+    /// reported as a [`FindingKind::StepBound`] finding (livelock, or a
+    /// model too big for the bound).
+    pub max_steps: u64,
+    /// Random executions appended after the DFS phase.
+    pub random_schedules: u64,
+    /// Master seed for the random phase (schedule `s` uses stream
+    /// `seed + s·φ64`).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_executions: 2000,
+            max_steps: 20_000,
+            random_schedules: 0,
+            seed: 0x5eed_0bad_c0ff_ee00,
+        }
+    }
+}
+
+/// Classification of a schedule finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Live threads all blocked on lock acquisition or join.
+    Deadlock,
+    /// A thread re-acquired a mutex it already holds.
+    DoubleLock,
+    /// Threads parked in `Condvar::wait` with nobody left to signal.
+    LostWakeup,
+    /// A cycle in the lock-order graph (synthesized from
+    /// [`LockCycle`]s by consumers; the engine reports actual deadlock
+    /// schedules as [`FindingKind::Deadlock`]).
+    LockOrderCycle,
+    /// The model body panicked (assertion failure — e.g. a
+    /// non-linearizable outcome check).
+    ModelPanic,
+    /// The execution exceeded [`Config::max_steps`].
+    StepBound,
+    /// Replaying a schedule prefix reproduced a different enabled set —
+    /// the model's behavior depends on something besides the schedule
+    /// (real time, ambient randomness, leaked state between runs).
+    ReplayDivergence,
+}
+
+impl FindingKind {
+    /// Short stable label (used in reports and the CLI).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FindingKind::Deadlock => "deadlock",
+            FindingKind::DoubleLock => "double-lock",
+            FindingKind::LostWakeup => "lost-wakeup",
+            FindingKind::LockOrderCycle => "lock-order-cycle",
+            FindingKind::ModelPanic => "model-panic",
+            FindingKind::StepBound => "step-bound",
+            FindingKind::ReplayDivergence => "replay-divergence",
+        }
+    }
+}
+
+/// A bug found by the checker, with the schedule tail that exhibits it.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// What class of bug.
+    pub kind: FindingKind,
+    /// One-line description.
+    pub message: String,
+    /// Witness: the trailing schedule trace plus per-thread status.
+    pub witness: Vec<String>,
+}
+
+/// One observed lock-order edge: "some thread acquired `to` while
+/// holding `from`" (classes are creation sites, `file:line:col`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock class held.
+    pub from: String,
+    /// Lock class acquired under it.
+    pub to: String,
+    /// First observed witness line for this edge.
+    pub witness: String,
+}
+
+/// A cycle in the merged lock-order graph — a potential deadlock even
+/// if no explored schedule realized it.
+#[derive(Clone, Debug)]
+pub struct LockCycle {
+    /// The classes along the cycle, smallest-first rotation,
+    /// `classes[i] → classes[(i+1) % n]`.
+    pub classes: Vec<String>,
+    /// One witness per edge of the cycle.
+    pub witnesses: Vec<String>,
+}
+
+/// Aggregated result of one [`explore`] call.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// The model name the caller supplied.
+    pub model: String,
+    /// Executions actually run (DFS + random).
+    pub executions: u64,
+    /// Total scheduled transitions across all executions.
+    pub steps: u64,
+    /// Whether the DFS phase exhausted the (sleep-set-reduced)
+    /// schedule tree.
+    pub complete: bool,
+    /// The first schedule finding, if any (exploration stops at it).
+    pub finding: Option<Finding>,
+    /// Every lock-order edge observed, sorted.
+    pub lock_edges: Vec<LockEdge>,
+    /// Cycles in the lock-order graph.
+    pub lock_cycles: Vec<LockCycle>,
+}
+
+impl ExploreReport {
+    /// True when the model failed the check (schedule finding or
+    /// lock-order cycle).
+    pub fn has_finding(&self) -> bool {
+        self.finding.is_some() || !self.lock_cycles.is_empty()
+    }
+}
+
+/// DFS bookkeeping for one recorded choice point.
+struct Node {
+    /// Enabled tids at this point.
+    enabled: Vec<usize>,
+    /// Sleep set on entry.
+    sleep0: Vec<usize>,
+    /// Indices into `enabled` explored so far, in order; the last one
+    /// is the current path's choice.
+    tried: Vec<usize>,
+}
+
+/// Runs `body` under many schedules and reports everything found.
+///
+/// `body` is invoked once per execution on a fresh model-check session;
+/// it typically builds the data structure under test, spawns
+/// [`thread`](crate::thread) workers, joins them, and asserts
+/// postconditions. It must be deterministic apart from scheduling
+/// (no wall-clock, no ambient randomness, no state leaked across
+/// calls), which the replay machinery verifies and reports as
+/// [`FindingKind::ReplayDivergence`] when violated.
+pub fn explore<F>(model: &str, cfg: &Config, body: F) -> ExploreReport
+where
+    F: Fn() + Send + Sync,
+{
+    engine::install_panic_hook();
+    let mut executions = 0u64;
+    let mut steps = 0u64;
+    let mut complete = false;
+    let mut finding: Option<Finding> = None;
+    let mut edges: HashMap<(String, String), String> = HashMap::new();
+
+    // Phase 1: bounded exhaustive DFS with sleep sets.
+    let mut stack: Vec<Node> = Vec::new();
+    let mut plan: Vec<PlanStep> = Vec::new();
+    while executions < cfg.max_executions {
+        let result = run_once(&body, Mode::Dfs { plan: plan.clone() }, cfg.max_steps);
+        executions += 1;
+        steps += result.steps;
+        merge_edges(&mut edges, result.lock_edges);
+        match result.outcome {
+            Outcome::Found(f) => {
+                finding = Some(f);
+                break;
+            }
+            Outcome::Clean | Outcome::Pruned => {}
+        }
+        // Choice points beyond the replayed prefix are new tree nodes.
+        for (d, c) in result.choices.iter().enumerate() {
+            if d >= stack.len() {
+                stack.push(Node {
+                    enabled: c.enabled.clone(),
+                    sleep0: c.sleep0.clone(),
+                    tried: vec![c.chosen],
+                });
+            }
+        }
+        match next_plan(&mut stack) {
+            Some(p) => plan = p,
+            None => {
+                complete = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: seeded random schedules (skipped once a bug is in hand).
+    if finding.is_none() {
+        for s in 0..cfg.random_schedules {
+            let state = cfg.seed.wrapping_add(s.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let result = run_once(&body, Mode::Random { state }, cfg.max_steps);
+            executions += 1;
+            steps += result.steps;
+            merge_edges(&mut edges, result.lock_edges);
+            if let Outcome::Found(f) = result.outcome {
+                finding = Some(f);
+                break;
+            }
+        }
+    }
+
+    let lock_cycles = find_cycles(&edges);
+    let mut lock_edges: Vec<LockEdge> = edges
+        .into_iter()
+        .map(|((from, to), witness)| LockEdge { from, to, witness })
+        .collect();
+    lock_edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+
+    ExploreReport {
+        model: model.to_string(),
+        executions,
+        steps,
+        complete,
+        finding,
+        lock_edges,
+        lock_cycles,
+    }
+}
+
+/// One execution: fresh session, root thread runs `body`, harvest.
+fn run_once<F>(body: &F, mode: Mode, max_steps: u64) -> RunResult
+where
+    F: Fn() + Send + Sync,
+{
+    let session = Session::new(mode, max_steps);
+    let tid = session.register_thread();
+    let sess = &session;
+    std::thread::scope(|scope| {
+        let spawned = std::thread::Builder::new()
+            .name(format!("sweep-mc-{tid}"))
+            .spawn_scoped(scope, move || {
+                engine::run_thread(sess, tid, body);
+            });
+        if spawned.is_err() {
+            engine::finish_stillborn(sess, tid);
+        }
+        // Scope exit joins the root; model-spawned children are real
+        // detached threads, so wait on the session, not the OS.
+    });
+    session.wait_all_finished();
+    session.take_results()
+}
+
+/// Keeps the first witness for each lock-order edge.
+fn merge_edges(into: &mut HashMap<(String, String), String>, edges: Vec<(String, String, String)>) {
+    for (from, to, witness) in edges {
+        into.entry((from, to)).or_insert(witness);
+    }
+}
+
+/// Advances the DFS: finds the deepest node with an untried,
+/// non-sleeping alternative, commits to it, and rebuilds the replay
+/// plan. `None` means the (reduced) schedule tree is exhausted.
+fn next_plan(stack: &mut Vec<Node>) -> Option<Vec<PlanStep>> {
+    loop {
+        let node = stack.last_mut()?;
+        let next = (0..node.enabled.len())
+            .find(|j| !node.tried.contains(j) && !node.sleep0.contains(&node.enabled[*j]));
+        if let Some(j) = next {
+            node.tried.push(j);
+            return Some(build_plan(stack));
+        }
+        stack.pop();
+    }
+}
+
+/// The replay plan for the stack's current path: at each node take its
+/// last tried index, putting earlier-tried siblings to sleep (the
+/// sleep-set backtracking rule).
+fn build_plan(stack: &[Node]) -> Vec<PlanStep> {
+    stack
+        .iter()
+        .map(|n| {
+            let idx = *n.tried.last().unwrap_or(&0);
+            let sleep_extra = n.tried[..n.tried.len().saturating_sub(1)]
+                .iter()
+                .map(|&t| n.enabled[t])
+                .collect();
+            PlanStep {
+                idx,
+                expect: n.enabled.clone(),
+                sleep_extra,
+            }
+        })
+        .collect()
+}
+
+/// Finds elementary cycles in the lock-order graph (tiny graphs: a
+/// handful of classes), deduplicated by rotation-normalized class
+/// sequence and capped defensively.
+fn find_cycles(edges: &HashMap<(String, String), String>) -> Vec<LockCycle> {
+    const MAX_CYCLES: usize = 8;
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    for targets in adj.values_mut() {
+        targets.sort_unstable();
+        targets.dedup();
+    }
+
+    let mut cycles: Vec<LockCycle> = Vec::new();
+    let mut seen: HashSet<Vec<String>> = HashSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        // DFS from `start` along the sorted adjacency, tracking the
+        // current path; an edge back into the path closes a cycle.
+        let mut path: Vec<&str> = vec![start];
+        let mut iters: Vec<usize> = vec![0];
+        while let Some(&node) = path.last() {
+            let targets = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            let i = *iters.last().unwrap_or(&0);
+            if i >= targets.len() {
+                path.pop();
+                iters.pop();
+                if let Some(last) = iters.last_mut() {
+                    *last += 1;
+                }
+                continue;
+            }
+            let next = targets[i];
+            if let Some(pos) = path.iter().position(|&p| p == next) {
+                // Cycle: path[pos..] -> next. Normalize rotation.
+                let cyc: Vec<String> = path[pos..].iter().map(|s| (*s).to_string()).collect();
+                let key = normalize(&cyc);
+                if seen.insert(key.clone()) && cycles.len() < MAX_CYCLES {
+                    let n = key.len();
+                    let witnesses = (0..n)
+                        .filter_map(|i| {
+                            edges
+                                .get(&(key[i].clone(), key[(i + 1) % n].clone()))
+                                .cloned()
+                        })
+                        .collect();
+                    cycles.push(LockCycle {
+                        classes: key,
+                        witnesses,
+                    });
+                }
+                if let Some(last) = iters.last_mut() {
+                    *last += 1;
+                }
+            } else if path.len() < 16 {
+                path.push(next);
+                iters.push(0);
+            } else if let Some(last) = iters.last_mut() {
+                *last += 1;
+            }
+        }
+        if cycles.len() >= MAX_CYCLES {
+            break;
+        }
+    }
+    cycles
+}
+
+/// Rotates a cycle so its lexicographically smallest class comes first.
+fn normalize(cycle: &[String]) -> Vec<String> {
+    let Some(min_pos) = cycle
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cmp(b.1))
+        .map(|(i, _)| i)
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min_pos..]);
+    out.extend_from_slice(&cycle[..min_pos]);
+    out
+}

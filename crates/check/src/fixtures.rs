@@ -1,0 +1,154 @@
+//! Intentionally buggy models — the checker's own regression suite.
+//!
+//! Each fixture seeds one bug class the checker must catch: an
+//! inverted lock order (deadlock + lock-order cycle), a
+//! check-then-wait consumer (lost wakeup), a single-flight leader that
+//! abandons its followers (liveness), and a peek/pop steal race
+//! (non-linearizable outcome, caught by an assertion). `sweep check
+//! --fixtures` runs them all and *fails* if any fixture comes back
+//! clean — a checker that stops seeing seeded bugs is broken.
+
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+use crate::thread;
+
+/// A named buggy model and the one-line description of its seeded bug.
+pub struct Fixture {
+    /// Model name (shows up in reports; "single-flight" in the name
+    /// routes liveness findings to SW027).
+    pub name: &'static str,
+    /// What bug is seeded and what the checker should report.
+    pub summary: &'static str,
+    /// The model body, run under [`explore`](crate::explore::explore).
+    pub body: fn(),
+}
+
+/// All fixtures, in documentation order.
+pub const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "fixture.inverted-locks",
+        summary: "AB-BA lock order: expect a deadlock schedule and a lock-order cycle",
+        body: inverted_locks,
+    },
+    Fixture {
+        name: "fixture.lost-wakeup",
+        summary: "check-then-wait without re-check: expect a lost-wakeup schedule",
+        body: lost_wakeup,
+    },
+    Fixture {
+        name: "fixture.single-flight-leak",
+        summary: "single-flight leader abandons followers: expect a liveness stall",
+        body: leaky_single_flight,
+    },
+    Fixture {
+        name: "fixture.buggy-deque",
+        summary: "peek/unlock/pop steal race: expect a non-linearizable outcome (model panic)",
+        body: buggy_deque,
+    },
+];
+
+fn ride<T>(r: std::sync::LockResult<T>) -> T {
+    r.unwrap_or_else(|p| p.into_inner())
+}
+
+/// Two mutexes acquired in opposite orders by two threads — the
+/// textbook AB-BA deadlock, and a cycle in the lock-order graph even
+/// on schedules that happen not to deadlock.
+pub fn inverted_locks() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let t = thread::spawn(move || {
+        let _gb = ride(b2.lock());
+        let _ga = ride(a2.lock());
+    });
+    {
+        let _ga = ride(a.lock());
+        let _gb = ride(b.lock());
+    }
+    let _ = t.join();
+}
+
+/// A consumer that checks the flag, *releases the lock*, and only then
+/// parks on the condvar without re-checking. The producer's notify can
+/// land in the window between check and park, where there is no waiter
+/// to receive it — the wakeup is lost and the consumer parks forever.
+pub fn lost_wakeup() {
+    let flag = Arc::new(Mutex::new(false));
+    let cv = Arc::new(Condvar::new());
+    let (f2, c2) = (Arc::clone(&flag), Arc::clone(&cv));
+    let producer = thread::spawn(move || {
+        *ride(f2.lock()) = true;
+        c2.notify_one();
+    });
+    // BUG: the check and the wait are two separate critical sections.
+    let ready = { *ride(flag.lock()) };
+    if !ready {
+        let g = ride(flag.lock());
+        // BUG: single wait, no `while !*g` predicate loop.
+        let _g = ride(cv.wait(g));
+    }
+    let _ = producer.join();
+}
+
+/// A single-flight cell whose leader claims the computation and then
+/// returns without ever publishing a result or waking anyone — the
+/// exact failure mode `sweep-serve`'s leader-panic guard exists to
+/// prevent. The follower wedges in its wait loop on every schedule.
+pub fn leaky_single_flight() {
+    struct Flight {
+        done: Mutex<Option<u32>>,
+        cv: Condvar,
+        claimed: Mutex<bool>,
+    }
+    let flight = Arc::new(Flight {
+        done: Mutex::new(None),
+        cv: Condvar::new(),
+        claimed: Mutex::new(false),
+    });
+    let f2 = Arc::clone(&flight);
+    let follower = thread::spawn(move || {
+        let mut done = ride(f2.done.lock());
+        while done.is_none() {
+            done = ride(f2.cv.wait(done));
+        }
+    });
+    // Leader: claims the flight…
+    *ride(flight.claimed.lock()) = true;
+    // …and "forgets" to publish + notify (no abandon guard). BUG.
+    let _ = follower.join();
+}
+
+/// A steal that peeks the victim's back slot, drops the lock, and then
+/// re-locks to pop "what it peeked" — while the owner may have popped
+/// that very task in the window. The outcome duplicates one task and
+/// loses another; the final assertion is the linearizability check.
+pub fn buggy_deque() {
+    use std::collections::VecDeque;
+    let deque = Arc::new(Mutex::new(VecDeque::from(vec![1u32, 2])));
+    let taken = Arc::new(Mutex::new(Vec::<u32>::new()));
+    let (d2, t2) = (Arc::clone(&deque), Arc::clone(&taken));
+    let stealer = thread::spawn(move || {
+        // Peek under the lock…
+        let peeked = { ride(d2.lock()).back().copied() };
+        // …BUG: lock released between peek and pop.
+        if let Some(task) = peeked {
+            let popped = ride(d2.lock()).pop_back();
+            // Records the *peeked* task while having popped whatever
+            // was at the back by now.
+            if popped.is_some() {
+                ride(t2.lock()).push(task);
+            }
+        }
+    });
+    if let Some(task) = ride(deque.lock()).pop_back() {
+        ride(taken.lock()).push(task);
+    }
+    let _ = stealer.join();
+    // Linearizability: every task executed exactly once.
+    let mut all = ride(taken.lock()).clone();
+    all.extend(ride(deque.lock()).iter().copied());
+    all.sort_unstable();
+    assert_eq!(all, vec![1, 2], "deque steal lost or duplicated a task");
+}

@@ -1,0 +1,64 @@
+//! # sweep-check
+//!
+//! Deterministic concurrency model checking for the workspace's
+//! concurrent subsystems (the `sweep-pool` work-stealing deques and the
+//! `sweep-serve` single-flight cache), in the style of CHESS / loom /
+//! shuttle — but dependency-free and `unsafe`-free, like everything
+//! else in this tree.
+//!
+//! The crate has two faces, switched by the **`model-check`** cargo
+//! feature:
+//!
+//! * **Feature off (the default, and what production builds use):**
+//!   [`sync`] is a literal re-export of `std::sync` types and
+//!   [`thread`] of `std::thread` — no wrapper structs, no extra state,
+//!   no runtime cost. Code "ported onto the shim" compiles to exactly
+//!   what it compiled to before.
+//!
+//! * **Feature on:** [`sync`] exposes wrapper types whose every
+//!   `lock`/`unlock`/`wait`/`notify`/atomic op is a *yield point*: the
+//!   op is posted to a per-model engine session that serializes all
+//!   threads and decides, at each step, which one runs next. The
+//!   `explore` driver re-runs a model body under many schedules —
+//!   bounded exhaustive DFS with sleep-set partial-order reduction for
+//!   small models, plus seeded random schedules for large ones — and
+//!   reports deadlocks, double-locks, lost wakeups, lock-order cycles
+//!   (with witness traces), and assertion failures (non-linearizable
+//!   outcomes surface as model panics).
+//!
+//! Threads that are *not* running inside a model session use the real
+//! `std::sync` behavior even when the feature is enabled, so enabling
+//! `model-check` (e.g. through cargo feature unification in a test
+//! build) never changes the semantics of ordinary code.
+//!
+//! ```
+//! // Compiles identically with and without the feature:
+//! use sweep_check::sync::Mutex;
+//! let m = Mutex::new(41);
+//! *m.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+//! ```
+//!
+//! The intentionally buggy models in `fixtures` (an inverted lock
+//! order, a wait-without-recheck consumer, a leaderless single-flight,
+//! a non-linearizable deque steal) prove the checker actually finds
+//! each bug class; `sweep check --fixtures` runs them from the CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod sync;
+
+#[cfg(feature = "model-check")]
+pub(crate) mod engine;
+
+#[cfg(feature = "model-check")]
+pub mod explore;
+
+pub mod thread;
+
+#[cfg(feature = "model-check")]
+pub mod fixtures;
+
+#[cfg(feature = "model-check")]
+pub use explore::{explore, Config, ExploreReport, Finding, FindingKind, LockCycle, LockEdge};

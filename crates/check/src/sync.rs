@@ -1,0 +1,361 @@
+//! The instrumented synchronization shim.
+//!
+//! Without the `model-check` feature this module is nothing but
+//! re-exports of `std::sync` — zero wrapper state, zero cost, type
+//! identity with std (asserted by a compile-time test). With the
+//! feature, the same names resolve to wrappers that post every
+//! operation to the model-check engine as a yield point — *when the
+//! calling thread is registered with a session*.
+//! Unregistered threads fall straight through to the real `std::sync`
+//! primitives, so feature unification can never change the behavior of
+//! ordinary code.
+
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+/// Atomic types (std re-exports without the feature, instrumented
+/// wrappers with it).
+#[cfg(not(feature = "model-check"))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(feature = "model-check")]
+pub use instrumented::{Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "model-check")]
+pub use std::sync::{LockResult, PoisonError};
+
+/// Atomic types (std re-exports without the feature, instrumented
+/// wrappers with it).
+#[cfg(feature = "model-check")]
+pub mod atomic {
+    pub use super::instrumented::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+#[cfg(feature = "model-check")]
+mod instrumented {
+    use std::ops::{Deref, DerefMut};
+    use std::panic::Location;
+    use std::sync::atomic::Ordering;
+    use std::sync::{LockResult, Mutex as StdMutex, PoisonError};
+
+    use crate::engine::{self, AtomicKind};
+
+    /// A mutex that yields to the model-check scheduler on lock and
+    /// unlock when the calling thread belongs to a session, and behaves
+    /// exactly like [`std::sync::Mutex`] otherwise.
+    pub struct Mutex<T> {
+        inner: StdMutex<T>,
+        site: &'static Location<'static>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex. The *call site* becomes the mutex's lock
+        /// class for lock-order analysis, so two mutexes created on
+        /// distinct source lines are distinct classes while every
+        /// element of a `vec![Mutex::new(..); n]`-style collection
+        /// shares one.
+        #[track_caller]
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: StdMutex::new(value),
+                site: Location::caller(),
+            }
+        }
+
+        /// The object identity used by the scheduler: the address of
+        /// the underlying mutex (stable for the lifetime of the model,
+        /// which keeps its mutexes pinned behind `Arc`s or struct
+        /// fields).
+        fn obj(&self) -> usize {
+            std::ptr::from_ref(&self.inner) as usize
+        }
+
+        /// Acquires the mutex, yielding to the scheduler first when
+        /// instrumented. Poisoning is mirrored from the inner mutex.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let model = if let Some(ctx) = engine::current() {
+                ctx.op_lock(self.obj(), self.site);
+                true
+            } else {
+                false
+            };
+            // Under a session the scheduler has certified the mutex
+            // free, so this acquire is uncontended; outside a session
+            // it blocks like any std lock.
+            let (inner, poisoned) = match self.inner.lock() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            let guard = MutexGuard {
+                lock: self,
+                inner: Some(inner),
+                model,
+            };
+            if poisoned {
+                Err(PoisonError::new(guard))
+            } else {
+                Ok(guard)
+            }
+        }
+    }
+
+    /// RAII guard mirroring [`std::sync::MutexGuard`]; dropping it
+    /// releases the real mutex first and then informs the scheduler.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        model: bool,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner
+                .as_deref()
+                .unwrap_or_else(|| unreachable!("guard accessed after release"))
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner
+                .as_deref_mut()
+                .unwrap_or_else(|| unreachable!("guard accessed after release"))
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the real mutex before telling the scheduler, so
+            // whoever is granted the lock next finds it free.
+            drop(self.inner.take());
+            if self.model {
+                if let Some(ctx) = engine::current() {
+                    if std::thread::panicking() {
+                        // Mid-unwind (assertion failure or abort): free
+                        // the model lock without yielding — this thread
+                        // still holds the "running" slot, so no other
+                        // thread is granted until it finishes or yields.
+                        ctx.release_during_unwind(self.lock.obj());
+                    } else {
+                        ctx.op_unlock(self.lock.obj(), self.lock.site);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A condition variable that models `wait` as an atomic
+    /// release-and-block transition in the scheduler, so lost wakeups
+    /// (notify with no waiter parked yet) are explored deterministically.
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+        site: &'static Location<'static>,
+    }
+
+    impl Condvar {
+        /// Creates a condvar; the call site names it in witness traces.
+        #[track_caller]
+        pub fn new() -> Condvar {
+            Condvar {
+                inner: std::sync::Condvar::new(),
+                site: Location::caller(),
+            }
+        }
+
+        fn obj(&self) -> usize {
+            std::ptr::from_ref(&self.inner) as usize
+        }
+
+        /// Blocks until notified, releasing `guard`'s mutex for the
+        /// duration and reacquiring it before returning — the std
+        /// contract, but scheduled as a single model transition.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let lock = guard.lock;
+            if guard.model {
+                if let Some(ctx) = engine::current() {
+                    // Release the real mutex, neutralize the guard's
+                    // Drop (the model transition takes over release +
+                    // reacquire bookkeeping), and park in the engine.
+                    drop(guard.inner.take());
+                    std::mem::forget(guard);
+                    ctx.op_cv_wait(self.obj(), self.site, lock.obj(), lock.site);
+                    // The scheduler has re-granted us the mutex.
+                    let (inner, poisoned) = match lock.inner.lock() {
+                        Ok(g) => (g, false),
+                        Err(p) => (p.into_inner(), true),
+                    };
+                    let g = MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: true,
+                    };
+                    return if poisoned {
+                        Err(PoisonError::new(g))
+                    } else {
+                        Ok(g)
+                    };
+                }
+            }
+            // Passthrough: delegate to the real condvar.
+            let std_guard = guard
+                .inner
+                .take()
+                .unwrap_or_else(|| unreachable!("guard accessed after release"));
+            std::mem::forget(guard);
+            let (inner, poisoned) = match self.inner.wait(std_guard) {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            let g = MutexGuard {
+                lock,
+                inner: Some(inner),
+                model: false,
+            };
+            if poisoned {
+                Err(PoisonError::new(g))
+            } else {
+                Ok(g)
+            }
+        }
+
+        /// Wakes one waiter (a scheduled transition under a session).
+        pub fn notify_one(&self) {
+            if let Some(ctx) = engine::current() {
+                ctx.op_notify(self.obj(), self.site, false);
+            } else {
+                self.inner.notify_one();
+            }
+        }
+
+        /// Wakes every waiter (a scheduled transition under a session).
+        pub fn notify_all(&self) {
+            if let Some(ctx) = engine::current() {
+                ctx.op_notify(self.obj(), self.site, true);
+            } else {
+                self.inner.notify_all();
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        #[track_caller]
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:path, $prim:ty, $label:literal) => {
+            /// Instrumented atomic: every access is a yield point under
+            /// a model session, a plain std atomic op otherwise. The
+            /// checker explores sequentially consistent interleavings
+            /// only (each access is a scheduled transition), regardless
+            /// of the `Ordering` argument.
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates the atomic (`const`, so statics keep working).
+                pub const fn new(value: $prim) -> $name {
+                    $name {
+                        inner: <$std>::new(value),
+                    }
+                }
+
+                fn obj(&self) -> usize {
+                    std::ptr::from_ref(&self.inner) as usize
+                }
+
+                /// Atomic load (a read transition under a session).
+                #[track_caller]
+                pub fn load(&self, order: Ordering) -> $prim {
+                    if let Some(ctx) = engine::current() {
+                        ctx.op_atomic(self.obj(), AtomicKind::Load, $label, Location::caller());
+                    }
+                    self.inner.load(order)
+                }
+
+                /// Atomic store (a write transition under a session).
+                #[track_caller]
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    if let Some(ctx) = engine::current() {
+                        ctx.op_atomic(self.obj(), AtomicKind::Store, $label, Location::caller());
+                    }
+                    self.inner.store(value, order);
+                }
+
+                /// Atomic swap (a read-modify-write transition).
+                #[track_caller]
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    if let Some(ctx) = engine::current() {
+                        ctx.op_atomic(self.obj(), AtomicKind::Rmw, $label, Location::caller());
+                    }
+                    self.inner.swap(value, order)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        "AtomicUsize"
+    );
+    instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64, "AtomicU64");
+    instrumented_atomic!(
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool,
+        "AtomicBool"
+    );
+
+    macro_rules! instrumented_fetch {
+        ($name:ident, $prim:ty, $label:literal) => {
+            impl $name {
+                /// Atomic add, returning the previous value (a
+                /// read-modify-write transition under a session).
+                #[track_caller]
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    if let Some(ctx) = engine::current() {
+                        ctx.op_atomic(self.obj(), AtomicKind::Rmw, $label, Location::caller());
+                    }
+                    self.inner.fetch_add(value, order)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                #[track_caller]
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    if let Some(ctx) = engine::current() {
+                        ctx.op_atomic(self.obj(), AtomicKind::Rmw, $label, Location::caller());
+                    }
+                    self.inner.fetch_sub(value, order)
+                }
+
+                /// Atomic compare-and-exchange (a read-modify-write
+                /// transition under a session).
+                #[track_caller]
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    if let Some(ctx) = engine::current() {
+                        ctx.op_atomic(self.obj(), AtomicKind::Rmw, $label, Location::caller());
+                    }
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    instrumented_fetch!(AtomicUsize, usize, "AtomicUsize");
+    instrumented_fetch!(AtomicU64, u64, "AtomicU64");
+}

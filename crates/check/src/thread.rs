@@ -1,0 +1,87 @@
+//! Thread spawning for model bodies.
+//!
+//! Without the `model-check` feature this is `std::thread`. With it,
+//! [`spawn`] registers the child with the calling thread's model
+//! session before the OS thread starts, so the scheduler treats the
+//! spawn as a barrier (no scheduling choice is made until the child
+//! reaches its first yield point) and every child op is explored like
+//! any other. Threads spawned *outside* a session fall through to
+//! plain `std::thread::spawn`.
+
+#[cfg(not(feature = "model-check"))]
+pub use std::thread::{spawn, JoinHandle};
+
+#[cfg(feature = "model-check")]
+pub use instrumented::{spawn, JoinHandle};
+
+#[cfg(feature = "model-check")]
+mod instrumented {
+    use crate::engine;
+
+    /// Handle to a spawned model thread (or plain thread, outside a
+    /// session). Mirrors the `std::thread::JoinHandle` surface the
+    /// workspace uses: `join`.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        /// Model thread id, when spawned under a session.
+        target: Option<usize>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish; under a session the join is
+        /// itself a scheduled transition (enabled only once the target
+        /// has finished), so join-dependent deadlocks are explored too.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let (Some(target), Some(ctx)) = (self.target, engine::current()) {
+                ctx.op_join(target);
+            }
+            self.inner.join()
+        }
+    }
+
+    /// Spawns a thread. Under a model session the child is registered
+    /// first and runs through the engine wrapper (context install,
+    /// spawn barrier, panic capture); otherwise this is
+    /// `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match engine::register_child() {
+            Some((session, tid)) => {
+                let child_session = std::sync::Arc::clone(&session);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("sweep-mc-{tid}"))
+                    .spawn(move || {
+                        let mut out: Option<T> = None;
+                        engine::run_thread(&child_session, tid, || {
+                            out = Some(f());
+                        });
+                        // `None` only on abort/panic, where join()
+                        // reports Err anyway before unwrapping.
+                        match out {
+                            Some(v) => v,
+                            None => std::panic::resume_unwind(Box::new(engine::AbortToken)),
+                        }
+                    });
+                match spawned {
+                    Ok(inner) => JoinHandle {
+                        inner,
+                        target: Some(tid),
+                    },
+                    Err(e) => {
+                        // The registered slot must still finish or the
+                        // driver would wait forever.
+                        engine::finish_stillborn(&session, tid);
+                        panic!("model thread spawn failed: {e}");
+                    }
+                }
+            }
+            None => JoinHandle {
+                inner: std::thread::spawn(f),
+                target: None,
+            },
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Model-check engine tests: every seeded fixture bug is found with
+//! the expected classification, correct models come back clean and
+//! complete, and the instrumented shim still passes through for
+//! threads outside a session.
+
+#![cfg(feature = "model-check")]
+#![allow(clippy::unwrap_used)]
+
+use std::sync::Arc;
+
+use sweep_check::sync::{Condvar, Mutex};
+use sweep_check::{explore, fixtures, Config, FindingKind};
+
+fn cfg() -> Config {
+    Config {
+        max_executions: 2000,
+        max_steps: 10_000,
+        random_schedules: 0,
+        ..Config::default()
+    }
+}
+
+fn ride<T>(r: std::sync::LockResult<T>) -> T {
+    r.unwrap_or_else(|p| p.into_inner())
+}
+
+// ---------------------------------------------------------------- clean models
+
+/// A correct two-thread counter: exhaustively explored, no findings.
+#[test]
+fn clean_counter_is_complete_and_finding_free() {
+    let report = explore("test.counter", &cfg(), || {
+        let n = Arc::new(Mutex::new(0u32));
+        let n2 = Arc::clone(&n);
+        let t = sweep_check::thread::spawn(move || {
+            *ride(n2.lock()) += 1;
+        });
+        *ride(n.lock()) += 1;
+        t.join().unwrap();
+        assert_eq!(*ride(n.lock()), 2);
+    });
+    assert!(report.complete, "small model should exhaust: {report:?}");
+    assert!(report.finding.is_none(), "unexpected: {:?}", report.finding);
+    assert!(report.lock_cycles.is_empty());
+    assert!(report.executions >= 2, "must explore >1 interleaving");
+}
+
+/// A correct condvar handoff (predicate re-checked in a loop under one
+/// critical section) never loses the wakeup.
+#[test]
+fn clean_condvar_handoff_has_no_lost_wakeup() {
+    let report = explore("test.handoff", &cfg(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = sweep_check::thread::spawn(move || {
+            *ride(pair2.0.lock()) = true;
+            pair2.1.notify_one();
+        });
+        let mut ready = ride(pair.0.lock());
+        while !*ready {
+            ready = ride(pair.1.wait(ready));
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+    assert!(report.complete, "handoff should exhaust: {report:?}");
+    assert!(report.finding.is_none(), "unexpected: {:?}", report.finding);
+}
+
+/// Consistent nesting (always a-then-b) produces edges but no cycle.
+#[test]
+fn consistent_lock_order_has_edges_but_no_cycle() {
+    let report = explore("test.nested", &cfg(), || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = sweep_check::thread::spawn(move || {
+            let _ga = ride(a2.lock());
+            let _gb = ride(b2.lock());
+        });
+        {
+            let _ga = ride(a.lock());
+            let _gb = ride(b.lock());
+        }
+        t.join().unwrap();
+    });
+    assert!(report.finding.is_none(), "unexpected: {:?}", report.finding);
+    assert!(!report.lock_edges.is_empty(), "nesting must record an edge");
+    assert!(report.lock_cycles.is_empty(), "consistent order, no cycle");
+}
+
+// ------------------------------------------------------------- seeded fixtures
+
+#[test]
+fn fixture_inverted_locks_deadlocks_with_cycle() {
+    let report = explore("fixture.inverted-locks", &cfg(), fixtures::inverted_locks);
+    let finding = report.finding.expect("AB-BA must deadlock");
+    assert_eq!(finding.kind, FindingKind::Deadlock, "{finding:?}");
+    assert!(!finding.witness.is_empty(), "finding must carry a witness");
+    assert!(
+        finding.witness.iter().any(|l| l.contains("lock Mutex@")),
+        "witness should show the lock steps: {:?}",
+        finding.witness
+    );
+    assert!(
+        !report.lock_cycles.is_empty(),
+        "AB-BA must also show up as a lock-order cycle"
+    );
+    let cycle = &report.lock_cycles[0];
+    assert_eq!(cycle.classes.len(), 2, "two classes in the cycle");
+    assert!(!cycle.witnesses.is_empty(), "cycle carries edge witnesses");
+}
+
+#[test]
+fn fixture_lost_wakeup_is_found() {
+    let report = explore("fixture.lost-wakeup", &cfg(), fixtures::lost_wakeup);
+    let finding = report.finding.expect("check-then-wait must lose a wakeup");
+    assert_eq!(finding.kind, FindingKind::LostWakeup, "{finding:?}");
+    assert!(
+        finding.witness.iter().any(|l| l.contains("Condvar::wait")),
+        "witness should name the parked thread: {:?}",
+        finding.witness
+    );
+}
+
+#[test]
+fn fixture_single_flight_leak_stalls() {
+    let report = explore(
+        "fixture.single-flight-leak",
+        &cfg(),
+        fixtures::leaky_single_flight,
+    );
+    let finding = report.finding.expect("abandoned follower must stall");
+    // The follower is parked on the flight condvar with no publisher
+    // left: classified as a lost wakeup; consumers map single-flight
+    // models to the SW027 liveness diagnostic.
+    assert_eq!(finding.kind, FindingKind::LostWakeup, "{finding:?}");
+}
+
+#[test]
+fn fixture_buggy_deque_is_non_linearizable() {
+    let report = explore("fixture.buggy-deque", &cfg(), fixtures::buggy_deque);
+    let finding = report.finding.expect("peek/pop race must trip the assert");
+    assert_eq!(finding.kind, FindingKind::ModelPanic, "{finding:?}");
+    assert!(
+        finding.message.contains("lost or duplicated"),
+        "panic message should surface the assertion: {}",
+        finding.message
+    );
+}
+
+/// The fixture registry stays in sync with the fixture functions and
+/// every registered fixture fails its check (a checker that stops
+/// seeing seeded bugs is broken).
+#[test]
+fn every_registered_fixture_fails() {
+    assert_eq!(fixtures::FIXTURES.len(), 4);
+    for fixture in fixtures::FIXTURES {
+        let report = explore(fixture.name, &cfg(), fixture.body);
+        assert!(
+            report.has_finding(),
+            "fixture {} came back clean: {report:?}",
+            fixture.name
+        );
+    }
+}
+
+// --------------------------------------------------------- double lock / bounds
+
+#[test]
+fn double_lock_is_reported_at_the_reacquire() {
+    let report = explore("test.double-lock", &cfg(), || {
+        let m = Arc::new(Mutex::new(0u32));
+        let _g1 = ride(m.lock());
+        let _g2 = ride(m.lock());
+    });
+    let finding = report.finding.expect("self-deadlock must be found");
+    assert_eq!(finding.kind, FindingKind::DoubleLock, "{finding:?}");
+}
+
+#[test]
+fn step_bound_catches_runaway_models() {
+    let tight = Config {
+        max_steps: 8,
+        ..cfg()
+    };
+    let report = explore("test.runaway", &tight, || {
+        let m = Arc::new(Mutex::new(0u32));
+        for _ in 0..100 {
+            *ride(m.lock()) += 1;
+        }
+    });
+    let finding = report.finding.expect("bound must trip");
+    assert_eq!(finding.kind, FindingKind::StepBound, "{finding:?}");
+}
+
+// ----------------------------------------------------------- random schedules
+
+/// Random mode also finds the deque race (seeded, deterministic).
+#[test]
+fn random_schedules_find_the_deque_race() {
+    let random_only = Config {
+        max_executions: 0,
+        random_schedules: 64,
+        seed: 7,
+        ..cfg()
+    };
+    let report = explore("fixture.buggy-deque", &random_only, fixtures::buggy_deque);
+    assert!(
+        report.finding.is_some(),
+        "64 random schedules should hit the race: {report:?}"
+    );
+}
+
+/// Same seed, same schedules: the exploration itself is deterministic.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        let report = explore("test.counter-det", &cfg(), || {
+            let n = Arc::new(Mutex::new(0u32));
+            let n2 = Arc::clone(&n);
+            let t = sweep_check::thread::spawn(move || {
+                *ride(n2.lock()) += 1;
+            });
+            *ride(n.lock()) += 1;
+            t.join().unwrap();
+        });
+        (report.executions, report.steps, report.complete)
+    };
+    assert_eq!(run(), run());
+}
+
+// ------------------------------------------------------------ passthrough path
+
+/// With the feature ON, threads outside any session still get real
+/// std::sync behavior from the instrumented types (feature unification
+/// cannot change production semantics).
+#[test]
+fn unregistered_threads_pass_through() {
+    let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+    let pair2 = Arc::clone(&pair);
+    let t = std::thread::spawn(move || {
+        *ride(pair2.0.lock()) = 5;
+        pair2.1.notify_all();
+    });
+    let mut v = ride(pair.0.lock());
+    while *v != 5 {
+        v = ride(pair.1.wait(v));
+    }
+    drop(v);
+    t.join().unwrap();
+    let a = sweep_check::sync::atomic::AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(2, std::sync::atomic::Ordering::SeqCst), 1);
+    assert_eq!(a.load(std::sync::atomic::Ordering::SeqCst), 3);
+}

@@ -22,6 +22,14 @@
 //!   content-addressed two-tier schedule cache behind `POST
 //!   /v1/schedule`, plus `/v1/presets`, `/metrics`, and `/healthz`.
 //!   Blocks until killed; see API.md for the wire protocol.
+//! * `check` — deterministic concurrency model checking (`sweep-check`):
+//!   explores interleavings of the pool's work-stealing deques and the
+//!   server's single-flight cache protocol under a controllable
+//!   scheduler, reporting deadlocks, lock-order cycles, lost wakeups,
+//!   and non-linearizable outcomes as SW023/SW025–SW027 diagnostics
+//!   (text/JSON/SARIF, exit 2 on findings). Requires building with
+//!   `--features model-check`; `--fixtures` runs the intentionally
+//!   buggy models instead, where a *clean* result is the failure.
 //!
 //! Every subcommand additionally understands the global `--telemetry
 //! <chrome|prom|text>` / `--telemetry-out <path>` flags: telemetry is
@@ -85,6 +93,9 @@ COMMANDS:
              [--format text|json] [--out FILE] [--curve FILE]
   serve      [--addr HOST:PORT] [--threads N] [--cache-mb MB]
              [--max-inflight N]    (HTTP scheduling service; see API.md)
+  check      [--fixtures] [--schedules N] [--max-executions N]
+             [--max-steps N] [--seed S] [--format text|json|sarif]
+             [--out FILE]    (needs a `--features model-check` build)
   help
 
 GLOBAL FLAGS (any command):
@@ -123,6 +134,17 @@ first are served without recomputation, bit-identical (certified by the
 SW024 analyzer). It sheds load with 429 + Retry-After past
 --max-inflight, and blocks until the process is killed. The wire
 protocol is documented in API.md.
+
+`check` model-checks the workspace's concurrent kernels — the pool's
+work-stealing deques and the server's single-flight schedule cache
+(including the leader-panic unwind path) — by bounded-exhaustive
+exploration with sleep-set partial-order reduction plus --schedules
+seeded random interleavings. Deadlocks and lock-order cycles report as
+SW025, lost wakeups as SW026, single-flight liveness violations as
+SW027, non-linearizable outcomes as SW023; any finding exits 2 with a
+witness schedule. The subcommand is compiled for real only under
+`cargo build --features model-check` (a plain build answers with a
+rebuild hint so production binaries pay zero instrumentation cost).
 ";
 
 /// Parses `--key value` pairs after the subcommand.
@@ -136,7 +158,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         // Boolean flags.
         if matches!(
             key,
-            "quality" | "gantt" | "delays" | "demo-cycle" | "async" | "par-check"
+            "quality" | "gantt" | "delays" | "demo-cycle" | "async" | "par-check" | "fixtures"
         ) {
             map.insert(key.to_string(), "true".to_string());
             continue;
@@ -272,6 +294,7 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
         "trace" => plain(cmd_trace(&flags)),
         "faults" => cmd_faults(&flags),
         "serve" => plain(cmd_serve(&flags)),
+        "check" => cmd_check(&flags),
         other => Err(format!("unknown command '{other}' (try `sweep help`)")),
     };
 
@@ -838,6 +861,152 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(String, i32), String>
     }
 }
 
+/// `check` — model-checks the pool's work-stealing deques and the
+/// server's single-flight cache under `sweep-check`'s controllable
+/// scheduler and renders the results on the SW0xx registry (exit 2 on
+/// any finding). With `--fixtures` it runs the intentionally buggy
+/// reference models instead: there a finding per fixture is the
+/// *expected* outcome (still exit 2 — the witness traces are the
+/// point), and a clean fixture is a hard error because it means the
+/// checker lost the ability to catch its own seeded bugs.
+#[cfg(feature = "model-check")]
+fn cmd_check(flags: &HashMap<String, String>) -> Result<(String, i32), String> {
+    use sweep_analyze::{ConcurrencyFinding, ConcurrencyFindingKind, ModelCheckRun};
+    use sweep_check::{explore, Config, ExploreReport, FindingKind};
+
+    /// Flattens an exploration into the analyzer's plain-data shape:
+    /// the schedule finding (if any) plus one finding per lock-order
+    /// cycle. Lost wakeups in single-flight models are the protocol's
+    /// liveness violation (SW027 rather than SW026); replay divergence
+    /// is model nondeterminism, the same defect class as SW023.
+    fn to_run(r: &ExploreReport) -> ModelCheckRun {
+        let single_flight = r.model.contains("single-flight");
+        let mut findings = Vec::new();
+        if let Some(f) = &r.finding {
+            let kind = match f.kind {
+                FindingKind::Deadlock => ConcurrencyFindingKind::Deadlock,
+                FindingKind::DoubleLock => ConcurrencyFindingKind::DoubleLock,
+                FindingKind::LostWakeup if single_flight => {
+                    ConcurrencyFindingKind::SingleFlightStall
+                }
+                FindingKind::LostWakeup => ConcurrencyFindingKind::LostWakeup,
+                FindingKind::LockOrderCycle => ConcurrencyFindingKind::LockOrderCycle,
+                FindingKind::ModelPanic | FindingKind::ReplayDivergence => {
+                    ConcurrencyFindingKind::NonLinearizable
+                }
+                FindingKind::StepBound => ConcurrencyFindingKind::StepBound,
+            };
+            // The engine's message already names the finding class
+            // (`FindingKind::as_str` is for programmatic consumers).
+            findings.push(ConcurrencyFinding {
+                kind,
+                message: f.message.clone(),
+                witness: f.witness.clone(),
+            });
+        }
+        for cycle in &r.lock_cycles {
+            findings.push(ConcurrencyFinding {
+                kind: ConcurrencyFindingKind::LockOrderCycle,
+                message: format!("lock-order cycle: {}", cycle.classes.join(" -> ")),
+                witness: cycle.witnesses.clone(),
+            });
+        }
+        ModelCheckRun {
+            model: r.model.clone(),
+            executions: r.executions,
+            steps: r.steps,
+            complete: r.complete,
+            findings,
+        }
+    }
+
+    let defaults = Config::default();
+    let cfg = Config {
+        max_executions: get(flags, "max-executions", defaults.max_executions)?,
+        max_steps: get(flags, "max-steps", defaults.max_steps)?,
+        random_schedules: get(flags, "schedules", 64)?,
+        seed: get(flags, "seed", defaults.seed)?,
+    };
+
+    let fixtures = flags.contains_key("fixtures");
+    let explorations: Vec<ExploreReport> = if fixtures {
+        sweep_check::fixtures::FIXTURES
+            .iter()
+            .map(|f| explore(f.name, &cfg, f.body))
+            .collect()
+    } else {
+        // The production kernels, run exactly as shipped — the models
+        // in `sweep_pool::model` / `sweep_serve::model` call the same
+        // deque and single-flight code the pool and server use.
+        let models: [(&str, fn()); 4] = [
+            ("pool.deque.drain", sweep_pool::model::drain_exactly_once),
+            (
+                "pool.deque.contended",
+                sweep_pool::model::contended_single_task,
+            ),
+            (
+                "serve.single-flight.coalesce",
+                sweep_serve::model::single_flight_coalesce,
+            ),
+            (
+                "serve.single-flight.leader-panic",
+                sweep_serve::model::single_flight_leader_panic,
+            ),
+        ];
+        models
+            .into_iter()
+            .map(|(name, body)| explore(name, &cfg, body))
+            .collect()
+    };
+
+    if fixtures {
+        if let Some(clean) = explorations.iter().find(|r| !r.has_finding()) {
+            return Err(format!(
+                "fixture '{}' came back clean after {} execution(s) — the checker \
+                 failed to catch its own seeded bug",
+                clean.model, clean.executions,
+            ));
+        }
+    }
+
+    let runs: Vec<ModelCheckRun> = explorations.iter().map(to_run).collect();
+    let report = sweep_analyze::analyze_model_checks(&runs);
+    let rendered = match flags.get("format").map(String::as_str).unwrap_or("text") {
+        "text" => report.render_text(),
+        "json" => report.render_json(),
+        "sarif" => report.render_sarif(),
+        other => return Err(format!("unknown format '{other}' (text|json|sarif)")),
+    };
+    let status = if report.has_errors() { 2 } else { 0 };
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+        Ok((
+            format!(
+                "wrote {path} ({} bytes); {} diagnostic(s), {} error(s)\n",
+                rendered.len(),
+                report.len(),
+                report.count(sweep_analyze::Severity::Error),
+            ),
+            status,
+        ))
+    } else {
+        Ok((rendered, status))
+    }
+}
+
+/// Without the `model-check` feature there is nothing to drive — the
+/// sync shim compiles straight to `std::sync` re-exports — so the
+/// subcommand only explains how to get the instrumented build.
+#[cfg(not(feature = "model-check"))]
+fn cmd_check(flags: &HashMap<String, String>) -> Result<(String, i32), String> {
+    let _ = flags;
+    Err("`sweep check` needs the instrumented build: rerun as \
+         `cargo run -p sweep-cli --features model-check -- check` \
+         (plain builds compile the sync shim straight to std::sync, \
+         so there is no scheduler to drive)"
+        .to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -871,6 +1040,88 @@ mod tests {
         assert!(run(&args(&["serve", "--addr", "not-an-address"]))
             .unwrap_err()
             .contains("bind"));
+    }
+
+    #[test]
+    fn check_is_in_help() {
+        assert!(HELP.contains("check      [--fixtures]"));
+        assert!(HELP.contains("--features model-check"));
+    }
+
+    #[cfg(not(feature = "model-check"))]
+    #[test]
+    fn check_without_the_feature_explains_the_rebuild() {
+        let err = run(&args(&["check"])).unwrap_err();
+        assert!(err.contains("--features model-check"), "{err}");
+    }
+
+    #[cfg(feature = "model-check")]
+    mod check_cmd {
+        use super::*;
+
+        #[test]
+        fn check_passes_on_the_production_kernels() {
+            let (out, status) = run_with_status(&args(&[
+                "check",
+                "--schedules",
+                "8",
+                "--max-executions",
+                "50000",
+            ]))
+            .unwrap();
+            assert_eq!(status, 0, "{out}");
+            for model in [
+                "pool.deque.drain",
+                "pool.deque.contended",
+                "serve.single-flight.coalesce",
+                "serve.single-flight.leader-panic",
+            ] {
+                assert!(out.contains(model), "missing {model} in:\n{out}");
+            }
+            assert!(out.contains("clean"), "{out}");
+            assert!(out.contains("state space exhausted"), "{out}");
+        }
+
+        #[test]
+        fn check_fixtures_hit_every_registry_code_and_exit_2() {
+            let (out, status) =
+                run_with_status(&args(&["check", "--fixtures", "--schedules", "0"])).unwrap();
+            assert_eq!(status, 2, "{out}");
+            // One seeded bug per code: deadlock (SW025), lost wakeup
+            // (SW026), single-flight stall (SW027), non-linearizable
+            // deque (SW023) — each with its witness schedule.
+            for code in ["SW025", "SW026", "SW027", "SW023"] {
+                assert!(out.contains(code), "missing {code} in:\n{out}");
+            }
+            assert!(out.contains("witness:"), "{out}");
+            assert!(out.contains("lock-order cycle:"), "{out}");
+        }
+
+        #[test]
+        fn check_renders_sarif_and_json() {
+            let (sarif, status) = run_with_status(&args(&[
+                "check",
+                "--fixtures",
+                "--schedules",
+                "0",
+                "--format",
+                "sarif",
+            ]))
+            .unwrap();
+            assert_eq!(status, 2);
+            assert!(sarif.contains("SW027"), "{sarif}");
+            let (json, status) = run_with_status(&args(&[
+                "check",
+                "--fixtures",
+                "--schedules",
+                "0",
+                "--format",
+                "json",
+            ]))
+            .unwrap();
+            assert_eq!(status, 2);
+            assert!(json.contains("SW026"), "{json}");
+        }
     }
 
     #[test]

@@ -50,9 +50,7 @@ pub fn from_text(text: &str) -> Result<SweepInstance, String> {
 /// Parses the fixed document prefix (format header, `name`, `cells`,
 /// `directions`) and returns the line iterator positioned at the first
 /// `dag` header.
-fn parse_prefix(
-    text: &str,
-) -> Result<(String, usize, usize, impl Iterator<Item = &str>), String> {
+fn parse_prefix(text: &str) -> Result<(String, usize, usize, impl Iterator<Item = &str>), String> {
     let mut lines = text
         .lines()
         .map(str::trim)
@@ -158,6 +156,72 @@ mod tests {
         let text = "sweep-instance v1\nname big\ncells 1000000000\ndirections 1000\n";
         assert_eq!(peek_counts(text).unwrap(), (1_000_000_000, 1000));
         assert!(peek_counts("nonsense").is_err());
+    }
+
+    #[test]
+    fn peek_counts_rejects_truncated_headers() {
+        // Truncation at every byte offset (the document is ASCII):
+        // anything short of the full prefix is an `Err`, never a panic
+        // or a fabricated count.
+        let doc = "sweep-instance v1\nname t\ncells 4\ndirections 2\n";
+        for end in 0..doc.len() - 1 {
+            assert!(
+                peek_counts(&doc[..end]).is_err(),
+                "truncation at byte {end} was accepted"
+            );
+        }
+        assert_eq!(peek_counts(doc).unwrap(), (4, 2));
+    }
+
+    #[test]
+    fn peek_counts_on_overflowing_and_garbage_counts() {
+        // Counts that would overflow a naive `cells × directions`
+        // prediction still peek: bounding is the caller's contract
+        // (`check_task_budget` in sweep-serve), and it must saturate
+        // rather than multiply blindly.
+        let huge = format!(
+            "sweep-instance v1\nname h\ncells {max}\ndirections {max}\n",
+            max = usize::MAX
+        );
+        let (n, k) = peek_counts(&huge).unwrap();
+        assert_eq!((n, k), (usize::MAX, usize::MAX));
+        assert_eq!(n.saturating_mul(k), usize::MAX);
+
+        // Values that do not fit a usize at all are rejected, not
+        // wrapped into something small enough to pass a budget check.
+        let oversize = format!(
+            "sweep-instance v1\nname o\ncells {}0\ndirections 1\n",
+            usize::MAX
+        );
+        assert!(peek_counts(&oversize).is_err());
+
+        // Garbage numerics: non-digits and negatives never parse.
+        for bad in ["lots", "-3", "4.5", "0x10", ""] {
+            let doc = format!("sweep-instance v1\nname g\ncells {bad}\ndirections 2\n");
+            assert!(peek_counts(&doc).is_err(), "cells '{bad}' was accepted");
+        }
+    }
+
+    #[test]
+    fn peek_counts_and_parse_on_zero_task_bodies() {
+        // `cells 0` is representable (an empty mesh): it peeks to a
+        // zero task budget and the full parser accepts the matching
+        // empty per-direction DAG bodies.
+        let empty = "sweep-instance v1\nname e\ncells 0\ndirections 2\n\
+                     dag 0 edges 0\ndag 1 edges 0\nend\n";
+        assert_eq!(peek_counts(empty).unwrap(), (0, 2));
+        let inst = from_text(empty).unwrap();
+        assert_eq!(inst.num_cells(), 0);
+        assert_eq!(inst.num_tasks(), 0);
+
+        // `directions 0` never peeks — the shared prefix parser rejects
+        // it before any caller can divide or iterate by it.
+        assert!(peek_counts("sweep-instance v1\nname z\ncells 5\ndirections 0\n").is_err());
+
+        // A zero-cell body still cannot smuggle in edges.
+        let bogus = "sweep-instance v1\nname b\ncells 0\ndirections 1\n\
+                     dag 0 edges 1\n0 1\nend\n";
+        assert!(from_text(bogus).is_err());
     }
 
     #[test]

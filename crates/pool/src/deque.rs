@@ -1,0 +1,66 @@
+//! The pool's work-stealing deques, extracted as a standalone type so
+//! the model checker (`sweep-check`) can explore their interleavings
+//! directly.
+//!
+//! The synchronization primitives come from `sweep_check::sync`: in
+//! normal builds that is a literal re-export of `std::sync` (zero
+//! cost), while under the `model-check` feature every lock/unlock is a
+//! scheduler yield point. The stealing discipline is unchanged from
+//! the original inline implementation: owners pop their own deque from
+//! the **front**, thieves pop a victim's from the **back**, so the two
+//! only contend when a deque is nearly empty.
+
+use std::collections::VecDeque;
+
+use sweep_check::sync::Mutex;
+
+/// One `Mutex<VecDeque<usize>>` per worker over a chunked index space.
+pub struct StealDeques {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealDeques {
+    /// Deques for `workers` workers (at least 1), seeded with
+    /// contiguous chunks of `0..n` so owners sweep cache-adjacent work
+    /// and thieves take from the far end of somebody else's chunk.
+    pub fn chunked(n: usize, workers: usize) -> StealDeques {
+        let workers = workers.max(1);
+        StealDeques {
+            deques: (0..workers)
+                .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
+                .collect(),
+        }
+    }
+
+    /// The number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// The next index for worker `me`: its own deque's front, or —
+    /// once that is empty — the back of another worker's deque,
+    /// round-robin starting at the next worker. Returns the index and
+    /// whether it was stolen; `None` means every deque was empty at
+    /// the moment it was inspected (no task spawns further tasks, so
+    /// an empty sweep means the index space is exhausted).
+    pub fn next_task(&self, me: usize) -> Option<(usize, bool)> {
+        if let Some(i) = with_deque(&self.deques[me], VecDeque::pop_front) {
+            return Some((i, false));
+        }
+        let workers = self.deques.len();
+        (1..workers).find_map(|hop| {
+            with_deque(&self.deques[(me + hop) % workers], VecDeque::pop_back).map(|i| (i, true))
+        })
+    }
+}
+
+/// Locks a deque, riding through poison: a panicked worker can leave
+/// the mutex poisoned, but a `VecDeque<usize>` has no invariant a
+/// panic could break, and the panic itself is re-raised by the scope.
+fn with_deque<R>(m: &Mutex<VecDeque<usize>>, f: impl FnOnce(&mut VecDeque<usize>) -> R) -> R {
+    let mut guard = match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}

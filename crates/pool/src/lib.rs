@@ -39,12 +39,17 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::mpsc;
 use std::thread;
 
+use sweep_check::sync::atomic::{AtomicUsize, Ordering};
 use sweep_telemetry as telemetry;
+
+pub mod deque;
+#[cfg(feature = "model-check")]
+pub mod model;
+
+pub use deque::StealDeques;
 
 /// Requested global worker count; `0` means "not set, use the machine".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -159,11 +164,9 @@ impl ThreadPool {
         }
 
         // One deque per worker, seeded with a contiguous chunk of the
-        // index space so owners sweep cache-adjacent work and thieves
-        // take from the far end of somebody else's chunk.
-        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
-            .collect();
+        // index space (see `deque::StealDeques` for the discipline —
+        // and for how the model checker explores it).
+        let deques = StealDeques::chunked(n, workers);
 
         let (tx, rx) = mpsc::channel::<Batch<R>>();
         thread::scope(|scope| {
@@ -208,40 +211,19 @@ struct Batch<R> {
     results: Vec<(usize, R)>,
 }
 
-/// Locks a deque, riding through poison: a panicked worker can leave
-/// the mutex poisoned, but a `VecDeque<usize>` has no invariant a
-/// panic could break, and the panic itself is re-raised by the scope.
-fn with_deque<R>(m: &Mutex<VecDeque<usize>>, f: impl FnOnce(&mut VecDeque<usize>) -> R) -> R {
-    let mut guard = match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    f(&mut guard)
-}
-
 /// Worker loop: drain own deque from the front, then steal from the
-/// back of the others, round-robin starting at the next worker. Exits
-/// when every deque is empty — no task spawns further tasks, so an
-/// empty sweep means the index space is exhausted.
-fn drain_deques<R, F>(me: usize, deques: &[Mutex<VecDeque<usize>>], f: &F) -> Batch<R>
+/// back of the others (see [`StealDeques::next_task`]). Exits when
+/// every deque is empty — no task spawns further tasks, so an empty
+/// sweep means the index space is exhausted.
+fn drain_deques<R, F>(me: usize, deques: &StealDeques, f: &F) -> Batch<R>
 where
     F: Fn(usize) -> R,
 {
-    let workers = deques.len();
     let mut results = Vec::new();
     let mut steals = 0u64;
-    loop {
-        let next = with_deque(&deques[me], VecDeque::pop_front).or_else(|| {
-            (1..workers).find_map(|hop| {
-                let stolen = with_deque(&deques[(me + hop) % workers], VecDeque::pop_back);
-                steals += stolen.is_some() as u64;
-                stolen
-            })
-        });
-        match next {
-            Some(i) => results.push((i, f(i))),
-            None => break,
-        }
+    while let Some((i, stolen)) = deques.next_task(me) {
+        steals += u64::from(stolen);
+        results.push((i, f(i)));
     }
     telemetry::counter_add("pool.tasks", results.len() as u64);
     if steals > 0 {

@@ -26,8 +26,13 @@
 //! during the unwind, so waiters never wedge on a dead leader.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
+// In normal builds these ARE `std::sync::{Condvar, Mutex}` (zero-cost
+// re-exports); under the `model-check` feature every lock/wait/notify
+// becomes a scheduler yield point, which is how `crate::model` explores
+// the single-flight protocol's interleavings.
+use sweep_check::sync::{Condvar, Mutex};
 use sweep_core::Schedule;
 use sweep_dag::SweepInstance;
 use sweep_telemetry as telemetry;
@@ -121,30 +126,33 @@ impl<V> Lru<V> {
 
 /// A single-flight slot: the leader computes, waiters block on the
 /// condvar until `done` holds the shared result.
-struct Flight<V> {
+pub(crate) struct Flight<V> {
     done: Mutex<Option<Result<V, String>>>,
     cv: Condvar,
 }
 
 /// Outcome of claiming a flight: either this caller leads, or it waits.
-enum Claim<V> {
+pub(crate) enum Claim<V> {
+    /// This caller computes and publishes.
     Leader(Arc<Flight<V>>),
+    /// Another caller is computing; wait for its result.
     Follower(Arc<Flight<V>>),
 }
 
-/// Keyed single-flight table.
-struct SingleFlight<V> {
+/// Keyed single-flight table (crate-visible so `crate::model` can run
+/// the protocol under the model checker).
+pub(crate) struct SingleFlight<V> {
     inflight: Mutex<HashMap<u64, Arc<Flight<V>>>>,
 }
 
 impl<V: Clone> SingleFlight<V> {
-    fn new() -> SingleFlight<V> {
+    pub(crate) fn new() -> SingleFlight<V> {
         SingleFlight {
             inflight: Mutex::new(HashMap::new()),
         }
     }
 
-    fn claim(&self, key: u64) -> Claim<V> {
+    pub(crate) fn claim(&self, key: u64) -> Claim<V> {
         let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(f) = map.get(&key) {
             Claim::Follower(Arc::clone(f))
@@ -158,7 +166,7 @@ impl<V: Clone> SingleFlight<V> {
         }
     }
 
-    fn publish(&self, key: u64, flight: &Arc<Flight<V>>, result: Result<V, String>) {
+    pub(crate) fn publish(&self, key: u64, flight: &Arc<Flight<V>>, result: Result<V, String>) {
         {
             let mut done = flight.done.lock().unwrap_or_else(|p| p.into_inner());
             *done = Some(result);
@@ -175,7 +183,7 @@ impl<V: Clone> SingleFlight<V> {
     /// an `Err` and clears the flight *during* the unwind, so every
     /// current and future waiter unblocks instead of wedging forever
     /// on a result that will never arrive.
-    fn lead(
+    pub(crate) fn lead(
         &self,
         key: u64,
         flight: &Arc<Flight<V>>,
@@ -206,7 +214,7 @@ impl<V: Clone> SingleFlight<V> {
         result
     }
 
-    fn wait(&self, flight: &Arc<Flight<V>>) -> Result<V, String> {
+    pub(crate) fn wait(&self, flight: &Arc<Flight<V>>) -> Result<V, String> {
         let mut done = flight.done.lock().unwrap_or_else(|p| p.into_inner());
         while done.is_none() {
             done = flight.cv.wait(done).unwrap_or_else(|p| p.into_inner());

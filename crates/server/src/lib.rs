@@ -45,6 +45,8 @@
 pub mod cache;
 pub mod digest;
 pub mod http;
+#[cfg(feature = "model-check")]
+pub mod model;
 pub mod server;
 pub mod service;
 
