@@ -31,6 +31,7 @@
 //! | SW025 | error | lock-order cycle or deadlocking schedule found by the model checker |
 //! | SW026 | error | lost wakeup: a schedule parks a thread no one can ever notify |
 //! | SW027 | error | single-flight liveness: a waiter can wedge on an abandoned leader |
+//! | SW028 | error | malformed request trace tree (unclosed span, dangling parent, bad coalesce ref) |
 
 use std::fmt;
 
@@ -96,6 +97,7 @@ pub enum Code {
     LockOrderCycle,
     LostWakeup,
     SingleFlightLiveness,
+    TraceTreeMalformed,
 }
 
 impl Code {
@@ -126,6 +128,7 @@ impl Code {
             Code::LockOrderCycle => "SW025",
             Code::LostWakeup => "SW026",
             Code::SingleFlightLiveness => "SW027",
+            Code::TraceTreeMalformed => "SW028",
         }
     }
 
@@ -164,6 +167,9 @@ impl Code {
             Code::SingleFlightLiveness => {
                 "single-flight liveness: a waiter can wedge on an abandoned leader"
             }
+            Code::TraceTreeMalformed => {
+                "malformed request trace tree (unclosed span, dangling parent, bad coalesce ref)"
+            }
         }
     }
 
@@ -183,7 +189,8 @@ impl Code {
             | Code::CacheDivergence
             | Code::LockOrderCycle
             | Code::LostWakeup
-            | Code::SingleFlightLiveness => Severity::Error,
+            | Code::SingleFlightLiveness
+            | Code::TraceTreeMalformed => Severity::Error,
             Code::EmptyProcessor
             | Code::LoadImbalance
             | Code::UnreachableCell

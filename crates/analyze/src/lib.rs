@@ -56,6 +56,7 @@ mod instance;
 mod parallel;
 mod schedule;
 mod trace_integrity;
+mod tracetree;
 
 pub use assignment::{analyze_assignment, analyze_assignment_with};
 pub use cache_identity::{analyze_cache_identity, CacheIdentityMeta};
@@ -71,6 +72,7 @@ pub use schedule::{
     RawSchedule,
 };
 pub use trace_integrity::analyze_trace_integrity;
+pub use tracetree::{analyze_trace_trees, RequestTraceData, TraceSpanData};
 
 /// Tunable thresholds for the warning-level checks.
 #[derive(Debug, Clone, Copy, PartialEq)]

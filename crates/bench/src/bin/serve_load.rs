@@ -8,6 +8,13 @@
 //! cargo run --release -p sweep-bench --bin serve_load -- --scale 0.01
 //! ```
 //!
+//! The trace runs **twice**: once with request tracing sampled out
+//! (`trace_sample_every = 0`, the baseline) and once fully traced — the
+//! throughput delta is the measured cost of the observability layer and
+//! the traced run's slow-request exemplars are (a) certified well-formed
+//! through the SW028 analyzer and (b) exported as a Chrome trace
+//! (`<out>/serve_slow_trace.json`, a CI artifact).
+//!
 //! Writes `<out>/BENCH_serve.json` (quoted by EXPERIMENTS.md §Serving).
 //! The hot/cold split is the point: every *distinct* scheduling request
 //! pays the induce+trials cost once, every repeat is a digest lookup, so
@@ -20,7 +27,8 @@ use std::net::TcpStream;
 use std::time::Instant;
 
 use sweep_bench::BenchArgs;
-use sweep_serve::{Server, ServerConfig};
+use sweep_serve::{AccessLogSink, CacheStats, Server, ServerConfig};
+use sweep_telemetry::RequestTrace;
 
 /// Client worker threads issuing requests concurrently.
 const CLIENTS: usize = 4;
@@ -60,12 +68,31 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn main() {
-    let args = BenchArgs::parse();
+/// One full run of the mixed trace against a fresh server.
+struct Phase {
+    latencies: Vec<f64>,
+    schedule_lat: Vec<f64>,
+    errors: usize,
+    wall_secs: f64,
+    stats: CacheStats,
+    slow_traces: Vec<RequestTrace>,
+}
+
+impl Phase {
+    fn rps(&self) -> f64 {
+        self.latencies.len() as f64 / self.wall_secs
+    }
+}
+
+fn run_phase(scale: f64, trace_sample_every: u64) -> Phase {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: CLIENTS,
         max_inflight: 4 * CLIENTS,
+        trace_sample_every,
+        // Lines per request would swamp the bench output; the log-line
+        // format is covered by serve_tracing.rs over real sockets.
+        access_log: AccessLogSink::Null,
         ..ServerConfig::default()
     })
     .expect("bind");
@@ -110,7 +137,7 @@ fn main() {
                             ),
                             _ => {
                                 let seed = ((c + i) % DISTINCT) as u64;
-                                (post(&schedule_body(args.scale, seed)), true)
+                                (post(&schedule_body(scale, seed)), true)
                             }
                         };
                         let (micros, status) = exchange(addr, &raw);
@@ -144,48 +171,127 @@ fn main() {
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     schedule_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let stats = service.cache().stats();
-    let total = latencies.len();
-    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+    Phase {
+        latencies,
+        schedule_lat,
+        errors,
+        wall_secs,
+        stats: service.cache().stats(),
+        slow_traces: service.ops().slow_traces(),
+    }
+}
 
+/// Bridges the telemetry trace type into the analyzer's plain-data form.
+fn to_trace_data(t: &RequestTrace) -> sweep_analyze::RequestTraceData {
+    sweep_analyze::RequestTraceData {
+        request_id: t.request_id,
+        coalesced_onto: t.coalesced_onto,
+        opened_spans: t.opened,
+        spans: t
+            .spans
+            .iter()
+            .map(|s| sweep_analyze::TraceSpanData {
+                id: s.id,
+                parent: s.parent,
+                name: s.name.to_string(),
+                start_us: s.start_us,
+                dur_us: s.dur_us,
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+
+    // Phase 1: tracing sampled out — the throughput baseline.
+    let untraced = run_phase(args.scale, 0);
+    // Phase 2: every request traced; its exemplars feed SW028 + the
+    // Chrome artifact.
+    let traced = run_phase(args.scale, 1);
+
+    // SW028 gate: the span trees the traced run produced must be
+    // structurally sound, else the Server-Timing / slow-trace numbers
+    // above them are fiction. A coalesced follower may reference a
+    // leader that did not survive the slow-buffer cut, so certify the
+    // corpus with coalesce references projected onto it.
+    assert!(
+        !traced.slow_traces.is_empty(),
+        "traced run captured no slow-request exemplars"
+    );
+    let in_corpus: std::collections::BTreeSet<u64> =
+        traced.slow_traces.iter().map(|t| t.request_id).collect();
+    let corpus: Vec<_> = traced
+        .slow_traces
+        .iter()
+        .map(|t| {
+            let mut d = to_trace_data(t);
+            d.coalesced_onto = d.coalesced_onto.filter(|l| in_corpus.contains(l));
+            d
+        })
+        .collect();
+    let report = sweep_analyze::analyze_trace_trees(&corpus);
+    assert!(
+        !report.has_errors(),
+        "SW028 gate failed on the serve_load trace corpus:\n{}",
+        report.render_text()
+    );
+    eprintln!("# SW028: {} trace tree(s) certified", corpus.len());
+
+    // Chrome trace artifact of the slowest requests.
+    let chrome = sweep_telemetry::traces_to_chrome(&traced.slow_traces);
+    sweep_telemetry::validate_chrome_trace(&chrome).expect("valid chrome trace");
+
+    let overhead = (untraced.rps() - traced.rps()) / untraced.rps().max(1e-9);
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"experiment\": \"serve_load\",");
     let _ = writeln!(json, "  \"preset\": \"tetonly\",");
     let _ = writeln!(json, "  \"scale\": {},", args.scale);
     let _ = writeln!(json, "  \"clients\": {CLIENTS},");
-    let _ = writeln!(json, "  \"requests\": {total},");
+    let _ = writeln!(json, "  \"requests\": {},", untraced.latencies.len());
     let _ = writeln!(json, "  \"distinct_schedule_contents\": {DISTINCT},");
-    let _ = writeln!(json, "  \"errors\": {errors},");
-    let _ = writeln!(json, "  \"wall_secs\": {wall_secs:.3},");
-    let _ = writeln!(
-        json,
-        "  \"throughput_rps\": {:.1},",
-        total as f64 / wall_secs
-    );
+    let _ = writeln!(json, "  \"errors\": {},", untraced.errors + traced.errors);
+    let _ = writeln!(json, "  \"wall_secs\": {:.3},", untraced.wall_secs);
+    let _ = writeln!(json, "  \"throughput_rps\": {:.1},", untraced.rps());
     let _ = writeln!(
         json,
         "  \"latency_us\": {{\"p50\": {:.0}, \"p99\": {:.0}, \"max\": {:.0}}},",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.99),
-        latencies.last().copied().unwrap_or(0.0)
+        percentile(&untraced.latencies, 0.50),
+        percentile(&untraced.latencies, 0.99),
+        untraced.latencies.last().copied().unwrap_or(0.0)
     );
     let _ = writeln!(
         json,
         "  \"schedule_latency_us\": {{\"p50\": {:.0}, \"p99\": {:.0}}},",
-        percentile(&schedule_lat, 0.50),
-        percentile(&schedule_lat, 0.99)
+        percentile(&untraced.schedule_lat, 0.50),
+        percentile(&untraced.schedule_lat, 0.99)
     );
+    let hit_rate =
+        untraced.stats.hits as f64 / (untraced.stats.hits + untraced.stats.misses).max(1) as f64;
     let _ = writeln!(
         json,
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
          \"coalesced\": {}, \"hit_rate\": {hit_rate:.3}}},",
-        stats.hits, stats.misses, stats.evictions, stats.coalesced
+        untraced.stats.hits,
+        untraced.stats.misses,
+        untraced.stats.evictions,
+        untraced.stats.coalesced
+    );
+    let _ = writeln!(
+        json,
+        "  \"tracing\": {{\"untraced_rps\": {:.1}, \"traced_rps\": {:.1}, \
+         \"overhead_frac\": {overhead:.4}, \"slow_exemplars\": {}, \
+         \"sw028\": \"certified\"}},",
+        untraced.rps(),
+        traced.rps(),
+        traced.slow_traces.len()
     );
     let _ = writeln!(
         json,
         "  \"note\": \"in-process server over loopback; p50 is dominated by cache hits \
-         (digest lookup), the cold tail by DAG induction + best-of-b trials\""
+         (digest lookup), the cold tail by DAG induction + best-of-b trials; the traced \
+         phase re-runs the same trace with full span trees on\""
     );
     json.push_str("}\n");
 
@@ -196,6 +302,11 @@ fn main() {
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("# wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+    let trace_path = args.out.join("serve_slow_trace.json");
+    match std::fs::write(&trace_path, &chrome) {
+        Ok(()) => eprintln!("# wrote {}", trace_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
     }
     print!("{json}");
 }

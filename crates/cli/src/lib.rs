@@ -20,8 +20,13 @@
 //!   optionally export a `makespan(fault_rate)` degradation curve CSV.
 //! * `serve` — run the HTTP scheduling service (`sweep-serve`): a
 //!   content-addressed two-tier schedule cache behind `POST
-//!   /v1/schedule`, plus `/v1/presets`, `/metrics`, and `/healthz`.
-//!   Blocks until killed; see API.md for the wire protocol.
+//!   /v1/schedule`, plus `/v1/presets`, `/metrics`, `/debug/vars`,
+//!   `/debug/trace`, and `/healthz`, with request-scoped tracing
+//!   (`X-Sweep-Request-Id`, `Server-Timing`) and a JSON access log on
+//!   stderr. Blocks until killed; see API.md for the wire protocol.
+//! * `top` — poll a running `serve` instance's `/metrics` +
+//!   `/debug/vars` and render a refreshing terminal dashboard (rps,
+//!   per-stage p50/p99, cache residency and hit rate, in-flight depth).
 //! * `check` — deterministic concurrency model checking (`sweep-check`):
 //!   explores interleavings of the pool's work-stealing deques and the
 //!   server's single-flight cache protocol under a controllable
@@ -92,7 +97,10 @@ COMMANDS:
              [--straggler-factor F] [--partition-rate F] [--min-rto F]
              [--format text|json] [--out FILE] [--curve FILE]
   serve      [--addr HOST:PORT] [--threads N] [--cache-mb MB]
-             [--max-inflight N]    (HTTP scheduling service; see API.md)
+             [--max-inflight N] [--trace-sample N] [--log-sample N]
+             (HTTP scheduling service; see API.md)
+  top        [--url http://HOST:PORT] [--interval SECS] [--count N]
+             [--plain]    (live dashboard over a running `sweep serve`)
   check      [--fixtures] [--schedules N] [--max-executions N]
              [--max-steps N] [--seed S] [--format text|json|sarif]
              [--out FILE]    (needs a `--features model-check` build)
@@ -158,7 +166,14 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         // Boolean flags.
         if matches!(
             key,
-            "quality" | "gantt" | "delays" | "demo-cycle" | "async" | "par-check" | "fixtures"
+            "quality"
+                | "gantt"
+                | "delays"
+                | "demo-cycle"
+                | "async"
+                | "par-check"
+                | "fixtures"
+                | "plain"
         ) {
             map.insert(key.to_string(), "true".to_string());
             continue;
@@ -294,6 +309,7 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
         "trace" => plain(cmd_trace(&flags)),
         "faults" => cmd_faults(&flags),
         "serve" => plain(cmd_serve(&flags)),
+        "top" => plain(cmd_top(&flags)),
         "check" => cmd_check(&flags),
         other => Err(format!("unknown command '{other}' (try `sweep help`)")),
     };
@@ -512,6 +528,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
     let threads: usize = get(flags, "threads", 0)?;
     let cache_mb: usize = get(flags, "cache-mb", 64)?;
     let max_inflight: usize = get(flags, "max-inflight", 32)?;
+    let trace_sample: u64 = get(flags, "trace-sample", 1)?;
+    let log_sample: u64 = get(flags, "log-sample", 1)?;
     let config = sweep_serve::ServerConfig {
         addr,
         threads: if threads == 0 {
@@ -521,16 +539,164 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
         },
         cache_bytes: cache_mb.max(1) * 1024 * 1024,
         max_inflight: max_inflight.max(1),
+        trace_sample_every: trace_sample,
+        log_sample_every: log_sample,
         ..sweep_serve::ServerConfig::default()
     };
     let server = sweep_serve::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
         "sweep-serve listening on http://{addr} \
-         (POST /v1/schedule, GET /v1/presets, GET /metrics, GET /healthz)"
+         (POST /v1/schedule, GET /v1/presets, GET /metrics, GET /debug/vars, \
+         GET /debug/trace, GET /healthz; access log on stderr)"
     );
     server.run().map_err(|e| e.to_string())?;
     Ok(format!("sweep-serve on {addr} shut down cleanly\n"))
+}
+
+/// One blocking HTTP/1.1 GET against `hostport` (no client library —
+/// the same std-only wire subset the server speaks).
+fn http_get(hostport: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(hostport).map_err(|e| format!("connect {hostport}: {e}"))?;
+    let timeout = Some(std::time::Duration::from_secs(5));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {hostport}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response for GET {path}"))?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "GET {path}: {}",
+            head.lines().next().unwrap_or("no status line")
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// Reads one sample value out of a Prometheus text exposition.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+        let (n, v) = l.rsplit_once(' ')?;
+        (n == name).then(|| v.parse().ok())?
+    })
+}
+
+/// Renders one `sweep top` dashboard frame from a `/debug/vars`
+/// document, the `/metrics` exposition, and the rps estimate.
+fn render_top(
+    hostport: &str,
+    doc: &telemetry::json::Value,
+    metrics: &str,
+    rps: Option<f64>,
+) -> String {
+    let u = |path: &[&str]| -> u64 {
+        let mut v = Some(doc);
+        for key in path {
+            v = v.and_then(|v| v.get(key));
+        }
+        v.and_then(|v| v.as_u64()).unwrap_or(0)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "sweep top — {hostport}");
+    let _ = writeln!(
+        out,
+        "requests {:>8}   rps {:>7}   inflight {:>3}   sheds {:>5}   panics {:>3}",
+        u(&["requests"]),
+        rps.map_or_else(|| "-".to_string(), |r| format!("{r:.1}")),
+        u(&["inflight"]),
+        u(&["sheds"]),
+        prom_value(metrics, "serve_http_panics_total").unwrap_or(0.0) as u64,
+    );
+    let (hits, misses) = (u(&["cache", "hits"]), u(&["cache", "misses"]));
+    let _ = writeln!(
+        out,
+        "cache    hit rate {:>5.1}%   coalesced {:>5}   evictions {:>5}",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64,
+        u(&["cache", "coalesced"]),
+        u(&["cache", "evictions"]),
+    );
+    let _ = writeln!(
+        out,
+        "  tier1  {:>5} entries  {:>10} bytes    tier2  {:>5} entries  {:>10} bytes",
+        u(&["cache", "tier1", "entries"]),
+        u(&["cache", "tier1", "bytes"]),
+        u(&["cache", "tier2", "entries"]),
+        u(&["cache", "tier2", "bytes"]),
+    );
+    let _ = writeln!(
+        out,
+        "pool     tasks {:>8}   steals {:>8}   slow traces {:>3}",
+        u(&["pool", "tasks"]),
+        u(&["pool", "steals"]),
+        u(&["slow_traces"]),
+    );
+    let _ = writeln!(out, "stage        p50 µs      p99 µs     samples");
+    for stage in telemetry::STAGES {
+        let s = doc.get("stages_us").and_then(|s| s.get(stage));
+        let f = |key: &str| s.and_then(|s| s.get(key)).and_then(|v| v.as_f64());
+        let _ = writeln!(
+            out,
+            "{stage:<9} {:>9.1}   {:>9.1}   {:>9}",
+            f("p50").unwrap_or(0.0),
+            f("p99").unwrap_or(0.0),
+            f("count").unwrap_or(0.0) as u64,
+        );
+    }
+    out
+}
+
+/// `top` — polls a running server's `/metrics` + `/debug/vars` and
+/// renders a refreshing terminal dashboard. `--count N` stops after N
+/// frames (0 = until killed); `--plain` suppresses the ANSI
+/// clear-screen between frames. The final frame is also the command's
+/// return value, so scripts and tests can capture it.
+fn cmd_top(flags: &HashMap<String, String>) -> Result<String, String> {
+    let url: String = get(flags, "url", "http://127.0.0.1:7469".to_string())?;
+    let interval: f64 = get(flags, "interval", 1.0)?;
+    let count: u64 = get(flags, "count", 0)?;
+    let plain = flags.contains_key("plain");
+    let hostport = url
+        .strip_prefix("http://")
+        .unwrap_or(&url)
+        .trim_end_matches('/')
+        .to_string();
+
+    let mut last_requests: Option<u64> = None;
+    let mut frame;
+    let mut polls = 0u64;
+    loop {
+        let vars = http_get(&hostport, "/debug/vars")?;
+        let metrics = http_get(&hostport, "/metrics")?;
+        let doc = telemetry::json::parse(&vars).map_err(|e| format!("parsing /debug/vars: {e}"))?;
+        let requests = doc.get("requests").and_then(|v| v.as_u64()).unwrap_or(0);
+        let rps =
+            last_requests.map(|prev| requests.saturating_sub(prev) as f64 / interval.max(1e-9));
+        last_requests = Some(requests);
+        frame = render_top(&hostport, &doc, &metrics, rps);
+        polls += 1;
+        if count != 0 && polls >= count {
+            // The final frame is returned (main prints it) instead of
+            // being printed here, so it is not shown twice.
+            break;
+        }
+        if !plain {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("{frame}");
+        std::thread::sleep(std::time::Duration::from_secs_f64(
+            interval.clamp(0.05, 60.0),
+        ));
+    }
+    Ok(frame)
 }
 
 fn cmd_mesh(flags: &HashMap<String, String>) -> Result<String, String> {
@@ -1040,6 +1206,51 @@ mod tests {
         assert!(run(&args(&["serve", "--addr", "not-an-address"]))
             .unwrap_err()
             .contains("bind"));
+    }
+
+    #[test]
+    fn top_renders_a_dashboard_frame_against_a_live_server() {
+        assert!(HELP.contains("top"));
+        let server = sweep_serve::Server::bind(sweep_serve::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            access_log: sweep_serve::AccessLogSink::Null,
+            ..sweep_serve::ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || server.run());
+
+        // Generate one traced request so the stage table has data.
+        http_get(&addr.to_string(), "/healthz").unwrap();
+        let frame = run(&args(&[
+            "top",
+            "--url",
+            &format!("http://{addr}"),
+            "--count",
+            "1",
+            "--plain",
+        ]))
+        .unwrap();
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        assert!(frame.contains("sweep top"), "{frame}");
+        assert!(frame.contains("hit rate"), "{frame}");
+        assert!(frame.contains("tier1"), "{frame}");
+        for stage in telemetry::STAGES {
+            assert!(frame.contains(stage), "{frame}");
+        }
+        // `top` against a dead port is a clean error, not a hang.
+        let err = run(&args(&[
+            "top",
+            "--url",
+            "http://127.0.0.1:1",
+            "--count",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("connect"), "{err}");
     }
 
     #[test]

@@ -36,6 +36,7 @@ use sweep_check::sync::{Condvar, Mutex};
 use sweep_core::Schedule;
 use sweep_dag::SweepInstance;
 use sweep_telemetry as telemetry;
+use sweep_telemetry::TraceCtx;
 
 /// The tier-2 value: a winning schedule plus the trial record a
 /// response needs, sized for the LRU accounting.
@@ -51,6 +52,16 @@ pub struct ScheduleArtifact {
     pub trial_makespans: Vec<u32>,
     /// The tier-2 content digest this artifact is addressed by.
     pub digest: u64,
+}
+
+/// Per-tier residency: entry count and approximate bytes, exported as
+/// `serve.cache.tier{1,2}.{entries,bytes}` gauges and via `/debug/vars`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Resident entries in the tier.
+    pub entries: usize,
+    /// Approximate resident bytes in the tier.
+    pub bytes: usize,
 }
 
 /// Point-in-time cache counters (also exported via `/metrics`).
@@ -125,10 +136,20 @@ impl<V> Lru<V> {
 }
 
 /// A single-flight slot: the leader computes, waiters block on the
-/// condvar until `done` holds the shared result.
+/// condvar until `done` holds the shared result. The slot remembers
+/// the **leader's request id** so waiters can record which request
+/// they coalesced onto (surfaced in access logs and trace trees).
 pub(crate) struct Flight<V> {
     done: Mutex<Option<Result<V, String>>>,
     cv: Condvar,
+    leader_req: u64,
+}
+
+impl<V> Flight<V> {
+    /// Request id of the leader that opened this flight.
+    pub(crate) fn leader_req(&self) -> u64 {
+        self.leader_req
+    }
 }
 
 /// Outcome of claiming a flight: either this caller leads, or it waits.
@@ -152,7 +173,10 @@ impl<V: Clone> SingleFlight<V> {
         }
     }
 
-    pub(crate) fn claim(&self, key: u64) -> Claim<V> {
+    /// Claims the flight for `key`; `req_id` is the claimant's request
+    /// id, recorded on the slot if it becomes the leader (0 when the
+    /// caller is outside any request).
+    pub(crate) fn claim(&self, key: u64, req_id: u64) -> Claim<V> {
         let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(f) = map.get(&key) {
             Claim::Follower(Arc::clone(f))
@@ -160,6 +184,7 @@ impl<V: Clone> SingleFlight<V> {
             let f = Arc::new(Flight {
                 done: Mutex::new(None),
                 cv: Condvar::new(),
+                leader_req: req_id,
             });
             map.insert(key, Arc::clone(&f));
             Claim::Leader(f)
@@ -280,6 +305,25 @@ impl ScheduleCache {
         s
     }
 
+    /// Per-tier residency (tier 1 = instances, tier 2 = schedules).
+    pub fn tier_stats(&self) -> (TierStats, TierStats) {
+        let t1 = {
+            let lru = self.instances.lock().unwrap_or_else(|p| p.into_inner());
+            TierStats {
+                entries: lru.map.len(),
+                bytes: lru.bytes,
+            }
+        };
+        let t2 = {
+            let lru = self.schedules.lock().unwrap_or_else(|p| p.into_inner());
+            TierStats {
+                entries: lru.map.len(),
+                bytes: lru.bytes,
+            }
+        };
+        (t1, t2)
+    }
+
     fn bump(&self, f: impl FnOnce(&mut CacheStats)) {
         let mut s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
         f(&mut s);
@@ -287,10 +331,13 @@ impl ScheduleCache {
 
     /// Tier-1 lookup-or-induce with single-flight coalescing. Returns
     /// the instance and whether it was served from cache (a coalesced
-    /// wait counts as a hit: no second induction ran).
+    /// wait counts as a hit: no second induction ran). `ctx` records
+    /// the tier disposition and, for coalesced waiters, the leader's
+    /// request id.
     pub fn instance(
         &self,
         key: u64,
+        ctx: &TraceCtx,
         induce: impl FnOnce() -> Result<SweepInstance, String>,
     ) -> Result<(Arc<SweepInstance>, bool), String> {
         if let Some(found) = self
@@ -302,9 +349,10 @@ impl ScheduleCache {
         {
             self.bump(|s| s.hits += 1);
             telemetry::counter_add("serve.cache.hits", 1);
+            ctx.note("tier1", "hit");
             return Ok((found, true));
         }
-        match self.instance_flights.claim(key) {
+        match self.instance_flights.claim(key, ctx.request_id()) {
             Claim::Follower(f) => {
                 self.bump(|s| {
                     s.hits += 1;
@@ -312,11 +360,15 @@ impl ScheduleCache {
                 });
                 telemetry::counter_add("serve.cache.hits", 1);
                 telemetry::counter_add("serve.cache.coalesced", 1);
+                ctx.note("tier1", "coalesced");
+                ctx.set_coalesced_onto(f.leader_req());
+                let _wait = ctx.span("cache.wait");
                 Ok((self.instance_flights.wait(&f)?, true))
             }
             Claim::Leader(f) => {
                 self.bump(|s| s.misses += 1);
                 telemetry::counter_add("serve.cache.misses", 1);
+                ctx.note("tier1", "miss");
                 let result = self.instance_flights.lead(key, &f, || {
                     let inst = Arc::new(induce()?);
                     let evicted = self
@@ -327,7 +379,7 @@ impl ScheduleCache {
                     self.note_evictions(evicted);
                     Ok(inst)
                 });
-                self.update_bytes_gauge();
+                self.update_residency_gauges();
                 result.map(|inst| (inst, false))
             }
         }
@@ -338,6 +390,7 @@ impl ScheduleCache {
     pub fn schedule(
         &self,
         key: u64,
+        ctx: &TraceCtx,
         compute: impl FnOnce() -> Result<ScheduleArtifact, String>,
     ) -> Result<(Arc<ScheduleArtifact>, bool), String> {
         if let Some(found) = self
@@ -349,9 +402,10 @@ impl ScheduleCache {
         {
             self.bump(|s| s.hits += 1);
             telemetry::counter_add("serve.cache.hits", 1);
+            ctx.note("tier2", "hit");
             return Ok((found, true));
         }
-        match self.schedule_flights.claim(key) {
+        match self.schedule_flights.claim(key, ctx.request_id()) {
             Claim::Follower(f) => {
                 self.bump(|s| {
                     s.hits += 1;
@@ -359,11 +413,15 @@ impl ScheduleCache {
                 });
                 telemetry::counter_add("serve.cache.hits", 1);
                 telemetry::counter_add("serve.cache.coalesced", 1);
+                ctx.note("tier2", "coalesced");
+                ctx.set_coalesced_onto(f.leader_req());
+                let _wait = ctx.span("cache.wait");
                 Ok((self.schedule_flights.wait(&f)?, true))
             }
             Claim::Leader(f) => {
                 self.bump(|s| s.misses += 1);
                 telemetry::counter_add("serve.cache.misses", 1);
+                ctx.note("tier2", "miss");
                 let result = self.schedule_flights.lead(key, &f, || {
                     let art = Arc::new(compute()?);
                     let evicted = self
@@ -374,7 +432,7 @@ impl ScheduleCache {
                     self.note_evictions(evicted);
                     Ok(art)
                 });
-                self.update_bytes_gauge();
+                self.update_residency_gauges();
                 result.map(|art| (art, false))
             }
         }
@@ -387,8 +445,13 @@ impl ScheduleCache {
         }
     }
 
-    fn update_bytes_gauge(&self) {
-        telemetry::gauge_set("serve.cache.bytes", self.stats().bytes as f64);
+    fn update_residency_gauges(&self) {
+        let (t1, t2) = self.tier_stats();
+        telemetry::gauge_set("serve.cache.bytes", (t1.bytes + t2.bytes) as f64);
+        telemetry::gauge_set("serve.cache.tier1.bytes", t1.bytes as f64);
+        telemetry::gauge_set("serve.cache.tier1.entries", t1.entries as f64);
+        telemetry::gauge_set("serve.cache.tier2.bytes", t2.bytes as f64);
+        telemetry::gauge_set("serve.cache.tier2.entries", t2.entries as f64);
     }
 }
 
@@ -405,8 +468,12 @@ mod tests {
     #[test]
     fn second_lookup_is_a_hit() {
         let cache = ScheduleCache::new(1 << 20);
-        let (a, hit_a) = cache.instance(7, || Ok(tiny("a"))).unwrap();
-        let (b, hit_b) = cache.instance(7, || panic!("must not re-induce")).unwrap();
+        let (a, hit_a) = cache
+            .instance(7, &TraceCtx::disabled(), || Ok(tiny("a")))
+            .unwrap();
+        let (b, hit_b) = cache
+            .instance(7, &TraceCtx::disabled(), || panic!("must not re-induce"))
+            .unwrap();
         assert!(!hit_a && hit_b);
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
@@ -420,12 +487,16 @@ mod tests {
         // per entry plus edges); three inserts must evict.
         let cache = ScheduleCache::new(400);
         for key in 0..3u64 {
-            cache.instance(key, || Ok(tiny("x"))).unwrap();
+            cache
+                .instance(key, &TraceCtx::disabled(), || Ok(tiny("x")))
+                .unwrap();
         }
         let s = cache.stats();
         assert!(s.evictions >= 1, "{s:?}");
         // Most recent key must still be resident.
-        let (_, hit) = cache.instance(2, || panic!("key 2 was evicted")).unwrap();
+        let (_, hit) = cache
+            .instance(2, &TraceCtx::disabled(), || panic!("key 2 was evicted"))
+            .unwrap();
         assert!(hit);
     }
 
@@ -433,11 +504,13 @@ mod tests {
     fn leader_failure_propagates_and_clears_the_flight() {
         let cache = ScheduleCache::new(1 << 20);
         let err = cache
-            .instance(9, || Err("broken mesh".to_string()))
+            .instance(9, &TraceCtx::disabled(), || Err("broken mesh".to_string()))
             .unwrap_err();
         assert!(err.contains("broken mesh"));
         // The flight is cleared: a retry runs a fresh computation.
-        let (_, hit) = cache.instance(9, || Ok(tiny("retry"))).unwrap();
+        let (_, hit) = cache
+            .instance(9, &TraceCtx::disabled(), || Ok(tiny("retry")))
+            .unwrap();
         assert!(!hit);
     }
 
@@ -448,7 +521,7 @@ mod tests {
         let leading = AtomicBool::new(false);
         std::thread::scope(|s| {
             let leader = s.spawn(|| {
-                cache.instance(5, || {
+                cache.instance(5, &TraceCtx::disabled(), || {
                     leading.store(true, Ordering::SeqCst);
                     // Keep the flight open long enough for the main
                     // thread to pile on as a follower.
@@ -461,13 +534,17 @@ mod tests {
             }
             // We are now guaranteed to be a follower on the same key;
             // without the unwind guard this wait would never return.
-            let err = cache.instance(5, || Ok(tiny("follower"))).unwrap_err();
+            let err = cache
+                .instance(5, &TraceCtx::disabled(), || Ok(tiny("follower")))
+                .unwrap_err();
             assert!(err.contains("panicked"), "{err}");
             assert!(leader.join().is_err(), "leader must have panicked");
         });
         // The flight is cleared: a retry computes fresh instead of
         // blocking on the dead leader.
-        let (_, hit) = cache.instance(5, || Ok(tiny("retry"))).unwrap();
+        let (_, hit) = cache
+            .instance(5, &TraceCtx::disabled(), || Ok(tiny("retry")))
+            .unwrap();
         assert!(!hit);
     }
 
@@ -480,7 +557,7 @@ mod tests {
             for _ in 0..8 {
                 s.spawn(|| {
                     let (inst, _) = cache
-                        .instance(42, || {
+                        .instance(42, &TraceCtx::disabled(), || {
                             computations.fetch_add(1, Ordering::SeqCst);
                             // Give followers time to pile onto the flight.
                             std::thread::sleep(std::time::Duration::from_millis(30));
@@ -495,5 +572,41 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 8);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn coalesced_follower_records_the_leaders_request_id() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cache = ScheduleCache::new(1 << 20);
+        let leading = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let leader_ctx = TraceCtx::root(0xabc);
+                cache
+                    .instance(3, &leader_ctx, || {
+                        leading.store(true, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        Ok(tiny("lead"))
+                    })
+                    .unwrap();
+            });
+            while !leading.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            let follower_ctx = TraceCtx::root(0xdef);
+            cache
+                .instance(3, &follower_ctx, || Ok(tiny("never runs")))
+                .unwrap();
+            let trace = follower_ctx.finish().unwrap();
+            assert_eq!(trace.coalesced_onto, Some(0xabc));
+            assert_eq!(trace.note("tier1"), Some("coalesced"));
+            // The wait shows up as a cache-stage span.
+            assert!(trace.spans.iter().any(|sp| sp.name == "cache.wait"));
+        });
+        // Residency introspection: one entry in tier 1, none in tier 2.
+        let (t1, t2) = cache.tier_stats();
+        assert_eq!(t1.entries, 1);
+        assert!(t1.bytes > 0);
+        assert_eq!(t2, TierStats::default());
     }
 }

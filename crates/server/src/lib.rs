@@ -13,7 +13,19 @@
 //! * `GET /v1/presets` — the four paper meshes with their cell counts.
 //! * `GET /metrics` — Prometheus text exposition via `sweep-telemetry`
 //!   (request/latency/cache counters).
+//! * `GET /debug/vars` — live operational snapshot: cache residency per
+//!   tier, in-flight depth, shed count, pool work, per-stage latency
+//!   quantiles.
+//! * `GET /debug/trace` — Chrome `trace_event` export of the slowest
+//!   recent requests' full span trees.
 //! * `GET /healthz` — liveness.
+//!
+//! Every request is stamped with a deterministic 64-bit id (echoed in
+//! `X-Sweep-Request-Id`) and, when sampled in, carries a request-scoped
+//! span tree ([`sweep_telemetry::TraceCtx`]) through parse, cache
+//! lookup, DAG induction, scheduling, and serialization — surfaced as a
+//! `Server-Timing` response header, a structured JSON access log, and
+//! the `/debug/trace` exemplar buffer ([`ops`]).
 //!
 //! Cache keys are [FxHash-style digests](digest) of the *content* of a
 //! request — mesh spec bytes, quadrature order, `m`, algorithm, seed,
@@ -47,12 +59,14 @@ pub mod digest;
 pub mod http;
 #[cfg(feature = "model-check")]
 pub mod model;
+pub mod ops;
 pub mod server;
 pub mod service;
 
-pub use cache::{CacheStats, ScheduleCache};
+pub use cache::{CacheStats, ScheduleCache, TierStats};
 pub use digest::{fx_digest, instance_digest, schedule_digest};
 pub use http::{Request, Response};
+pub use ops::{access_log_line, AccessLogSink, OpsState};
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use service::{
     certify_cache_identity, ScheduleRequest, ScheduleResponse, ServiceConfig, SweepService,

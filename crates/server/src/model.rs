@@ -20,7 +20,7 @@ fn serve(
     flights: &SingleFlight<u32>,
     computations: &std::sync::atomic::AtomicUsize,
 ) -> Result<u32, String> {
-    match flights.claim(9) {
+    match flights.claim(9, 0) {
         Claim::Leader(f) => flights.lead(9, &f, || {
             computations.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             Ok(41)
@@ -61,11 +61,11 @@ pub fn single_flight_leader_panic() {
     let flights = Arc::new(SingleFlight::<u32>::new());
     // Claim before spawning the peer, so this thread is the leader
     // deterministically and the peer's role is the explored variable.
-    let Claim::Leader(flight) = flights.claim(7) else {
+    let Claim::Leader(flight) = flights.claim(7, 0) else {
         unreachable!("first claim on a cold key must lead")
     };
     let f2 = Arc::clone(&flights);
-    let peer = sweep_check::thread::spawn(move || match f2.claim(7) {
+    let peer = sweep_check::thread::spawn(move || match f2.claim(7, 0) {
         Claim::Follower(f) => {
             let r = f2.wait(&f);
             assert!(

@@ -28,8 +28,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sweep_telemetry as telemetry;
+use sweep_telemetry::STAGES;
 
 use crate::http::{ReadError, Request, Response};
+use crate::ops::{access_log_line, AccessLogSink};
 use crate::service::{ServiceConfig, SweepService};
 
 /// Socket-level configuration; service semantics live in
@@ -52,6 +54,19 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Base of the `Retry-After` backoff curve, in seconds.
     pub retry_base_secs: f64,
+    /// Record a full span tree for 1 of every N requests (head-based
+    /// sampling; 1 = trace everything, 0 = never). Untraced requests
+    /// still get a request id and zero-valued `Server-Timing` stages.
+    pub trace_sample_every: u64,
+    /// Emit an access-log line for 1 of every N requests (1 = all,
+    /// 0 = never).
+    pub log_sample_every: u64,
+    /// Where access-log lines go.
+    pub access_log: AccessLogSink,
+    /// Slow-request exemplars retained per window for `/debug/trace`.
+    pub slow_keep: usize,
+    /// Requests per slow-exemplar window.
+    pub slow_window: u64,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +79,11 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             retry_base_secs: 1.0,
+            trace_sample_every: 1,
+            log_sample_every: 1,
+            access_log: AccessLogSink::Stderr,
+            slow_keep: 8,
+            slow_window: 512,
         }
     }
 }
@@ -110,6 +130,11 @@ impl Server {
             cache_bytes: config.cache_bytes,
             ..ServiceConfig::default()
         }));
+        let ops = service.ops();
+        ops.set_trace_sampling(config.trace_sample_every);
+        ops.set_log_sampling(config.log_sample_every);
+        ops.set_access_log(config.access_log.clone());
+        ops.set_slow_buffer(config.slow_keep, config.slow_window);
         Ok(Server {
             listener,
             config,
@@ -186,6 +211,8 @@ impl Server {
                     let hint =
                         sweep_faults::backoff::retry_after_secs(self.config.retry_base_secs, sheds);
                     sheds = sheds.saturating_add(1);
+                    self.service.ops().record_shed();
+                    self.service.ops().log_shed(hint);
                     shed(stream, self.config.write_timeout, hint);
                     continue;
                 }
@@ -240,10 +267,25 @@ fn shed(stream: TcpStream, write_timeout: Duration, retry_after_secs: u64) {
     });
 }
 
+/// The `Server-Timing` value an untraced request reports: every stage
+/// present (so clients can rely on the shape) with zero durations.
+fn zero_server_timing() -> String {
+    STAGES
+        .iter()
+        .map(|s| format!("{s};dur=0.000"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Serves exactly one request on `stream` (the protocol is
-/// `Connection: close`), recording end-to-end latency.
+/// `Connection: close`): stamps a deterministic request id, traces the
+/// sampled-in requests end to end, echoes `X-Sweep-Request-Id` and
+/// `Server-Timing` on every response, and emits one access-log line.
 fn handle_connection(service: &SweepService, config: &ServerConfig, stream: TcpStream) {
     let started = Instant::now();
+    let ops = service.ops();
+    let conn = ops.next_conn();
+    let ctx = ops.trace_ctx(conn);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
@@ -251,16 +293,68 @@ fn handle_connection(service: &SweepService, config: &ServerConfig, stream: TcpS
     };
     let mut writer = stream;
     let mut reader = BufReader::new(read_half);
-    match Request::read_from(&mut reader) {
+    let root = ctx.span("request");
+    let read_result = {
+        let _parse = root.ctx().span("parse");
+        Request::read_from(&mut reader)
+    };
+    match read_result {
         Ok(request) => {
-            let response = service.route(&request);
+            let response = service.route_traced(&request, root.ctx());
+            drop(root);
+            let trace = ctx.finish();
+            let response = response
+                .with_header("X-Sweep-Request-Id", ctx.request_id_hex())
+                .with_header(
+                    "Server-Timing",
+                    trace
+                        .as_ref()
+                        .map_or_else(zero_server_timing, |t| t.server_timing()),
+                );
             let _ = response.write_to(&mut writer);
+            if let Some(t) = &trace {
+                for stage in STAGES {
+                    telemetry::histogram_record(
+                        &format!("serve.stage.{stage}_us"),
+                        t.stage_us(stage) as f64,
+                    );
+                }
+                ops.offer_slow(t);
+            }
+            if ops.should_log(conn) {
+                ops.log(&access_log_line(
+                    ctx.request_id(),
+                    &request.method,
+                    &request.path,
+                    response.status,
+                    response.body.len(),
+                    started.elapsed().as_micros() as u64,
+                    ops.sheds(),
+                    trace.as_ref(),
+                ));
+            }
         }
         Err(ReadError::Bad(status, message)) => {
+            drop(root);
             // route() never saw this request, so count it here.
             telemetry::counter_add("serve.http.requests", 1);
             telemetry::counter_add("serve.http.responses_4xx", 1);
-            let _ = Response::error(status, &message).write_to(&mut writer);
+            let _ = Response::error(status, &message)
+                .with_header("X-Sweep-Request-Id", ctx.request_id_hex())
+                .write_to(&mut writer);
+            if ops.should_log(conn) {
+                let trace = ctx.finish();
+                ops.log(&access_log_line(
+                    ctx.request_id(),
+                    "-",
+                    "-",
+                    status,
+                    0,
+                    started.elapsed().as_micros() as u64,
+                    ops.sheds(),
+                    trace.as_ref(),
+                ));
+            }
             // The request was only partially read; drain it so closing
             // the socket doesn't RST the error reply away (see `shed`).
             use std::io::Read as _;
@@ -287,12 +381,14 @@ mod tests {
     use super::*;
     use std::io::Read as _;
 
-    /// A config bound to an ephemeral port with a tiny worker pool.
+    /// A config bound to an ephemeral port with a tiny worker pool and
+    /// a quiet access log.
     fn test_config() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 2,
             max_inflight: 4,
+            access_log: AccessLogSink::Null,
             ..ServerConfig::default()
         }
     }
@@ -322,6 +418,72 @@ mod tests {
         handle.shutdown();
         join.join().unwrap().unwrap();
         assert!(handle.is_shutdown());
+    }
+
+    #[test]
+    fn every_response_carries_request_id_and_server_timing() {
+        let (sink, lines) = AccessLogSink::memory();
+        let server = Server::bind(ServerConfig {
+            access_log: sink,
+            ..test_config()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || server.run());
+
+        let reply = raw_request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(reply.contains("X-Sweep-Request-Id: "), "{reply}");
+        assert!(reply.contains("Server-Timing: "), "{reply}");
+        for stage in STAGES {
+            assert!(reply.contains(&format!("{stage};dur=")), "{reply}");
+        }
+        // Even a malformed request gets an id on its error reply.
+        let reply = raw_request(addr, "BROKEN\r\n\r\n");
+        assert!(reply.contains("X-Sweep-Request-Id: "), "{reply}");
+
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        // One JSON access-log line per request, both parseable.
+        let lines = lines.lock().unwrap().clone();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        for line in &lines {
+            let doc = sweep_json::parse(line).expect(line);
+            assert!(doc.get("request_id").is_some(), "{line}");
+            assert!(doc.get("status").is_some(), "{line}");
+        }
+        assert_eq!(
+            lines[0].matches("\"route\":\"/healthz\"").count(),
+            1,
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn debug_vars_and_trace_render_from_a_live_server() {
+        let server = Server::bind(test_config()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let service = server.service();
+        let join = std::thread::spawn(move || server.run());
+
+        let _ = raw_request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        let vars = raw_request(addr, "GET /debug/vars HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(vars.starts_with("HTTP/1.1 200 OK\r\n"), "{vars}");
+        let body = vars.split("\r\n\r\n").nth(1).unwrap();
+        let doc = sweep_json::parse(body).expect(body);
+        assert!(doc.get("cache").and_then(|c| c.get("tier1")).is_some());
+        assert!(doc.get("stages_us").and_then(|s| s.get("parse")).is_some());
+
+        let trace = raw_request(addr, "GET /debug/trace HTTP/1.1\r\nHost: x\r\n\r\n");
+        let body = trace.split("\r\n\r\n").nth(1).unwrap();
+        telemetry::validate_chrome_trace(body).expect(body);
+
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        // The healthz request was traced (sample-every-1) and so sits in
+        // the slow buffer the /debug/trace body was rendered from.
+        assert!(!service.ops().slow_traces().is_empty());
     }
 
     #[test]

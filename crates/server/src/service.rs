@@ -18,10 +18,12 @@ use sweep_json::Value;
 use sweep_mesh::MeshPreset;
 use sweep_quadrature::QuadratureSet;
 use sweep_telemetry as telemetry;
+use sweep_telemetry::TraceCtx;
 
 use crate::cache::{ScheduleArtifact, ScheduleCache};
 use crate::digest::{instance_digest, schedule_digest};
 use crate::http::{Request, Response};
+use crate::ops::OpsState;
 
 /// Where a request's mesh comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -333,17 +335,23 @@ impl Default for ServiceConfig {
     }
 }
 
-/// The scheduling service: config + the two-tier cache.
+/// The scheduling service: config + the two-tier cache + the shared
+/// operational state behind `/debug/vars` and the access log.
 pub struct SweepService {
     config: ServiceConfig,
     cache: ScheduleCache,
+    ops: Arc<OpsState>,
 }
 
 impl SweepService {
     /// A service with a fresh, empty cache.
     pub fn new(config: ServiceConfig) -> SweepService {
         let cache = ScheduleCache::new(config.cache_bytes);
-        SweepService { config, cache }
+        SweepService {
+            config,
+            cache,
+            ops: Arc::new(OpsState::default()),
+        }
     }
 
     /// The underlying cache (stats introspection).
@@ -351,15 +359,25 @@ impl SweepService {
         &self.cache
     }
 
+    /// The shared operational state (request ids, sampling, slow-trace
+    /// buffer, access-log sink).
+    pub fn ops(&self) -> &Arc<OpsState> {
+        &self.ops
+    }
+
     /// Builds (or fetches) the induced instance for a request.
     fn instance_for(
         &self,
         req: &ScheduleRequest,
+        ctx: &TraceCtx,
     ) -> Result<(Arc<SweepInstance>, bool, u64), String> {
         let key = instance_digest(&req.mesh_bytes(), req.sn);
         let max_tasks = self.config.max_tasks;
-        let (inst, hit) = self.cache.instance(key, || {
+        let cache_span = ctx.span("cache");
+        let cctx = cache_span.ctx().clone();
+        let (inst, hit) = self.cache.instance(key, &cctx, || {
             let _span = telemetry::span!("serve.induce");
+            let _stage = cctx.span("induce");
             let inst = match &req.mesh {
                 MeshSource::Preset { name, scale } => {
                     let preset = MeshPreset::from_name(name)
@@ -392,15 +410,35 @@ impl SweepService {
         Ok((inst, hit, key))
     }
 
-    /// The full cached compute path for one schedule request.
+    /// The full cached compute path for one schedule request, with no
+    /// request-scoped tracing (library callers; the server routes
+    /// through [`SweepService::schedule_traced`]).
     pub fn schedule(&self, req: &ScheduleRequest) -> Result<ScheduleResponse, String> {
+        self.schedule_traced(req, &TraceCtx::disabled())
+    }
+
+    /// The full cached compute path for one schedule request, recording
+    /// stage spans (`cache`, `induce`, `schedule`) and cache/pool
+    /// attribution notes onto `ctx`.
+    pub fn schedule_traced(
+        &self,
+        req: &ScheduleRequest,
+        ctx: &TraceCtx,
+    ) -> Result<ScheduleResponse, String> {
         let _span = telemetry::span!("serve.schedule");
         check_m(req.m)?;
         let algorithm = algorithm_from_name(&req.algorithm, req.delays)?;
-        let (inst, inst_hit, inst_key) = self.instance_for(req)?;
+        let (inst, inst_hit, inst_key) = self.instance_for(req, ctx)?;
         let key = schedule_digest(inst_key, req.m, &req.algorithm, req.delays, req.seed, req.b);
-        let (artifact, hit) = self.cache.schedule(key, || {
+        let cache_span = ctx.span("cache");
+        let cctx = cache_span.ctx().clone();
+        let (artifact, hit) = self.cache.schedule(key, &cctx, || {
             let _span = telemetry::span!("serve.compute");
+            let _stage = cctx.span("schedule");
+            // Attribute the pool work this request triggered: the
+            // `pool.tasks` counter delta across the compute closure is
+            // the number of pool tasks charged to this request.
+            let tasks_before = telemetry::counter_value("pool.tasks");
             let assignment = Assignment::random_cells(inst.num_cells(), req.m, req.seed);
             let best = best_of_trials_with_pool(
                 &sweep_pool::global(),
@@ -410,6 +448,10 @@ impl SweepService {
                 req.b,
                 req.seed,
             );
+            let pool_tasks = telemetry::counter_value("pool.tasks").saturating_sub(tasks_before);
+            if pool_tasks > 0 {
+                cctx.note("pool_tasks", pool_tasks);
+            }
             validate(&inst, &best.schedule)
                 .map_err(|e| format!("internal: infeasible schedule: {e}"))?;
             Ok(ScheduleArtifact {
@@ -420,6 +462,7 @@ impl SweepService {
                 digest: key,
             })
         })?;
+        drop(cache_span);
         let lb = lower_bounds(&inst, req.m);
         Ok(ScheduleResponse {
             name: inst.name().to_string(),
@@ -485,9 +528,15 @@ impl SweepService {
         Ok((inst, artifact))
     }
 
-    /// Routes one parsed HTTP request. All endpoint semantics (including
-    /// error mapping) live here so they are socket-independent.
+    /// Routes one parsed HTTP request with no request-scoped tracing.
     pub fn route(&self, req: &Request) -> Response {
+        self.route_traced(req, &TraceCtx::disabled())
+    }
+
+    /// Routes one parsed HTTP request, recording stage spans onto `ctx`.
+    /// All endpoint semantics (including error mapping) live here so
+    /// they are socket-independent.
+    pub fn route_traced(&self, req: &Request, ctx: &TraceCtx) -> Response {
         telemetry::counter_add("serve.http.requests", 1);
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::text("ok\n".to_string()),
@@ -501,21 +550,33 @@ impl SweepService {
                     body: text,
                 }
             }
+            ("GET", "/debug/vars") => Response::json(self.debug_vars_json()),
+            ("GET", "/debug/trace") => {
+                Response::json(sweep_telemetry::traces_to_chrome(&self.ops.slow_traces()))
+            }
             ("POST", "/v1/schedule") => match std::str::from_utf8(&req.body) {
                 Err(_) => Response::error(400, "body is not valid UTF-8"),
-                Ok(body) => match ScheduleRequest::from_json(body) {
-                    Err(e) => Response::error(400, &e),
-                    Ok(parsed) => match self.schedule(&parsed) {
-                        Ok(resp) => Response::json(resp.render_json()),
-                        // A well-formed request naming something that
-                        // doesn't exist or doesn't fit is the client's
-                        // problem (422); an internal inconsistency is ours.
-                        Err(e) if e.starts_with("internal:") => Response::error(500, &e),
-                        Err(e) => Response::error(422, &e),
-                    },
-                },
+                Ok(body) => {
+                    let parse_span = ctx.span("parse");
+                    let parsed = ScheduleRequest::from_json(body);
+                    drop(parse_span);
+                    match parsed {
+                        Err(e) => Response::error(400, &e),
+                        Ok(parsed) => match self.schedule_traced(&parsed, ctx) {
+                            Ok(resp) => {
+                                let _ser = ctx.span("serialize");
+                                Response::json(resp.render_json())
+                            }
+                            // A well-formed request naming something that
+                            // doesn't exist or doesn't fit is the client's
+                            // problem (422); an internal inconsistency is ours.
+                            Err(e) if e.starts_with("internal:") => Response::error(500, &e),
+                            Err(e) => Response::error(422, &e),
+                        },
+                    }
+                }
             },
-            (_, "/healthz" | "/v1/presets" | "/metrics") => {
+            (_, "/healthz" | "/v1/presets" | "/metrics" | "/debug/vars" | "/debug/trace") => {
                 Response::error(405, "use GET on this endpoint")
             }
             (_, "/v1/schedule") => Response::error(405, "use POST on this endpoint"),
@@ -528,7 +589,94 @@ impl SweepService {
             _ => "serve.http.responses_5xx",
         };
         telemetry::counter_add(class, 1);
+        // Per-route × status-class request counter. The route label is
+        // drawn from the fixed endpoint vocabulary (unknown paths all
+        // collapse to "other") so a path-scanning client can't mint
+        // unbounded label values.
+        let route = match req.path.as_str() {
+            p @ ("/healthz" | "/v1/presets" | "/metrics" | "/v1/schedule" | "/debug/vars"
+            | "/debug/trace") => p,
+            _ => "other",
+        };
+        let status = match response.status {
+            200..=299 => "2xx",
+            429 => "429",
+            400..=499 => "4xx",
+            _ => "5xx",
+        };
+        telemetry::counter_add(
+            &telemetry::labeled(
+                "serve.http.requests_by_route",
+                &[("route", route), ("status", status)],
+            ),
+            1,
+        );
         response
+    }
+
+    /// The `GET /debug/vars` body: a point-in-time JSON snapshot of the
+    /// live operational surface — request/shed counters, in-flight
+    /// depth, cache residency per tier, pool work, and per-stage latency
+    /// quantiles.
+    pub fn debug_vars_json(&self) -> String {
+        let snap = telemetry::snapshot();
+        let stats = self.cache.stats();
+        let (t1, t2) = self.cache.tier_stats();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"requests\": {},",
+            snap.counters
+                .get("serve.http.requests")
+                .copied()
+                .unwrap_or(0)
+        );
+        let _ = writeln!(
+            out,
+            "  \"inflight\": {},",
+            snap.gauges.get("serve.inflight").copied().unwrap_or(0.0) as u64
+        );
+        let _ = writeln!(out, "  \"sheds\": {},", self.ops.sheds());
+        let _ = writeln!(
+            out,
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"coalesced\": {}, \"bytes\": {},",
+            stats.hits, stats.misses, stats.evictions, stats.coalesced, stats.bytes
+        );
+        let _ = writeln!(
+            out,
+            "    \"tier1\": {{\"entries\": {}, \"bytes\": {}}},",
+            t1.entries, t1.bytes
+        );
+        let _ = writeln!(
+            out,
+            "    \"tier2\": {{\"entries\": {}, \"bytes\": {}}}}},",
+            t2.entries, t2.bytes
+        );
+        let _ = writeln!(
+            out,
+            "  \"pool\": {{\"tasks\": {}, \"steals\": {}}},",
+            snap.counters.get("pool.tasks").copied().unwrap_or(0),
+            snap.counters.get("pool.steals").copied().unwrap_or(0)
+        );
+        out.push_str("  \"stages_us\": {");
+        for (i, stage) in telemetry::STAGES.iter().enumerate() {
+            let (p50, p99, count) = snap
+                .histograms
+                .get(&format!("serve.stage.{stage}_us"))
+                .map(|h| (h.p50(), h.p99(), h.count()))
+                .unwrap_or((0.0, 0.0, 0));
+            let _ = write!(
+                out,
+                "{}\"{stage}\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}, \"count\": {count}}}",
+                if i == 0 { "" } else { ", " }
+            );
+        }
+        out.push_str("},\n");
+        let _ = writeln!(out, "  \"slow_traces\": {}", self.ops.slow_traces().len());
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -571,7 +719,7 @@ pub fn certify_cache_identity(
         req.seed,
         req.b,
     );
-    let (cached, _) = service.cache().schedule(key, || {
+    let (cached, _) = service.cache().schedule(key, &TraceCtx::disabled(), || {
         Err("internal: artifact vanished after a hit".to_string())
     })?;
     let (inst, cold) = service.compute_cold(req)?;

@@ -136,6 +136,10 @@ impl Default for Collector {
     }
 }
 
+/// Counter that tallies histogram samples rejected for being
+/// non-finite (see [`Collector::histogram_record`]).
+pub const DROPPED_SAMPLES: &str = "telemetry.dropped_samples";
+
 /// Distinct wall-clock track ids, one per recording thread.
 static NEXT_TRACK: AtomicU32 = AtomicU32::new(0);
 
@@ -299,13 +303,25 @@ impl Collector {
         }
     }
 
-    /// Records one sample into the named histogram.
+    /// Records one sample into the named histogram. Non-finite samples
+    /// (NaN, ±inf — typically from a zero-duration division upstream)
+    /// are **dropped** rather than recorded, and tallied in the
+    /// `telemetry.dropped_samples` counter so the loss is visible.
     #[inline]
     pub fn histogram_record(&self, name: &str, value: f64) {
         if !self.is_enabled() {
             return;
         }
         let mut inner = self.lock();
+        if !value.is_finite() {
+            match inner.counters.get_mut(DROPPED_SAMPLES) {
+                Some(v) => *v += 1,
+                None => {
+                    inner.counters.insert(DROPPED_SAMPLES.to_string(), 1);
+                }
+            }
+            return;
+        }
         match inner.histograms.get_mut(name) {
             Some(h) => h.record(value),
             None => {
@@ -314,6 +330,18 @@ impl Collector {
                 inner.histograms.insert(name.to_string(), h);
             }
         }
+    }
+
+    /// Reads the current value of a counter (0 if it has never been
+    /// incremented). Used for cheap before/after attribution — e.g.
+    /// charging `pool.tasks` deltas to a request.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Clones the current contents of one histogram, if present.
+    pub fn histogram_value(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.lock().histograms.get(name).map(Histogram::snapshot)
     }
 
     /// Clones the current contents.
@@ -447,6 +475,34 @@ mod tests {
         assert_eq!(s.track, 3);
         assert_eq!(s.start_us, 1_500_000);
         assert_eq!(s.dur_us, 250_000);
+    }
+
+    #[test]
+    fn non_finite_histogram_samples_are_dropped_and_counted() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        c.histogram_record("h", 1.0);
+        c.histogram_record("h", f64::NAN);
+        c.histogram_record("h", f64::INFINITY);
+        c.histogram_record("h", f64::NEG_INFINITY);
+        c.histogram_record("h", 2.0);
+        let snap = c.snapshot();
+        // Only the two finite samples landed; bucket math stays honest.
+        assert_eq!(snap.histograms["h"].count(), 2);
+        assert_eq!(snap.counters[DROPPED_SAMPLES], 3);
+        assert_eq!(c.counter_value(DROPPED_SAMPLES), 3);
+    }
+
+    #[test]
+    fn counter_and_histogram_value_accessors() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        assert_eq!(c.counter_value("absent"), 0);
+        c.counter_add("c", 7);
+        assert_eq!(c.counter_value("c"), 7);
+        assert!(c.histogram_value("absent").is_none());
+        c.histogram_record("h", 0.5);
+        assert_eq!(c.histogram_value("h").map(|h| h.count()), Some(1));
     }
 
     #[test]

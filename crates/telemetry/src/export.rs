@@ -123,27 +123,127 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escapes a Prometheus **label value** per the text exposition format:
+/// backslash, double-quote, and newline must be backslash-escaped.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes Prometheus **`# HELP` text**: backslash and newline must be
+/// backslash-escaped (quotes are legal in help text).
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the canonical storage key for a **labeled** metric:
+/// `name{k="v",…}` with label values escaped for the exposition format.
+/// Record samples under this key (`counter_add(&labeled(...), 1)`) and
+/// [`to_prometheus`] renders the label block on the sample line while
+/// grouping `# TYPE` by the base name.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a storage key into its base name and optional `{…}` label
+/// block (braces included).
+fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(open) => (&key[..open], Some(&key[open..])),
+        None => (key, None),
+    }
+}
+
 /// Renders counters, gauges, and histograms in the Prometheus text
 /// exposition format (version 0.0.4). Counter names get a `_total`
 /// suffix; histogram bucket lines are emitted cumulatively at the
-/// boundaries where counts change, plus the mandatory `+Inf`.
+/// boundaries where counts change, plus the mandatory `+Inf`. Metrics
+/// stored under [`labeled`] keys render their label block on the sample
+/// line, with one `# TYPE` (and `# HELP`, when provided) line per base
+/// family.
 pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    to_prometheus_with_help(snapshot, &[])
+}
+
+/// [`to_prometheus`] with `# HELP` lines: `help` maps telemetry base
+/// names (pre-`prom_name`, label block excluded) to help text, which is
+/// escaped per the exposition format.
+pub fn to_prometheus_with_help(snapshot: &Snapshot, help: &[(&str, &str)]) -> String {
+    let help_for = |base: &str| {
+        help.iter()
+            .find(|(n, _)| *n == base)
+            .map(|(_, h)| escape_help(h))
+    };
     let mut out = String::new();
+    // BTreeMap order keeps every `base{…}` variant adjacent to its bare
+    // `base` ('{' sorts after the name characters we emit), so one pass
+    // with a "family already typed" marker suffices.
+    let mut typed: Option<String> = None;
     for (name, value) in &snapshot.counters {
-        let mut p = prom_name(name);
+        let (base, labels) = split_labels(name);
+        let mut p = prom_name(base);
         if !p.ends_with("_total") {
             p.push_str("_total");
         }
-        let _ = writeln!(out, "# TYPE {p} counter");
-        let _ = writeln!(out, "{p} {value}");
+        if typed.as_deref() != Some(p.as_str()) {
+            if let Some(h) = help_for(base) {
+                let _ = writeln!(out, "# HELP {p} {h}");
+            }
+            let _ = writeln!(out, "# TYPE {p} counter");
+            typed = Some(p.clone());
+        }
+        let _ = writeln!(out, "{p}{} {value}", labels.unwrap_or(""));
     }
+    typed = None;
     for (name, value) in &snapshot.gauges {
-        let p = prom_name(name);
-        let _ = writeln!(out, "# TYPE {p} gauge");
-        let _ = writeln!(out, "{p} {value}");
+        let (base, labels) = split_labels(name);
+        let p = prom_name(base);
+        if typed.as_deref() != Some(p.as_str()) {
+            if let Some(h) = help_for(base) {
+                let _ = writeln!(out, "# HELP {p} {h}");
+            }
+            let _ = writeln!(out, "# TYPE {p} gauge");
+            typed = Some(p.clone());
+        }
+        let _ = writeln!(out, "{p}{} {value}", labels.unwrap_or(""));
     }
     for (name, h) in &snapshot.histograms {
-        let p = prom_name(name);
+        // Histogram families are unlabeled today; a label block in the
+        // key would collide with the `le` label, so it is dropped.
+        let (base, _) = split_labels(name);
+        let p = prom_name(base);
+        if let Some(help_text) = help_for(base) {
+            let _ = writeln!(out, "# HELP {p} {help_text}");
+        }
         let _ = writeln!(out, "# TYPE {p} histogram");
         for (bound, cum) in h.cumulative_buckets() {
             let _ = writeln!(out, "{p}_bucket{{le=\"{bound}\"}} {cum}");
@@ -172,22 +272,60 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        // Split off an optional {labels} block.
+        // Split off an optional {labels} block, scanning quote- and
+        // escape-aware so values containing `,`, `}`, or `\"` parse.
         let (name_part, rest) = match line.find('{') {
             Some(open) => {
-                let close = line[open..]
-                    .find('}')
-                    .map(|c| open + c)
-                    .ok_or_else(|| format!("line {}: unclosed label block", i + 1))?;
-                let labels = &line[open + 1..close];
-                for pair in labels.split(',').filter(|p| !p.is_empty()) {
-                    let (k, v) = pair
-                        .split_once('=')
-                        .ok_or_else(|| format!("line {}: bad label '{pair}'", i + 1))?;
-                    if !is_name(k) || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
-                        return Err(format!("line {}: bad label '{pair}'", i + 1));
+                let labels = &line[open + 1..];
+                let mut chars = labels.char_indices().peekable();
+                let mut close = None;
+                'block: loop {
+                    // Either the end of the block or one k="v" pair.
+                    match chars.peek() {
+                        Some(&(j, '}')) => {
+                            close = Some(open + 1 + j);
+                            break 'block;
+                        }
+                        Some(_) => {}
+                        None => break 'block,
+                    }
+                    // Label name up to '='.
+                    let mut key = String::new();
+                    for (_, c) in chars.by_ref() {
+                        if c == '=' {
+                            break;
+                        }
+                        key.push(c);
+                    }
+                    if !is_name(&key) {
+                        return Err(format!("line {}: bad label name '{key}'", i + 1));
+                    }
+                    // Quoted value with backslash escapes.
+                    if !matches!(chars.next(), Some((_, '"'))) {
+                        return Err(format!("line {}: unquoted label value", i + 1));
+                    }
+                    let mut closed = false;
+                    while let Some((_, c)) = chars.next() {
+                        match c {
+                            '\\' => {
+                                chars.next(); // escaped char, any
+                            }
+                            '"' => {
+                                closed = true;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !closed {
+                        return Err(format!("line {}: unterminated label value", i + 1));
+                    }
+                    // Separator or end-of-block.
+                    if let Some(&(_, ',')) = chars.peek() {
+                        chars.next();
                     }
                 }
+                let close = close.ok_or_else(|| format!("line {}: unclosed label block", i + 1))?;
                 (&line[..open], &line[close + 1..])
             }
             None => match line.split_once(' ') {
@@ -367,5 +505,102 @@ mod tests {
     fn prom_name_sanitizes() {
         assert_eq!(prom_name("sim.async.step"), "sweep_sim_async_step");
         assert_eq!(prom_name("weird-name/1"), "sweep_weird_name_1");
+    }
+
+    #[test]
+    fn label_values_escape_adversarial_content() {
+        assert_eq!(escape_label_value(r"plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        // Composed: quote+backslash+newline survive a label round trip.
+        let key = labeled("serve.http.requests_by_route", &[("route", "a\"\\\n,}b")]);
+        assert_eq!(
+            key,
+            "serve.http.requests_by_route{route=\"a\\\"\\\\\\n,}b\"}"
+        );
+    }
+
+    #[test]
+    fn help_text_escapes_backslash_and_newline() {
+        assert_eq!(escape_help("plain \"quoted\""), "plain \"quoted\""); // quotes legal
+        assert_eq!(escape_help("line1\nline2"), r"line1\nline2");
+        assert_eq!(escape_help(r"back\slash"), r"back\\slash");
+    }
+
+    #[test]
+    fn labeled_counters_export_and_validate() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        c.counter_add("serve.http.requests_by_route", 1); // bare family member
+        c.counter_add(
+            &labeled(
+                "serve.http.requests_by_route",
+                &[("route", "/v1/schedule"), ("status", "2xx")],
+            ),
+            5,
+        );
+        c.counter_add(
+            &labeled(
+                "serve.http.requests_by_route",
+                &[("route", "adver\"sarial\\route\n"), ("status", "4xx")],
+            ),
+            2,
+        );
+        let text = to_prometheus_with_help(
+            &c.snapshot(),
+            &[(
+                "serve.http.requests_by_route",
+                "requests per route\nand status \\ class",
+            )],
+        );
+        validate_prometheus(&text).unwrap();
+        // One TYPE (and HELP) line for the whole family despite three keys.
+        let base = "sweep_serve_http_requests_by_route_total";
+        assert_eq!(
+            text.matches(&format!("# TYPE {base} counter")).count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(text.matches(&format!("# HELP {base} ")).count(), 1);
+        assert!(text.contains(r"requests per route\nand status \\ class"));
+        assert!(text.contains(&format!(
+            "{base}{{route=\"/v1/schedule\",status=\"2xx\"}} 5"
+        )));
+        assert!(text.contains("route=\"adver\\\"sarial\\\\route\\n\""));
+        assert!(!text.contains("route=\"adver\"sarial")); // raw quote never leaks
+    }
+
+    #[test]
+    fn validator_handles_escaped_and_tricky_label_values() {
+        validate_prometheus("m{k=\"a\\\"b\"} 1").unwrap();
+        validate_prometheus("m{k=\"a,b\",l=\"c}d\"} 2").unwrap();
+        validate_prometheus("m{k=\"a\\\\\"} 3").unwrap();
+        assert!(validate_prometheus("m{k=\"unterminated} 1").is_err());
+        assert!(validate_prometheus("m{k=\"v\"").is_err());
+        assert!(validate_prometheus("m{9bad=\"v\"} 1").is_err());
+    }
+
+    #[test]
+    fn labeled_gauges_group_under_one_type_line() {
+        let c = Collector::new();
+        c.set_enabled(true);
+        c.gauge_set(
+            &labeled("serve.cache.bytes_by_tier", &[("tier", "1")]),
+            10.0,
+        );
+        c.gauge_set(
+            &labeled("serve.cache.bytes_by_tier", &[("tier", "2")]),
+            20.0,
+        );
+        let text = to_prometheus(&c.snapshot());
+        validate_prometheus(&text).unwrap();
+        assert_eq!(
+            text.matches("# TYPE sweep_serve_cache_bytes_by_tier gauge")
+                .count(),
+            1
+        );
+        assert!(text.contains("sweep_serve_cache_bytes_by_tier{tier=\"1\"} 10"));
+        assert!(text.contains("sweep_serve_cache_bytes_by_tier{tier=\"2\"} 20"));
     }
 }

@@ -51,6 +51,7 @@
 pub mod collector;
 pub mod export;
 pub mod metrics;
+pub mod trace;
 
 /// The shared mini-JSON codec, re-exported so existing
 /// `sweep_telemetry::json::…` paths keep working now that the
@@ -59,10 +60,15 @@ pub use sweep_json as json;
 
 pub use collector::{Clock, Collector, Snapshot, SpanEvent, SpanGuard, SpanSummary};
 pub use export::{
-    to_chrome_trace, to_prometheus, to_text_report, validate_chrome_trace, validate_prometheus,
+    escape_help, escape_label_value, labeled, to_chrome_trace, to_prometheus,
+    to_prometheus_with_help, to_text_report, validate_chrome_trace, validate_prometheus,
     ChromeTraceInfo,
 };
 pub use metrics::{Histogram, HistogramSnapshot};
+pub use trace::{
+    request_id_from_counter, traces_to_chrome, RequestTrace, TraceCtx, TraceSpan, TraceSpanGuard,
+    STAGES,
+};
 
 use std::sync::OnceLock;
 
@@ -128,6 +134,18 @@ pub fn virtual_span(
     dur_s: f64,
 ) {
     global().virtual_span(name, track, start_s, dur_s);
+}
+
+/// Reads a global counter's current value (0 when absent). Cheap
+/// before/after reads support attribution (e.g. `pool.tasks` deltas
+/// charged to one request).
+pub fn counter_value(name: &str) -> u64 {
+    global().counter_value(name)
+}
+
+/// Clones one global histogram's contents, if present.
+pub fn histogram_value(name: &str) -> Option<HistogramSnapshot> {
+    global().histogram_value(name)
 }
 
 /// Clones the global collector's current contents.

@@ -53,8 +53,13 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Records one sample.
+    /// Records one sample. Non-finite values (NaN, ±inf) are ignored —
+    /// they would poison `sum`/`min`/`max` for every later reader; the
+    /// collector layer counts such drops in `telemetry.dropped_samples`.
     pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
         self.counts[bucket_of(value)] += 1;
         self.count += 1;
         self.sum += value;
@@ -203,9 +208,13 @@ mod tests {
         h.record(-5.0);
         h.record(1e12);
         h.record(f64::NAN);
+        h.record(f64::INFINITY);
         let s = h.snapshot();
-        assert_eq!(s.count(), 4);
-        // NaN contaminates sum/min/max but counting still works.
+        // Finite degenerates are absorbed; non-finite samples are
+        // dropped so sum/min/max stay honest.
+        assert_eq!(s.count(), 3);
+        assert!(s.sum().is_finite());
+        assert!(s.min().is_finite() && s.max().is_finite());
         assert_eq!(s.cumulative_buckets().len(), 1); // the tiny bucket
     }
 
