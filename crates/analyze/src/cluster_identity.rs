@@ -1,0 +1,202 @@
+//! Cluster-identity certification (SW029 / SW021).
+//!
+//! The sharded serving layer (`sweep-serve --cluster`) promises that a
+//! schedule answered through the cluster — forwarded to its home shard,
+//! served from a peer's cache, or computed locally in degraded mode
+//! after a peer failure — is **bit-identical** to what a single-node
+//! cold computation of the same request would produce. Sharding and
+//! failover must be routing optimizations, never approximations.
+//!
+//! This analyzer checks that promise on a concrete pair: the
+//! cluster-served artifact (whatever path it took) and an independently
+//! recomputed one. The diff is exhaustive: every task start time, every
+//! cell's processor, the makespan, and the winning-trial metadata. Any
+//! divergence (a corrupted forwarded artifact, digest aliasing across
+//! shards, a stale peer cache) is reported as SW029 at error severity;
+//! a clean diff — after re-validating the served schedule's feasibility
+//! against the instance — pushes the SW021 certification, naming the
+//! serving path that was exercised.
+
+use sweep_core::{validate, Schedule};
+use sweep_dag::SweepInstance;
+
+use crate::diag::{Anchor, Code, Diagnostic, Report};
+
+/// Provenance and trial metadata accompanying the two schedules under
+/// comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterIdentityMeta {
+    /// The tier-2 content digest that routed the request on the ring.
+    pub digest: u64,
+    /// How the cluster answered: `"forward"`, `"fallback"`, `"cached"`,
+    /// or `"local"`.
+    pub path: String,
+    /// Winning trial index of the cluster-served artifact.
+    pub served_trial: usize,
+    /// Winning trial index of the cold recomputation.
+    pub cold_trial: usize,
+    /// Winning trial's child seed of the cluster-served artifact.
+    pub served_seed: u64,
+    /// Winning trial's child seed of the cold recomputation.
+    pub cold_seed: u64,
+}
+
+/// Diffs a cluster-served schedule against a single-node cold
+/// recomputation of the same content-addressed request. See the module
+/// docs for what SW029 covers.
+pub fn analyze_cluster_identity(
+    instance: &SweepInstance,
+    served: &Schedule,
+    cold: &Schedule,
+    meta: ClusterIdentityMeta,
+) -> Report {
+    let mut report = Report::new(format!(
+        "cluster identity for '{}' (digest {:016x}, path {})",
+        instance.name(),
+        meta.digest,
+        meta.path
+    ));
+    let mut clean = true;
+
+    if meta.served_trial != meta.cold_trial || meta.served_seed != meta.cold_seed {
+        clean = false;
+        report.push(Diagnostic::new(
+            Code::ClusterDivergence,
+            Anchor::none(),
+            format!(
+                "winning trial differs: cluster path '{}' served trial {} (seed {:#x}), cold \
+                 run picked trial {} (seed {:#x})",
+                meta.path, meta.served_trial, meta.served_seed, meta.cold_trial, meta.cold_seed
+            ),
+        ));
+    }
+    if served.makespan() != cold.makespan() {
+        clean = false;
+        report.push(Diagnostic::new(
+            Code::ClusterDivergence,
+            Anchor::none(),
+            format!(
+                "makespan differs: cluster served {} vs cold {}",
+                served.makespan(),
+                cold.makespan()
+            ),
+        ));
+    }
+    if served.starts() != cold.starts() {
+        clean = false;
+        let witness = served
+            .starts()
+            .iter()
+            .zip(cold.starts())
+            .position(|(a, b)| a != b);
+        report.push(Diagnostic::new(
+            Code::ClusterDivergence,
+            Anchor::none(),
+            format!(
+                "start times differ{}",
+                witness.map_or_else(
+                    || " in length".to_string(),
+                    |t| format!(" (first divergent task index {t})")
+                )
+            ),
+        ));
+    }
+    let n = instance.num_cells() as u32;
+    if let Some(cell) = (0..n).find(|&v| served.proc_of_cell(v) != cold.proc_of_cell(v)) {
+        clean = false;
+        report.push(Diagnostic::new(
+            Code::ClusterDivergence,
+            Anchor::cell(cell),
+            format!(
+                "assignment differs: cluster puts cell {cell} on processor {}, cold on {}",
+                served.proc_of_cell(cell),
+                cold.proc_of_cell(cell)
+            ),
+        ));
+    }
+    if let Err(e) = validate(instance, served) {
+        clean = false;
+        report.push(Diagnostic::new(
+            Code::ClusterDivergence,
+            Anchor::none(),
+            format!("cluster-served schedule is not even feasible for the instance: {e}"),
+        ));
+    }
+
+    if clean {
+        report.push(Diagnostic::new(
+            Code::Certified,
+            Anchor::none(),
+            format!(
+                "cluster identity certified: digest {:016x} via path '{}' serves a schedule \
+                 bit-identical to a single-node cold compute (makespan {}, winning trial {})",
+                meta.digest,
+                meta.path,
+                served.makespan(),
+                meta.served_trial
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweep_core::{Algorithm, Assignment};
+
+    fn pair() -> (SweepInstance, Schedule) {
+        let inst = SweepInstance::random_layered(40, 3, 5, 2, 8);
+        let a = Assignment::random_cells(40, 4, 2);
+        let s = Algorithm::RandomDelayPriorities.run(&inst, a, 77);
+        (inst, s)
+    }
+
+    fn meta() -> ClusterIdentityMeta {
+        ClusterIdentityMeta {
+            digest: 0xfeed,
+            path: "forward".to_string(),
+            served_trial: 1,
+            cold_trial: 1,
+            served_seed: 0xabc,
+            cold_seed: 0xabc,
+        }
+    }
+
+    #[test]
+    fn identical_schedules_certify_and_name_the_path() {
+        let (inst, s) = pair();
+        let r = analyze_cluster_identity(&inst, &s, &s.clone(), meta());
+        assert!(!r.has_errors(), "{}", r.render_text());
+        assert!(r.has_code(Code::Certified));
+        assert!(!r.has_code(Code::ClusterDivergence));
+        assert!(
+            r.render_text().contains("path 'forward'"),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn divergent_schedules_fire_sw029() {
+        let (inst, s) = pair();
+        let a = Assignment::random_cells(40, 4, 2);
+        let other = Algorithm::RandomDelayPriorities.run(&inst, a, 78);
+        let mut m = meta();
+        m.path = "fallback".to_string();
+        m.cold_trial = 2;
+        let r = analyze_cluster_identity(&inst, &s, &other, m);
+        assert!(r.has_errors());
+        assert!(r.has_code(Code::ClusterDivergence));
+        assert!(!r.has_code(Code::Certified));
+    }
+
+    #[test]
+    fn sw029_registry_entry_is_stable() {
+        assert_eq!(Code::ClusterDivergence.as_str(), "SW029");
+        assert_eq!(
+            Code::ClusterDivergence.severity(),
+            crate::diag::Severity::Error
+        );
+    }
+}

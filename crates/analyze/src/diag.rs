@@ -32,6 +32,7 @@
 //! | SW026 | error | lost wakeup: a schedule parks a thread no one can ever notify |
 //! | SW027 | error | single-flight liveness: a waiter can wedge on an abandoned leader |
 //! | SW028 | error | malformed request trace tree (unclosed span, dangling parent, bad coalesce ref) |
+//! | SW029 | error | cluster-served schedule differs from single-node cold compute |
 
 use std::fmt;
 
@@ -98,6 +99,7 @@ pub enum Code {
     LostWakeup,
     SingleFlightLiveness,
     TraceTreeMalformed,
+    ClusterDivergence,
 }
 
 impl Code {
@@ -129,6 +131,7 @@ impl Code {
             Code::LostWakeup => "SW026",
             Code::SingleFlightLiveness => "SW027",
             Code::TraceTreeMalformed => "SW028",
+            Code::ClusterDivergence => "SW029",
         }
     }
 
@@ -170,6 +173,9 @@ impl Code {
             Code::TraceTreeMalformed => {
                 "malformed request trace tree (unclosed span, dangling parent, bad coalesce ref)"
             }
+            Code::ClusterDivergence => {
+                "cluster-served schedule differs from single-node cold compute"
+            }
         }
     }
 
@@ -190,7 +196,8 @@ impl Code {
             | Code::LockOrderCycle
             | Code::LostWakeup
             | Code::SingleFlightLiveness
-            | Code::TraceTreeMalformed => Severity::Error,
+            | Code::TraceTreeMalformed
+            | Code::ClusterDivergence => Severity::Error,
             Code::EmptyProcessor
             | Code::LoadImbalance
             | Code::UnreachableCell

@@ -51,6 +51,7 @@ pub mod diag;
 
 mod assignment;
 mod cache_identity;
+mod cluster_identity;
 mod happens_before;
 mod instance;
 mod parallel;
@@ -60,6 +61,7 @@ mod tracetree;
 
 pub use assignment::{analyze_assignment, analyze_assignment_with};
 pub use cache_identity::{analyze_cache_identity, CacheIdentityMeta};
+pub use cluster_identity::{analyze_cluster_identity, ClusterIdentityMeta};
 pub use concurrency::{
     analyze_model_checks, ConcurrencyFinding, ConcurrencyFindingKind, ModelCheckRun,
 };

@@ -27,7 +27,10 @@ use std::net::TcpStream;
 use std::time::Instant;
 
 use sweep_bench::BenchArgs;
-use sweep_serve::{AccessLogSink, CacheStats, Server, ServerConfig};
+use sweep_serve::{
+    certify_cluster_identity, AccessLogSink, CacheStats, ClusterConfig, Member, ScheduleRequest,
+    Server, ServerConfig,
+};
 use sweep_telemetry::RequestTrace;
 
 /// Client worker threads issuing requests concurrently.
@@ -181,6 +184,161 @@ fn run_phase(scale: f64, trace_sample_every: u64) -> Phase {
     }
 }
 
+/// One run of the schedule trace against a two-shard cluster, with a
+/// mid-run shard kill: the surviving shard must keep answering 200
+/// with bit-identical schedules (SW029-certified).
+struct ClusterPhase {
+    latencies: Vec<f64>,
+    errors: usize,
+    wall_secs: f64,
+    forwards: u64,
+    fallbacks: u64,
+    rpc_serves: u64,
+    survivor_200s: usize,
+}
+
+impl ClusterPhase {
+    fn rps(&self) -> f64 {
+        self.latencies.len() as f64 / self.wall_secs
+    }
+}
+
+fn run_cluster_phase(scale: f64) -> ClusterPhase {
+    let members = vec![
+        Member {
+            id: 0,
+            http_addr: "127.0.0.1:0".to_string(),
+            rpc_addr: "127.0.0.1:0".to_string(),
+        },
+        Member {
+            id: 1,
+            http_addr: "127.0.0.1:0".to_string(),
+            rpc_addr: "127.0.0.1:0".to_string(),
+        },
+    ];
+    let bind = |self_id: u64| {
+        let mut cluster = ClusterConfig::new(self_id, members.clone());
+        cluster.connect_timeout = std::time::Duration::from_millis(250);
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: CLIENTS,
+            max_inflight: 4 * CLIENTS,
+            trace_sample_every: 0,
+            access_log: AccessLogSink::Null,
+            cluster: Some(cluster),
+            ..ServerConfig::default()
+        })
+        .expect("bind shard")
+    };
+    let s0 = bind(0);
+    let s1 = bind(1);
+    let rpc0 = s0.rpc_addr().expect("rpc addr");
+    let rpc1 = s1.rpc_addr().expect("rpc addr");
+    s0.cluster()
+        .expect("cluster")
+        .set_peer_addr(1, &rpc1.to_string());
+    s1.cluster()
+        .expect("cluster")
+        .set_peer_addr(0, &rpc0.to_string());
+    let addr0 = s0.local_addr().expect("addr");
+    let addr1 = s1.local_addr().expect("addr");
+    let (svc0, svc1) = (s0.service(), s1.service());
+    let cluster0 = s0.cluster().expect("cluster");
+    let (h0, h1) = (
+        s0.shutdown_handle().expect("handle"),
+        s1.shutdown_handle().expect("handle"),
+    );
+    let t0 = std::thread::spawn(move || s0.run());
+    let t1 = std::thread::spawn(move || s1.run());
+
+    let post = |body: &str| {
+        format!(
+            "POST /v1/schedule HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    // The same mixed schedule trace, with clients split across the two
+    // shard frontends: repeats of a content not homed where they land
+    // exercise the forward path; repeats that are exercise the local
+    // cache. No client knows or cares about the ring.
+    let wall = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let post = &post;
+                let addr = if c % 2 == 0 { addr0 } else { addr1 };
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut errs = 0usize;
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let seed = ((c + i) % DISTINCT) as u64;
+                        let (micros, status) = exchange(addr, &post(&schedule_body(scale, seed)));
+                        if status != 200 && status != 429 {
+                            errs += 1;
+                        }
+                        lat.push(micros);
+                    }
+                    (lat, errs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, errs) = h.join().expect("client thread");
+            latencies.extend(lat);
+            errors += errs;
+        }
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    // SW029 gate while both shards are up: every distinct content, on
+    // both shards, whatever path served it, is bit-identical to a
+    // single-node cold compute.
+    for seed in 0..DISTINCT as u64 {
+        let req = ScheduleRequest::from_json(&schedule_body(scale, seed)).expect("request");
+        for svc in [&svc0, &svc1] {
+            let report = certify_cluster_identity(svc, &req).expect("certify");
+            assert!(
+                !report.has_errors(),
+                "SW029 gate failed:\n{}",
+                report.render_text()
+            );
+        }
+    }
+
+    // Kill shard 1 outright, then drive the survivor with every warm
+    // content plus as many cold ones: cold contents homed on the corpse
+    // must degrade to local compute, and everything must answer 200.
+    h1.shutdown();
+    t1.join().expect("shard 1 thread").expect("shard 1 run");
+    drop(svc1);
+    let mut survivor_200s = 0usize;
+    for seed in 0..2 * DISTINCT as u64 {
+        let (_, status) = exchange(addr0, &post(&schedule_body(scale, seed)));
+        if status == 200 {
+            survivor_200s += 1;
+        }
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let counters = cluster0.counters();
+    let phase = ClusterPhase {
+        latencies,
+        errors,
+        wall_secs,
+        forwards: counters.forwards.load(std::sync::atomic::Ordering::SeqCst),
+        fallbacks: counters.fallbacks.load(std::sync::atomic::Ordering::SeqCst),
+        rpc_serves: counters
+            .rpc_serves
+            .load(std::sync::atomic::Ordering::SeqCst),
+        survivor_200s,
+    };
+    h0.shutdown();
+    t0.join().expect("shard 0 thread").expect("shard 0 run");
+    phase
+}
+
 /// Bridges the telemetry trace type into the analyzer's plain-data form.
 fn to_trace_data(t: &RequestTrace) -> sweep_analyze::RequestTraceData {
     sweep_analyze::RequestTraceData {
@@ -209,6 +367,18 @@ fn main() {
     // Phase 2: every request traced; its exemplars feed SW028 + the
     // Chrome artifact.
     let traced = run_phase(args.scale, 1);
+    // Phase 3: the same schedule trace against a two-shard cluster with
+    // a mid-run shard kill; SW029 gates bit-identity on every path.
+    let cluster = run_cluster_phase(args.scale);
+    assert_eq!(
+        cluster.survivor_200s,
+        2 * DISTINCT,
+        "survivor shard failed to answer every content after the kill"
+    );
+    eprintln!(
+        "# SW029: {} cluster-served contents certified on both shards",
+        DISTINCT
+    );
 
     // SW028 gate: the span trees the traced run produced must be
     // structurally sound, else the Server-Timing / slow-trace numbers
@@ -289,9 +459,29 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"cluster\": {{\"shards\": 2, \"single_shard_rps\": {:.1}, \
+         \"two_shard_rps\": {:.1}, \
+         \"latency_us\": {{\"p50\": {:.0}, \"p99\": {:.0}}}, \
+         \"errors\": {}, \"shard0_forwards\": {}, \"shard0_fallbacks\": {}, \
+         \"shard0_rpc_serves\": {}, \"survivor_200s_after_kill\": {}, \
+         \"sw029\": \"certified\"}},",
+        untraced.rps(),
+        cluster.rps(),
+        percentile(&cluster.latencies, 0.50),
+        percentile(&cluster.latencies, 0.99),
+        cluster.errors,
+        cluster.forwards,
+        cluster.fallbacks,
+        cluster.rpc_serves,
+        cluster.survivor_200s
+    );
+    let _ = writeln!(
+        json,
         "  \"note\": \"in-process server over loopback; p50 is dominated by cache hits \
          (digest lookup), the cold tail by DAG induction + best-of-b trials; the traced \
-         phase re-runs the same trace with full span trees on\""
+         phase re-runs the same trace with full span trees on; the cluster phase splits \
+         the trace across two shards routed by the consistent-hash ring, then SIGKILLs \
+         one shard and replays every content against the survivor\""
     );
     json.push_str("}\n");
 

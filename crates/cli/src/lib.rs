@@ -98,6 +98,7 @@ COMMANDS:
              [--format text|json] [--out FILE] [--curve FILE]
   serve      [--addr HOST:PORT] [--threads N] [--cache-mb MB]
              [--max-inflight N] [--trace-sample N] [--log-sample N]
+             [--cluster FILE --self-id N]
              (HTTP scheduling service; see API.md)
   top        [--url http://HOST:PORT] [--interval SECS] [--count N]
              [--plain]    (live dashboard over a running `sweep serve`)
@@ -140,8 +141,13 @@ writes a makespan(fault_rate) degradation CSV.
 algorithm) from a content-addressed cache — identical requests after the
 first are served without recomputation, bit-identical (certified by the
 SW024 analyzer). It sheds load with 429 + Retry-After past
---max-inflight, and blocks until the process is killed. The wire
-protocol is documented in API.md.
+--max-inflight, and blocks until the process is killed. With --cluster
+FILE (one `<id> <http_addr> <rpc_addr>` line per shard) and --self-id N
+it joins a static sharded cluster: schedule requests are routed over a
+consistent-hash ring of content digests and forwarded to their home
+shard's cache, falling back to bit-identical local compute when a peer
+is down (certified by the SW029 analyzer). The wire protocol and the
+membership format are documented in API.md.
 
 `check` model-checks the workspace's concurrent kernels — the pool's
 work-stealing deques and the server's single-flight schedule cache
@@ -530,6 +536,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
     let max_inflight: usize = get(flags, "max-inflight", 32)?;
     let trace_sample: u64 = get(flags, "trace-sample", 1)?;
     let log_sample: u64 = get(flags, "log-sample", 1)?;
+    let cluster = match (flags.get("cluster"), flags.get("self-id")) {
+        (None, None) => None,
+        (Some(_), None) => return Err("--cluster needs --self-id".into()),
+        (None, Some(_)) => return Err("--self-id needs --cluster".into()),
+        (Some(path), Some(id)) => {
+            let self_id: u64 = id.parse().map_err(|e| format!("--self-id: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let members = sweep_serve::parse_members(&text)?;
+            Some(sweep_serve::ClusterConfig::new(self_id, members))
+        }
+    };
     let config = sweep_serve::ServerConfig {
         addr,
         threads: if threads == 0 {
@@ -541,6 +558,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
         max_inflight: max_inflight.max(1),
         trace_sample_every: trace_sample,
         log_sample_every: log_sample,
+        cluster,
         ..sweep_serve::ServerConfig::default()
     };
     let server = sweep_serve::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
@@ -550,6 +568,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
          (POST /v1/schedule, GET /v1/presets, GET /metrics, GET /debug/vars, \
          GET /debug/trace, GET /healthz; access log on stderr)"
     );
+    if let (Some(cluster), Some(rpc)) = (server.cluster(), server.rpc_addr()) {
+        println!(
+            "cluster shard {} of {} (peer rpc on {rpc}, ring {} points)",
+            cluster.self_id(),
+            cluster.members().len(),
+            cluster.ring().len_points(),
+        );
+    }
     server.run().map_err(|e| e.to_string())?;
     Ok(format!("sweep-serve on {addr} shut down cleanly\n"))
 }
@@ -639,6 +665,43 @@ fn render_top(
         u(&["pool", "steals"]),
         u(&["slow_traces"]),
     );
+    if let Some(cluster) = doc.get("cluster") {
+        let peers = cluster
+            .get("peers")
+            .and_then(|p| p.as_array())
+            .map(|peers| {
+                peers
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{}:{}",
+                            p.get("id").and_then(|v| v.as_u64()).unwrap_or(0),
+                            p.get("status").and_then(|v| v.as_str()).unwrap_or("?")
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "cluster  shard {:>3}{}   forwards {:>6}   fallbacks {:>5}   rpc serves {:>6}   peers [{}]",
+            u(&["cluster", "self_id"]),
+            if cluster
+                .get("degraded")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false)
+            {
+                " (degraded)"
+            } else {
+                ""
+            },
+            u(&["cluster", "forwards"]),
+            u(&["cluster", "fallbacks"]),
+            u(&["cluster", "rpc_serves"]),
+            peers,
+        );
+    }
     let _ = writeln!(out, "stage        p50 µs      p99 µs     samples");
     for stage in telemetry::STAGES {
         let s = doc.get("stages_us").and_then(|s| s.get(stage));
@@ -1206,6 +1269,61 @@ mod tests {
         assert!(run(&args(&["serve", "--addr", "not-an-address"]))
             .unwrap_err()
             .contains("bind"));
+    }
+
+    #[test]
+    fn serve_cluster_flags_come_as_a_pair() {
+        assert!(HELP.contains("--cluster FILE --self-id N"));
+        assert!(run(&args(&["serve", "--cluster", "members.txt"]))
+            .unwrap_err()
+            .contains("--self-id"));
+        assert!(run(&args(&["serve", "--self-id", "0"]))
+            .unwrap_err()
+            .contains("--cluster"));
+        assert!(run(&args(&[
+            "serve",
+            "--cluster",
+            "/no/such/file",
+            "--self-id",
+            "0"
+        ]))
+        .unwrap_err()
+        .contains("/no/such/file"));
+    }
+
+    #[test]
+    fn top_renders_the_per_shard_cluster_row() {
+        let members = vec![sweep_serve::Member {
+            id: 0,
+            http_addr: "127.0.0.1:0".to_string(),
+            rpc_addr: "127.0.0.1:0".to_string(),
+        }];
+        let server = sweep_serve::Server::bind(sweep_serve::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            access_log: sweep_serve::AccessLogSink::Null,
+            cluster: Some(sweep_serve::ClusterConfig::new(0, members)),
+            ..sweep_serve::ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || server.run());
+
+        let frame = run(&args(&[
+            "top",
+            "--url",
+            &format!("http://{addr}"),
+            "--count",
+            "1",
+            "--plain",
+        ]))
+        .unwrap();
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        assert!(frame.contains("cluster  shard   0"), "{frame}");
+        assert!(frame.contains("forwards"), "{frame}");
+        assert!(frame.contains("fallbacks"), "{frame}");
     }
 
     #[test]

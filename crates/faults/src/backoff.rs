@@ -37,6 +37,49 @@ pub fn retry_after_secs(rto: f64, attempt: u32) -> u64 {
     delay(rto, attempt).ceil().max(1.0) as u64
 }
 
+/// Full-jitter backoff: a deterministic draw from
+/// `[0, backoff_delay(rto, attempt, cap))`.
+///
+/// When a shard recovers after a crash, every peer that queued work
+/// against it retries at once; pure exponential backoff keeps those
+/// retries phase-locked and the recovering shard sees synchronized
+/// bursts. Full jitter (the AWS "full jitter" policy) spreads each
+/// retry uniformly over the capped exponential window, decorrelating
+/// the storm while keeping the same worst-case wait.
+///
+/// The draw is a pure function of `(seed, attempt)` — a SplitMix64
+/// hash, the same finalizer [`FaultPlan`](crate::FaultPlan) uses for
+/// per-message decisions — so a retry schedule replays bit-identically
+/// for a fixed seed. Callers that want per-peer decorrelation fold the
+/// peer identity into the seed.
+pub fn full_jitter_delay(rto: f64, attempt: u32, cap: u32, seed: u64) -> f64 {
+    let ceiling = backoff_delay(rto, attempt, cap);
+    ceiling * unit(seed, attempt)
+}
+
+/// [`full_jitter_delay`] with the default cap.
+#[inline]
+pub fn full_jitter(rto: f64, attempt: u32, seed: u64) -> f64 {
+    full_jitter_delay(rto, attempt, DEFAULT_BACKOFF_CAP, seed)
+}
+
+/// A deterministic draw in `[0, 1)` from `(seed, attempt)`.
+fn unit(seed: u64, attempt: u32) -> f64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xB0FF_0FF5;
+    x = splitmix(x ^ attempt as u64);
+    x = splitmix(x);
+    // 53 high bits → [0, 1).
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit permutation.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +100,52 @@ mod tests {
         assert_eq!(retry_after_secs(0.3, 0), 1);
         assert_eq!(retry_after_secs(1.5, 1), 3);
         assert_eq!(retry_after_secs(2.5, 2), 10);
+    }
+
+    /// The jittered sequence for a fixed seed is pinned: RPC retry
+    /// schedules must replay bit-identically across runs and hosts.
+    #[test]
+    fn full_jitter_sequence_is_pinned_for_a_fixed_seed() {
+        let got: Vec<String> = (0..5)
+            .map(|attempt| format!("{:.9}", full_jitter(1.0, attempt, 2005)))
+            .collect();
+        assert_eq!(
+            got,
+            [
+                "0.955252149",
+                "1.607625607",
+                "2.672428733",
+                "2.323712742",
+                "3.750372268",
+            ]
+        );
+        let other: Vec<String> = (0..3)
+            .map(|attempt| format!("{:.9}", full_jitter(1.0, attempt, 7)))
+            .collect();
+        assert_eq!(other, ["0.128918803", "0.821021320", "1.583423249"]);
+    }
+
+    #[test]
+    fn full_jitter_stays_under_the_exponential_ceiling() {
+        for seed in [0u64, 1, 42, 2005, u64::MAX] {
+            for attempt in 0..20 {
+                let d = full_jitter_delay(1.5, attempt, 6, seed);
+                let ceiling = backoff_delay(1.5, attempt, 6);
+                assert!(
+                    (0.0..ceiling).contains(&d),
+                    "seed {seed} attempt {attempt}: {d} not in [0, {ceiling})"
+                );
+                // Deterministic: same (seed, attempt) → same draw.
+                assert_eq!(d, full_jitter_delay(1.5, attempt, 6, seed));
+            }
+        }
+    }
+
+    #[test]
+    fn full_jitter_decorrelates_across_seeds() {
+        // Two peers retrying the same attempt must not be phase-locked.
+        let a = full_jitter(1.0, 3, 11);
+        let b = full_jitter(1.0, 3, 12);
+        assert_ne!(a, b);
     }
 }

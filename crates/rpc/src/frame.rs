@@ -1,0 +1,198 @@
+//! The wire unit: a length-prefixed frame with a magic/version header.
+//!
+//! Layout, in order, all little-endian:
+//!
+//! ```text
+//! [4] magic  b"SWRP"
+//! [1] version (currently 1)
+//! [1] kind   (KIND_* constants)
+//! [8] body length in bytes (u64 LE, <= MAX_FRAME_BYTES)
+//! [n] body
+//! ```
+//!
+//! The length is validated *before* any allocation so a hostile peer
+//! announcing `u64::MAX` costs nothing; magic and version are checked
+//! first so a stray HTTP client (or noise) is rejected after 6 bytes.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every sweep-rpc frame.
+pub const MAGIC: [u8; 4] = *b"SWRP";
+
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+
+/// Largest accepted frame body. Sized for a serialized
+/// `ScheduleArtifact` of the biggest in-budget instance (8M tasks at
+/// ~4 bytes per start) with comfortable slack.
+pub const MAX_FRAME_BYTES: u64 = 64 << 20;
+
+/// Failure-detector probe; empty body.
+pub const KIND_PING: u8 = 1;
+/// Probe answer; empty body.
+pub const KIND_PONG: u8 = 2;
+/// Forwarded schedule request: 8-byte LE origin shard id + request JSON.
+pub const KIND_SCHEDULE: u8 = 3;
+/// Schedule answer: an opaque serialized artifact.
+pub const KIND_ARTIFACT: u8 = 4;
+/// Typed refusal: UTF-8 message body.
+pub const KIND_ERROR: u8 = 5;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer violated the protocol (bad magic, unknown version or
+    /// kind, oversized length). The connection must be closed — the
+    /// stream can no longer be trusted to be frame-aligned.
+    Bad(String),
+    /// The underlying transport failed (timeout, reset, truncation).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Bad(msg) => write!(f, "bad frame: {msg}"),
+            FrameError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// One request or response on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// One of the `KIND_*` constants.
+    pub kind: u8,
+    /// The payload; interpretation depends on `kind`.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with the given kind and body.
+    pub fn new(kind: u8, body: Vec<u8>) -> Frame {
+        Frame { kind, body }
+    }
+
+    /// Serialize onto `w`. One `write_all` per field keeps the codec
+    /// obvious; callers wrap the stream in a `BufWriter` when the body
+    /// is small.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&[VERSION, self.kind])?;
+        w.write_all(&(self.body.len() as u64).to_le_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Read and validate one frame from `r`.
+    ///
+    /// Returns [`FrameError::Bad`] on any header violation — the caller
+    /// must close the connection, because after a framing error the
+    /// byte stream is unparseable. Truncation mid-frame surfaces as
+    /// [`FrameError::Io`] (`UnexpectedEof` or a read timeout).
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+        let mut header = [0u8; 6];
+        r.read_exact(&mut header)?;
+        if header[..4] != MAGIC {
+            return Err(FrameError::Bad(format!(
+                "bad magic {:02x}{:02x}{:02x}{:02x}",
+                header[0], header[1], header[2], header[3]
+            )));
+        }
+        if header[4] != VERSION {
+            return Err(FrameError::Bad(format!("unknown version {}", header[4])));
+        }
+        let kind = header[5];
+        if !(KIND_PING..=KIND_ERROR).contains(&kind) {
+            return Err(FrameError::Bad(format!("unknown frame kind {kind}")));
+        }
+        let mut len_bytes = [0u8; 8];
+        r.read_exact(&mut len_bytes)?;
+        let len = u64::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::Bad(format!(
+                "frame length {len} exceeds cap {MAX_FRAME_BYTES}"
+            )));
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body)?;
+        Ok(Frame { kind, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_a_buffer() {
+        let f = Frame::new(KIND_SCHEDULE, b"hello".to_vec());
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        let back = Frame::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn rejects_garbage_magic() {
+        let buf = b"GET / HTTP/1.1\r\n\r\n".to_vec();
+        match Frame::read_from(&mut buf.as_slice()) {
+            Err(FrameError::Bad(msg)) => assert!(msg.contains("bad magic"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_length_before_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&[VERSION, KIND_PING]);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        match Frame::read_from(&mut buf.as_slice()) {
+            Err(FrameError::Bad(msg)) => assert!(msg.contains("exceeds cap"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error() {
+        let f = Frame::new(KIND_ARTIFACT, vec![7; 32]);
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            match Frame::read_from(&mut &buf[..cut]) {
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof)
+                }
+                other => panic!("cut {cut}: expected Io(UnexpectedEof), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_version_and_kind() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&[9, KIND_PING]);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            Frame::read_from(&mut buf.as_slice()),
+            Err(FrameError::Bad(_))
+        ));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&[VERSION, 200]);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            Frame::read_from(&mut buf.as_slice()),
+            Err(FrameError::Bad(_))
+        ));
+    }
+}

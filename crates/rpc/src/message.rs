@@ -1,0 +1,142 @@
+//! The typed layer over [`Frame`]: what the cluster actually says.
+//!
+//! The schedule payloads stay opaque bytes here — the request body is
+//! the same canonical JSON the HTTP endpoint accepts, and the artifact
+//! body is `sweep-serve`'s own serialization — so this crate needs no
+//! knowledge of meshes or schedules and the workspace dependency graph
+//! stays a clean layer cake.
+
+use crate::frame::{
+    Frame, FrameError, KIND_ARTIFACT, KIND_ERROR, KIND_PING, KIND_PONG, KIND_SCHEDULE,
+};
+
+/// A request frame, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcRequest {
+    /// Failure-detector probe.
+    Ping,
+    /// A schedule request forwarded from shard `origin`; `body` is the
+    /// canonical request JSON the HTTP endpoint would accept.
+    Schedule {
+        /// Shard id of the forwarding peer (for logs and loop checks).
+        origin: u64,
+        /// Canonical request JSON.
+        body: String,
+    },
+}
+
+impl RpcRequest {
+    /// Encode into a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            RpcRequest::Ping => Frame::new(KIND_PING, Vec::new()),
+            RpcRequest::Schedule { origin, body } => {
+                let mut buf = Vec::with_capacity(8 + body.len());
+                buf.extend_from_slice(&origin.to_le_bytes());
+                buf.extend_from_slice(body.as_bytes());
+                Frame::new(KIND_SCHEDULE, buf)
+            }
+        }
+    }
+
+    /// Decode a request frame; response kinds are a protocol violation.
+    pub fn from_frame(frame: &Frame) -> Result<RpcRequest, FrameError> {
+        match frame.kind {
+            KIND_PING => Ok(RpcRequest::Ping),
+            KIND_SCHEDULE => {
+                if frame.body.len() < 8 {
+                    return Err(FrameError::Bad(
+                        "schedule frame shorter than origin id".into(),
+                    ));
+                }
+                let mut id = [0u8; 8];
+                id.copy_from_slice(&frame.body[..8]);
+                let body = String::from_utf8(frame.body[8..].to_vec())
+                    .map_err(|_| FrameError::Bad("schedule body is not UTF-8".into()))?;
+                Ok(RpcRequest::Schedule {
+                    origin: u64::from_le_bytes(id),
+                    body,
+                })
+            }
+            k => Err(FrameError::Bad(format!("kind {k} is not a request"))),
+        }
+    }
+}
+
+/// A response frame, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcResponse {
+    /// Probe answer.
+    Pong,
+    /// A serialized `ScheduleArtifact` (opaque to this crate).
+    Artifact(Vec<u8>),
+    /// A typed refusal; the caller falls back to local compute.
+    Error(String),
+}
+
+impl RpcResponse {
+    /// Encode into a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            RpcResponse::Pong => Frame::new(KIND_PONG, Vec::new()),
+            RpcResponse::Artifact(bytes) => Frame::new(KIND_ARTIFACT, bytes.clone()),
+            RpcResponse::Error(msg) => Frame::new(KIND_ERROR, msg.as_bytes().to_vec()),
+        }
+    }
+
+    /// Decode a response frame; request kinds are a protocol violation.
+    pub fn from_frame(frame: &Frame) -> Result<RpcResponse, FrameError> {
+        match frame.kind {
+            KIND_PONG => Ok(RpcResponse::Pong),
+            KIND_ARTIFACT => Ok(RpcResponse::Artifact(frame.body.clone())),
+            KIND_ERROR => Ok(RpcResponse::Error(
+                String::from_utf8_lossy(&frame.body).into_owned(),
+            )),
+            k => Err(FrameError::Bad(format!("kind {k} is not a response"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            RpcRequest::Ping,
+            RpcRequest::Schedule {
+                origin: 3,
+                body: "{\"preset\":\"tetonly\"}".into(),
+            },
+        ] {
+            assert_eq!(RpcRequest::from_frame(&req.to_frame()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            RpcResponse::Pong,
+            RpcResponse::Artifact(vec![1, 2, 3]),
+            RpcResponse::Error("busy".into()),
+        ] {
+            assert_eq!(RpcResponse::from_frame(&resp.to_frame()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn short_schedule_body_is_rejected() {
+        let frame = Frame::new(KIND_SCHEDULE, vec![0; 4]);
+        assert!(matches!(
+            RpcRequest::from_frame(&frame),
+            Err(FrameError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        assert!(RpcRequest::from_frame(&RpcResponse::Pong.to_frame()).is_err());
+        assert!(RpcResponse::from_frame(&RpcRequest::Ping.to_frame()).is_err());
+    }
+}

@@ -37,6 +37,18 @@
 //! and sheds load with `429 Too Many Requests` + a backoff hint
 //! (`sweep_faults::backoff`) when saturated.
 //!
+//! With `--cluster members.txt --self-id N` the same server runs as
+//! one shard of a static, crash-surviving cluster ([`cluster`]): a
+//! consistent-hash ring over the content digests assigns each request
+//! a home shard, non-home shards forward at the artifact level over
+//! the in-tree [`sweep_rpc`] framed protocol (single-flight stays
+//! intact *cluster-wide*), a Suspect/Down failure detector with
+//! background probing tracks peers, and an unreachable home shard
+//! degrades gracefully to a bit-identical local compute — certified
+//! by the SW029 `analyze_cluster_identity` analyzer. Cluster
+//! disposition is reported only in response headers (`X-Sweep-Shard`,
+//! `X-Sweep-Forwarded-From`, `X-Sweep-Degraded`), never in the body.
+//!
 //! The service core is plain Rust and fully testable without sockets:
 //!
 //! ```
@@ -55,19 +67,27 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cache;
+pub mod cluster;
 pub mod digest;
 pub mod http;
 #[cfg(feature = "model-check")]
 pub mod model;
 pub mod ops;
+pub mod ring;
 pub mod server;
 pub mod service;
 
 pub use cache::{CacheStats, ScheduleCache, TierStats};
+pub use cluster::{
+    decode_artifact, encode_artifact, parse_members, ClusterConfig, ClusterState, Member,
+    PeerStatus,
+};
 pub use digest::{fx_digest, instance_digest, schedule_digest};
 pub use http::{Request, Response};
 pub use ops::{access_log_line, AccessLogSink, OpsState};
+pub use ring::Ring;
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use service::{
-    certify_cache_identity, ScheduleRequest, ScheduleResponse, ServiceConfig, SweepService,
+    certify_cache_identity, certify_cluster_identity, ClusterDisposition, ScheduleRequest,
+    ScheduleResponse, ServiceConfig, SweepService,
 };

@@ -1,0 +1,130 @@
+//! Consistent hashing: a fixed-point ring over the `u64` digest space.
+//!
+//! Every schedule digest (the pinned content addresses from
+//! [`digest`](crate::digest)) gets exactly one *home shard*: the member
+//! owning the first ring point at or clockwise-after the digest. Each
+//! member contributes [`VNODES`] virtual points — `fx_digest` of
+//! `"shard:{id}:vnode:{v}"` — so ownership is spread evenly and adding
+//! or removing a member moves only `~1/n` of the key space.
+//!
+//! The ring is a pure function of the sorted member id set, so every
+//! shard in a cluster computes the identical ring from the same
+//! membership file and routing never needs agreement traffic.
+
+use crate::digest::fx_digest;
+
+/// Virtual points each member contributes to the ring.
+pub const VNODES: usize = 64;
+
+/// An immutable consistent-hash ring over member ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    /// `(point, member id)` sorted by point (ties broken by id).
+    points: Vec<(u64, u64)>,
+}
+
+impl Ring {
+    /// Builds the ring for a member id set. Order of `member_ids` does
+    /// not matter; duplicate ids are the caller's bug (membership
+    /// parsing rejects them).
+    pub fn new(member_ids: &[u64]) -> Ring {
+        let mut points = Vec::with_capacity(member_ids.len() * VNODES);
+        for &id in member_ids {
+            for v in 0..VNODES {
+                let point = fx_digest(format!("shard:{id}:vnode:{v}").as_bytes());
+                points.push((point, id));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// The home shard for a digest: the owner of the first point at or
+    /// after it, wrapping at the top of the `u64` space.
+    pub fn home_of(&self, digest: u64) -> u64 {
+        debug_assert!(!self.points.is_empty(), "ring has no members");
+        let i = self.points.partition_point(|&(p, _)| p < digest);
+        self.points[i % self.points.len()].1
+    }
+
+    /// Total virtual points on the ring (`members × VNODES`).
+    pub fn len_points(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::schedule_digest;
+
+    #[test]
+    fn ring_is_deterministic_and_order_insensitive() {
+        let a = Ring::new(&[0, 1, 2]);
+        let b = Ring::new(&[2, 0, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.len_points(), 3 * VNODES);
+        for d in [0u64, 1, u64::MAX, 0x1234_5678_9abc_def0] {
+            assert_eq!(a.home_of(d), b.home_of(d));
+        }
+    }
+
+    #[test]
+    fn every_member_owns_a_reasonable_share() {
+        let ring = Ring::new(&[0, 1]);
+        let mut counts = [0usize; 2];
+        for i in 0..10_000u64 {
+            let d = fx_digest(&i.to_le_bytes());
+            counts[ring.home_of(d) as usize] += 1;
+        }
+        for (id, &c) in counts.iter().enumerate() {
+            assert!(
+                (2_000..=8_000).contains(&c),
+                "member {id} owns {c} of 10000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_member_moves_only_part_of_the_space() {
+        let two = Ring::new(&[0, 1]);
+        let three = Ring::new(&[0, 1, 2]);
+        let mut moved = 0usize;
+        let total = 10_000u64;
+        for i in 0..total {
+            let d = fx_digest(&i.to_le_bytes());
+            let before = two.home_of(d);
+            let after = three.home_of(d);
+            if before != after {
+                // Consistent hashing: keys only ever move *to* the new
+                // member, never between the old ones.
+                assert_eq!(after, 2, "key {i} moved {before} -> {after}");
+                moved += 1;
+            }
+        }
+        assert!(
+            moved > 0 && moved < total as usize * 6 / 10,
+            "moved {moved} of {total}"
+        );
+    }
+
+    #[test]
+    fn real_schedule_digests_split_across_a_two_shard_ring() {
+        // The roundtrip tests rely on finding request seeds homed on
+        // each shard; make sure both shards own live schedule digests.
+        let ring = Ring::new(&[0, 1]);
+        let inst_key = crate::digest::instance_digest(b"preset:tetonly:3f847ae147ae147b", 2);
+        let homes: Vec<u64> = (0..16u64)
+            .map(|seed| ring.home_of(schedule_digest(inst_key, 4, "rdp", false, seed, 4)))
+            .collect();
+        assert!(homes.contains(&0) && homes.contains(&1), "{homes:?}");
+    }
+
+    #[test]
+    fn single_member_ring_owns_everything() {
+        let ring = Ring::new(&[7]);
+        for d in [0u64, 42, u64::MAX] {
+            assert_eq!(ring.home_of(d), 7);
+        }
+    }
+}

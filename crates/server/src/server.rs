@@ -27,9 +27,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use sweep_rpc::{RpcServer, RpcServerConfig, RpcShutdownHandle};
 use sweep_telemetry as telemetry;
 use sweep_telemetry::STAGES;
 
+use crate::cluster::{ClusterConfig, ClusterState};
 use crate::http::{ReadError, Request, Response};
 use crate::ops::{access_log_line, AccessLogSink};
 use crate::service::{ServiceConfig, SweepService};
@@ -67,6 +69,11 @@ pub struct ServerConfig {
     pub slow_keep: usize,
     /// Requests per slow-exemplar window.
     pub slow_window: u64,
+    /// Cluster membership; `None` (the default) runs a plain
+    /// single-node server. `Some` makes [`Server::bind`] also bind this
+    /// shard's peer RPC listener and [`Server::run`] route schedule
+    /// requests across the consistent-hash ring.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +91,7 @@ impl Default for ServerConfig {
             access_log: AccessLogSink::Stderr,
             slow_keep: 8,
             slow_window: 512,
+            cluster: None,
         }
     }
 }
@@ -93,14 +101,19 @@ impl Default for ServerConfig {
 pub struct ShutdownHandle {
     flag: Arc<AtomicBool>,
     addr: SocketAddr,
+    rpc: Option<RpcShutdownHandle>,
 }
 
 impl ShutdownHandle {
-    /// Requests shutdown: stops accepting new connections and drains
-    /// the in-flight ones. Idempotent; returns immediately (join the
-    /// thread running [`Server::run`] to wait for the drain).
+    /// Requests shutdown: stops accepting new connections (HTTP and,
+    /// in cluster mode, peer RPC) and drains the in-flight ones.
+    /// Idempotent; returns immediately (join the thread running
+    /// [`Server::run`] to wait for the drain).
     pub fn shutdown(&self) {
         self.flag.store(true, Ordering::SeqCst);
+        if let Some(rpc) = &self.rpc {
+            rpc.shutdown();
+        }
         // Wake the blocking accept with a throwaway connection; if the
         // connect fails the listener is already gone, which is fine.
         let _ = TcpStream::connect(self.addr);
@@ -118,11 +131,18 @@ pub struct Server {
     config: ServerConfig,
     service: Arc<SweepService>,
     flag: Arc<AtomicBool>,
+    cluster: Option<Arc<ClusterState>>,
+    rpc: Option<RpcServer>,
 }
 
 impl Server {
     /// Binds the listen socket and builds the service (empty caches).
     /// Telemetry collection is switched on so `/metrics` has data.
+    ///
+    /// In cluster mode (`config.cluster` is `Some`) this also builds
+    /// the shared [`ClusterState`] and binds this shard's peer RPC
+    /// listener at its own member's `rpc_addr`; a bad membership
+    /// (self id absent, empty list) surfaces as `InvalidInput`.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         telemetry::set_enabled(true);
@@ -135,11 +155,38 @@ impl Server {
         ops.set_log_sampling(config.log_sample_every);
         ops.set_access_log(config.access_log.clone());
         ops.set_slow_buffer(config.slow_keep, config.slow_window);
+        let (cluster, rpc) = match &config.cluster {
+            None => (None, None),
+            Some(cluster_config) => {
+                let bad = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, e);
+                let state = Arc::new(ClusterState::new(cluster_config.clone()).map_err(bad)?);
+                let rpc_addr = cluster_config
+                    .members
+                    .iter()
+                    .find(|m| m.id == cluster_config.self_id)
+                    .map(|m| m.rpc_addr.clone())
+                    .ok_or_else(|| bad("self id missing from members".to_string()))?;
+                let handler_service = Arc::clone(&service);
+                let rpc = RpcServer::bind(
+                    &rpc_addr,
+                    RpcServerConfig {
+                        threads: cluster_config.rpc_threads,
+                        read_timeout: cluster_config.rpc_read_timeout,
+                        write_timeout: cluster_config.rpc_read_timeout,
+                    },
+                    Arc::new(move |frame| handler_service.serve_peer_rpc(frame)),
+                )?;
+                service.set_cluster(Arc::clone(&state));
+                (Some(state), Some(rpc))
+            }
+        };
         Ok(Server {
             listener,
             config,
             service,
             flag: Arc::new(AtomicBool::new(false)),
+            cluster,
+            rpc,
         })
     }
 
@@ -148,11 +195,27 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The bound peer-RPC address in cluster mode (resolves port `0`),
+    /// `None` on a single-node server.
+    pub fn rpc_addr(&self) -> Option<SocketAddr> {
+        self.rpc.as_ref().and_then(|r| r.local_addr().ok())
+    }
+
+    /// The shared cluster state in cluster mode (peer health, counters,
+    /// the test-only fault hooks), `None` on a single-node server.
+    pub fn cluster(&self) -> Option<Arc<ClusterState>> {
+        self.cluster.as_ref().map(Arc::clone)
+    }
+
     /// A handle that can stop this server from another thread.
     pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
         Ok(ShutdownHandle {
             flag: Arc::clone(&self.flag),
             addr: self.local_addr()?,
+            rpc: match &self.rpc {
+                None => None,
+                Some(rpc) => Some(rpc.shutdown_handle()?),
+            },
         })
     }
 
@@ -163,12 +226,47 @@ impl Server {
 
     /// Runs the accept loop until [`ShutdownHandle::shutdown`] is
     /// called, then drains in-flight connections and returns.
+    ///
+    /// Cluster mode also runs two more loops inside the same scope: the
+    /// peer RPC accept loop (schedule requests forwarded from other
+    /// shards) and a prober that pings Suspect/Down peers every
+    /// `probe_interval` so a healed partition re-promotes them to Up.
     pub fn run(self) -> std::io::Result<()> {
         let inflight = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let threads = self.config.threads.max(1);
+        let rpc_handle = match &self.rpc {
+            None => None,
+            Some(rpc) => Some(rpc.shutdown_handle()?),
+        };
         std::thread::scope(|scope| {
+            if let Some(rpc) = &self.rpc {
+                scope.spawn(move || rpc.run());
+            }
+            if let Some(cluster) = &self.cluster {
+                let flag = Arc::clone(&self.flag);
+                let interval = cluster.config().probe_interval;
+                scope.spawn(move || {
+                    let slice = Duration::from_millis(50);
+                    loop {
+                        // Sleep in short slices so shutdown is never
+                        // blocked behind a full probe interval.
+                        let mut slept = Duration::ZERO;
+                        while slept < interval {
+                            if flag.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(slice);
+                            slept += slice;
+                        }
+                        if flag.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        cluster.probe_round();
+                    }
+                });
+            }
             for _ in 0..threads {
                 let rx = Arc::clone(&rx);
                 let inflight = Arc::clone(&inflight);
@@ -224,6 +322,11 @@ impl Server {
                 }
             }
             drop(tx); // workers drain the queue, then exit
+            if let Some(rpc) = &rpc_handle {
+                // Idempotent: ensures the RPC accept loop exits even
+                // when `run` stops for a reason other than the handle.
+                rpc.shutdown();
+            }
         });
         Ok(())
     }
@@ -484,6 +587,72 @@ mod tests {
         // The healthz request was traced (sample-every-1) and so sits in
         // the slow buffer the /debug/trace body was rendered from.
         assert!(!service.ops().slow_traces().is_empty());
+    }
+
+    #[test]
+    fn single_member_cluster_serves_and_reports_itself() {
+        use crate::cluster::{ClusterConfig, Member};
+        let members = vec![Member {
+            id: 3,
+            http_addr: "127.0.0.1:0".to_string(),
+            rpc_addr: "127.0.0.1:0".to_string(),
+        }];
+        let server = Server::bind(ServerConfig {
+            cluster: Some(ClusterConfig::new(3, members)),
+            ..test_config()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        assert!(server.rpc_addr().is_some());
+        let cluster = server.cluster().unwrap();
+        assert_eq!(cluster.self_id(), 3);
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || server.run());
+
+        // Cluster healthz is a JSON document with the cluster fragment,
+        // and every response names the shard that served it.
+        let reply = raw_request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("X-Sweep-Shard: 3\r\n"), "{reply}");
+        let body = reply.split("\r\n\r\n").nth(1).unwrap();
+        let doc = sweep_json::parse(body).expect(body);
+        let c = doc.get("cluster").expect(body);
+        assert_eq!(c.get("self_id").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(c.get("degraded").and_then(|v| v.as_bool()), Some(false));
+
+        // A single-member ring homes everything locally: no cluster
+        // disposition headers, identical schedule to a plain service.
+        let body = r#"{"preset": "tetonly", "scale": 0.01, "sn": 2, "m": 4, "seed": 11, "b": 2}"#;
+        let reply = raw_request(
+            addr,
+            &format!(
+                "POST /v1/schedule HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(!reply.contains("X-Sweep-Forwarded-From"), "{reply}");
+        assert!(!reply.contains("X-Sweep-Degraded"), "{reply}");
+
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn cluster_bind_rejects_a_bad_membership() {
+        use crate::cluster::{ClusterConfig, Member};
+        let members = vec![Member {
+            id: 0,
+            http_addr: "127.0.0.1:0".to_string(),
+            rpc_addr: "127.0.0.1:0".to_string(),
+        }];
+        let err = Server::bind(ServerConfig {
+            cluster: Some(ClusterConfig::new(9, members)),
+            ..test_config()
+        })
+        .err()
+        .expect("bind must fail when self id is absent");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! only the accept loop around [`SweepService::route`].
 
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use sweep_core::{
     best_of_trials_with_pool, c1_interprocessor_edges, c2_comm_delay, lower_bounds, validate,
@@ -17,13 +18,15 @@ use sweep_dag::SweepInstance;
 use sweep_json::Value;
 use sweep_mesh::MeshPreset;
 use sweep_quadrature::QuadratureSet;
+use sweep_rpc::{Frame, RpcRequest, RpcResponse};
 use sweep_telemetry as telemetry;
 use sweep_telemetry::TraceCtx;
 
 use crate::cache::{ScheduleArtifact, ScheduleCache};
+use crate::cluster::{encode_artifact, ClusterState, Route};
 use crate::digest::{instance_digest, schedule_digest};
 use crate::http::{Request, Response};
-use crate::ops::OpsState;
+use crate::ops::{access_log_line, OpsState};
 
 /// Where a request's mesh comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -218,6 +221,40 @@ impl ScheduleRequest {
             MeshSource::Inline { text } => text.clone().into_bytes(),
         }
     }
+
+    /// Serializes this request back to a JSON body that
+    /// [`ScheduleRequest::from_json`] parses to an equal value — the
+    /// payload a forward RPC carries to the digest's home shard. Every
+    /// field is explicit (no defaults on the wire), and `scale` uses
+    /// Rust's shortest round-trip float form, so the home shard derives
+    /// the identical digest.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::from("{");
+        match &self.mesh {
+            MeshSource::Preset { name, scale } => {
+                let _ = write!(
+                    out,
+                    "\"preset\": \"{}\", \"scale\": {scale:?}, ",
+                    sweep_json::escape(name)
+                );
+            }
+            MeshSource::Inline { text } => {
+                let _ = write!(out, "\"instance\": \"{}\", ", sweep_json::escape(text));
+            }
+        }
+        let _ = write!(
+            out,
+            "\"sn\": {}, \"m\": {}, \"algorithm\": \"{}\", \"delays\": {}, \
+             \"seed\": {}, \"b\": {}}}",
+            self.sn,
+            self.m,
+            sweep_json::escape(&self.algorithm),
+            self.delays,
+            self.seed,
+            self.b
+        );
+        out
+    }
 }
 
 /// Maps the CLI's algorithm vocabulary onto [`Algorithm`].
@@ -267,6 +304,28 @@ pub struct ScheduleResponse {
     pub instance_cache_hit: bool,
     /// Tier-2 content digest (hex; the cache address of this result).
     pub digest: u64,
+    /// How the cluster layer satisfied this request (`None` outside
+    /// cluster mode, and for local homes and cache hits). Reported as
+    /// response *headers*, never in the JSON body, so bodies stay
+    /// bit-identical across serving paths.
+    pub cluster: Option<ClusterDisposition>,
+}
+
+/// How a clustered request's artifact was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterDisposition {
+    /// The artifact came from the digest's home shard over RPC.
+    Forwarded {
+        /// The home shard's id.
+        home: u64,
+    },
+    /// The home shard was unreachable (or the forward failed); this
+    /// shard degraded gracefully to local compute. The answer is
+    /// bit-identical either way.
+    Fallback {
+        /// The home shard's id.
+        home: u64,
+    },
 }
 
 impl ScheduleResponse {
@@ -335,12 +394,23 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Everything [`SweepService::artifact_with`] learns about one request.
+struct ArtifactOutcome {
+    inst: Arc<SweepInstance>,
+    inst_hit: bool,
+    key: u64,
+    artifact: Arc<ScheduleArtifact>,
+    hit: bool,
+    cluster: Option<ClusterDisposition>,
+}
+
 /// The scheduling service: config + the two-tier cache + the shared
 /// operational state behind `/debug/vars` and the access log.
 pub struct SweepService {
     config: ServiceConfig,
     cache: ScheduleCache,
     ops: Arc<OpsState>,
+    cluster: OnceLock<Arc<ClusterState>>,
 }
 
 impl SweepService {
@@ -351,12 +421,24 @@ impl SweepService {
             config,
             cache,
             ops: Arc::new(OpsState::default()),
+            cluster: OnceLock::new(),
         }
     }
 
     /// The underlying cache (stats introspection).
     pub fn cache(&self) -> &ScheduleCache {
         &self.cache
+    }
+
+    /// Attaches cluster state (once, at server bind). Before this the
+    /// service behaves exactly as a single node.
+    pub fn set_cluster(&self, cluster: Arc<ClusterState>) {
+        let _ = self.cluster.set(cluster);
+    }
+
+    /// The attached cluster state, if the server runs in cluster mode.
+    pub fn cluster(&self) -> Option<&Arc<ClusterState>> {
+        self.cluster.get()
     }
 
     /// The shared operational state (request ids, sampling, slow-trace
@@ -425,6 +507,60 @@ impl SweepService {
         req: &ScheduleRequest,
         ctx: &TraceCtx,
     ) -> Result<ScheduleResponse, String> {
+        let outcome = self.artifact_with(req, ctx, true)?;
+        let ArtifactOutcome {
+            inst,
+            inst_hit,
+            key,
+            artifact,
+            hit,
+            cluster,
+        } = outcome;
+        let lb = lower_bounds(&inst, req.m);
+        Ok(ScheduleResponse {
+            name: inst.name().to_string(),
+            cells: inst.num_cells(),
+            directions: inst.num_directions(),
+            tasks: inst.num_tasks(),
+            m: req.m,
+            algorithm: req.algorithm.clone(),
+            makespan: artifact.schedule.makespan(),
+            lower_bound: lb.best(),
+            c1: c1_interprocessor_edges(&inst, artifact.schedule.assignment()),
+            c2: c2_comm_delay(&inst, &artifact.schedule),
+            trial: artifact.trial,
+            b: req.b,
+            cache_hit: hit,
+            instance_cache_hit: inst_hit,
+            digest: key,
+            cluster,
+        })
+    }
+
+    /// The cached artifact for a request, as the answer to a peer's
+    /// forward RPC: the same cached compute path minus the forwarding
+    /// step — the home shard always computes (or serves) locally, which
+    /// is the loop guard if two shards ever disagree about a ring.
+    pub fn schedule_artifact(
+        &self,
+        req: &ScheduleRequest,
+        ctx: &TraceCtx,
+    ) -> Result<Arc<ScheduleArtifact>, String> {
+        Ok(self.artifact_with(req, ctx, false)?.artifact)
+    }
+
+    /// The shared artifact acquisition path: tier-1 instance, tier-2
+    /// single-flight, and — when `allow_forward` and this shard is not
+    /// the digest's home — one forwarded RPC that every concurrent
+    /// follower coalesces onto (cluster-wide single-flight). Any
+    /// forward failure degrades to local compute; determinism makes the
+    /// degraded answer bit-identical.
+    fn artifact_with(
+        &self,
+        req: &ScheduleRequest,
+        ctx: &TraceCtx,
+        allow_forward: bool,
+    ) -> Result<ArtifactOutcome, String> {
         let _span = telemetry::span!("serve.schedule");
         check_m(req.m)?;
         let algorithm = algorithm_from_name(&req.algorithm, req.delays)?;
@@ -432,7 +568,21 @@ impl SweepService {
         let key = schedule_digest(inst_key, req.m, &req.algorithm, req.delays, req.seed, req.b);
         let cache_span = ctx.span("cache");
         let cctx = cache_span.ctx().clone();
+        let mut cluster_via: Option<ClusterDisposition> = None;
         let (artifact, hit) = self.cache.schedule(key, &cctx, || {
+            if allow_forward {
+                if let Some(outcome) = self.try_forward(key, req, &inst, &cctx) {
+                    match outcome {
+                        Ok(remote) => {
+                            cluster_via = Some(ClusterDisposition::Forwarded { home: remote.0 });
+                            return Ok(remote.1);
+                        }
+                        Err(home) => {
+                            cluster_via = Some(ClusterDisposition::Fallback { home });
+                        }
+                    }
+                }
+            }
             let _span = telemetry::span!("serve.compute");
             let _stage = cctx.span("schedule");
             // Attribute the pool work this request triggered: the
@@ -463,24 +613,130 @@ impl SweepService {
             })
         })?;
         drop(cache_span);
-        let lb = lower_bounds(&inst, req.m);
-        Ok(ScheduleResponse {
-            name: inst.name().to_string(),
-            cells: inst.num_cells(),
-            directions: inst.num_directions(),
-            tasks: inst.num_tasks(),
-            m: req.m,
-            algorithm: req.algorithm.clone(),
-            makespan: artifact.schedule.makespan(),
-            lower_bound: lb.best(),
-            c1: c1_interprocessor_edges(&inst, artifact.schedule.assignment()),
-            c2: c2_comm_delay(&inst, &artifact.schedule),
-            trial: artifact.trial,
-            b: req.b,
-            cache_hit: hit,
-            instance_cache_hit: inst_hit,
-            digest: key,
+        Ok(ArtifactOutcome {
+            inst,
+            inst_hit,
+            key,
+            artifact,
+            hit,
+            cluster: cluster_via,
         })
+    }
+
+    /// The forwarding decision inside the tier-2 leader closure.
+    ///
+    /// * `None` — not clustered, or this shard is the digest's home:
+    ///   compute locally with no cluster disposition.
+    /// * `Some(Ok((home, artifact)))` — the home shard answered and the
+    ///   artifact validated against the locally induced instance.
+    /// * `Some(Err(home))` — the home shard is down, unreachable, or
+    ///   answered garbage: degrade to local compute, noted as a
+    ///   fallback.
+    #[allow(clippy::type_complexity)]
+    fn try_forward(
+        &self,
+        key: u64,
+        req: &ScheduleRequest,
+        inst: &SweepInstance,
+        cctx: &TraceCtx,
+    ) -> Option<Result<(u64, ScheduleArtifact), u64>> {
+        let cluster = self.cluster.get()?;
+        match cluster.route_for(key) {
+            Route::Local => None,
+            Route::Degraded(home) => {
+                cluster.record_fallback();
+                cctx.note("cluster", "fallback");
+                telemetry::counter_add("serve.cluster.fallbacks", 1);
+                Some(Err(home))
+            }
+            Route::Forward(peer) => {
+                let home = cluster.home_of(key);
+                let _stage = cctx.span("schedule");
+                match cluster.forward_schedule(peer, req.to_canonical_json(), key) {
+                    Ok(remote) => {
+                        // Never trust bytes off the wire blindly: the
+                        // artifact must be a feasible schedule for the
+                        // locally induced instance.
+                        match validate(inst, &remote.schedule) {
+                            Ok(()) => {
+                                cctx.note("cluster", "forward");
+                                telemetry::counter_add("serve.cluster.forwards", 1);
+                                Some(Ok((home, remote)))
+                            }
+                            Err(e) => {
+                                cluster.record_forward_fail();
+                                cluster.record_fallback();
+                                cctx.note("cluster", "fallback");
+                                cctx.note("cluster_error", format!("infeasible: {e}"));
+                                telemetry::counter_add("serve.cluster.fallbacks", 1);
+                                Some(Err(home))
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        cluster.record_forward_fail();
+                        cluster.record_fallback();
+                        cctx.note("cluster", "fallback");
+                        cctx.note("cluster_error", e);
+                        telemetry::counter_add("serve.cluster.fallbacks", 1);
+                        Some(Err(home))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves one inbound peer RPC frame: pings get pongs, forwarded
+    /// schedule requests run the local (never re-forwarding) cached
+    /// compute path and return the encoded artifact. Emits an
+    /// access-log line with method `RPC` so cluster-wide single-flight
+    /// is observable in the same place as HTTP traffic.
+    pub fn serve_peer_rpc(&self, frame: &Frame) -> Frame {
+        match RpcRequest::from_frame(frame) {
+            Ok(RpcRequest::Ping) => RpcResponse::Pong.to_frame(),
+            Ok(RpcRequest::Schedule { origin, body }) => {
+                let started = Instant::now();
+                if let Some(cluster) = self.cluster.get() {
+                    cluster.record_rpc_serve();
+                }
+                telemetry::counter_add("serve.cluster.rpc_serves", 1);
+                let conn = self.ops.next_conn();
+                let ctx = self.ops.trace_ctx(conn);
+                let root = ctx.span("request");
+                root.ctx().note("forwarded_from", origin);
+                let result = match ScheduleRequest::from_json(&body) {
+                    Ok(req) => self.schedule_artifact(&req, root.ctx()),
+                    Err(e) => Err(e),
+                };
+                drop(root);
+                let trace = ctx.finish();
+                let (response, status, bytes) = match result {
+                    Ok(artifact) => {
+                        let encoded = encode_artifact(&artifact);
+                        let n = encoded.len();
+                        (RpcResponse::Artifact(encoded), 200, n)
+                    }
+                    Err(e) => {
+                        let status = if e.starts_with("internal:") { 500 } else { 422 };
+                        (RpcResponse::Error(e), status, 0)
+                    }
+                };
+                if self.ops.should_log(conn) {
+                    self.ops.log(&access_log_line(
+                        ctx.request_id(),
+                        "RPC",
+                        "/rpc/schedule",
+                        status,
+                        bytes,
+                        started.elapsed().as_micros() as u64,
+                        self.ops.sheds(),
+                        trace.as_ref(),
+                    ));
+                }
+                response.to_frame()
+            }
+            Err(e) => RpcResponse::Error(format!("{e}")).to_frame(),
+        }
     }
 
     /// Recomputes a request **cold** — no cache read, no cache write —
@@ -539,7 +795,17 @@ impl SweepService {
     pub fn route_traced(&self, req: &Request, ctx: &TraceCtx) -> Response {
         telemetry::counter_add("serve.http.requests", 1);
         let response = match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => Response::text("ok\n".to_string()),
+            // In cluster mode health is a JSON document carrying the
+            // cluster surface; peers being down makes it
+            // `"degraded": true` but never non-200 — a shard that can
+            // still compute locally is alive.
+            ("GET", "/healthz") => match self.cluster.get() {
+                None => Response::text("ok\n".to_string()),
+                Some(cluster) => Response::json(format!(
+                    "{{\"status\": \"ok\", \"cluster\": {}}}\n",
+                    cluster.status_json_fragment()
+                )),
+            },
             ("GET", "/v1/presets") => Response::json(render_presets()),
             ("GET", "/metrics") => {
                 let text = telemetry::to_prometheus(&telemetry::snapshot());
@@ -565,7 +831,20 @@ impl SweepService {
                         Ok(parsed) => match self.schedule_traced(&parsed, ctx) {
                             Ok(resp) => {
                                 let _ser = ctx.span("serialize");
-                                Response::json(resp.render_json())
+                                // Cluster disposition travels as headers
+                                // only: JSON bodies stay bit-identical
+                                // across forward/fallback/local paths.
+                                let response = Response::json(resp.render_json());
+                                match resp.cluster {
+                                    None => response,
+                                    Some(ClusterDisposition::Forwarded { home }) => response
+                                        .with_header("X-Sweep-Forwarded-From", home.to_string()),
+                                    Some(ClusterDisposition::Fallback { home }) => response
+                                        .with_header(
+                                            "X-Sweep-Degraded",
+                                            format!("fallback; home={home}"),
+                                        ),
+                                }
                             }
                             // A well-formed request naming something that
                             // doesn't exist or doesn't fit is the client's
@@ -611,7 +890,13 @@ impl SweepService {
             ),
             1,
         );
-        response
+        // Every response from a clustered shard names the shard that
+        // produced it, so a client behind a load balancer can tell the
+        // shards apart.
+        match self.cluster.get() {
+            None => response,
+            Some(cluster) => response.with_header("X-Sweep-Shard", cluster.self_id().to_string()),
+        }
     }
 
     /// The `GET /debug/vars` body: a point-in-time JSON snapshot of the
@@ -660,6 +945,9 @@ impl SweepService {
             snap.counters.get("pool.tasks").copied().unwrap_or(0),
             snap.counters.get("pool.steals").copied().unwrap_or(0)
         );
+        if let Some(cluster) = self.cluster.get() {
+            let _ = writeln!(out, "  \"cluster\": {},", cluster.status_json_fragment());
+        }
         out.push_str("  \"stages_us\": {");
         for (i, stage) in telemetry::STAGES.iter().enumerate() {
             let (p50, p99, count) = snap
@@ -732,6 +1020,43 @@ pub fn certify_cache_identity(
             cached_trial: cached.trial,
             cold_trial: cold.trial,
             cached_seed: cached.trial_seed,
+            cold_seed: cold.trial_seed,
+        },
+    ))
+}
+
+/// Runs the SW029 cluster-identity certification for one request:
+/// serves it through this shard's full cluster path — whichever way it
+/// resolves (forwarded from the home shard, degraded to local compute,
+/// plain local, or already cached) — then recomputes the request cold
+/// on this node and diffs the served schedule against the cold one
+/// bit-for-bit through `sweep-analyze`.
+pub fn certify_cluster_identity(
+    service: &SweepService,
+    req: &ScheduleRequest,
+) -> Result<sweep_analyze::Report, String> {
+    let served = service.schedule(req)?;
+    let path = match served.cluster {
+        Some(ClusterDisposition::Forwarded { .. }) => "forward",
+        Some(ClusterDisposition::Fallback { .. }) => "fallback",
+        None if served.cache_hit => "cached",
+        None => "local",
+    };
+    let key = served.digest;
+    let (artifact, _) = service.cache().schedule(key, &TraceCtx::disabled(), || {
+        Err("internal: artifact vanished after serving".to_string())
+    })?;
+    let (inst, cold) = service.compute_cold(req)?;
+    Ok(sweep_analyze::analyze_cluster_identity(
+        &inst,
+        &artifact.schedule,
+        &cold.schedule,
+        sweep_analyze::ClusterIdentityMeta {
+            digest: key,
+            path: path.to_string(),
+            served_trial: artifact.trial,
+            cold_trial: cold.trial,
+            served_seed: artifact.trial_seed,
             cold_seed: cold.trial_seed,
         },
     ))
