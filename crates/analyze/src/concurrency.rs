@@ -54,7 +54,7 @@ pub struct ConcurrencyFinding {
 /// The outcome of model-checking one model.
 #[derive(Debug, Clone)]
 pub struct ModelCheckRun {
-    /// Model name, e.g. `pool.deque.drain` (names containing
+    /// Model name, e.g. `pool.range.drain` (names containing
     /// `single-flight` route liveness findings to SW027).
     pub model: String,
     /// Executions explored (DFS + random).
@@ -182,11 +182,11 @@ mod tests {
 
     #[test]
     fn clean_runs_emit_sw020_and_no_errors() {
-        let report = analyze_model_checks(&[run("pool.deque.drain", vec![])]);
+        let report = analyze_model_checks(&[run("pool.range.drain", vec![])]);
         assert!(!report.has_errors());
         assert!(report.has_code(Code::Stats));
         let text = report.render_text();
-        assert!(text.contains("pool.deque.drain"));
+        assert!(text.contains("pool.range.drain"));
         assert!(text.contains("complete"));
     }
 

@@ -10,6 +10,14 @@
 //! records the host's available parallelism, since measured speedup is
 //! bounded by physical cores (a 1-core container shows ≈ 1× regardless
 //! of worker count).
+//!
+//! A second, untimed pass per width runs with telemetry enabled and
+//! records the lock-free pool counters (steal attempts, failed CAS
+//! count, parked workers) and the trial-scratch allocation counters
+//! (grow events per trial — zero after warm-up means the arena path is
+//! allocation-free in steady state) into the JSON's `lockfree` section.
+//! Keeping the instrumented pass separate leaves the timed pass free of
+//! telemetry overhead.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -24,6 +32,10 @@ use sweep_quadrature::QuadratureSet;
 const TRIALS: usize = 32;
 /// Processors for the scheduling trials.
 const PROCS: usize = 16;
+/// Timed repetitions per width; the fastest is reported. Single-core
+/// containers jitter enough that one-shot timings routinely swing
+/// ±30% — min-of-R is the standard stabilizer.
+const REPEATS: usize = 3;
 
 struct Measurement {
     threads: usize,
@@ -68,6 +80,41 @@ fn measure(
     }
 }
 
+/// Lock-free pool and scratch-arena counters for one width, collected
+/// from a telemetry-enabled (untimed) re-run.
+struct LockfreeStats {
+    threads: usize,
+    tasks: u64,
+    steals: u64,
+    steal_attempts: u64,
+    steal_failures: u64,
+    parked: u64,
+    trials: u64,
+    grow_events: u64,
+}
+
+fn instrument(
+    args: &BenchArgs,
+    mesh: &sweep_mesh::TetMesh,
+    quad: &QuadratureSet,
+    threads: usize,
+) -> LockfreeStats {
+    sweep_telemetry::reset();
+    sweep_telemetry::set_enabled(true);
+    let _ = measure(args, mesh, quad, threads);
+    sweep_telemetry::set_enabled(false);
+    LockfreeStats {
+        threads,
+        tasks: sweep_telemetry::counter_value("pool.tasks"),
+        steals: sweep_telemetry::counter_value("pool.steals"),
+        steal_attempts: sweep_telemetry::counter_value("pool.steal_attempts"),
+        steal_failures: sweep_telemetry::counter_value("pool.steal_failures"),
+        parked: sweep_telemetry::counter_value("pool.parked"),
+        trials: sweep_telemetry::counter_value("sched.scratch.trials"),
+        grow_events: sweep_telemetry::counter_value("sched.scratch.grows"),
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let mesh = args.mesh(MeshPreset::Tetonly);
@@ -81,25 +128,45 @@ fn main() {
     );
 
     let reference = measure(&args, &mesh, &quad, 1);
-    let seq_total = reference.induce_ms + reference.trials_ms;
 
-    let mut rows = Vec::new();
+    // Best-of-REPEATS per width; every repeat is diffed against the
+    // cold sequential reference, so identity is checked on all runs
+    // even though only the fastest is reported.
+    let mut best_runs: Vec<(Measurement, bool)> = Vec::new();
     let mut all_identical = true;
     for &threads in &[1usize, 2, 4, 8] {
-        let m = if threads == 1 {
-            // Re-measure so width 1 pays the same cache-warm conditions
-            // as the other widths instead of the cold first run.
-            measure(&args, &mesh, &quad, 1)
-        } else {
-            measure(&args, &mesh, &quad, threads)
-        };
-        let identical = m.instance.dags() == reference.instance.dags()
-            && m.stats_fingerprint == reference.stats_fingerprint
-            && m.best.trial == reference.best.trial
-            && m.best.seed == reference.best.seed
-            && m.best.outcomes == reference.best.outcomes
-            && m.best.schedule.starts() == reference.best.schedule.starts();
-        all_identical &= identical;
+        let mut best: Option<Measurement> = None;
+        let mut width_identical = true;
+        for _ in 0..REPEATS {
+            let m = measure(&args, &mesh, &quad, threads);
+            let identical = m.instance.dags() == reference.instance.dags()
+                && m.stats_fingerprint == reference.stats_fingerprint
+                && m.best.trial == reference.best.trial
+                && m.best.seed == reference.best.seed
+                && m.best.outcomes == reference.best.outcomes
+                && m.best.schedule.starts() == reference.best.schedule.starts();
+            width_identical &= identical;
+            if best
+                .as_ref()
+                .is_none_or(|b| m.induce_ms + m.trials_ms < b.induce_ms + b.trials_ms)
+            {
+                best = Some(m);
+            }
+        }
+        all_identical &= width_identical;
+        best_runs.push((best.expect("REPEATS > 0"), width_identical));
+    }
+    // The sequential baseline: fastest of the cold reference and the
+    // warm width-1 repeats (same code path — the pool degenerates to a
+    // plain loop at one worker).
+    let seq_total = best_runs
+        .iter()
+        .filter(|(m, _)| m.threads == 1)
+        .map(|(m, _)| m.induce_ms + m.trials_ms)
+        .fold(reference.induce_ms + reference.trials_ms, f64::min);
+
+    let mut rows = Vec::new();
+    for (m, identical) in &best_runs {
         let total = m.induce_ms + m.trials_ms;
         let speedup = seq_total / total;
         sink.row(format_args!(
@@ -112,10 +179,18 @@ fn main() {
             m.trials_ms,
             total,
             speedup,
-            identical,
+            *identical,
         ));
     }
     sink.finish();
+
+    // Untimed instrumented pass: same work, telemetry on, counters per
+    // width. Runs after the timed loop so its overhead cannot leak into
+    // the measurements above.
+    let lockfree: Vec<LockfreeStats> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| instrument(&args, &mesh, &quad, threads))
+        .collect();
     sweep_pool::set_global_threads(0);
 
     let mut json = String::new();
@@ -139,6 +214,29 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"threads\": {threads}, \"induce_ms\": {induce_ms:.2}, \"trials_ms\": {trials_ms:.2}, \"total_ms\": {total:.2}, \"speedup\": {speedup:.3}, \"identical\": {identical}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"lockfree\": [\n");
+    for (i, s) in lockfree.iter().enumerate() {
+        let comma = if i + 1 < lockfree.len() { "," } else { "" };
+        let allocs_per_trial = if s.trials > 0 {
+            s.grow_events as f64 / s.trials as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"tasks\": {}, \"steals\": {}, \"steal_attempts\": {}, \"steal_failures\": {}, \"parked\": {}, \"scratch_trials\": {}, \"scratch_grow_events\": {}, \"allocs_per_trial\": {:.4}}}{comma}",
+            s.threads,
+            s.tasks,
+            s.steals,
+            s.steal_attempts,
+            s.steal_failures,
+            s.parked,
+            s.trials,
+            s.grow_events,
+            allocs_per_trial
         );
     }
     json.push_str("  ]\n}\n");

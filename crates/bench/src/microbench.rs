@@ -87,16 +87,23 @@ fn random_delay_uninstrumented(
     if n == 0 {
         return Schedule::new_checked(start, assignment);
     }
-    let mut layer_of = vec![0u32; n * k];
-    let mut num_layers = 0u32;
+    // Mirrors the live implementation's two-phase structure: the
+    // delay-independent base levels are materialized first (the live
+    // path hoists them per trial batch), then combined with the delays.
+    let mut base = vec![0u32; n * k];
     for (i, dag) in instance.dags().iter().enumerate() {
         let lv = levels(dag);
         for v in 0..n as u32 {
-            let r = lv.level_of[v as usize] + delays[i];
-            layer_of[TaskId::pack(v, i as u32, n).index()] = r;
-            num_layers = num_layers.max(r + 1);
+            base[TaskId::pack(v, i as u32, n).index()] = lv.level_of[v as usize];
         }
     }
+    let mut layer_of = Vec::with_capacity(n * k);
+    let mut num_layers = 0u32;
+    layer_of.extend((0..n * k).map(|t| {
+        let r = base[t] + delays[t / n];
+        num_layers = num_layers.max(r + 1);
+        r
+    }));
     let mut layer_xadj = vec![0u32; num_layers as usize + 1];
     for &r in &layer_of {
         layer_xadj[r as usize + 1] += 1;

@@ -1,7 +1,7 @@
 //! # sweep-check
 //!
 //! Deterministic concurrency model checking for the workspace's
-//! concurrent subsystems (the `sweep-pool` work-stealing deques and the
+//! concurrent subsystems (the `sweep-pool` lock-free range splitting and the
 //! `sweep-serve` single-flight cache), in the style of CHESS / loom /
 //! shuttle — but dependency-free and `unsafe`-free, like everything
 //! else in this tree.

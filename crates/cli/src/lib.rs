@@ -28,7 +28,7 @@
 //!   `/debug/vars` and render a refreshing terminal dashboard (rps,
 //!   per-stage p50/p99, cache residency and hit rate, in-flight depth).
 //! * `check` — deterministic concurrency model checking (`sweep-check`):
-//!   explores interleavings of the pool's work-stealing deques and the
+//!   explores interleavings of the pool's lock-free range splitting and the
 //!   server's single-flight cache protocol under a controllable
 //!   scheduler, reporting deadlocks, lock-order cycles, lost wakeups,
 //!   and non-linearizable outcomes as SW023/SW025–SW027 diagnostics
@@ -150,7 +150,7 @@ is down (certified by the SW029 analyzer). The wire protocol and the
 membership format are documented in API.md.
 
 `check` model-checks the workspace's concurrent kernels — the pool's
-work-stealing deques and the server's single-flight schedule cache
+lock-free range splitting and the server's single-flight schedule cache
 (including the leader-panic unwind path) — by bounded-exhaustive
 exploration with sleep-set partial-order reduction plus --schedules
 seeded random interleavings. Deadlocks and lock-order cycles report as
@@ -660,11 +660,14 @@ fn render_top(
     );
     let _ = writeln!(
         out,
-        "pool     tasks {:>8}   steals {:>8}   slow traces {:>3}",
+        "pool     tasks {:>8}   steals {:>8}   attempts {:>8}   failed cas {:>5}   parked {:>6}",
         u(&["pool", "tasks"]),
         u(&["pool", "steals"]),
-        u(&["slow_traces"]),
+        u(&["pool", "steal_attempts"]),
+        u(&["pool", "steal_failures"]),
+        u(&["pool", "parked"]),
     );
+    let _ = writeln!(out, "traces   slow {:>4}", u(&["slow_traces"]));
     if let Some(cluster) = doc.get("cluster") {
         let peers = cluster
             .get("peers")
@@ -1090,7 +1093,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(String, i32), String>
     }
 }
 
-/// `check` — model-checks the pool's work-stealing deques and the
+/// `check` — model-checks the pool's lock-free range splitting and the
 /// server's single-flight cache under `sweep-check`'s controllable
 /// scheduler and renders the results on the SW0xx registry (exit 2 on
 /// any finding). With `--fixtures` it runs the intentionally buggy
@@ -1166,13 +1169,15 @@ fn cmd_check(flags: &HashMap<String, String>) -> Result<(String, i32), String> {
     } else {
         // The production kernels, run exactly as shipped — the models
         // in `sweep_pool::model` / `sweep_serve::model` call the same
-        // deque and single-flight code the pool and server use.
-        let models: [(&str, fn()); 4] = [
-            ("pool.deque.drain", sweep_pool::model::drain_exactly_once),
+        // range-splitting and single-flight code the pool and server
+        // use.
+        let models: [(&str, fn()); 5] = [
+            ("pool.range.drain", sweep_pool::model::drain_exactly_once),
             (
-                "pool.deque.contended",
+                "pool.range.contended",
                 sweep_pool::model::contended_single_task,
             ),
+            ("pool.range.steal-race", sweep_pool::model::contended_steal),
             (
                 "serve.single-flight.coalesce",
                 sweep_serve::model::single_flight_coalesce,
@@ -1400,8 +1405,9 @@ mod tests {
             .unwrap();
             assert_eq!(status, 0, "{out}");
             for model in [
-                "pool.deque.drain",
-                "pool.deque.contended",
+                "pool.range.drain",
+                "pool.range.contended",
+                "pool.range.steal-race",
                 "serve.single-flight.coalesce",
                 "serve.single-flight.leader-panic",
             ] {

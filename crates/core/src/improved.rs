@@ -9,7 +9,7 @@
 //! applied to these narrowed levels. The narrowing is what enables the
 //! `O(log m · log log log m)` analysis (Theorem 3).
 
-use sweep_dag::{SweepInstance, TaskDag, TaskId};
+use sweep_dag::{BitSet, SweepInstance, TaskDag, TaskId};
 use sweep_telemetry as telemetry;
 
 use crate::assignment::Assignment;
@@ -18,10 +18,16 @@ use crate::random_delay::random_delays;
 use crate::schedule::Schedule;
 
 /// Graham's greedy list schedule of one DAG on `m` identical machines
-/// (FIFO among ready tasks). Returns the completion step of every node
-/// (0-based) and the makespan in steps. This is the classical
-/// `(2 − 1/m)`-approximation of [Graham et al.], used both by Algorithm 3
-/// and as a lower-bound witness ([`crate::bounds`]).
+/// (lowest task id first among ready tasks). Returns the completion
+/// step of every node (0-based) and the makespan in steps. This is the
+/// classical `(2 − 1/m)`-approximation of [Graham et al.], used both by
+/// Algorithm 3 and as a lower-bound witness ([`crate::bounds`]).
+///
+/// The ready frontier is a word-packed [`BitSet`]: the per-step batch
+/// is the `m` lowest set bits, tasks readied this step accumulate in a
+/// second set and merge in with one bulk `or` per 64 ids. Any greedy
+/// tie-break yields the same `(2 − 1/m)` bound; lowest-id is the one
+/// that makes the frontier a bitset instead of a queue.
 pub fn graham_steps(dag: &TaskDag, m: usize) -> (Vec<u32>, u32) {
     assert!(m > 0);
     let n = dag.num_nodes();
@@ -30,26 +36,34 @@ pub fn graham_steps(dag: &TaskDag, m: usize) -> (Vec<u32>, u32) {
         return (step, 0);
     }
     let mut indeg: Vec<u32> = (0..n as u32).map(|v| dag.in_degree(v)).collect();
-    let mut ready: std::collections::VecDeque<u32> =
-        (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
-    let mut next_ready: Vec<u32> = Vec::new();
+    let mut ready = BitSet::new(n);
+    for (v, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            ready.insert(v);
+        }
+    }
+    let mut next_ready = BitSet::new(n);
+    let mut batch: Vec<u32> = Vec::with_capacity(m.min(n));
     let mut t = 0u32;
     let mut done = 0usize;
     while done < n {
         debug_assert!(!ready.is_empty(), "acyclic DAG always has ready tasks");
-        // Run up to m ready tasks this step.
-        for _ in 0..m {
-            let Some(v) = ready.pop_front() else { break };
+        // Run the m lowest-id ready tasks this step.
+        batch.clear();
+        batch.extend(ready.ones().take(m).map(|v| v as u32));
+        for &v in &batch {
+            ready.remove(v as usize);
             step[v as usize] = t;
             done += 1;
             for &w in dag.successors(v) {
                 indeg[w as usize] -= 1;
                 if indeg[w as usize] == 0 {
-                    next_ready.push(w);
+                    next_ready.insert(w as usize);
                 }
             }
         }
-        ready.extend(next_ready.drain(..));
+        ready.union_with(&next_ready);
+        next_ready.clear();
         t += 1;
     }
     (step, t)
@@ -76,16 +90,23 @@ pub fn graham_union_steps(instance: &SweepInstance, m: usize) -> (Vec<u32>, u32)
             indeg[TaskId::pack(v, i as u32, n).index()] = dag.in_degree(v);
         }
     }
-    let mut ready: std::collections::VecDeque<u64> = (0..(n * k) as u64)
-        .filter(|&t| indeg[t as usize] == 0)
-        .collect();
-    let mut next_ready: Vec<u64> = Vec::new();
+    // Same bitset frontier as `graham_steps`, over the n·k union space.
+    let mut ready = BitSet::new(n * k);
+    for (t, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            ready.insert(t);
+        }
+    }
+    let mut next_ready = BitSet::new(n * k);
+    let mut batch: Vec<u64> = Vec::with_capacity(m.min(n * k));
     let mut t = 0u32;
     let mut done = 0usize;
     while done < n * k {
         debug_assert!(!ready.is_empty());
-        for _ in 0..m {
-            let Some(task) = ready.pop_front() else { break };
+        batch.clear();
+        batch.extend(ready.ones().take(m).map(|task| task as u64));
+        for &task in &batch {
+            ready.remove(task as usize);
             step[task as usize] = t;
             done += 1;
             let (v, dir) = TaskId(task).unpack(n);
@@ -93,11 +114,12 @@ pub fn graham_union_steps(instance: &SweepInstance, m: usize) -> (Vec<u32>, u32)
                 let wt = TaskId::pack(w, dir, n).index();
                 indeg[wt] -= 1;
                 if indeg[wt] == 0 {
-                    next_ready.push(wt as u64);
+                    next_ready.insert(wt);
                 }
             }
         }
-        ready.extend(next_ready.drain(..));
+        ready.union_with(&next_ready);
+        next_ready.clear();
         t += 1;
     }
     (step, t)

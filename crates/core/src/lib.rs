@@ -51,6 +51,7 @@ pub mod priorities;
 pub mod random_delay;
 pub mod replicate;
 pub mod schedule;
+pub mod scratch;
 pub mod trials;
 pub mod weighted;
 
@@ -74,10 +75,11 @@ pub use priorities::{
 };
 pub use random_delay::{
     delayed_level_priorities, random_delay, random_delay_priorities, random_delay_priorities_with,
-    random_delay_with, random_delays,
+    random_delay_with, random_delays, random_delays_into,
 };
 pub use replicate::{replicate, AssignmentDraw, ReplicateSummary};
 pub use schedule::{validate, Schedule, ScheduleBuildError, ScheduleViolation};
+pub use scratch::{TrialContext, TrialScratch};
 pub use trials::{
     best_of_trials, best_of_trials_seq, best_of_trials_with_pool, trial_seeds, BestOfTrials,
     TrialOutcome,

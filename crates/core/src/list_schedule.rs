@@ -38,6 +38,41 @@ pub fn list_schedule(
     priority: &[i64],
     release: Option<&[u32]>,
 ) -> Schedule {
+    let mut bufs = ListBuffers::default();
+    list_schedule_core(instance, &assignment, priority, release, None, &mut bufs);
+    Schedule::new_checked(std::mem::take(&mut bufs.start), assignment)
+}
+
+/// Reusable buffers for [`list_schedule_core`] — the arena the trial
+/// scratch ([`crate::scratch::TrialScratch`]) keeps warm so repeated
+/// trials never reallocate. All buffers are reset, not freed, at the
+/// start of every run.
+#[derive(Default)]
+pub(crate) struct ListBuffers {
+    /// Remaining-predecessor counters per task.
+    pub indeg: Vec<u32>,
+    /// Start times per task (the run's output).
+    pub start: Vec<u32>,
+    /// One ready-heap per processor; min-heap via `Reverse`.
+    pub heaps: Vec<BinaryHeap<Reverse<(i64, u64)>>>,
+    /// Tasks scheduled in the current step.
+    pub completed: Vec<u64>,
+}
+
+/// The list-scheduling engine proper: fills `bufs.start` and returns
+/// the makespan. Both the allocating wrapper ([`list_schedule`]) and
+/// the arena-reusing trial fast path run *this* code, so the two can
+/// never diverge. `indeg_template`, when given, must be the per-task
+/// in-degree vector of `instance` (precomputed once per trial batch);
+/// otherwise it is derived here.
+pub(crate) fn list_schedule_core(
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    priority: &[i64],
+    release: Option<&[u32]>,
+    indeg_template: Option<&[u32]>,
+    bufs: &mut ListBuffers,
+) -> u32 {
     let _span = telemetry::span!("sched.list_schedule");
     // Sampled once: the per-step ready-depth probe below is skipped
     // entirely on the disabled path.
@@ -55,38 +90,56 @@ pub fn list_schedule(
         assert!(r.len() >= k, "one release time per direction");
     }
 
-    let mut start = vec![0u32; n * k];
+    bufs.start.clear();
+    bufs.start.resize(n * k, 0);
     if n == 0 {
-        return Schedule::new_checked(start, assignment);
+        return 0;
     }
+    let start = &mut bufs.start;
 
-    // Remaining-predecessor counters per task.
-    let mut indeg: Vec<u32> = vec![0; n * k];
-    for (i, dag) in instance.dags().iter().enumerate() {
-        for v in 0..n as u32 {
-            indeg[TaskId::pack(v, i as u32, n).index()] = dag.in_degree(v);
+    bufs.indeg.clear();
+    match indeg_template {
+        Some(template) => {
+            debug_assert_eq!(template.len(), n * k);
+            bufs.indeg.extend_from_slice(template);
+        }
+        None => {
+            bufs.indeg.resize(n * k, 0);
+            for (i, dag) in instance.dags().iter().enumerate() {
+                for v in 0..n as u32 {
+                    bufs.indeg[TaskId::pack(v, i as u32, n).index()] = dag.in_degree(v);
+                }
+            }
         }
     }
+    let indeg = &mut bufs.indeg;
 
-    // One ready-heap per processor; min-heap via Reverse.
-    let mut heaps: Vec<BinaryHeap<Reverse<(i64, u64)>>> = vec![BinaryHeap::new(); m];
+    if bufs.heaps.len() < m {
+        bufs.heaps.resize_with(m, BinaryHeap::new);
+    }
+    let heaps = &mut bufs.heaps[..m];
+    heaps.iter_mut().for_each(BinaryHeap::clear);
+
     // Tasks whose predecessors are done but whose direction is not yet
     // released, bucketed by release time. Buckets are pre-sized to their
     // worst case — direction `d`'s tasks only ever enter bucket
     // `release[d]`, and at most all `n` of them do — so no bucket
-    // reallocates mid-schedule (asserted at drain time below).
+    // reallocates mid-schedule (asserted at drain time below). The
+    // whole structure is skipped (empty, allocation-free) when no
+    // releases are in play — i.e. on the trial fast path.
     let max_release = release.map_or(0, |r| r[..k].iter().copied().max().unwrap_or(0));
-    let mut bucket_cap = vec![0usize; max_release as usize + 1];
+    let mut release_buckets: Vec<Vec<u64>> = Vec::new();
+    let mut bucket_caps: Vec<usize> = Vec::new();
     if let Some(r) = release {
+        let mut bucket_cap = vec![0usize; max_release as usize + 1];
         for &rel in &r[..k] {
             if rel > 0 {
                 bucket_cap[rel as usize] += n;
             }
         }
+        release_buckets = bucket_cap.iter().map(|&c| Vec::with_capacity(c)).collect();
+        bucket_caps = release_buckets.iter().map(Vec::capacity).collect();
     }
-    let mut release_buckets: Vec<Vec<u64>> =
-        bucket_cap.iter().map(|&c| Vec::with_capacity(c)).collect();
-    let bucket_caps: Vec<usize> = release_buckets.iter().map(Vec::capacity).collect();
 
     let proc_of_task = |t: u64| -> usize { assignment.proc_of((t % n as u64) as u32) as usize };
     let dir_of_task = |t: u64| -> usize { (t / n as u64) as usize };
@@ -104,7 +157,8 @@ pub fn list_schedule(
         }
     }
 
-    let mut completed: Vec<u64> = Vec::with_capacity(m);
+    bufs.completed.clear();
+    let completed = &mut bufs.completed;
     let mut ready_peak = 0usize;
     let mut t_now: u32 = 0;
     while pending > 0 {
@@ -130,7 +184,7 @@ pub fn list_schedule(
             }
         }
         pending -= completed.len();
-        for &task in &completed {
+        for &task in completed.iter() {
             let (v, dir) = TaskId(task).unpack(n);
             let dag = instance.dag(dir as usize);
             for &w in dag.successors(v) {
@@ -162,7 +216,10 @@ pub fn list_schedule(
         telemetry::counter_add("sched.list_schedule.steps", t_now as u64);
         telemetry::gauge_max("sched.list_schedule.ready_peak", ready_peak as f64);
     }
-    Schedule::new_checked(start, assignment)
+    // The loop exits the iteration that schedules the last pending
+    // task, so the final step count is `max start + 1` — exactly
+    // `Schedule::makespan`.
+    t_now
 }
 
 /// FIFO list scheduling (all priorities equal) — the greedy baseline.

@@ -27,9 +27,35 @@ use crate::schedule::Schedule;
 /// Draws the per-direction delays `X_i ∈ {0, …, k−1}` (step 1 of every
 /// random-delay algorithm).
 pub fn random_delays(k: usize, seed: u64) -> Vec<u32> {
+    let mut delays = Vec::with_capacity(k);
+    random_delays_into(k, seed, &mut delays);
+    delays
+}
+
+/// [`random_delays`] into a caller-owned buffer (cleared first) — the
+/// allocation-free form the trial scratch uses.
+pub fn random_delays_into(k: usize, seed: u64, out: &mut Vec<u32>) {
     let _span = telemetry::span!("sched.random_delay.delay_draw");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..k).map(|_| rng.random_range(0..k as u32)).collect()
+    out.clear();
+    out.extend((0..k).map(|_| rng.random_range(0..k as u32)));
+}
+
+/// The per-task base levels `level_i(v)` (indexed by `TaskId::index`) —
+/// the delay-independent part of `Γ`. Hoisted out of the per-trial path
+/// by [`crate::scratch::TrialContext`]: recomputing it costs one BFS
+/// per direction, which dominated every trial before the hoist.
+pub(crate) fn base_task_levels(instance: &SweepInstance) -> Vec<u32> {
+    let n = instance.num_cells();
+    let k = instance.num_directions();
+    let mut base = vec![0u32; n * k];
+    for (i, dag) in instance.dags().iter().enumerate() {
+        let lv = levels(dag);
+        for v in 0..n as u32 {
+            base[TaskId::pack(v, i as u32, n).index()] = lv.level_of[v as usize];
+        }
+    }
+    base
 }
 
 /// The priorities `Γ(v,i) = level_i(v) + X_i` of Algorithm 2, reusable by
@@ -39,12 +65,13 @@ pub fn delayed_level_priorities(instance: &SweepInstance, delays: &[u32]) -> Vec
     let n = instance.num_cells();
     let k = instance.num_directions();
     assert_eq!(delays.len(), k, "one delay per direction");
+    let base = base_task_levels(instance);
     let mut prio = vec![0i64; n * k];
-    for (i, dag) in instance.dags().iter().enumerate() {
-        let lv = levels(dag);
-        for v in 0..n as u32 {
-            prio[TaskId::pack(v, i as u32, n).index()] =
-                lv.level_of[v as usize] as i64 + delays[i] as i64;
+    if n > 0 {
+        for (dir, (chunk, base_chunk)) in prio.chunks_mut(n).zip(base.chunks(n)).enumerate() {
+            for (p, &b) in chunk.iter_mut().zip(base_chunk) {
+                *p = b as i64 + delays[dir] as i64;
+            }
         }
     }
     prio
@@ -66,65 +93,105 @@ pub fn random_delay_with(
     assignment: Assignment,
     delays: &[u32],
 ) -> Schedule {
+    let base = base_task_levels(instance);
+    let mut bufs = LayerBuffers::default();
+    random_delay_core(instance, &assignment, delays, &base, &mut bufs);
+    Schedule::new_checked(std::mem::take(&mut bufs.start), assignment)
+}
+
+/// Reusable buffers for [`random_delay_core`] (Algorithm 1's layer
+/// bucketing) — reset, not freed, on every run.
+#[derive(Default)]
+pub(crate) struct LayerBuffers {
+    /// Start times per task (the run's output).
+    pub start: Vec<u32>,
+    /// Combined layer `level + delay` per task.
+    pub layer_of: Vec<u32>,
+    /// Counting-sort offsets (`num_layers + 1` entries).
+    pub layer_xadj: Vec<u32>,
+    /// Tasks in layer-bucket order.
+    pub layer_tasks: Vec<u64>,
+    /// Counting-sort write cursors.
+    pub cursor: Vec<u32>,
+    /// Next free timestep per processor within the current layer.
+    pub next_slot: Vec<u32>,
+}
+
+/// The layer-sequential engine of Algorithm 1: fills `bufs.start` and
+/// returns the makespan. `base_levels` is the per-task `level_i(v)`
+/// vector ([`base_task_levels`]), precomputed once per trial batch.
+pub(crate) fn random_delay_core(
+    instance: &SweepInstance,
+    assignment: &Assignment,
+    delays: &[u32],
+    base_levels: &[u32],
+    bufs: &mut LayerBuffers,
+) -> u32 {
     let _span = telemetry::span!("sched.random_delay");
     let n = instance.num_cells();
     let k = instance.num_directions();
     assert_eq!(delays.len(), k, "one delay per direction");
     let m = assignment.num_procs();
-    let mut start = vec![0u32; n * k];
+    bufs.start.clear();
+    bufs.start.resize(n * k, 0);
     if n == 0 {
-        return Schedule::new_checked(start, assignment);
+        return 0;
     }
+    debug_assert_eq!(base_levels.len(), n * k);
 
     // Combined layer index r = level + delay, per task.
-    let mut layer_of = vec![0u32; n * k];
+    bufs.layer_of.clear();
     let mut num_layers = 0u32;
-    for (i, dag) in instance.dags().iter().enumerate() {
-        let lv = levels(dag);
-        for v in 0..n as u32 {
-            let r = lv.level_of[v as usize] + delays[i];
-            layer_of[TaskId::pack(v, i as u32, n).index()] = r;
-            num_layers = num_layers.max(r + 1);
-        }
-    }
-    // Bucket tasks by layer.
-    let mut layer_xadj = vec![0u32; num_layers as usize + 1];
-    for &r in &layer_of {
-        layer_xadj[r as usize + 1] += 1;
+    bufs.layer_of.extend((0..n * k).map(|t| {
+        let r = base_levels[t] + delays[t / n];
+        num_layers = num_layers.max(r + 1);
+        r
+    }));
+    // Bucket tasks by layer (counting sort).
+    bufs.layer_xadj.clear();
+    bufs.layer_xadj.resize(num_layers as usize + 1, 0);
+    for &r in &bufs.layer_of {
+        bufs.layer_xadj[r as usize + 1] += 1;
     }
     for r in 0..num_layers as usize {
-        layer_xadj[r + 1] += layer_xadj[r];
+        bufs.layer_xadj[r + 1] += bufs.layer_xadj[r];
     }
-    let mut layer_tasks = vec![0u64; n * k];
-    let mut cursor: Vec<u32> = layer_xadj[..num_layers as usize].to_vec();
-    for (t, &r) in layer_of.iter().enumerate() {
-        layer_tasks[cursor[r as usize] as usize] = t as u64;
-        cursor[r as usize] += 1;
+    bufs.layer_tasks.clear();
+    bufs.layer_tasks.resize(n * k, 0);
+    bufs.cursor.clear();
+    bufs.cursor
+        .extend_from_slice(&bufs.layer_xadj[..num_layers as usize]);
+    for (t, &r) in bufs.layer_of.iter().enumerate() {
+        bufs.layer_tasks[bufs.cursor[r as usize] as usize] = t as u64;
+        bufs.cursor[r as usize] += 1;
     }
 
     // Process layers sequentially; within a layer each processor runs its
     // tasks back-to-back in arbitrary (id) order.
     let mut clock = 0u32;
-    let mut next_slot = vec![0u32; m];
+    bufs.next_slot.clear();
+    bufs.next_slot.resize(m, 0);
     for r in 0..num_layers as usize {
-        let tasks = &layer_tasks[layer_xadj[r] as usize..layer_xadj[r + 1] as usize];
+        let tasks = &bufs.layer_tasks[bufs.layer_xadj[r] as usize..bufs.layer_xadj[r + 1] as usize];
         if tasks.is_empty() {
             continue;
         }
-        next_slot.iter_mut().for_each(|s| *s = clock);
+        bufs.next_slot.iter_mut().for_each(|s| *s = clock);
         let mut layer_span = 0u32;
         for &t in tasks {
             let v = (t % n as u64) as u32;
             let p = assignment.proc_of(v) as usize;
-            start[t as usize] = next_slot[p];
-            next_slot[p] += 1;
-            layer_span = layer_span.max(next_slot[p] - clock);
+            bufs.start[t as usize] = bufs.next_slot[p];
+            bufs.next_slot[p] += 1;
+            layer_span = layer_span.max(bufs.next_slot[p] - clock);
         }
         telemetry::histogram_record("sched.random_delay.layer_span", layer_span as f64);
         clock += layer_span;
     }
     telemetry::counter_add("sched.tasks_scheduled", (n * k) as u64);
-    Schedule::new_checked(start, assignment)
+    // The clock advances to exactly one past the last occupied slot of
+    // the last non-empty layer — `max start + 1`, i.e. the makespan.
+    clock
 }
 
 /// **Algorithm 2 — Random Delays with Priorities.** List scheduling with

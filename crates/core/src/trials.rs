@@ -21,6 +21,7 @@ use sweep_telemetry as telemetry;
 use crate::algorithms::Algorithm;
 use crate::assignment::Assignment;
 use crate::schedule::Schedule;
+use crate::scratch::{TrialContext, TrialScratch};
 
 /// One trial's result in a best-of-`b` run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,11 +96,30 @@ pub fn best_of_trials_with_pool(
     assert!(b > 0, "best_of_trials needs at least one trial");
     let _span = telemetry::span!("sched.best_of_trials");
     let seeds = trial_seeds(master_seed, b);
-    let schedules = pool.par_map(&seeds, |_, &seed| {
-        algorithm.run(instance, assignment.clone(), seed)
-    });
     telemetry::counter_add("sched.trials", b as u64);
-    select_best(seeds, schedules)
+    if b == 1 {
+        // A single trial IS the winner — skip the context hoist.
+        let schedule = algorithm.run(instance, assignment.clone(), seeds[0]);
+        return from_makespans(
+            seeds,
+            vec![schedule.makespan()],
+            Some(schedule),
+            |_| unreachable!(),
+        );
+    }
+    // Trials produce makespans only, on per-worker reused scratch
+    // arenas ([`TrialScratch`]); the seed-independent state (levels,
+    // in-degrees, heap capacities) is hoisted into one shared
+    // [`TrialContext`]. The winning schedule is rematerialized below
+    // by re-running the single winning trial — a pure function of its
+    // seed, so bit-identical to what the trial itself computed.
+    let ctx = TrialContext::new(instance, assignment, algorithm);
+    let makespans = pool.par_map_scratch(b, TrialScratch::new, |i, scratch| {
+        ctx.run_trial(seeds[i], scratch)
+    });
+    from_makespans(seeds, makespans, None, |seed| {
+        algorithm.run(instance, assignment.clone(), seed)
+    })
 }
 
 /// The sequential reference loop: same seeds, same selection rule, no
@@ -122,25 +142,65 @@ pub fn best_of_trials_seq(
 }
 
 fn select_best(seeds: Vec<u64>, schedules: Vec<Schedule>) -> BestOfTrials {
+    let makespans: Vec<u32> = schedules.iter().map(Schedule::makespan).collect();
     let outcomes: Vec<TrialOutcome> = seeds
         .iter()
-        .zip(&schedules)
+        .zip(&makespans)
         .enumerate()
-        .map(|(trial, (&seed, s))| TrialOutcome {
+        .map(|(trial, (&seed, &makespan))| TrialOutcome {
             trial,
             seed,
-            makespan: s.makespan(),
+            makespan,
         })
         .collect();
-    let winner = outcomes
-        .iter()
-        .min_by_key(|o| (o.makespan, o.trial))
-        .expect("b > 0 checked by callers")
-        .trial;
+    let winner = winner_of(&outcomes);
     let schedule = schedules
         .into_iter()
         .nth(winner)
         .expect("winner index in range");
+    BestOfTrials {
+        schedule,
+        trial: winner,
+        seed: outcomes[winner].seed,
+        outcomes,
+    }
+}
+
+/// Winner selection shared by every execution mode: minimum makespan,
+/// ties broken to the lowest trial index.
+fn winner_of(outcomes: &[TrialOutcome]) -> usize {
+    outcomes
+        .iter()
+        .min_by_key(|o| (o.makespan, o.trial))
+        .expect("b > 0 checked by callers")
+        .trial
+}
+
+/// Assembles a [`BestOfTrials`] from per-trial makespans, materializing
+/// the winning schedule via `rerun` unless one is supplied.
+fn from_makespans(
+    seeds: Vec<u64>,
+    makespans: Vec<u32>,
+    schedule: Option<Schedule>,
+    rerun: impl FnOnce(u64) -> Schedule,
+) -> BestOfTrials {
+    let outcomes: Vec<TrialOutcome> = seeds
+        .iter()
+        .zip(&makespans)
+        .enumerate()
+        .map(|(trial, (&seed, &makespan))| TrialOutcome {
+            trial,
+            seed,
+            makespan,
+        })
+        .collect();
+    let winner = winner_of(&outcomes);
+    let schedule = schedule.unwrap_or_else(|| rerun(outcomes[winner].seed));
+    debug_assert_eq!(
+        schedule.makespan(),
+        outcomes[winner].makespan,
+        "winner re-run diverged from the trial makespan"
+    );
     BestOfTrials {
         schedule,
         trial: winner,

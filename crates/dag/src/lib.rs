@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod bitset;
 pub mod descendants;
 pub mod graph;
 pub mod induce;
@@ -37,6 +38,7 @@ pub mod levels;
 pub mod serialize;
 pub mod stats;
 
+pub use bitset::BitSet;
 pub use descendants::{
     descendant_counts, descendant_counts_approx, descendant_counts_exact, DescendantMode,
 };

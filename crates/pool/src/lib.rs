@@ -1,18 +1,17 @@
 //! # sweep-pool
 //!
-//! A dependency-free, `unsafe`-free work-stealing thread pool for the
+//! A dependency-free, `unsafe`-free lock-free thread pool for the
 //! sweep-scheduling workspace.
 //!
 //! The pool parallelizes *index spaces*: [`ThreadPool::par_map`] splits
-//! `0..n` into one contiguous chunk per worker, each worker drains its
-//! own deque from the front, and idle workers steal single indices from
-//! the **back** of a victim's deque — the classic work-stealing
-//! discipline (owner and thieves operate on opposite ends, so they only
-//! contend when a deque is nearly empty). Because the workspace denies
-//! `unsafe_code`, the deques are `Mutex<VecDeque<usize>>` rather than
-//! Chase–Lev ring buffers; for the coarse-grained tasks in this tree
-//! (DAG inductions, full scheduling trials, bench grid cells) the lock
-//! cost is noise compared to task runtime.
+//! `0..n` into one contiguous range per worker, each worker claims the
+//! front of its own range with a relaxed `fetch_add`, and idle workers
+//! CAS-steal the **back half** of the largest remaining victim range —
+//! work-stealing with a single packed `AtomicU64` per worker instead of
+//! a lock or a Chase–Lev ring buffer (see [`range::RangeQueues`] for
+//! the protocol and its linearization argument). No mutex is taken on
+//! any task path: the common case is one uncontended `fetch_add` per
+//! task.
 //!
 //! Workers run under [`std::thread::scope`], so closures may borrow the
 //! caller's stack (no `'static` bound, no `Arc` plumbing), every task
@@ -28,6 +27,14 @@
 //! seed-splitting in `sweep-core` guarantees this for RNG-bearing
 //! work), the output of `par_map` is bit-identical at every worker
 //! count, including the sequential `threads == 1` path.
+//!
+//! ## Per-worker scratch
+//!
+//! [`ThreadPool::par_map_scratch`] additionally threads one mutable
+//! scratch value per worker through every task that worker executes —
+//! the hook `sweep-core` uses to reuse trial arenas across trials so
+//! steady state allocates nothing per trial. Determinism is unaffected:
+//! scratch is an allocation cache, never data flow between indices.
 //!
 //! ```
 //! let pool = sweep_pool::ThreadPool::new(4);
@@ -45,11 +52,11 @@ use std::thread;
 use sweep_check::sync::atomic::{AtomicUsize, Ordering};
 use sweep_telemetry as telemetry;
 
-pub mod deque;
 #[cfg(feature = "model-check")]
 pub mod model;
+pub mod range;
 
-pub use deque::StealDeques;
+pub use range::{RangeQueues, StealStats};
 
 /// Requested global worker count; `0` means "not set, use the machine".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -130,7 +137,7 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        self.run(items.len(), &|i| f(i, &items[i]))
+        self.run(items.len(), &|| (), &|i, _: &mut ()| f(i, &items[i]))
     }
 
     /// Maps `f` over the index range `0..n`, ordered by index.
@@ -139,7 +146,7 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        self.run(n, &f)
+        self.run(n, &|| (), &|i, _: &mut ()| f(i))
     }
 
     /// Runs `f` for every item; results (if any) are discarded.
@@ -148,38 +155,57 @@ impl ThreadPool {
         T: Sync,
         F: Fn(usize, &T) + Sync,
     {
-        self.run(items.len(), &|i| f(i, &items[i]));
+        self.run(items.len(), &|| (), &|i, _: &mut ()| f(i, &items[i]));
     }
 
-    fn run<R, F>(&self, n: usize, f: &F) -> Vec<R>
+    /// Maps `f` over `0..n` with one reusable scratch value per worker.
+    ///
+    /// `init` builds a fresh scratch for each worker (and once for the
+    /// sequential path); `f(i, &mut scratch)` may fill and reuse it
+    /// freely across the indices that worker happens to execute. The
+    /// result for index `i` must remain a pure function of `i` — the
+    /// scratch is an allocation cache, not a communication channel —
+    /// and then the output is bit-identical at every worker count.
+    pub fn par_map_scratch<S, R, FI, F>(&self, n: usize, init: FI, f: F) -> Vec<R>
     where
         R: Send,
-        F: Fn(usize) -> R + Sync,
+        FI: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> R + Sync,
+    {
+        self.run(n, &init, &f)
+    }
+
+    fn run<S, R, FI, F>(&self, n: usize, init: &FI, f: &F) -> Vec<R>
+    where
+        R: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> R + Sync,
     {
         let workers = self.threads.min(n);
         if workers <= 1 {
             // Sequential reference path: same closure, same order. The
             // parallel path must be bit-identical to this one.
-            return (0..n).map(f).collect();
+            let mut scratch = init();
+            return (0..n).map(|i| f(i, &mut scratch)).collect();
         }
 
-        // One deque per worker, seeded with a contiguous chunk of the
-        // index space (see `deque::StealDeques` for the discipline —
-        // and for how the model checker explores it).
-        let deques = StealDeques::chunked(n, workers);
+        // One packed range per worker, seeded with a contiguous chunk
+        // of the index space (see `range::RangeQueues` for the lock-free
+        // discipline — and for how the model checker explores it).
+        let queues = RangeQueues::chunked(n, workers);
 
         let (tx, rx) = mpsc::channel::<Batch<R>>();
         thread::scope(|scope| {
             for w in 1..workers {
                 let tx = tx.clone();
-                let deques = &deques;
+                let queues = &queues;
                 scope.spawn(move || {
-                    let _ = tx.send(drain_deques(w, deques, f));
+                    let _ = tx.send(drain_ranges(w, queues, init, f));
                 });
             }
             // The caller thread is worker 0 — it participates instead
             // of blocking, so `threads == 2` really means two workers.
-            let _ = tx.send(drain_deques(0, &deques, f));
+            let _ = tx.send(drain_ranges(0, &queues, init, f));
             drop(tx);
         });
 
@@ -211,24 +237,45 @@ struct Batch<R> {
     results: Vec<(usize, R)>,
 }
 
-/// Worker loop: drain own deque from the front, then steal from the
-/// back of the others (see [`StealDeques::next_task`]). Exits when
-/// every deque is empty — no task spawns further tasks, so an empty
-/// sweep means the index space is exhausted.
-fn drain_deques<R, F>(me: usize, deques: &StealDeques, f: &F) -> Batch<R>
+/// Worker loop: claim the front of our own range, then CAS-steal the
+/// back half of the largest victim range (see
+/// [`RangeQueues::next_task`]). Exits when every range is empty — no
+/// task spawns further tasks, so an empty sweep means the index space
+/// is exhausted. On exit the worker records its counters and parks at
+/// the scope join:
+///
+/// * `pool.tasks` — indices executed by this worker;
+/// * `pool.steals` — successful back-half steals;
+/// * `pool.steal_attempts` / `pool.steal_failures` — CAS splits tried
+///   and CAS splits lost to a race (a failure is not wasted work: it
+///   means somebody else made progress);
+/// * `pool.parked` — workers that finished their sweep (one per worker
+///   per parallel call; `parked / tasks` ≫ 0 means tasks are too small
+///   to be worth fanning out).
+fn drain_ranges<S, R, FI, F>(me: usize, queues: &RangeQueues, init: &FI, f: &F) -> Batch<R>
 where
-    F: Fn(usize) -> R,
+    FI: Fn() -> S,
+    F: Fn(usize, &mut S) -> R,
 {
+    let mut scratch = init();
     let mut results = Vec::new();
     let mut steals = 0u64;
-    while let Some((i, stolen)) = deques.next_task(me) {
+    let mut stats = StealStats::default();
+    while let Some((i, stolen)) = queues.next_task(me, &mut stats) {
         steals += u64::from(stolen);
-        results.push((i, f(i)));
+        results.push((i, f(i, &mut scratch)));
     }
     telemetry::counter_add("pool.tasks", results.len() as u64);
     if steals > 0 {
         telemetry::counter_add("pool.steals", steals);
     }
+    if stats.attempts > 0 {
+        telemetry::counter_add("pool.steal_attempts", stats.attempts);
+    }
+    if stats.failures > 0 {
+        telemetry::counter_add("pool.steal_failures", stats.failures);
+    }
+    telemetry::counter_add("pool.parked", 1);
     Batch { results }
 }
 
@@ -286,6 +333,29 @@ mod tests {
     }
 
     #[test]
+    fn par_map_scratch_matches_sequential_and_reuses_buffers() {
+        // Scratch carries a buffer across tasks; the result for each
+        // index must still be a pure function of the index, and the
+        // scratch must visibly persist within a worker (its capacity
+        // only grows).
+        for threads in [1usize, 2, 4, 8] {
+            let got = ThreadPool::new(threads).par_map_scratch(
+                300,
+                Vec::<u64>::new,
+                |i, buf: &mut Vec<u64>| {
+                    buf.clear();
+                    buf.extend((0..=i as u64).map(|x| mix(x as usize)));
+                    buf.iter().fold(0u64, |a, &x| a.wrapping_add(x))
+                },
+            );
+            let expect: Vec<u64> = (0..300)
+                .map(|i| (0..=i).fold(0u64, |a, x| a.wrapping_add(mix(x))))
+                .collect();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn stress_pool_100_rounds() {
         // The loom-free CI smoke: hammer the pool with uneven task
         // sizes so stealing actually happens, and checksum every round.
@@ -312,6 +382,45 @@ mod tests {
                 })
                 .collect();
             assert_eq!(got, expect, "round {round} n={n}");
+        }
+    }
+
+    #[test]
+    fn steal_storm_front_loaded_100_rounds() {
+        // Adversarial steal pressure: every index starts in worker 0's
+        // range, so workers 1..w can make progress only by CAS-stealing.
+        // Checksummed against the sequential oracle every round.
+        for round in 0..100usize {
+            let n = 1 + (round * 53) % 181;
+            let workers = 2 + round % 7;
+            let queues = RangeQueues::front_loaded(n, workers);
+            let (tx, rx) = mpsc::channel::<Vec<(usize, u64)>>();
+            thread::scope(|scope| {
+                for w in 0..workers {
+                    let tx = tx.clone();
+                    let queues = &queues;
+                    scope.spawn(move || {
+                        let mut stats = StealStats::default();
+                        let mut got = Vec::new();
+                        while let Some((i, _)) = queues.next_task(w, &mut stats) {
+                            got.push((i, mix(i ^ round)));
+                        }
+                        let _ = tx.send(got);
+                    });
+                }
+                drop(tx);
+            });
+            let mut seen = vec![0u32; n];
+            for batch in rx {
+                for (i, v) in batch {
+                    assert_eq!(v, mix(i ^ round), "round {round} index {i}");
+                    seen[i] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "round {round}: indices executed other than once: {seen:?}"
+            );
         }
     }
 

@@ -1,17 +1,21 @@
-//! Model-check bodies for the pool's stealing deques (compiled only
-//! under the `model-check` feature; run by `sweep check` and the
-//! `sweep-check` test suite).
+//! Model-check bodies for the pool's lock-free range splitting
+//! (compiled only under the `model-check` feature; run by `sweep check`
+//! and the `sweep-check` test suite).
 //!
 //! Each body is one deterministic scenario for
 //! [`explore`](https://docs.rs/sweep-check): it builds a small
-//! [`StealDeques`], drains it from instrumented threads, and asserts
+//! [`RangeQueues`], drains it from instrumented threads, and asserts
 //! the linearizability postcondition (every index executed exactly
-//! once). A clean, *complete* exploration of these bodies is the
-//! evidence the SW023 bit-identical-output gate rests on.
+//! once). The atomics inside `RangeQueues` come from the
+//! `sweep_check::sync::atomic` shim, so the checker's scheduler
+//! preempts at every load/`fetch_add`/CAS — the exact transitions the
+//! protocol's correctness argument (DESIGN §12) is about. A clean,
+//! *complete* exploration of these bodies is the evidence the SW023
+//! bit-identical-output gate rests on.
 
 use std::sync::Arc;
 
-use crate::deque::StealDeques;
+use crate::range::{RangeQueues, StealStats};
 
 /// Oracle mutex: deliberately plain `std::sync`, NOT the instrumented
 /// shim — the tally is the test's bookkeeping, not part of the model
@@ -19,50 +23,67 @@ use crate::deque::StealDeques;
 /// state space small.
 type Tally = std::sync::Mutex<Vec<u32>>;
 
-fn drain(me: usize, deques: &StealDeques, executed: &Tally) {
-    while let Some((i, _stolen)) = deques.next_task(me) {
+fn drain(me: usize, queues: &RangeQueues, executed: &Tally) {
+    let mut stats = StealStats::default();
+    while let Some((i, _stolen)) = queues.next_task(me, &mut stats) {
         executed.lock().unwrap_or_else(|p| p.into_inner())[i] += 1;
+    }
+}
+
+fn assert_each_once(executed: &Tally, what: &str) {
+    let counts = executed.lock().unwrap_or_else(|p| p.into_inner());
+    for (i, &c) in counts.iter().enumerate() {
+        assert_eq!(c, 1, "pool model ({what}): index {i} executed {c} times");
     }
 }
 
 /// Two workers drain a three-index space (one owner-heavy chunk, so
 /// the second worker must steal): every index executes exactly once
-/// under every interleaving.
+/// under every interleaving of the owner's `fetch_add` claims against
+/// the thief's CAS splits.
 pub fn drain_exactly_once() {
     const N: usize = 3;
-    let deques = Arc::new(StealDeques::chunked(N, 2));
+    let queues = Arc::new(RangeQueues::chunked(N, 2));
     let executed = Arc::new(std::sync::Mutex::new(vec![0u32; N]));
-    let (d2, e2) = (Arc::clone(&deques), Arc::clone(&executed));
-    let thief = sweep_check::thread::spawn(move || drain(1, &d2, &e2));
-    drain(0, &deques, &executed);
+    let (q2, e2) = (Arc::clone(&queues), Arc::clone(&executed));
+    let thief = sweep_check::thread::spawn(move || drain(1, &q2, &e2));
+    drain(0, &queues, &executed);
     let _ = thief.join();
-    let counts = executed.lock().unwrap_or_else(|p| p.into_inner());
-    for (i, &c) in counts.iter().enumerate() {
-        assert_eq!(c, 1, "pool model: index {i} executed {c} times");
-    }
+    assert_each_once(&executed, "drain");
 }
 
-/// Both workers start empty-handed on a single-index space: exactly
-/// one of them gets the task, the other's steal sweep must terminate.
+/// Owner and thief race for a single-index range: exactly one of them
+/// gets the index (the `fetch_add` claim or the whole-range CAS steal
+/// wins, never both), and the loser's sweep must terminate.
 pub fn contended_single_task() {
-    let deques = Arc::new(StealDeques::chunked(1, 2));
+    let queues = Arc::new(RangeQueues::chunked(1, 2));
     let executed = Arc::new(std::sync::Mutex::new(vec![0u32; 1]));
-    let (d2, e2) = (Arc::clone(&deques), Arc::clone(&executed));
-    let thief = sweep_check::thread::spawn(move || drain(1, &d2, &e2));
-    drain(0, &deques, &executed);
+    let (q2, e2) = (Arc::clone(&queues), Arc::clone(&executed));
+    let thief = sweep_check::thread::spawn(move || drain(1, &q2, &e2));
+    drain(0, &queues, &executed);
     let _ = thief.join();
-    let counts = executed.lock().unwrap_or_else(|p| p.into_inner());
-    assert_eq!(
-        counts[0], 1,
-        "pool model: task executed {} times",
-        counts[0]
-    );
+    assert_each_once(&executed, "contended");
+}
+
+/// Two thieves race to CAS-split the *same* victim word (worker 0's
+/// slot holds all the work and worker 0 never runs): the losing CAS
+/// must observe the split, rescan, and split the remainder — thief vs
+/// thief contention, the case the drain body cannot reach.
+pub fn contended_steal() {
+    const N: usize = 2;
+    let queues = Arc::new(RangeQueues::front_loaded(N, 3));
+    let executed = Arc::new(std::sync::Mutex::new(vec![0u32; N]));
+    let (qa, ea) = (Arc::clone(&queues), Arc::clone(&executed));
+    let thief_a = sweep_check::thread::spawn(move || drain(1, &qa, &ea));
+    drain(2, &queues, &executed);
+    let _ = thief_a.join();
+    assert_each_once(&executed, "steal-race");
 }
 
 #[cfg(test)]
 mod tests {
-    /// The production deques come back clean and *complete* (the DFS
-    /// exhausted the reduced schedule tree, not just a sample of it).
+    /// The production range queues come back clean and *complete* (the
+    /// DFS exhausted the reduced schedule tree, not just a sample).
     #[test]
     fn pool_models_explore_clean_and_complete() {
         let cfg = sweep_check::Config {
@@ -70,9 +91,10 @@ mod tests {
             random_schedules: 16,
             ..sweep_check::Config::default()
         };
-        let scenarios: [(&str, fn()); 2] = [
-            ("pool.deque.drain", super::drain_exactly_once),
-            ("pool.deque.contended", super::contended_single_task),
+        let scenarios: [(&str, fn()); 3] = [
+            ("pool.range.drain", super::drain_exactly_once),
+            ("pool.range.contended", super::contended_single_task),
+            ("pool.range.steal-race", super::contended_steal),
         ];
         for (name, body) in scenarios {
             let report = sweep_check::explore(name, &cfg, body);

@@ -1,0 +1,281 @@
+//! Lock-free work distribution by atomic range splitting.
+//!
+//! The pool parallelizes *index spaces* (`0..n`), which admits a far
+//! cheaper discipline than a general task deque: each worker's pending
+//! work is always one contiguous range `[lo, hi)`, packed into a single
+//! `AtomicU64` (`lo` in the high 32 bits, `hi` in the low 32). Because
+//! the whole per-worker state fits in one word, every transition is a
+//! single atomic instruction and the protocol needs no `unsafe` and no
+//! Chase–Lev ring buffer:
+//!
+//! * **Owner claim (front).** The owner bumps `lo` with one *relaxed
+//!   `fetch_add`* — no CAS loop, no lock. If the previous value had
+//!   `lo < hi`, the owner won index `lo`; otherwise the range was empty
+//!   (the overshoot leaves `lo = hi + 1`, which every reader already
+//!   treats as empty, and is bounded by one per steal sweep).
+//! * **Thief steal (back half).** A thief scans all other slots, picks
+//!   the victim with the *largest* remaining range, and CAS-splits it:
+//!   `(lo, hi) → (lo, mid)` with `mid = lo + (hi − lo)/2`, taking
+//!   `[mid, hi)` for itself. On success it executes `mid` immediately
+//!   and banks `[mid+1, hi)` in its own (empty) slot; on failure
+//!   (owner claimed or another thief split first) it rescans.
+//!
+//! **Linearizability.** The packed word *fully describes* the slot's
+//! pending set, so the compare in the steal CAS revalidates everything
+//! the thief computed from its read — a successful CAS is correct even
+//! against an arbitrarily stale read, and ABA cannot arise because a
+//! range over already-claimed indices can never be re-installed (every
+//! index is seeded into exactly one slot and ranges only ever
+//! partition). Claims linearize at the `fetch_add`, steals at the CAS;
+//! both either atomically transfer disjoint indices or fail harmlessly.
+//! Every index is therefore claimed exactly once — the postcondition
+//! `sweep check` verifies exhaustively over the model bodies in
+//! [`crate::model`].
+//!
+//! The atomics come from `sweep_check::sync::atomic`: plain std
+//! re-exports in normal builds, scheduler yield points under the
+//! `model-check` feature, so the checker explores this exact code.
+
+use sweep_check::sync::atomic::{AtomicU64, Ordering};
+
+/// Packs an index range: `lo` high, `hi` low, so the owner's
+/// `fetch_add(1 << 32)` bumps `lo` without carrying into `hi`.
+#[inline]
+const fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Unpacks `(lo, hi)`.
+#[inline]
+const fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// Owner claim increment: `+1` on the packed `lo` field.
+const LO_ONE: u64 = 1 << 32;
+
+/// Per-worker steal bookkeeping, aggregated into the
+/// `pool.steal_attempts` / `pool.steal_failures` telemetry counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StealStats {
+    /// CAS steals attempted (successful or not).
+    pub attempts: u64,
+    /// CAS steals that lost the race and had to rescan.
+    pub failures: u64,
+}
+
+/// One packed `[lo, hi)` range per worker over a shared index space.
+pub struct RangeQueues {
+    slots: Vec<AtomicU64>,
+}
+
+impl RangeQueues {
+    /// Ranges for `workers` workers (at least 1), seeded with contiguous
+    /// chunks of `0..n` so owners sweep cache-adjacent work and thieves
+    /// split from the far end of somebody else's chunk.
+    ///
+    /// # Panics
+    /// Panics when `n` exceeds `u32::MAX` (indices are packed in 32
+    /// bits; the pool fans out DAG inductions and scheduling trials,
+    /// which are many orders of magnitude below that).
+    pub fn chunked(n: usize, workers: usize) -> RangeQueues {
+        assert!(u32::try_from(n).is_ok(), "index space exceeds u32");
+        let workers = workers.max(1);
+        RangeQueues {
+            slots: (0..workers)
+                .map(|w| {
+                    AtomicU64::new(pack(
+                        (w * n / workers) as u32,
+                        ((w + 1) * n / workers) as u32,
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    /// All of `0..n` seeded into worker 0's slot, every other slot
+    /// empty — the adversarial shape where every other worker must
+    /// steal. Used by the model-check bodies and the steal-storm
+    /// stress tests to force CAS contention.
+    pub fn front_loaded(n: usize, workers: usize) -> RangeQueues {
+        assert!(u32::try_from(n).is_ok(), "index space exceeds u32");
+        let workers = workers.max(1);
+        RangeQueues {
+            slots: (0..workers)
+                .map(|w| {
+                    AtomicU64::new(if w == 0 {
+                        pack(0, n as u32)
+                    } else {
+                        pack(0, 0)
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sum of the remaining range lengths at the moment of the scan
+    /// (a racy snapshot — exact only when no worker is active).
+    pub fn remaining(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                let (lo, hi) = unpack(s.load(Ordering::Relaxed));
+                hi.saturating_sub(lo) as usize
+            })
+            .sum()
+    }
+
+    /// The next index for worker `me`: the front of its own range
+    /// (relaxed `fetch_add`), or — once that is empty — the back half
+    /// of the largest victim range (CAS split, retried on contention).
+    /// Returns the index and whether it was stolen. `None` means every
+    /// slot was empty at the moment it was inspected; a range mid-steal
+    /// is invisible for one transition, so `None` ends this worker's
+    /// sweep early at worst — it never loses an index (the thief that
+    /// holds it executes it).
+    pub fn next_task(&self, me: usize, stats: &mut StealStats) -> Option<(usize, bool)> {
+        // Fast path: claim the front of our own range. The pre-load
+        // avoids a pointless overshoot `fetch_add` on an empty slot;
+        // the `fetch_add` itself is the linearization point.
+        let (lo, hi) = unpack(self.slots[me].load(Ordering::Relaxed));
+        if lo < hi {
+            let (lo, hi) = unpack(self.slots[me].fetch_add(LO_ONE, Ordering::Relaxed));
+            if lo < hi {
+                return Some((lo as usize, false));
+            }
+        }
+        self.steal(me, stats)
+    }
+
+    /// Steal sweep: scan all other slots, CAS-split the largest.
+    fn steal(&self, me: usize, stats: &mut StealStats) -> Option<(usize, bool)> {
+        let workers = self.slots.len();
+        loop {
+            // Victim selection: the largest observed remaining range
+            // (stealing half of the biggest pile amortizes the number
+            // of steals to O(log n) per worker). The scan starts at
+            // `me + 1` so equal-sized victims spread across thieves.
+            let mut best: Option<(usize, u64, u32, u32)> = None;
+            for hop in 1..workers {
+                let v = (me + hop) % workers;
+                let word = self.slots[v].load(Ordering::Relaxed);
+                let (lo, hi) = unpack(word);
+                if lo < hi && best.is_none_or(|(_, _, blo, bhi)| hi - lo > bhi - blo) {
+                    best = Some((v, word, lo, hi));
+                }
+            }
+            let (victim, word, lo, hi) = best?;
+            stats.attempts += 1;
+            // Split point: the owner keeps the front half `[lo, mid)`,
+            // we take the back half `[mid, hi)` (the whole range when
+            // only one index remains).
+            let mid = lo + (hi - lo) / 2;
+            match self.slots[victim].compare_exchange(
+                word,
+                pack(lo, mid),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    // `[mid, hi)` is ours alone: execute `mid` now and
+                    // bank the rest in our own slot (empty, and nobody
+                    // CAS-targets an empty slot, so a plain store is
+                    // race-free).
+                    self.slots[me].store(pack(mid + 1, hi), Ordering::Relaxed);
+                    return Some((mid as usize, true));
+                }
+                Err(_) => {
+                    // Lost the race — someone else made progress
+                    // (owner claim or competing steal), so the rescan
+                    // terminates: the protocol is lock-free, not
+                    // merely obstruction-free.
+                    stats.failures += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(q: &RangeQueues, me: usize) -> (Vec<usize>, StealStats) {
+        let mut stats = StealStats::default();
+        let mut got = Vec::new();
+        while let Some((i, _)) = q.next_task(me, &mut stats) {
+            got.push(i);
+        }
+        (got, stats)
+    }
+
+    #[test]
+    fn single_worker_drains_in_order() {
+        let q = RangeQueues::chunked(10, 1);
+        let (got, stats) = drain_all(&q, 0);
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(stats.attempts, 0);
+        assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn chunked_partitions_the_space() {
+        for n in [0usize, 1, 5, 64, 257] {
+            for workers in [1usize, 2, 3, 7] {
+                let q = RangeQueues::chunked(n, workers);
+                assert_eq!(q.workers(), workers);
+                assert_eq!(q.remaining(), n, "n={n} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_two_worker_drain_covers_everything_once() {
+        // Worker 1 exhausts its own chunk, then steals the back half of
+        // worker 0's — all deterministic single-threaded here.
+        let q = RangeQueues::front_loaded(8, 2);
+        let mut stats = StealStats::default();
+        let (i, stolen) = q.next_task(1, &mut stats).unwrap();
+        assert!(stolen, "worker 1 starts empty and must steal");
+        assert_eq!(i, 4, "back half of [0,8) starts at 4");
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.failures, 0);
+        let mut seen = vec![i];
+        while let Some((i, _)) = q.next_task(1, &mut stats) {
+            seen.push(i);
+        }
+        let (rest, _) = drain_all(&q, 0);
+        seen.extend(rest);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_space_returns_none_immediately() {
+        let q = RangeQueues::chunked(0, 4);
+        let mut stats = StealStats::default();
+        for me in 0..4 {
+            assert_eq!(q.next_task(me, &mut stats), None);
+        }
+        assert_eq!(stats.attempts, 0, "no steal attempts on an empty space");
+    }
+
+    #[test]
+    fn overshoot_does_not_corrupt_empty_state() {
+        // Claiming from a drained slot repeatedly must stay `None` and
+        // keep `remaining` at zero (the documented `lo = hi + 1` state).
+        let q = RangeQueues::chunked(2, 1);
+        let mut stats = StealStats::default();
+        assert!(q.next_task(0, &mut stats).is_some());
+        assert!(q.next_task(0, &mut stats).is_some());
+        for _ in 0..5 {
+            assert_eq!(q.next_task(0, &mut stats), None);
+            assert_eq!(q.remaining(), 0);
+        }
+    }
+}

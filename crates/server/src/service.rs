@@ -941,9 +941,19 @@ impl SweepService {
         );
         let _ = writeln!(
             out,
-            "  \"pool\": {{\"tasks\": {}, \"steals\": {}}},",
+            "  \"pool\": {{\"tasks\": {}, \"steals\": {}, \"steal_attempts\": {}, \
+             \"steal_failures\": {}, \"parked\": {}}},",
             snap.counters.get("pool.tasks").copied().unwrap_or(0),
-            snap.counters.get("pool.steals").copied().unwrap_or(0)
+            snap.counters.get("pool.steals").copied().unwrap_or(0),
+            snap.counters
+                .get("pool.steal_attempts")
+                .copied()
+                .unwrap_or(0),
+            snap.counters
+                .get("pool.steal_failures")
+                .copied()
+                .unwrap_or(0),
+            snap.counters.get("pool.parked").copied().unwrap_or(0)
         );
         if let Some(cluster) = self.cluster.get() {
             let _ = writeln!(out, "  \"cluster\": {},", cluster.status_json_fragment());

@@ -22,7 +22,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use sweep_core::Assignment;
-use sweep_dag::{SweepInstance, TaskId};
+use sweep_dag::{BitSet, SweepInstance, TaskId};
 use sweep_telemetry as telemetry;
 
 /// Result of an asynchronous distributed simulation.
@@ -182,7 +182,7 @@ pub fn async_makespan_traced(
     // Latest input-arrival time per task (readiness gate under latency).
     let mut avail = vec![0.0f64; total];
     let mut busy_until = vec![0.0f64; m];
-    let mut idle = vec![true; m];
+    let mut idle = BitSet::full(m);
     let mut busy = vec![0.0f64; m];
     let mut messages = 0u64;
     let mut makespan = 0.0f64;
@@ -198,17 +198,17 @@ pub fn async_makespan_traced(
                              now: f64,
                              ready: &mut Vec<BinaryHeap<Reverse<(i64, u64)>>>,
                              events: &mut BinaryHeap<Reverse<Ev>>,
-                             idle: &mut Vec<bool>,
+                             idle: &mut BitSet,
                              busy_until: &mut Vec<f64>,
                              busy: &mut Vec<f64>,
                              trace: &mut AsyncTrace| {
-        if !idle[p] {
+        if !idle.contains(p) {
             return;
         }
         if let Some(Reverse((_, task))) = ready[p].pop() {
             let v = (task % n as u64) as u32;
             let d = dur(v);
-            idle[p] = false;
+            idle.remove(p);
             busy_until[p] = now + d;
             busy[p] += d;
             trace.execs.push(TraceExec {
@@ -258,7 +258,7 @@ pub fn async_makespan_traced(
             _ => {
                 // Task completion on processor p.
                 let task = payload;
-                idle[p] = true;
+                idle.insert(p);
                 makespan = makespan.max(t);
                 done += 1;
                 let (v, dir) = TaskId(task).unpack(n);

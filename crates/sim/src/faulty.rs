@@ -35,7 +35,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use sweep_core::Assignment;
-use sweep_dag::{SweepInstance, TaskId};
+use sweep_dag::{BitSet, SweepInstance, TaskId};
 use sweep_faults::{FaultConfig, FaultKind, FaultPlan, FaultReport};
 use sweep_telemetry as telemetry;
 
@@ -91,11 +91,11 @@ struct Engine<'a> {
     owner: Vec<u32>,
     /// Cells currently owned per processor (failover balance).
     owned: Vec<u32>,
-    alive: Vec<bool>,
-    idle: Vec<bool>,
+    alive: BitSet,
+    idle: BitSet,
     busy: Vec<f64>,
-    completed: Vec<bool>,
-    started: Vec<bool>,
+    completed: BitSet,
+    started: BitSet,
     /// Where each completed task ran.
     exec_proc: Vec<u32>,
     /// In-flight task per processor: `(task, finish, trace index)`.
@@ -122,12 +122,12 @@ impl<'a> Engine<'a> {
     /// skipping stale queue entries (completed / already started /
     /// reassigned away).
     fn start_if_possible(&mut self, p: usize, now: f64) {
-        if !self.alive[p] || !self.idle[p] {
+        if !self.alive.contains(p) || !self.idle.contains(p) {
             return;
         }
         while let Some(Reverse((_, task))) = self.ready[p].pop() {
             let ti = task as usize;
-            if self.completed[ti] || self.started[ti] {
+            if self.completed.contains(ti) || self.started.contains(ti) {
                 continue;
             }
             let v = self.cell_of(task);
@@ -147,8 +147,8 @@ impl<'a> Engine<'a> {
                     format!("task (cell {v}, dir {dir}) slowed {factor}x"),
                 );
             }
-            self.started[ti] = true;
-            self.idle[p] = false;
+            self.started.insert(ti);
+            self.idle.remove(p);
             self.busy[p] += d;
             let idx = self.trace.execs.len();
             self.trace.execs.push(TraceExec {
@@ -219,8 +219,8 @@ impl<'a> Engine<'a> {
     fn complete(&mut self, p: usize, t: f64, task: u64) {
         let ti = task as usize;
         self.current[p] = None;
-        self.idle[p] = true;
-        self.completed[ti] = true;
+        self.idle.insert(p);
+        self.completed.insert(ti);
         self.exec_proc[ti] = p as u32;
         self.makespan = self.makespan.max(t);
         self.done += 1;
@@ -253,7 +253,7 @@ impl<'a> Engine<'a> {
     /// id) — the failover target for a reassigned cell.
     fn pick_survivor(&self) -> u32 {
         (0..self.m)
-            .filter(|&q| self.alive[q])
+            .filter(|&q| self.alive.contains(q))
             .min_by_key(|&q| (self.owned[q], q))
             .expect("at least one survivor") as u32
     }
@@ -264,10 +264,10 @@ impl<'a> Engine<'a> {
     /// refetch the durable fluxes those tasks had already received, and
     /// re-enqueue recovered ready tasks one failover timeout later.
     fn crash(&mut self, p: usize, t: f64) {
-        if !self.alive[p] {
+        if !self.alive.contains(p) {
             return;
         }
-        if self.alive.iter().filter(|&&a| a).count() <= 1 {
+        if self.alive.count_ones() <= 1 {
             self.report.record(
                 t,
                 p as u32,
@@ -276,7 +276,7 @@ impl<'a> Engine<'a> {
             );
             return;
         }
-        self.alive[p] = false;
+        self.alive.remove(p);
         self.report.crashed_procs.push(p as u32);
         self.report.record(
             t,
@@ -286,7 +286,7 @@ impl<'a> Engine<'a> {
         );
         if let Some((task, finish, idx)) = self.current[p].take() {
             let ti = task as usize;
-            self.started[ti] = false;
+            self.started.remove(ti);
             // Keep only the time actually burned on the doomed run.
             self.busy[p] -= finish - t;
             self.aborted.push(idx);
@@ -304,7 +304,11 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let incomplete: Vec<u32> = (0..k as u32)
-                .filter(|&d| !self.completed[TaskId::pack(v as u32, d, self.n).index()])
+                .filter(|&d| {
+                    !self
+                        .completed
+                        .contains(TaskId::pack(v as u32, d, self.n).index())
+                })
                 .collect();
             if incomplete.is_empty() {
                 continue; // fully swept cell: nothing to recover
@@ -333,7 +337,7 @@ impl<'a> Engine<'a> {
                     .to_vec();
                 for u in preds {
                     let ut = TaskId::pack(u, d, self.n).index();
-                    if self.completed[ut] && self.exec_proc[ut] != q {
+                    if self.completed.contains(ut) && self.exec_proc[ut] != q {
                         self.report.messages += 1;
                         self.report.retries += 1;
                         self.trace.messages.push(TraceMessage {
@@ -361,7 +365,7 @@ impl<'a> Engine<'a> {
                     detect
                 };
                 self.avail[wt] = self.avail[wt].max(ready_at);
-                if self.indeg[wt] == 0 && !self.started[wt] {
+                if self.indeg[wt] == 0 && !self.started.contains(wt) {
                     self.events
                         .push(Reverse(Ev(self.avail[wt], 0, q, wt as u64)));
                 }
@@ -452,11 +456,11 @@ pub fn async_makespan_faulty(
         avail: vec![0.0f64; total],
         owner: assignment.as_slice().to_vec(),
         owned,
-        alive: vec![true; m],
-        idle: vec![true; m],
+        alive: BitSet::full(m),
+        idle: BitSet::full(m),
         busy: vec![0.0f64; m],
-        completed: vec![false; total],
-        started: vec![false; total],
+        completed: BitSet::new(total),
+        started: BitSet::new(total),
         exec_proc: vec![u32::MAX; total],
         current: vec![None; m],
         aborted: Vec::new(),
@@ -483,7 +487,10 @@ pub fn async_makespan_faulty(
                 // Readiness arrival: enqueue unless stale (dead target,
                 // reassigned cell, duplicate, or already running).
                 let ti = payload as usize;
-                if !engine.alive[pu] || engine.completed[ti] || engine.started[ti] {
+                if !engine.alive.contains(pu)
+                    || engine.completed.contains(ti)
+                    || engine.started.contains(ti)
+                {
                     continue;
                 }
                 let v = engine.cell_of(payload);
@@ -497,7 +504,7 @@ pub fn async_makespan_faulty(
                 // Completion — unless the processor died mid-run (the
                 // abort was handled by the crash; the task re-runs
                 // elsewhere).
-                if engine.alive[pu] {
+                if engine.alive.contains(pu) {
                     engine.complete(pu, t, payload);
                 }
             }

@@ -16,7 +16,9 @@
 
 use std::sync::Mutex;
 
-use sweep_scheduling::core::{best_of_trials_seq, best_of_trials_with_pool, Algorithm};
+use sweep_scheduling::core::{
+    best_of_trials_seq, best_of_trials_with_pool, Algorithm, TrialContext, TrialScratch,
+};
 use sweep_scheduling::dag::{induce_all, induce_dag, SweepInstance};
 use sweep_scheduling::pool::{set_global_threads, ThreadPool};
 use sweep_scheduling::prelude::*;
@@ -83,6 +85,73 @@ fn best_of_trials_is_thread_count_invariant() {
         validate(&instance, &got.schedule).expect("winner must stay feasible");
     }
     set_global_threads(0);
+}
+
+/// 100-round randomized steal-storm: every round draws a fresh
+/// (trial count, width, master seed, algorithm) tuple and diffs the
+/// lock-free parallel path against the sequential oracle. Small trial
+/// counts and uneven widths maximize contended CAS splits on the
+/// range queues — exactly the protocol paths the pool model explores
+/// exhaustively, here exercised on real schedules.
+#[test]
+fn steal_storm_matches_sequential_oracle_100_rounds() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let instance = SweepInstance::random_layered(48, 3, 5, 2, 7);
+    let assignment = Assignment::random_cells(instance.num_cells(), 6, 5);
+    let algs = [
+        Algorithm::RandomDelay,
+        Algorithm::RandomDelayPriorities,
+        Algorithm::Greedy,
+    ];
+    for round in 0..100usize {
+        let b = 1 + (round * 7) % 19;
+        let threads = 1 + (round * 3) % 8;
+        let master = (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let alg = algs[round % algs.len()];
+        let seq = best_of_trials_seq(&instance, &assignment, alg, b, master);
+        let pool = ThreadPool::new(threads);
+        let par = best_of_trials_with_pool(&pool, &instance, &assignment, alg, b, master);
+        assert_eq!(par.trial, seq.trial, "round {round} winner");
+        assert_eq!(par.outcomes, seq.outcomes, "round {round} outcomes");
+        assert_eq!(
+            par.schedule.starts(),
+            seq.schedule.starts(),
+            "round {round} schedule (b={b}, threads={threads})"
+        );
+    }
+    set_global_threads(0);
+}
+
+/// After the first trial warms a worker's scratch arena, further
+/// trials on the tetonly preset must not allocate: the grow-event
+/// counter stays flat across 48 post-warm-up trials for every
+/// fast-path algorithm.
+#[test]
+fn scratch_arena_is_allocation_free_after_warm_up() {
+    let mesh = MeshPreset::Tetonly.build_scaled(0.01).expect("mesh");
+    let quad = QuadratureSet::level_symmetric(2).expect("S2");
+    let (instance, _) = SweepInstance::from_mesh(&mesh, &quad, "scratch_test");
+    let assignment = Assignment::random_cells(instance.num_cells(), 8, 1);
+    for alg in [
+        Algorithm::RandomDelay,
+        Algorithm::RandomDelayPriorities,
+        Algorithm::Greedy,
+    ] {
+        let ctx = TrialContext::new(&instance, &assignment, alg);
+        assert!(ctx.fast_path(), "{alg:?} must take the scratch fast path");
+        let mut scratch = TrialScratch::new();
+        ctx.run_trial(1, &mut scratch); // warm-up: reserves worst case
+        let grows_after_warm_up = scratch.grow_events();
+        for seed in 2..50u64 {
+            ctx.run_trial(seed, &mut scratch);
+        }
+        assert_eq!(scratch.trials(), 49);
+        assert_eq!(
+            scratch.grow_events(),
+            grows_after_warm_up,
+            "{alg:?} allocated after warm-up"
+        );
+    }
 }
 
 #[test]
