@@ -33,6 +33,10 @@
 //! | SW027 | error | single-flight liveness: a waiter can wedge on an abandoned leader |
 //! | SW028 | error | malformed request trace tree (unclosed span, dangling parent, bad coalesce ref) |
 //! | SW029 | error | cluster-served schedule differs from single-node cold compute |
+//! | SW030 | error | imported mesh has a non-manifold face (no dependence induced) |
+//! | SW031 | warning | imported cell has inverted vertex orientation |
+//! | SW032 | warning | imported mesh has hanging nodes (T-junction refinement) |
+//! | SW033 | error | imported cell is degenerate (zero volume/area) |
 
 use std::fmt;
 
@@ -100,6 +104,10 @@ pub enum Code {
     SingleFlightLiveness,
     TraceTreeMalformed,
     ClusterDivergence,
+    NonManifoldFace,
+    InvertedOrientation,
+    HangingNodes,
+    DegenerateCell,
 }
 
 impl Code {
@@ -132,6 +140,10 @@ impl Code {
             Code::SingleFlightLiveness => "SW027",
             Code::TraceTreeMalformed => "SW028",
             Code::ClusterDivergence => "SW029",
+            Code::NonManifoldFace => "SW030",
+            Code::InvertedOrientation => "SW031",
+            Code::HangingNodes => "SW032",
+            Code::DegenerateCell => "SW033",
         }
     }
 
@@ -176,6 +188,10 @@ impl Code {
             Code::ClusterDivergence => {
                 "cluster-served schedule differs from single-node cold compute"
             }
+            Code::NonManifoldFace => "imported mesh face is shared by more than two cells",
+            Code::InvertedOrientation => "imported cell has inverted vertex orientation",
+            Code::HangingNodes => "imported mesh has hanging nodes (T-junction refinement)",
+            Code::DegenerateCell => "imported cell is degenerate (zero volume or area)",
         }
     }
 
@@ -197,14 +213,18 @@ impl Code {
             | Code::LostWakeup
             | Code::SingleFlightLiveness
             | Code::TraceTreeMalformed
-            | Code::ClusterDivergence => Severity::Error,
+            | Code::ClusterDivergence
+            | Code::NonManifoldFace
+            | Code::DegenerateCell => Severity::Error,
             Code::EmptyProcessor
             | Code::LoadImbalance
             | Code::UnreachableCell
             | Code::DegenerateDirection
             | Code::DelayEnvelopeExceeded
             | Code::HighCommBound
-            | Code::MessageRace => Severity::Warning,
+            | Code::MessageRace
+            | Code::InvertedOrientation
+            | Code::HangingNodes => Severity::Warning,
             Code::Stats | Code::Certified | Code::FaultTraceCertified => Severity::Info,
         }
     }

@@ -1,0 +1,204 @@
+//! Diagnostics for imported meshes (SW030–SW033 plus a stats line).
+//!
+//! [`analyze_import`] turns the [`ImportReport`] produced by
+//! `sweep_mesh::import` into the same [`Report`] shape every other
+//! analysis emits, so `sweep mesh import` and the server's upload path
+//! share the text/JSON/SARIF renderers and exit-code policy with
+//! `sweep analyze`.
+//!
+//! ```
+//! use sweep_analyze::{analyze_import, Code};
+//! use sweep_mesh::import::{import_bytes, ImportFormat};
+//!
+//! // A T-junction: f 1 2 3 leaves edge 1-2 unmatched with vertex 4 on it.
+//! let obj = b"v 0 0 0\nv 2 0 0\nv 1 1 0\nv 1 0 0\nv 0 -1 0\nv 2 -1 0\n\
+//!             f 1 4 5\nf 4 2 6\nf 1 2 3\n";
+//! let got = import_bytes(obj, ImportFormat::Obj).unwrap();
+//! let report = analyze_import(&got.report, "t-junction.obj");
+//! assert!(report.has_code(Code::HangingNodes));
+//! assert!(!report.has_errors()); // hanging nodes warn, not fail
+//! ```
+
+use sweep_mesh::import::ImportReport;
+
+use crate::diag::{Anchor, Code, Diagnostic, Report};
+
+/// At most this many per-cell diagnostics are emitted per code; the rest
+/// are summarized in the final diagnostic's message ("… and N more").
+const MAX_SAMPLES: usize = 8;
+
+/// Builds a [`Report`] from an import's validation findings.
+///
+/// Emits one [`Code::Stats`] info line (deterministic counts, suitable for
+/// golden-diffing), then per-finding diagnostics: SW030 for each
+/// non-manifold face group, SW031 per inverted cell, one SW032 summarizing
+/// hanging nodes (resolved or merely detected), and SW033 per degenerate
+/// cell. Sample lists are capped at 8 entries per code.
+pub fn analyze_import(report: &ImportReport, subject: &str) -> Report {
+    let mut out = Report::new(subject);
+    let fmt = report
+        .format
+        .map(|f| f.name())
+        .unwrap_or("unknown")
+        .to_string();
+    out.push(Diagnostic::new(
+        Code::Stats,
+        Anchor::none(),
+        format!(
+            "format {fmt}: {} vertices, {} cells, {} interior faces, {} boundary faces",
+            report.vertices, report.cells, report.interior_faces, report.boundary_faces
+        ),
+    ));
+
+    for (i, group) in report.non_manifold.iter().enumerate() {
+        if i == MAX_SAMPLES {
+            out.push(Diagnostic::new(
+                Code::NonManifoldFace,
+                Anchor::none(),
+                format!(
+                    "… and {} more non-manifold faces",
+                    report.non_manifold.len() - MAX_SAMPLES
+                ),
+            ));
+            break;
+        }
+        let anchor = group
+            .first()
+            .copied()
+            .map_or_else(Anchor::none, Anchor::cell);
+        let cells: Vec<String> = group.iter().map(|c| c.to_string()).collect();
+        out.push(Diagnostic::new(
+            Code::NonManifoldFace,
+            anchor,
+            format!(
+                "face shared by {} cells ({}); no dependence edges induced there",
+                group.len(),
+                cells.join(", ")
+            ),
+        ));
+    }
+
+    push_cell_list(
+        &mut out,
+        Code::InvertedOrientation,
+        &report.inverted_cells,
+        "cell has negative signed volume; orientation re-derived geometrically",
+        "more inverted cells",
+    );
+
+    if report.hanging_resolved > 0 || !report.hanging_vertices.is_empty() {
+        // The offenders are vertex ids, so no cell anchor fits here.
+        let anchor = Anchor::none();
+        let verts: Vec<String> = report
+            .hanging_vertices
+            .iter()
+            .take(MAX_SAMPLES)
+            .map(|v| v.to_string())
+            .collect();
+        let suffix = if report.hanging_vertices.len() > MAX_SAMPLES {
+            format!(" (+{} more)", report.hanging_vertices.len() - MAX_SAMPLES)
+        } else {
+            String::new()
+        };
+        let action = if report.hanging_resolved > 0 {
+            format!(
+                "{} coarse/fine face pairs stitched",
+                report.hanging_resolved
+            )
+        } else {
+            "detected only; faces left as boundary".to_string()
+        };
+        out.push(Diagnostic::new(
+            Code::HangingNodes,
+            anchor,
+            format!(
+                "hanging vertices [{}]{suffix}; {action}; induced graphs may contain cycles",
+                verts.join(", ")
+            ),
+        ));
+    }
+    if report.resolution_skipped {
+        out.push(Diagnostic::new(
+            Code::HangingNodes,
+            Anchor::none(),
+            "too many unmatched faces for hanging-node resolution; unmatched faces kept as boundary",
+        ));
+    }
+
+    push_cell_list(
+        &mut out,
+        Code::DegenerateCell,
+        &report.degenerate_cells,
+        "cell has (near-)zero measure; its faces induce no dependence",
+        "more degenerate cells",
+    );
+
+    out
+}
+
+fn push_cell_list(out: &mut Report, code: Code, cells: &[u32], msg: &str, more: &str) {
+    for (i, &cell) in cells.iter().enumerate() {
+        if i == MAX_SAMPLES {
+            out.push(Diagnostic::new(
+                code,
+                Anchor::none(),
+                format!("… and {} {more}", cells.len() - MAX_SAMPLES),
+            ));
+            return;
+        }
+        out.push(Diagnostic::new(code, Anchor::cell(cell), msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweep_mesh::import::{import_bytes, ImportFormat};
+
+    #[test]
+    fn clean_import_is_stats_only() {
+        let obj = b"v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n";
+        let got = import_bytes(obj, ImportFormat::Obj).unwrap();
+        let rep = analyze_import(&got.report, "tri.obj");
+        assert_eq!(rep.len(), 1);
+        assert!(rep.has_code(Code::Stats));
+        assert!(!rep.has_errors());
+        assert!(rep.diagnostics()[0].message.contains("format obj"));
+        assert!(rep.diagnostics()[0].message.contains("1 cells"));
+    }
+
+    #[test]
+    fn non_manifold_is_an_error() {
+        // Three triangles share edge 1-2.
+        let obj = b"v 0 0 0\nv 1 0 0\nv 0 1 0\nv 0 -1 0\nv 1 1 1\nf 1 2 3\nf 1 2 4\nf 1 2 5\n";
+        let got = import_bytes(obj, ImportFormat::Obj).unwrap();
+        let rep = analyze_import(&got.report, "nm.obj");
+        assert!(rep.has_code(Code::NonManifoldFace));
+        assert!(rep.has_errors());
+        let d = rep
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::NonManifoldFace)
+            .unwrap();
+        assert!(d.message.contains("3 cells"));
+        assert!(d.anchor.cell.is_some());
+    }
+
+    #[test]
+    fn sample_lists_are_capped() {
+        use sweep_mesh::import::ImportReport;
+        let rep = ImportReport {
+            inverted_cells: (0..20).collect(),
+            ..ImportReport::default()
+        };
+        let out = analyze_import(&rep, "many");
+        assert_eq!(out.count_code(Code::InvertedOrientation), MAX_SAMPLES + 1);
+        let last = out
+            .diagnostics()
+            .iter()
+            .rfind(|d| d.code == Code::InvertedOrientation)
+            .unwrap();
+        assert!(last.message.contains("12 more"));
+        assert!(!out.has_errors());
+    }
+}

@@ -48,6 +48,7 @@
 
 pub mod concurrency;
 pub mod diag;
+pub mod import;
 
 mod assignment;
 mod cache_identity;
@@ -67,6 +68,7 @@ pub use concurrency::{
 };
 pub use diag::{json_string, Anchor, Code, Diagnostic, Report, Severity};
 pub use happens_before::{analyze_async, analyze_trace};
+pub use import::analyze_import;
 pub use instance::{analyze_instance, analyze_quadrature};
 pub use parallel::{analyze_parallel_determinism, CERT_TRIALS};
 pub use schedule::{

@@ -1,0 +1,85 @@
+//! Ingestion-path benchmark (ISSUE 10): parse + assemble, DAG
+//! induction, and a greedy schedule on each example mesh under
+//! `examples/meshes/`.
+//!
+//! The interesting questions are (a) where the import time goes —
+//! text parsing vs face-adjacency assembly vs induction — and (b) what
+//! the cycle-rich `warped.msh` costs relative to its clean peers, since
+//! its rings exercise the Tarjan repair path in every direction.
+//! Results land in `<out>/import_bench.csv`; makespans are what the
+//! EXPERIMENTS "Imported meshes" section reports. Timings are
+//! min-of-`REPEATS`, counts are deterministic.
+
+use std::time::Instant;
+
+use sweep_bench::{BenchArgs, CsvSink};
+use sweep_core::{greedy_schedule, Assignment};
+use sweep_dag::SweepInstance;
+use sweep_mesh::import::{import_bytes, ImportFormat};
+use sweep_quadrature::QuadratureSet;
+
+/// Timed repetitions; the fastest is reported (the example meshes are
+/// small enough that one-shot timings are dominated by noise).
+const REPEATS: usize = 5;
+/// Processors for the greedy schedule.
+const PROCS: usize = 4;
+
+fn min_ms<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (out.expect("REPEATS > 0"), best)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let quad = QuadratureSet::level_symmetric(2).expect("S2 quadrature");
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/meshes");
+
+    let mut sink = CsvSink::new(
+        &args,
+        "import_bench",
+        "mesh,bytes,cells,tasks,edges,cyclic_dirs,dropped_edges,import_ms,induce_ms,schedule_ms,makespan",
+    );
+
+    for name in ["cube.msh", "plate.obj", "warped.msh"] {
+        let path = format!("{dir}/{name}");
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(1);
+        });
+        let (got, import_ms) = min_ms(|| {
+            import_bytes(&bytes, ImportFormat::Auto).unwrap_or_else(|e| {
+                eprintln!("importing {path}: {e}");
+                std::process::exit(1);
+            })
+        });
+        let ((inst, stats), induce_ms) =
+            min_ms(|| SweepInstance::from_mesh(&got.mesh, &quad, name));
+        let cyclic_dirs = stats.iter().filter(|s| s.nontrivial_sccs > 0).count();
+        let dropped: usize = stats.iter().map(|s| s.dropped_edges).sum();
+        let edges: usize = inst.dags().iter().map(|d| d.num_edges()).sum();
+        let assignment = Assignment::random_cells(inst.num_cells(), PROCS, args.seed);
+        let (schedule, schedule_ms) = min_ms(|| greedy_schedule(&inst, assignment.clone()));
+        sink.row(format_args!(
+            "{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{}",
+            name,
+            bytes.len(),
+            inst.num_cells(),
+            inst.num_tasks(),
+            edges,
+            cyclic_dirs,
+            dropped,
+            import_ms,
+            induce_ms,
+            schedule_ms,
+            schedule.makespan()
+        ));
+    }
+    sink.finish();
+}

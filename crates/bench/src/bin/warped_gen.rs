@@ -1,0 +1,259 @@
+//! Deterministic generator for `examples/meshes/warped.msh` — the
+//! cycle-rich hanging-node example mesh (ISSUE 10).
+//!
+//! The mesh is four "spiral-cut" rings of sheared hexahedra (each hex
+//! split into six Kuhn tetrahedra, so every shared quad conforms), one
+//! ring per diagonal-axis class of the S2 level-symmetric quadrature,
+//! plus one T-junction cluster whose three fine tets hang on a coarse
+//! face. Each ring's inter-sector cut faces are tilted azimuthally by
+//! `TILT`, so every cut normal gains a consistent component along the
+//! ring axis: for a sweep direction on that axis every cut is crossed
+//! "downstream", closing a directed cycle around the ring. Cycle
+//! reversal covers the opposite direction, and the four axis classes
+//! (±1, ±1, ±1)/√3 cover all eight S2 directions.
+//!
+//! Usage: `warped_gen [--check] [PATH]` — writes the `.msh` to PATH (or
+//! stdout), `--check` additionally imports it back and asserts at least
+//! one induced cycle per S2 direction plus resolved hanging nodes,
+//! exiting nonzero otherwise. Output is byte-deterministic: no
+//! timestamps, no randomness.
+
+use std::fmt::Write as _;
+
+type V3 = [f64; 3];
+
+/// Sectors per ring (even keeps the sector count symmetric; 6 is the
+/// smallest that verified cyclic for every on-axis direction).
+const SECTORS: usize = 6;
+/// Azimuthal offset (radians) between the bottom and top ends of each
+/// inter-sector cut — the shear that tilts cut normals off the axis.
+const TILT: f64 = 0.55;
+/// Inner/outer ring radii and half-height.
+const R0: f64 = 0.6;
+const R1: f64 = 1.5;
+const HALF_H: f64 = 0.55;
+
+fn add(a: V3, b: V3) -> V3 {
+    [a[0] + b[0], a[1] + b[1], a[2] + b[2]]
+}
+
+fn scale(a: V3, s: f64) -> V3 {
+    [a[0] * s, a[1] * s, a[2] * s]
+}
+
+fn cross(a: V3, b: V3) -> V3 {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn norm(a: V3) -> V3 {
+    let l = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
+    scale(a, 1.0 / l)
+}
+
+/// Orthonormal frame (u, v, w) with w along `axis`.
+fn frame(axis: V3) -> (V3, V3, V3) {
+    let w = norm(axis);
+    let pick = if w[0].abs() < 0.9 {
+        [1.0, 0.0, 0.0]
+    } else {
+        [0.0, 1.0, 0.0]
+    };
+    let u = norm(cross(pick, w));
+    let v = cross(w, u);
+    (u, v, w)
+}
+
+struct MeshBuf {
+    vertices: Vec<V3>,
+    tets: Vec<[usize; 4]>,
+}
+
+impl MeshBuf {
+    fn push_tet(&mut self, mut t: [usize; 4]) {
+        // Keep every element positively oriented so the import report
+        // carries no SW031 warnings.
+        let [a, b, c, d] = t.map(|i| self.vertices[i]);
+        let e1 = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+        let e2 = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+        let e3 = [d[0] - a[0], d[1] - a[1], d[2] - a[2]];
+        let vol = cross(e1, e2)[0] * e3[0] + cross(e1, e2)[1] * e3[1] + cross(e1, e2)[2] * e3[2];
+        if vol < 0.0 {
+            t.swap(2, 3);
+        }
+        self.tets.push(t);
+    }
+}
+
+/// One spiral-cut ring around `axis`, centered at `center`. Sector cut
+/// `i` lives at angle `2πi/SECTORS`, twisted by `±TILT/2` at its bottom
+/// and top ends; the four cut corners are shared verbatim by the two
+/// neighbouring sector hexes, so the whole ring is conforming.
+fn push_ring(buf: &mut MeshBuf, center: V3, axis: V3) {
+    let (u, v, w) = frame(axis);
+    let base = buf.vertices.len();
+    // Cut vertices: index (i, zeta, rho) -> 4 per cut.
+    for i in 0..SECTORS {
+        let theta = std::f64::consts::TAU * i as f64 / SECTORS as f64;
+        for zeta in 0..2 {
+            let phi = theta + TILT * (zeta as f64 - 0.5);
+            let z = HALF_H * (2.0 * zeta as f64 - 1.0);
+            for rho in 0..2 {
+                let r = if rho == 0 { R0 } else { R1 };
+                let p = add(
+                    center,
+                    add(
+                        add(scale(u, r * phi.cos()), scale(v, r * phi.sin())),
+                        scale(w, z),
+                    ),
+                );
+                buf.vertices.push(p);
+            }
+        }
+    }
+    let vid = |i: usize, zeta: usize, rho: usize| base + 4 * (i % SECTORS) + 2 * zeta + rho;
+    // Hex i spans cuts i and i+1; corner bits (rho, zeta, alpha).
+    const KUHN: [[usize; 4]; 6] = [
+        [0, 1, 3, 7],
+        [0, 1, 5, 7],
+        [0, 2, 3, 7],
+        [0, 2, 6, 7],
+        [0, 4, 5, 7],
+        [0, 4, 6, 7],
+    ];
+    for i in 0..SECTORS {
+        let corner = |c: usize| vid(i + (c >> 2), (c >> 1) & 1, c & 1);
+        for tet in KUHN {
+            buf.push_tet(tet.map(corner));
+        }
+    }
+}
+
+/// The hanging-node T-junction: a coarse tet whose top face carries a
+/// centroid hanging node shared by three fine tets above it.
+fn push_hanging_cluster(buf: &mut MeshBuf, center: V3) {
+    let base = buf.vertices.len();
+    let local: [V3; 6] = [
+        [0.0, 0.0, 0.0],
+        [1.2, 0.0, 0.0],
+        [0.4, 1.1, 0.0],
+        [0.5, 0.35, -0.9],                             // coarse apex below
+        [0.5333333333333333, 0.3666666666666667, 0.0], // hanging node at face centroid
+        [0.5, 0.35, 0.8],                              // fine apex above
+    ];
+    for p in local {
+        buf.vertices.push(add(center, p));
+    }
+    buf.push_tet([base, base + 1, base + 2, base + 3]);
+    buf.push_tet([base, base + 1, base + 4, base + 5]);
+    buf.push_tet([base + 1, base + 2, base + 4, base + 5]);
+    buf.push_tet([base + 2, base, base + 4, base + 5]);
+}
+
+fn render_msh(buf: &MeshBuf) -> String {
+    let mut out = String::new();
+    out.push_str("$MeshFormat\n4.1 0 8\n$EndMeshFormat\n$Nodes\n");
+    let n = buf.vertices.len();
+    let _ = writeln!(out, "1 {n} 1 {n}\n3 1 0 {n}");
+    for tag in 1..=n {
+        let _ = writeln!(out, "{tag}");
+    }
+    for p in &buf.vertices {
+        let _ = writeln!(out, "{:.12} {:.12} {:.12}", p[0], p[1], p[2]);
+    }
+    let e = buf.tets.len();
+    let _ = writeln!(out, "$EndNodes\n$Elements\n1 {e} 1 {e}\n3 1 4 {e}");
+    for (i, t) in buf.tets.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {}",
+            i + 1,
+            t[0] + 1,
+            t[1] + 1,
+            t[2] + 1,
+            t[3] + 1
+        );
+    }
+    out.push_str("$EndElements\n");
+    out
+}
+
+fn build() -> String {
+    let mut buf = MeshBuf {
+        vertices: Vec::new(),
+        tets: Vec::new(),
+    };
+    let s = 1.0 / 3.0_f64.sqrt();
+    let axes: [V3; 4] = [[s, s, s], [s, s, -s], [s, -s, s], [s, -s, -s]];
+    for (j, axis) in axes.iter().enumerate() {
+        push_ring(&mut buf, [4.0 * j as f64, 0.0, 0.0], *axis);
+    }
+    push_hanging_cluster(&mut buf, [16.0, 0.0, 0.0]);
+    render_msh(&buf)
+}
+
+fn check(text: &str) -> Result<String, String> {
+    let got = sweep_mesh::import_bytes(text.as_bytes(), sweep_mesh::ImportFormat::Msh)
+        .map_err(|e| format!("self-check import failed: {e}"))?;
+    if got.report.has_errors() {
+        return Err("self-check: import report has errors".to_string());
+    }
+    if got.report.hanging_resolved == 0 {
+        return Err("self-check: no hanging nodes were stitched".to_string());
+    }
+    let quad = sweep_quadrature::QuadratureSet::level_symmetric(2).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (i, (_, omega)) in quad.iter().enumerate() {
+        let (dag, stats) = sweep_dag::induce_dag(&got.mesh, omega);
+        let _ = writeln!(
+            out,
+            "dir {i} ({:+.3} {:+.3} {:+.3}): {} raw edges, {} nontrivial SCCs, {} dropped, acyclic {}",
+            omega.x, omega.y, omega.z, stats.raw_edges, stats.nontrivial_sccs,
+            stats.dropped_edges, dag.is_acyclic()
+        );
+        if stats.nontrivial_sccs == 0 || stats.dropped_edges == 0 {
+            return Err(format!("self-check: direction {i} induced no cycle\n{out}"));
+        }
+        if !dag.is_acyclic() {
+            return Err(format!("self-check: direction {i} not repaired\n{out}"));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "ok: {} cells, {} hanging stitches, cycles in all {} directions",
+        got.report.cells,
+        got.report.hanging_resolved,
+        quad.len()
+    );
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let do_check = args.iter().any(|a| a == "--check");
+    let path = args.iter().find(|a| !a.starts_with("--"));
+    let text = build();
+    if do_check {
+        match check(&text) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &text) {
+                eprintln!("writing {p}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {p} ({} bytes)", text.len());
+        }
+        None if !do_check => print!("{text}"),
+        None => {}
+    }
+}

@@ -75,6 +75,10 @@ USAGE:
 COMMANDS:
   mesh       --preset <tetonly|well_logging|long|prismtet> [--scale F]
              [--vtk FILE] [--quality]
+  mesh import <file> [--format auto|obj|msh] [--sn N] [--out FILE]
+             [--raw-out FILE] [--svg FILE]
+             (.obj / Gmsh .msh v4 ASCII; SW030-SW033 validation;
+              see MESHES.md; exits 2 on error-level diagnostics)
   stats      --preset P [--scale F] [--sn N]
   instance   --preset P [--scale F] [--sn N] --out FILE   (export v1 text)
   schedule   (--preset P | --instance FILE) [--scale F] [--sn N] --m M
@@ -263,12 +267,26 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
     // `trace` and `faults` take their preset positionally:
     // `sweep trace tetonly …`, `sweep faults tetonly …`.
     let mut rest: Vec<String> = args[1..].to_vec();
+    let mut command = command.as_str();
     if command == "trace" || command == "faults" {
         if let Some(first) = rest.first() {
             if !first.starts_with("--") {
                 let preset = rest.remove(0);
                 rest.push("--preset".to_string());
                 rest.push(preset);
+            }
+        }
+    }
+    // `mesh import` takes the file positionally:
+    // `sweep mesh import cube.msh --format msh`.
+    if command == "mesh" && rest.first().map(String::as_str) == Some("import") {
+        command = "mesh-import";
+        rest.remove(0);
+        if let Some(first) = rest.first() {
+            if !first.starts_with("--") {
+                let file = rest.remove(0);
+                rest.push("--file".to_string());
+                rest.push(file);
             }
         }
     }
@@ -303,9 +321,10 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), String> {
     }
 
     let plain = |r: Result<String, String>| r.map(|out| (out, 0));
-    let result = match command.as_str() {
+    let result = match command {
         "help" | "--help" | "-h" => Ok((HELP.to_string(), 0)),
         "mesh" => plain(cmd_mesh(&flags)),
+        "mesh-import" => cmd_mesh_import(&flags),
         "instance" => plain(cmd_instance(&flags)),
         "stats" => plain(cmd_stats(&flags)),
         "schedule" => plain(cmd_schedule(&flags)),
@@ -791,6 +810,89 @@ fn cmd_mesh(flags: &HashMap<String, String>) -> Result<String, String> {
         let _ = writeln!(out, "wrote {path} ({} bytes)", vtk.len());
     }
     Ok(out)
+}
+
+/// `sweep mesh import <file>` — parse a real mesh file (Wavefront
+/// `.obj` or Gmsh `.msh` v4 ASCII, see MESHES.md), validate it
+/// (SW030–SW033), induce the per-direction DAGs against `--sn`, and
+/// report deterministic stats (no timings, so the output golden-diffs).
+/// Exports: `--out` the schedulable instance (v1 text, cycles already
+/// broken), `--raw-out` the *pre-repair* edges (possibly cyclic; feed to
+/// `sweep analyze --instance` for SW001 cycle witnesses), `--svg` a
+/// per-cell sweep-level rendering (surface imports only). Exits 2 when
+/// any error-level diagnostic fires.
+fn cmd_mesh_import(flags: &HashMap<String, String>) -> Result<(String, i32), String> {
+    use sweep_dag::{induce_raw, TaskDag};
+    use sweep_mesh::import::ImportFormat;
+
+    let path = require(flags, "file")?;
+    let fmt_name = flags.get("format").map(String::as_str).unwrap_or("auto");
+    let fmt = ImportFormat::from_name(fmt_name)
+        .ok_or_else(|| format!("unknown format '{fmt_name}' (auto|obj|msh)"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let got =
+        sweep_mesh::import_bytes(&bytes, fmt).map_err(|e| format!("importing {path}: {e}"))?;
+    let report = sweep_analyze::analyze_import(&got.report, path);
+
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "imported".to_string());
+    let sn: usize = get(flags, "sn", 4)?;
+    let quad = QuadratureSet::level_symmetric(sn).map_err(|e| e.to_string())?;
+    let (inst, induce) = SweepInstance::from_mesh(&got.mesh, &quad, name.as_str());
+
+    let mut out = report.render_text();
+    let raw_edges: usize = induce.iter().map(|s| s.raw_edges).sum();
+    let dropped: usize = induce.iter().map(|s| s.dropped_edges).sum();
+    let cyclic_dirs = induce.iter().filter(|s| s.nontrivial_sccs > 0).count();
+    let _ = writeln!(
+        out,
+        "induced {} directions (sn {sn}): {raw_edges} raw edges, {dropped} dropped by \
+         cycle breaking, {cyclic_dirs} cyclic directions",
+        quad.len(),
+    );
+    let st = instance_stats(&inst);
+    let _ = writeln!(
+        out,
+        "instance: {} tasks ({} cells × {} directions), {} edges, D = {}",
+        st.total_tasks,
+        inst.num_cells(),
+        inst.num_directions(),
+        st.total_edges,
+        st.max_depth,
+    );
+
+    if let Some(p) = flags.get("out") {
+        let text = sweep_dag::to_text(&inst);
+        std::fs::write(p, &text).map_err(|e| format!("writing {p}: {e}"))?;
+        let _ = writeln!(out, "wrote instance to {p} ({} bytes)", text.len());
+    }
+    if let Some(p) = flags.get("raw-out") {
+        let dags: Vec<TaskDag> = quad
+            .iter()
+            .map(|(_, omega)| TaskDag::from_edges(inst.num_cells(), &induce_raw(&got.mesh, omega)))
+            .collect();
+        let raw = SweepInstance::new_unchecked(inst.num_cells(), dags, format!("{name}-raw"));
+        let text = sweep_dag::to_text(&raw);
+        std::fs::write(p, &text).map_err(|e| format!("writing {p}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "wrote raw (pre-repair) instance to {p} ({} bytes)",
+            text.len()
+        );
+    }
+    if let Some(p) = flags.get("svg") {
+        let level_of = sweep_dag::levels(&inst.dags()[0]).level_of;
+        let values: Vec<f64> = level_of.iter().map(|&l| l as f64).collect();
+        let svg = sweep_mesh::poly_to_svg(&got.mesh, &values, sweep_mesh::ColorMap::BlueRed, 640)
+            .map_err(|e| {
+            format!("--svg: {e} (volumetric .msh imports have no render surface)")
+        })?;
+        std::fs::write(p, &svg).map_err(|e| format!("writing {p}: {e}"))?;
+        let _ = writeln!(out, "wrote sweep-level SVG (direction 0) to {p}");
+    }
+    Ok((out, if report.has_errors() { 2 } else { 0 }))
 }
 
 fn cmd_instance(flags: &HashMap<String, String>) -> Result<String, String> {
@@ -1600,6 +1702,125 @@ mod tests {
     fn optimal_command_runs() {
         let out = run(&args(&["optimal", "--n", "6", "--k", "2", "--m", "3"])).unwrap();
         assert!(out.contains("OPT ="), "{out}");
+    }
+
+    fn example_mesh(name: &str) -> String {
+        format!(
+            "{}/../../examples/meshes/{name}",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    }
+
+    #[test]
+    fn mesh_import_round_trips_example_meshes() {
+        let dir = std::env::temp_dir().join("sweep-cli-import-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Clean .msh tets: no warnings, schedulable instance out.
+        let inst = dir.join("cube.inst");
+        let (out, status) = run_with_status(&args(&[
+            "mesh",
+            "import",
+            &example_mesh("cube.msh"),
+            "--sn",
+            "2",
+            "--out",
+            inst.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("format msh: 8 vertices, 6 cells"), "{out}");
+        assert!(out.contains("0 error(s), 0 warning(s)"), "{out}");
+        assert!(out.contains("0 cyclic directions"), "{out}");
+        let sched = run(&args(&[
+            "schedule",
+            "--instance",
+            inst.to_str().unwrap(),
+            "--m",
+            "2",
+            "--algorithm",
+            "greedy",
+        ]))
+        .unwrap();
+        assert!(sched.contains("makespan"), "{sched}");
+        // .obj surface: explicit format, SVG export works.
+        let svg = dir.join("plate.svg");
+        let (out, status) = run_with_status(&args(&[
+            "mesh",
+            "import",
+            &example_mesh("plate.obj"),
+            "--format",
+            "obj",
+            "--sn",
+            "2",
+            "--svg",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("format obj: 9 vertices, 8 cells"), "{out}");
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert_eq!(svg_text.matches("<polygon").count(), 8);
+    }
+
+    #[test]
+    fn mesh_import_warped_finds_cycles_in_every_direction() {
+        let dir = std::env::temp_dir().join("sweep-cli-warped-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("warped-raw.inst");
+        let (out, status) = run_with_status(&args(&[
+            "mesh",
+            "import",
+            &example_mesh("warped.msh"),
+            "--sn",
+            "2",
+            "--raw-out",
+            raw.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Hanging nodes warn (SW032) but do not fail the import.
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("SW032"), "{out}");
+        assert!(out.contains("8 cyclic directions"), "{out}");
+        // The raw (pre-repair) instance carries SW001 cycle witnesses.
+        let (report, status) =
+            run_with_status(&args(&["analyze", "--instance", raw.to_str().unwrap()])).unwrap();
+        assert_eq!(status, 2, "{report}");
+        assert!(report.contains("SW001"), "{report}");
+    }
+
+    #[test]
+    fn mesh_import_rejects_bad_inputs() {
+        let dir = std::env::temp_dir().join("sweep-cli-import-bad-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing file.
+        let err = run(&args(&["mesh", "import", "/nonexistent.msh"])).unwrap_err();
+        assert!(err.contains("reading"), "{err}");
+        // Unknown --format value.
+        let err = run(&args(&[
+            "mesh",
+            "import",
+            &example_mesh("cube.msh"),
+            "--format",
+            "stl",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown format"), "{err}");
+        // Malformed content is a typed import error, not a panic.
+        let bad = dir.join("bad.msh");
+        std::fs::write(&bad, "$MeshFormat\n4.1 0 8\n").unwrap();
+        let err = run(&args(&["mesh", "import", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("importing"), "{err}");
+        // Error-level diagnostics (non-manifold) exit 2.
+        let nm = dir.join("nm.obj");
+        std::fs::write(
+            &nm,
+            "v 0 0 0\nv 1 0 0\nv 0 1 0\nv 0 -1 0\nv 1 1 1\nf 1 2 3\nf 1 2 4\nf 1 2 5\n",
+        )
+        .unwrap();
+        let (out, status) =
+            run_with_status(&args(&["mesh", "import", nm.to_str().unwrap()])).unwrap();
+        assert_eq!(status, 2, "{out}");
+        assert!(out.contains("SW030"), "{out}");
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl<'a> TrialContext<'a> {
     /// Runs one trial and returns its makespan — identical, by
     /// construction, to `algorithm.run(instance, assignment, seed)
     /// .makespan()`: the fast path executes the very same scheduling
-    /// cores ([`list_schedule_core`] / [`random_delay_core`]) the
+    /// cores (`list_schedule_core` / `random_delay_core`) the
     /// allocating wrappers do, only on reused buffers.
     pub fn run_trial(&self, seed: u64, scratch: &mut TrialScratch) -> u32 {
         if !self.fast {

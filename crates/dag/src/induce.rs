@@ -48,15 +48,7 @@ pub struct InduceStats {
 /// ```
 pub fn induce_dag(mesh: &impl SweepMesh, omega: Vec3) -> (TaskDag, InduceStats) {
     let n = mesh.num_cells();
-    let mut edges = Vec::with_capacity(mesh.interior_faces().len());
-    for f in mesh.interior_faces() {
-        let d = f.normal.dot(omega);
-        if d > PARALLEL_EPS {
-            edges.push((f.a.0, f.b.0));
-        } else if d < -PARALLEL_EPS {
-            edges.push((f.b.0, f.a.0));
-        }
-    }
+    let edges = induce_raw(mesh, omega);
     let raw = edges.len();
     let height: Vec<f64> = (0..n)
         .map(|c| mesh.centroid(sweep_mesh::CellId(c as u32)).dot(omega))
@@ -72,6 +64,40 @@ pub fn induce_dag(mesh: &impl SweepMesh, omega: Vec3) -> (TaskDag, InduceStats) 
             nontrivial_sccs: sccs,
         },
     )
+}
+
+/// The raw (pre-repair) dependence edges one sweep direction induces: the
+/// edge list [`induce_dag`] would hand to [`break_cycles`]. On hanging-node
+/// and polytopal meshes this digraph can contain directed cycles — exactly
+/// the witnesses the `SW001` analyzer row certifies — so it is exposed for
+/// inspection and for exporting cyclic instances (`sweep mesh import
+/// --raw-out`).
+///
+/// ```
+/// use sweep_dag::{induce_dag, induce_raw};
+/// use sweep_mesh::{PolyPreset, Vec3};
+///
+/// // The Pillow preset provably induces a 2-cycle for every direction...
+/// let mesh = PolyPreset::Pillow.build(2).unwrap();
+/// let omega = Vec3::new(0.48, 0.6, 0.64);
+/// let raw = induce_raw(&mesh, omega);
+/// assert!(raw.contains(&(0, 1)) && raw.contains(&(1, 0)));
+/// // ...which induce_dag's cycle breaking removes.
+/// let (dag, stats) = induce_dag(&mesh, omega);
+/// assert!(dag.is_acyclic());
+/// assert!(stats.dropped_edges > 0);
+/// ```
+pub fn induce_raw(mesh: &impl SweepMesh, omega: Vec3) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity(mesh.interior_faces().len());
+    for f in mesh.interior_faces() {
+        let d = f.normal.dot(omega);
+        if d > PARALLEL_EPS {
+            edges.push((f.a.0, f.b.0));
+        } else if d < -PARALLEL_EPS {
+            edges.push((f.b.0, f.a.0));
+        }
+    }
+    edges
 }
 
 /// Induces all `k` DAGs for a quadrature set; returns the DAGs and the
@@ -108,12 +134,40 @@ pub fn induce_all(
     (dags, stats)
 }
 
-/// Removes a set of edges so the remainder is acyclic.
+/// Removes a set of edges so the remainder is acyclic — the paper's "we
+/// break the cycles" step (§3).
 ///
-/// Edges whose endpoints lie in different strongly connected components are
-/// always kept; within a non-trivial SCC only edges going strictly upward
-/// in `(height, id)` order survive. Returns `(kept_edges, dropped_count,
-/// nontrivial_scc_count)`.
+/// The contract:
+///
+/// * **Acyclic in, untouched out.** Edges whose endpoints lie in different
+///   strongly connected components can never participate in a cycle and are
+///   all kept — an already-acyclic digraph passes through bit-identically,
+///   even when `height` disagrees with the edge directions.
+/// * **Cyclic in, geometric repair.** Within each non-trivial SCC only edges
+///   going strictly upward in `(height, id)` lexicographic order survive.
+///   Since that order is total, the result is acyclic; `height[v]` is the
+///   cell centroid projected on the sweep direction, so surviving edges are
+///   the physically plausible ones.
+/// * **Deterministic.** Output order equals input order (a filter), so
+///   results are reproducible across runs and thread counts.
+///
+/// Returns `(kept_edges, dropped_count, nontrivial_scc_count)`.
+///
+/// ```
+/// use sweep_dag::break_cycles;
+///
+/// // A 2-cycle between nodes at heights 0.0 < 1.0: the upward edge
+/// // survives, the downward edge is dropped, one non-trivial SCC.
+/// let (kept, dropped, sccs) = break_cycles(2, vec![(0, 1), (1, 0)], &[0.0, 1.0]);
+/// assert_eq!((kept, dropped, sccs), (vec![(0, 1)], 1, 1));
+///
+/// // Acyclic input is never modified, even under inconsistent heights.
+/// let (kept, dropped, _) = break_cycles(3, vec![(0, 1), (1, 2)], &[9.0, 0.0, 4.0]);
+/// assert_eq!((kept, dropped), (vec![(0, 1), (1, 2)], 0));
+/// ```
+///
+/// # Panics
+/// Panics when `height.len() != n`.
 pub fn break_cycles(
     n: usize,
     edges: Vec<(u32, u32)>,
@@ -327,6 +381,42 @@ mod tests {
             e2.sort_unstable();
             assert_eq!(e1, e2);
         }
+    }
+
+    #[test]
+    fn poly_presets_induce_cycles_in_every_direction() {
+        use sweep_mesh::PolyPreset;
+        // TripleRing and Pillow guarantee a cycle for EVERY unit direction;
+        // check the full S2 level-symmetric set plus assorted oblique ones.
+        let mut dirs: Vec<Vec3> = QuadratureSet::level_symmetric(4)
+            .unwrap()
+            .iter()
+            .map(|(_, o)| o)
+            .collect();
+        dirs.push(Vec3::new(0.48, 0.6, 0.64));
+        dirs.push(Vec3::new(-0.2, 0.3, 0.933).normalized());
+        for preset in [PolyPreset::TripleRing, PolyPreset::Pillow] {
+            let mesh = preset.build(preset.min_cells().max(12)).unwrap();
+            for &omega in &dirs {
+                let (dag, stats) = induce_dag(&mesh, omega);
+                assert!(
+                    stats.nontrivial_sccs >= 1 && stats.dropped_edges >= 1,
+                    "{} should cycle along {omega:?}: {stats:?}",
+                    preset.name()
+                );
+                assert!(dag.is_acyclic(), "repair must still produce a DAG");
+            }
+        }
+        // Ring cycles whenever ω has a z component.
+        let ring = PolyPreset::Ring.build(8).unwrap();
+        let (_, s) = induce_dag(&ring, Vec3::new(0.0, 0.6, 0.8));
+        assert_eq!(s.nontrivial_sccs, 1);
+        // The full ring is one Hamiltonian cycle over all 8 interfaces;
+        // repair keeps the height-upward half.
+        assert_eq!(s.raw_edges, 8);
+        assert!(s.dropped_edges >= 1);
+        let (_, s) = induce_dag(&ring, Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(s.raw_edges, 0, "in-plane direction induces no ring edges");
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! External mesh ingestion: Wavefront `.obj` surfaces and Gmsh `.msh` v4
+//! ASCII tetrahedral meshes.
+//!
+//! Both parsers are defensive wire-format readers: every failure mode —
+//! truncation, non-UTF8 bytes, absurd declared counts, unsupported element
+//! types, broken connectivity — is a typed [`ImportError`], never a panic.
+//! The accepted grammar subset, limits, and error taxonomy are documented in
+//! `MESHES.md` at the repository root.
+//!
+//! Imports produce a [`PolyMesh`] (face adjacency,
+//! oriented unit normals, and boundary faces derived from the raw
+//! connectivity) plus an [`ImportReport`] of validation diagnostics:
+//! non-manifold faces, inverted cells, degenerate cells, and hanging nodes.
+//! Volumetric `.msh` imports *stitch* hanging-node T-junctions — an
+//! unmatched fine face geometrically contained in an unmatched coarse face
+//! becomes an interior face — which is exactly the mesh family where induced
+//! sweep digraphs stop being acyclic (see `MESHES.md` for the sweepability
+//! condition and citation).
+//!
+//! ```
+//! use sweep_mesh::import::{import_bytes, peek_counts, ImportFormat};
+//! use sweep_mesh::SweepMesh;
+//!
+//! let obj = b"v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n";
+//! let (verts, cells) = peek_counts(obj, ImportFormat::Auto).unwrap();
+//! assert_eq!((verts, cells), (3, 1));
+//! let imported = import_bytes(obj, ImportFormat::Auto).unwrap();
+//! assert_eq!(imported.mesh.num_cells(), 1);
+//! assert_eq!(imported.report.boundary_faces, 3);
+//! ```
+
+pub mod msh;
+pub mod obj;
+
+use crate::poly::PolyMesh;
+
+/// Hard upper bound on accepted input size (bytes). The server additionally
+/// applies its own (smaller) configurable bound before parsing.
+pub const MAX_IMPORT_BYTES: usize = 16 << 20;
+
+/// Hard upper bound on vertices or cells, declared or actual.
+pub const MAX_ENTITIES: usize = 1 << 22;
+
+/// Hanging-node resolution compares unmatched faces pairwise; above this many
+/// unmatched faces the quadratic scan is skipped (recorded in
+/// [`ImportReport::resolution_skipped`]).
+pub const MAX_UNMATCHED_FOR_RESOLUTION: usize = 2048;
+
+/// Wire format selector for [`import_bytes`] / [`peek_counts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImportFormat {
+    /// Sniff the format from the content: a leading `$MeshFormat` section
+    /// means Gmsh, otherwise `v `/`f ` records mean Wavefront.
+    Auto,
+    /// Wavefront `.obj` triangle surface.
+    Obj,
+    /// Gmsh `.msh` version 4 ASCII, 4-node tetrahedra.
+    Msh,
+}
+
+impl ImportFormat {
+    /// Parses `"auto" | "obj" | "msh"`.
+    pub fn from_name(name: &str) -> Option<ImportFormat> {
+        match name {
+            "auto" => Some(ImportFormat::Auto),
+            "obj" => Some(ImportFormat::Obj),
+            "msh" => Some(ImportFormat::Msh),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImportFormat::Auto => "auto",
+            ImportFormat::Obj => "obj",
+            ImportFormat::Msh => "msh",
+        }
+    }
+}
+
+impl std::fmt::Display for ImportFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Typed failure of a mesh import. Every variant is a malformed-input
+/// condition; none of them abort the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The input is not valid UTF-8 (both accepted formats are text).
+    NotUtf8 {
+        /// Byte offset of the first invalid sequence.
+        offset: usize,
+    },
+    /// `ImportFormat::Auto` could not sniff the format.
+    UnknownFormat,
+    /// The input, or a declared entity count, exceeds a hard limit.
+    TooLarge {
+        /// What exceeded the limit.
+        what: &'static str,
+        /// Observed value.
+        count: u64,
+        /// The limit it exceeded.
+        limit: u64,
+    },
+    /// The input ended inside a section that must be closed.
+    Truncated {
+        /// The unterminated section (e.g. `"$Nodes"`).
+        section: &'static str,
+    },
+    /// A line failed to parse.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A declared count disagrees with the entities actually present.
+    CountMismatch {
+        /// Which count.
+        what: &'static str,
+        /// Declared in the header.
+        declared: u64,
+        /// Actually present.
+        actual: u64,
+    },
+    /// A 3-D element block of a type other than 4-node tetrahedra.
+    UnsupportedElement {
+        /// 1-based line number of the block header.
+        line: usize,
+        /// Gmsh element type code.
+        element_type: u32,
+    },
+    /// The file parsed but contains no usable mesh.
+    EmptyMesh {
+        /// What was missing (`"nodes"` or `"cells"`).
+        what: &'static str,
+    },
+    /// Parsed entities do not assemble into a valid mesh.
+    Structure {
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::NotUtf8 { offset } => {
+                write!(
+                    f,
+                    "input is not UTF-8 (first invalid byte at offset {offset})"
+                )
+            }
+            ImportError::UnknownFormat => {
+                write!(f, "could not detect mesh format (expected Gmsh $MeshFormat or Wavefront v/f records)")
+            }
+            ImportError::TooLarge { what, count, limit } => {
+                write!(f, "{what} is {count}, exceeding the limit of {limit}")
+            }
+            ImportError::Truncated { section } => {
+                write!(f, "input ends inside unterminated {section} section")
+            }
+            ImportError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            ImportError::CountMismatch {
+                what,
+                declared,
+                actual,
+            } => write!(f, "declared {declared} {what} but found {actual}"),
+            ImportError::UnsupportedElement { line, element_type } => {
+                write!(
+                    f,
+                    "line {line}: unsupported 3-D element type {element_type} (only 4-node tetrahedra are accepted)"
+                )
+            }
+            ImportError::EmptyMesh { what } => write!(f, "mesh contains no {what}"),
+            ImportError::Structure { msg } => write!(f, "invalid mesh structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Validation diagnostics gathered while assembling an imported mesh.
+///
+/// Consumed by `sweep_analyze::analyze_import`, which maps these onto the
+/// SW030–SW033 diagnostic rows.
+#[derive(Debug, Clone, Default)]
+pub struct ImportReport {
+    /// The resolved concrete format (`Obj` or `Msh`, never `Auto`).
+    pub format: Option<ImportFormat>,
+    /// Vertices read from the file.
+    pub vertices: usize,
+    /// Cells in the assembled mesh.
+    pub cells: usize,
+    /// Interior (two-cell) faces derived.
+    pub interior_faces: usize,
+    /// Boundary (one-cell) faces derived.
+    pub boundary_faces: usize,
+    /// Faces shared by more than two cells: the incident cell lists. Such
+    /// faces induce **no** dependence edges; each incidence becomes a
+    /// boundary face.
+    pub non_manifold: Vec<Vec<u32>>,
+    /// Cells whose vertex ordering gives negative signed volume. Harmless —
+    /// orientation is re-derived geometrically — but worth surfacing.
+    pub inverted_cells: Vec<u32>,
+    /// Cells with (numerically) zero volume/area; their degenerate faces
+    /// cannot be oriented and are dropped from the adjacency.
+    pub degenerate_cells: Vec<u32>,
+    /// Interior faces created by stitching hanging-node T-junctions
+    /// (`.msh` only).
+    pub hanging_resolved: usize,
+    /// Vertices identified as hanging nodes (on a neighbour's face/edge
+    /// without being one of its vertices).
+    pub hanging_vertices: Vec<u32>,
+    /// True when the quadratic hanging-node scan was skipped because more
+    /// than [`MAX_UNMATCHED_FOR_RESOLUTION`] faces were unmatched.
+    pub resolution_skipped: bool,
+}
+
+impl ImportReport {
+    /// True when the report contains error-severity findings (non-manifold
+    /// faces or degenerate cells). Warnings (inverted orientation, hanging
+    /// nodes) do not count.
+    pub fn has_errors(&self) -> bool {
+        !self.non_manifold.is_empty() || !self.degenerate_cells.is_empty()
+    }
+}
+
+/// A successfully imported mesh plus its validation report.
+#[derive(Debug, Clone)]
+pub struct Imported {
+    /// The assembled face-level mesh, ready for DAG induction.
+    pub mesh: PolyMesh,
+    /// Validation diagnostics gathered during assembly.
+    pub report: ImportReport,
+}
+
+/// Sniffs the concrete format of `text`. `None` when neither format matches.
+pub fn detect(text: &str) -> Option<ImportFormat> {
+    let trimmed = text.trim_start_matches('\u{feff}').trim_start();
+    if trimmed.starts_with("$MeshFormat") {
+        return Some(ImportFormat::Msh);
+    }
+    for line in trimmed.lines().take(256) {
+        let line = line.trim_start();
+        if line.starts_with("v ") || line.starts_with("f ") || line.starts_with("v\t") {
+            return Some(ImportFormat::Obj);
+        }
+    }
+    None
+}
+
+fn resolve_format(text: &str, format: ImportFormat) -> Result<ImportFormat, ImportError> {
+    match format {
+        ImportFormat::Auto => detect(text).ok_or(ImportError::UnknownFormat),
+        concrete => Ok(concrete),
+    }
+}
+
+fn to_text(bytes: &[u8]) -> Result<&str, ImportError> {
+    if bytes.len() > MAX_IMPORT_BYTES {
+        return Err(ImportError::TooLarge {
+            what: "input size in bytes",
+            count: bytes.len() as u64,
+            limit: MAX_IMPORT_BYTES as u64,
+        });
+    }
+    let text = std::str::from_utf8(bytes).map_err(|e| ImportError::NotUtf8 {
+        offset: e.valid_up_to(),
+    })?;
+    Ok(text.trim_start_matches('\u{feff}'))
+}
+
+/// Parses and assembles a mesh from raw bytes.
+///
+/// ```
+/// use sweep_mesh::import::{import_bytes, ImportError, ImportFormat};
+///
+/// // Malformed input is a typed error, never a panic.
+/// let err = import_bytes(b"\xff\xfe", ImportFormat::Auto).unwrap_err();
+/// assert_eq!(err, ImportError::NotUtf8 { offset: 0 });
+/// ```
+pub fn import_bytes(bytes: &[u8], format: ImportFormat) -> Result<Imported, ImportError> {
+    let text = to_text(bytes)?;
+    let fmt = resolve_format(text, format)?;
+    let mut report = ImportReport {
+        format: Some(fmt),
+        ..ImportReport::default()
+    };
+    let mesh = match fmt {
+        ImportFormat::Obj => {
+            let (vertices, tris) = obj::parse(text)?;
+            report.vertices = vertices.len();
+            obj::assemble_surface(&vertices, &tris, &mut report)?
+        }
+        ImportFormat::Msh => {
+            let (vertices, cells) = msh::parse(text)?;
+            report.vertices = vertices.len();
+            msh::assemble_tets(&vertices, &cells, &mut report)?
+        }
+        ImportFormat::Auto => unreachable!("resolve_format returns a concrete format"),
+    };
+    use crate::face::SweepMesh as _;
+    report.cells = mesh.num_cells();
+    report.interior_faces = mesh.interior_faces().len();
+    report.boundary_faces = mesh.boundary_faces().len();
+    Ok(Imported { mesh, report })
+}
+
+/// Cheap admission pre-check: upper bounds on `(vertices, cells)` read from
+/// headers/records without assembling anything, in one pass over the input.
+///
+/// Mirrors `sweep_dag::peek_counts` for instance uploads: the server calls
+/// this before committing to a full parse so absurd declared counts are
+/// rejected in O(bytes) time with no large allocations.
+pub fn peek_counts(bytes: &[u8], format: ImportFormat) -> Result<(usize, usize), ImportError> {
+    let text = to_text(bytes)?;
+    let fmt = resolve_format(text, format)?;
+    match fmt {
+        ImportFormat::Obj => obj::peek(text),
+        ImportFormat::Msh => msh::peek(text),
+        ImportFormat::Auto => unreachable!("resolve_format returns a concrete format"),
+    }
+}
+
+/// Guards a declared or observed entity count against [`MAX_ENTITIES`] and
+/// against the physical ceiling implied by the input size (every entity needs
+/// at least two bytes of text).
+pub(crate) fn check_entity_count(
+    what: &'static str,
+    count: u64,
+    input_bytes: usize,
+) -> Result<usize, ImportError> {
+    let phys = (input_bytes as u64) / 2 + 1;
+    let limit = (MAX_ENTITIES as u64).min(phys);
+    if count > limit {
+        return Err(ImportError::TooLarge { what, count, limit });
+    }
+    Ok(count as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_formats() {
+        assert_eq!(detect("$MeshFormat\n4.1 0 8\n"), Some(ImportFormat::Msh));
+        assert_eq!(detect("# comment\nv 0 0 0\n"), Some(ImportFormat::Obj));
+        assert_eq!(detect("\u{feff}$MeshFormat\n"), Some(ImportFormat::Msh));
+        assert_eq!(detect("hello world\n"), None);
+        assert_eq!(
+            import_bytes(b"hello world\n", ImportFormat::Auto).unwrap_err(),
+            ImportError::UnknownFormat
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_input() {
+        // Fabricate an over-limit length without allocating 16 MiB: the
+        // length check precedes everything else.
+        let big = vec![b'v'; MAX_IMPORT_BYTES + 1];
+        assert!(matches!(
+            import_bytes(&big, ImportFormat::Obj),
+            Err(ImportError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn entity_count_guard() {
+        assert!(check_entity_count("nodes", 10, 1000).is_ok());
+        assert!(matches!(
+            check_entity_count("nodes", u64::MAX, 1000),
+            Err(ImportError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            check_entity_count("nodes", 5000, 100),
+            Err(ImportError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in [ImportFormat::Auto, ImportFormat::Obj, ImportFormat::Msh] {
+            assert_eq!(ImportFormat::from_name(f.name()), Some(f));
+            assert_eq!(f.to_string(), f.name());
+        }
+        assert_eq!(ImportFormat::from_name("stl"), None);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let cases: Vec<(ImportError, &str)> = vec![
+            (ImportError::NotUtf8 { offset: 3 }, "offset 3"),
+            (ImportError::UnknownFormat, "detect"),
+            (
+                ImportError::TooLarge {
+                    what: "x",
+                    count: 9,
+                    limit: 1,
+                },
+                "exceeding",
+            ),
+            (ImportError::Truncated { section: "$Nodes" }, "$Nodes"),
+            (
+                ImportError::Syntax {
+                    line: 7,
+                    msg: "bad".into(),
+                },
+                "line 7",
+            ),
+            (
+                ImportError::CountMismatch {
+                    what: "nodes",
+                    declared: 5,
+                    actual: 3,
+                },
+                "declared 5",
+            ),
+            (
+                ImportError::UnsupportedElement {
+                    line: 2,
+                    element_type: 5,
+                },
+                "element type 5",
+            ),
+            (ImportError::EmptyMesh { what: "nodes" }, "no nodes"),
+            (ImportError::Structure { msg: "oops".into() }, "oops"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -15,7 +15,12 @@
 //!   scaffold + random-rank diagonal splits + vertex jitter + BFS trimming);
 //! * [`MeshPreset`] — stand-ins for the paper's four evaluation meshes
 //!   (`tetonly`, `well_logging`, `long`, `prismtet`) with exact paper cell
-//!   counts.
+//!   counts;
+//! * [`import`] — external mesh ingestion (Wavefront `.obj` surfaces and
+//!   Gmsh `.msh` v4 ASCII tet meshes) with typed errors, validation
+//!   diagnostics, and hanging-node T-junction stitching (see `MESHES.md`);
+//! * [`PolyPreset`] / [`PolyMesh`] — polytopal meshes with prescribed
+//!   interface normals whose induced sweep digraphs provably contain cycles.
 //!
 //! ```
 //! use sweep_mesh::{MeshPreset, SweepMesh};
@@ -32,6 +37,8 @@
 pub mod face;
 pub mod generator;
 pub mod geometry;
+pub mod import;
+pub mod poly;
 pub mod presets;
 pub mod quality;
 pub mod svg;
@@ -42,9 +49,11 @@ pub mod vtk;
 pub use face::{BoundaryFace, CellId, InteriorFace, SweepMesh};
 pub use generator::{generate, generate_with_target, Carve, GenerateError, GeneratorConfig};
 pub use geometry::{Point3, Vec3};
-pub use presets::MeshPreset;
+pub use import::{import_bytes, ImportError, ImportFormat, ImportReport, Imported};
+pub use poly::PolyMesh;
+pub use presets::{MeshPreset, PolyPreset};
 pub use quality::{quality_report, tet_quality, QualityReport};
-pub use svg::{levels_svg, to_svg as to_svg_2d, ColorMap};
+pub use svg::{levels_svg, poly_to_svg, to_svg as to_svg_2d, ColorMap};
 pub use tet::{MeshError, TetMesh};
 pub use tri2d::TriMesh2d;
 pub use vtk::to_vtk;

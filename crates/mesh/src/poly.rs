@@ -1,0 +1,234 @@
+//! General polytopal meshes described directly by their face-level view.
+//!
+//! [`PolyMesh`] is the "assembled" mesh representation shared by the external
+//! format importers ([`crate::import`]) and the cycle-rich synthetic presets
+//! ([`crate::presets::PolyPreset`]). Unlike [`crate::TetMesh`] /
+//! [`crate::TriMesh2d`], which derive faces from element connectivity, a
+//! `PolyMesh` stores the face list explicitly: cells may be arbitrary
+//! polytopes (or abstract cells whose interface normals are prescribed
+//! directly), which is exactly what hanging-node and polytopal workloads
+//! need — their induced per-direction digraphs can genuinely contain cycles.
+//!
+//! ```
+//! use sweep_mesh::poly::PolyMesh;
+//! use sweep_mesh::{CellId, InteriorFace, SweepMesh, Vec3};
+//!
+//! // Two abstract cells exchanging across a single +x interface.
+//! let interior = vec![InteriorFace {
+//!     a: CellId(0),
+//!     b: CellId(1),
+//!     normal: Vec3::new(1.0, 0.0, 0.0),
+//!     area: 1.0,
+//! }];
+//! let centroids = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0)];
+//! let mesh = PolyMesh::from_parts(3, centroids, interior, vec![]).unwrap();
+//! assert_eq!(mesh.num_cells(), 2);
+//! assert_eq!(mesh.interior_faces().len(), 1);
+//! ```
+
+use crate::face::{BoundaryFace, CellId, InteriorFace, SweepMesh};
+use crate::geometry::Point3;
+
+/// A mesh given directly by cell centroids and oriented faces.
+///
+/// Invariants enforced by [`PolyMesh::from_parts`]:
+///
+/// * every face references cells in `0..num_cells`;
+/// * no interior face connects a cell to itself;
+/// * all normals are finite unit vectors and all areas are finite and
+///   positive;
+/// * all centroids are finite.
+///
+/// Optionally carries a triangle surface (`vertices` + `tris`, one triangle
+/// per cell) for rendering; purely cosmetic and absent for abstract or
+/// volumetric meshes.
+#[derive(Debug, Clone)]
+pub struct PolyMesh {
+    dim: usize,
+    centroids: Vec<Point3>,
+    interior: Vec<InteriorFace>,
+    boundary: Vec<BoundaryFace>,
+    vertices: Vec<Point3>,
+    tris: Vec<[u32; 3]>,
+}
+
+impl PolyMesh {
+    /// Builds a mesh from explicit parts, validating the invariants listed on
+    /// [`PolyMesh`]. The number of cells is `centroids.len()`.
+    pub fn from_parts(
+        dim: usize,
+        centroids: Vec<Point3>,
+        interior: Vec<InteriorFace>,
+        boundary: Vec<BoundaryFace>,
+    ) -> Result<PolyMesh, String> {
+        if dim != 2 && dim != 3 {
+            return Err(format!("dim must be 2 or 3, got {dim}"));
+        }
+        let n = centroids.len();
+        if n == 0 {
+            return Err("mesh has no cells".to_string());
+        }
+        if n > u32::MAX as usize {
+            return Err(format!("too many cells ({n})"));
+        }
+        for (i, c) in centroids.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(format!("centroid of cell {i} is not finite"));
+            }
+        }
+        for (i, f) in interior.iter().enumerate() {
+            if f.a.index() >= n || f.b.index() >= n {
+                return Err(format!(
+                    "interior face {i} references cell out of range ({}, {})",
+                    f.a, f.b
+                ));
+            }
+            if f.a == f.b {
+                return Err(format!("interior face {i} connects cell {} to itself", f.a));
+            }
+            check_face(i, "interior", f.normal, f.area)?;
+        }
+        for (i, f) in boundary.iter().enumerate() {
+            if f.cell.index() >= n {
+                return Err(format!(
+                    "boundary face {i} references cell out of range ({})",
+                    f.cell
+                ));
+            }
+            check_face(i, "boundary", f.normal, f.area)?;
+        }
+        Ok(PolyMesh {
+            dim,
+            centroids,
+            interior,
+            boundary,
+            vertices: Vec::new(),
+            tris: Vec::new(),
+        })
+    }
+
+    /// Attaches a triangle surface for rendering (one entry of `tris` per
+    /// surface triangle; indices into `vertices`). Fails if any index is out
+    /// of range.
+    pub fn with_surface(
+        mut self,
+        vertices: Vec<Point3>,
+        tris: Vec<[u32; 3]>,
+    ) -> Result<PolyMesh, String> {
+        for (i, t) in tris.iter().enumerate() {
+            for &v in t {
+                if v as usize >= vertices.len() {
+                    return Err(format!(
+                        "surface triangle {i} references vertex {v} out of range"
+                    ));
+                }
+            }
+        }
+        self.vertices = vertices;
+        self.tris = tris;
+        Ok(self)
+    }
+
+    /// Vertex positions of the attached render surface (empty if none).
+    pub fn vertices(&self) -> &[Point3] {
+        &self.vertices
+    }
+
+    /// Triangles of the attached render surface (empty if none). When the
+    /// mesh came from a triangle-surface import there is exactly one triangle
+    /// per cell, in cell order.
+    pub fn tris(&self) -> &[[u32; 3]] {
+        &self.tris
+    }
+}
+
+fn check_face(i: usize, kind: &str, normal: crate::Vec3, area: f64) -> Result<(), String> {
+    if !normal.is_finite() || (normal.norm() - 1.0).abs() > 1e-6 {
+        return Err(format!("{kind} face {i} normal is not a unit vector"));
+    }
+    if !area.is_finite() || area <= 0.0 {
+        return Err(format!("{kind} face {i} area is not positive"));
+    }
+    Ok(())
+}
+
+impl SweepMesh for PolyMesh {
+    fn num_cells(&self) -> usize {
+        self.centroids.len()
+    }
+    fn interior_faces(&self) -> &[InteriorFace] {
+        &self.interior
+    }
+    fn boundary_faces(&self) -> &[BoundaryFace] {
+        &self.boundary
+    }
+    fn centroid(&self, c: CellId) -> Point3 {
+        self.centroids[c.index()]
+    }
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    fn unit_x_face(a: u32, b: u32) -> InteriorFace {
+        InteriorFace {
+            a: CellId(a),
+            b: CellId(b),
+            normal: Vec3::new(1.0, 0.0, 0.0),
+            area: 1.0,
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_self_loops() {
+        let c = vec![Point3::ZERO, Point3::new(1.0, 0.0, 0.0)];
+        assert!(PolyMesh::from_parts(3, c.clone(), vec![unit_x_face(0, 2)], vec![]).is_err());
+        assert!(PolyMesh::from_parts(3, c.clone(), vec![unit_x_face(1, 1)], vec![]).is_err());
+        assert!(PolyMesh::from_parts(3, c, vec![unit_x_face(0, 1)], vec![]).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_normals_areas_and_dims() {
+        let c = vec![Point3::ZERO, Point3::new(1.0, 0.0, 0.0)];
+        let mut f = unit_x_face(0, 1);
+        f.normal = Vec3::new(2.0, 0.0, 0.0);
+        assert!(PolyMesh::from_parts(3, c.clone(), vec![f], vec![]).is_err());
+        let mut f = unit_x_face(0, 1);
+        f.area = 0.0;
+        assert!(PolyMesh::from_parts(3, c.clone(), vec![f], vec![]).is_err());
+        assert!(PolyMesh::from_parts(4, c.clone(), vec![], vec![]).is_err());
+        assert!(PolyMesh::from_parts(3, vec![], vec![], vec![]).is_err());
+        let mut bad = c.clone();
+        bad[0].x = f64::NAN;
+        assert!(PolyMesh::from_parts(3, bad, vec![], vec![]).is_err());
+        let bf = BoundaryFace {
+            cell: CellId(9),
+            normal: Vec3::new(1.0, 0.0, 0.0),
+            area: 1.0,
+        };
+        assert!(PolyMesh::from_parts(3, c, vec![], vec![bf]).is_err());
+    }
+
+    #[test]
+    fn surface_attachment_validates_indices() {
+        let c = vec![Point3::ZERO, Point3::new(1.0, 0.0, 0.0)];
+        let m = PolyMesh::from_parts(3, c, vec![unit_x_face(0, 1)], vec![]).unwrap();
+        let verts = vec![
+            Point3::ZERO,
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+        ];
+        assert!(m
+            .clone()
+            .with_surface(verts.clone(), vec![[0, 1, 3]])
+            .is_err());
+        let m = m.with_surface(verts, vec![[0, 1, 2]]).unwrap();
+        assert_eq!(m.tris().len(), 1);
+        assert_eq!(m.vertices().len(), 3);
+    }
+}

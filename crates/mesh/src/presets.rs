@@ -14,8 +14,10 @@
 
 use sweep_telemetry as telemetry;
 
+use crate::face::{BoundaryFace, CellId, InteriorFace};
 use crate::generator::{generate_with_target, Carve, GenerateError, GeneratorConfig};
 use crate::geometry::Vec3;
+use crate::poly::PolyMesh;
 use crate::tet::TetMesh;
 
 /// The four evaluation meshes of the paper.
@@ -145,6 +147,215 @@ impl MeshPreset {
     }
 }
 
+/// Synthetic polytopal meshes whose induced dependence digraphs **provably
+/// contain cycles**, making `break_cycles` and the SW001 cycle witnesses a
+/// first-class tested workload rather than an edge case.
+///
+/// These are [`PolyMesh`]es: their interface normals are prescribed directly
+/// instead of being derived from element geometry, which is what lets the
+/// cycle guarantees below be proved rather than found by search. (Conforming
+/// tet meshes built by [`MeshPreset`] are acyclic in practice; the paper's
+/// §3 cycle-breaking step exists precisely for degenerate/polytopal inputs
+/// like these.)
+///
+/// Per-direction cycle guarantees (see each variant):
+///
+/// * [`PolyPreset::Ring`] — a directed cycle for every `ω` with `ω·ẑ ≠ 0`;
+/// * [`PolyPreset::TripleRing`] — a directed cycle for **every** unit `ω`;
+/// * [`PolyPreset::Pillow`] — a 2-cycle for **every** unit `ω`.
+///
+/// ```
+/// use sweep_mesh::{PolyPreset, SweepMesh};
+///
+/// let mesh = PolyPreset::Pillow.build(8).unwrap();
+/// assert_eq!(mesh.num_cells(), 8);
+/// assert_eq!(mesh.connected_component_size(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolyPreset {
+    /// `n ≥ 3` cells around a circle; every adjacent pair `i → i+1 (mod n)`
+    /// shares an interface whose normal is exactly `ẑ`.
+    ///
+    /// **Cycle proof.** For any sweep direction `ω` with `ω·ẑ > 0` every
+    /// interface induces the edge `i → i+1`, so the cells form a directed
+    /// Hamiltonian cycle; for `ω·ẑ < 0` every edge reverses, which is again
+    /// a cycle. Only directions lying exactly in the `z = 0` plane induce no
+    /// edges at all.
+    Ring,
+    /// Three bridged rings whose interface normals are `x̂`, `ŷ` and `ẑ`
+    /// respectively.
+    ///
+    /// **Cycle proof.** Any unit `ω` has `max(|ω_x|, |ω_y|, |ω_z|) ≥ 1/√3`,
+    /// so at least one ring's normal satisfies `|n·ω| ≥ 1/√3 > 0` and that
+    /// ring is a directed cycle by the [`PolyPreset::Ring`] argument. Hence
+    /// **every** direction of **every** quadrature set induces a cycle.
+    TripleRing,
+    /// `n` cells (rounded up to even) in bridged pairs; each pair shares
+    /// **four** interfaces, all oriented `2j → 2j+1`, whose normals are the
+    /// four outward normals of a regular tetrahedron:
+    /// `(±1, ±1, ±1)/√3` with an even number of minus signs.
+    ///
+    /// **Cycle proof.** Those four normals form a tight frame:
+    /// `Σᵢ (nᵢ·ω)² = (4/3)|ω|²` and `Σᵢ nᵢ = 0`. For a unit `ω` the first
+    /// identity gives `maxᵢ |nᵢ·ω| ≥ 1/√3`, and the second forces the four
+    /// dot products to have both signs (they sum to zero and are not all
+    /// zero). A positive dot induces `2j → 2j+1`, a negative one induces
+    /// `2j+1 → 2j` — a 2-cycle for **every** unit direction.
+    Pillow,
+}
+
+impl PolyPreset {
+    /// All polytopal presets.
+    pub const ALL: [PolyPreset; 3] = [PolyPreset::Ring, PolyPreset::TripleRing, PolyPreset::Pillow];
+
+    /// Canonical name used by the CLI and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolyPreset::Ring => "ring",
+            PolyPreset::TripleRing => "triple_ring",
+            PolyPreset::Pillow => "pillow",
+        }
+    }
+
+    /// Parses a polytopal preset name.
+    pub fn from_name(name: &str) -> Option<PolyPreset> {
+        PolyPreset::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// Minimum admissible cell count for [`PolyPreset::build`].
+    pub fn min_cells(self) -> usize {
+        match self {
+            PolyPreset::Ring => 3,
+            PolyPreset::TripleRing => 9,
+            PolyPreset::Pillow => 2,
+        }
+    }
+
+    /// Builds the preset with exactly `cells` cells (Pillow rounds up to the
+    /// next even count). Fails below [`PolyPreset::min_cells`].
+    pub fn build(self, cells: usize) -> Result<PolyMesh, String> {
+        let _span = telemetry::span!("mesh.build");
+        if cells < self.min_cells() {
+            return Err(format!(
+                "{} needs at least {} cells, got {cells}",
+                self.name(),
+                self.min_cells()
+            ));
+        }
+        if cells > 1 << 22 {
+            return Err(format!("{} cell count {cells} too large", self.name()));
+        }
+        match self {
+            PolyPreset::Ring => Ok(build_rings(&[(cells, Vec3::new(0.0, 0.0, 1.0))])),
+            PolyPreset::TripleRing => {
+                let a = cells / 3;
+                let b = (cells - a) / 2;
+                let c = cells - a - b;
+                Ok(build_rings(&[
+                    (a.max(3), Vec3::new(1.0, 0.0, 0.0)),
+                    (b.max(3), Vec3::new(0.0, 1.0, 0.0)),
+                    (c.max(3), Vec3::new(0.0, 0.0, 1.0)),
+                ]))
+            }
+            PolyPreset::Pillow => Ok(build_pillow(cells.div_ceil(2))),
+        }
+    }
+}
+
+/// Lays out one or more rings of cells, each around its own axis, bridged in
+/// sequence so the mesh stays connected. Ring `k` is centred at
+/// `(4k, 0, 0)` with its cells on a unit circle perpendicular to its axis.
+fn build_rings(rings: &[(usize, Vec3)]) -> PolyMesh {
+    let mut centroids = Vec::new();
+    let mut interior = Vec::new();
+    let mut boundary = Vec::new();
+    let mut ring_start = 0u32;
+    for (k, &(n, axis)) in rings.iter().enumerate() {
+        let center = Vec3::new(4.0 * k as f64, 0.0, 0.0);
+        // Orthonormal basis (u, v) of the plane perpendicular to `axis`.
+        let u = if axis.z.abs() > 0.5 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            Vec3::new(0.0, 0.0, 1.0)
+        };
+        let u = (u - axis * u.dot(axis)).normalized();
+        let v = axis.cross(u);
+        for i in 0..n {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            let radial = u * theta.cos() + v * theta.sin();
+            centroids.push(center + radial);
+            interior.push(InteriorFace {
+                a: CellId(ring_start + i as u32),
+                b: CellId(ring_start + ((i + 1) % n) as u32),
+                normal: axis,
+                area: 1.0,
+            });
+            boundary.push(BoundaryFace {
+                cell: CellId(ring_start + i as u32),
+                normal: radial,
+                area: 1.0,
+            });
+        }
+        if k > 0 {
+            // Bridge to the previous ring along +x so the mesh is connected.
+            interior.push(InteriorFace {
+                a: CellId(ring_start - 1),
+                b: CellId(ring_start),
+                normal: Vec3::new(1.0, 0.0, 0.0),
+                area: 1.0,
+            });
+        }
+        ring_start += n as u32;
+    }
+    PolyMesh::from_parts(3, centroids, interior, boundary)
+        .unwrap_or_else(|e| unreachable!("ring preset invariant violated: {e}"))
+}
+
+/// `pairs` bridged cell pairs; each pair shares the four regular-tet
+/// interfaces described on [`PolyPreset::Pillow`].
+fn build_pillow(pairs: usize) -> PolyMesh {
+    let s = 1.0 / 3f64.sqrt();
+    let tet_normals = [
+        Vec3::new(s, s, s),
+        Vec3::new(s, -s, -s),
+        Vec3::new(-s, s, -s),
+        Vec3::new(-s, -s, s),
+    ];
+    let mut centroids = Vec::new();
+    let mut interior = Vec::new();
+    let mut boundary = Vec::new();
+    for j in 0..pairs {
+        let (a, b) = (CellId(2 * j as u32), CellId(2 * j as u32 + 1));
+        centroids.push(Vec3::new(3.0 * j as f64, 0.0, 0.0));
+        centroids.push(Vec3::new(3.0 * j as f64 + 0.5, 0.25, 0.0));
+        for n in tet_normals {
+            interior.push(InteriorFace {
+                a,
+                b,
+                normal: n,
+                area: 0.25,
+            });
+        }
+        for cell in [a, b] {
+            boundary.push(BoundaryFace {
+                cell,
+                normal: Vec3::new(0.0, 0.0, 1.0),
+                area: 1.0,
+            });
+        }
+        if j > 0 {
+            interior.push(InteriorFace {
+                a: CellId(2 * j as u32 - 1),
+                b: a,
+                normal: Vec3::new(1.0, 0.0, 0.0),
+                area: 1.0,
+            });
+        }
+    }
+    PolyMesh::from_parts(3, centroids, interior, boundary)
+        .unwrap_or_else(|e| unreachable!("pillow preset invariant violated: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +408,68 @@ mod tests {
     fn bad_scale_rejected() {
         assert!(MeshPreset::Tetonly.build_scaled(0.0).is_err());
         assert!(MeshPreset::Tetonly.build_scaled(1.5).is_err());
+    }
+
+    #[test]
+    fn poly_names_round_trip() {
+        for p in PolyPreset::ALL {
+            assert_eq!(PolyPreset::from_name(p.name()), Some(p));
+        }
+        assert_eq!(PolyPreset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn poly_presets_build_connected_with_exact_counts() {
+        for (p, cells) in [
+            (PolyPreset::Ring, 12),
+            (PolyPreset::TripleRing, 13),
+            (PolyPreset::Pillow, 10),
+        ] {
+            let m = p.build(cells).unwrap();
+            assert_eq!(m.num_cells(), cells, "{}", p.name());
+            assert_eq!(m.connected_component_size(), cells, "{}", p.name());
+            assert!(!m.boundary_faces().is_empty());
+        }
+        // Pillow rounds odd counts up to even.
+        assert_eq!(PolyPreset::Pillow.build(7).unwrap().num_cells(), 8);
+    }
+
+    #[test]
+    fn poly_presets_reject_tiny_and_huge() {
+        assert!(PolyPreset::Ring.build(2).is_err());
+        assert!(PolyPreset::TripleRing.build(8).is_err());
+        assert!(PolyPreset::Pillow.build(1).is_err());
+        assert!(PolyPreset::Ring.build((1 << 22) + 1).is_err());
+    }
+
+    /// The Pillow cycle argument, checked numerically: for any unit ω the
+    /// four pair-interface dot products contain both signs.
+    #[test]
+    fn pillow_interfaces_have_both_signs_for_sampled_directions() {
+        let m = PolyPreset::Pillow.build(2).unwrap();
+        let dirs = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 1.0, 1.0).normalized(),
+            Vec3::new(-0.3, 0.9, 0.2).normalized(),
+            Vec3::new(0.577, -0.577, 0.577).normalized(),
+        ];
+        for omega in dirs {
+            let dots: Vec<f64> = m
+                .interior_faces()
+                .iter()
+                .map(|f| f.normal.dot(omega))
+                .collect();
+            assert!(
+                dots.iter().any(|&d| d > 1e-9),
+                "no positive dot for {omega:?}"
+            );
+            assert!(
+                dots.iter().any(|&d| d < -1e-9),
+                "no negative dot for {omega:?}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 use std::fmt::Write as _;
 
 use crate::face::SweepMesh;
+use crate::geometry::Point3;
+use crate::poly::PolyMesh;
 use crate::tri2d::TriMesh2d;
 
 /// How per-cell scalar values map to colors.
@@ -30,7 +32,50 @@ pub fn to_svg(
     map: ColorMap,
     width_px: u32,
 ) -> Result<String, String> {
-    let n = mesh.num_cells();
+    render(
+        mesh.vertices(),
+        mesh.cells(),
+        mesh.num_cells(),
+        values,
+        map,
+        width_px,
+    )
+}
+
+/// Renders an imported surface mesh ([`PolyMesh`] with an attached triangle
+/// surface, one triangle per cell) exactly like [`to_svg`]. Fails when the
+/// mesh carries no render surface (e.g. volumetric `.msh` imports).
+pub fn poly_to_svg(
+    mesh: &PolyMesh,
+    values: &[f64],
+    map: ColorMap,
+    width_px: u32,
+) -> Result<String, String> {
+    if mesh.tris().len() != mesh.num_cells() {
+        return Err(format!(
+            "mesh has no per-cell render surface ({} triangles for {} cells)",
+            mesh.tris().len(),
+            mesh.num_cells()
+        ));
+    }
+    render(
+        mesh.vertices(),
+        mesh.tris(),
+        mesh.num_cells(),
+        values,
+        map,
+        width_px,
+    )
+}
+
+fn render(
+    vertices: &[Point3],
+    tris: &[[u32; 3]],
+    n: usize,
+    values: &[f64],
+    map: ColorMap,
+    width_px: u32,
+) -> Result<String, String> {
     if values.len() != n {
         return Err(format!("{} values for {} cells", values.len(), n));
     }
@@ -43,7 +88,7 @@ pub fn to_svg(
     // Bounding box.
     let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
     let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-    for v in mesh.vertices() {
+    for v in vertices {
         min_x = min_x.min(v.x);
         max_x = max_x.max(v.x);
         min_y = min_y.min(v.y);
@@ -66,7 +111,7 @@ pub fn to_svg(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
     );
-    for (c, tri) in mesh.cells().iter().enumerate() {
+    for (c, tri) in tris.iter().enumerate() {
         let color = match map {
             ColorMap::BlueRed => {
                 let t = (values[c] - vmin) / range;
@@ -84,7 +129,7 @@ pub fn to_svg(
         };
         let mut points = String::new();
         for &vid in tri {
-            let p = mesh.vertices()[vid as usize];
+            let p = vertices[vid as usize];
             let x = (p.x - min_x) * scale;
             // SVG y grows downward; flip so the mesh appears upright.
             let y = (max_y - p.y) * scale;
@@ -164,6 +209,17 @@ mod tests {
         assert!(to_svg(&m, &vals, ColorMap::BlueRed, 100).is_err());
         let vals = vec![0.0; m.num_cells()];
         assert!(to_svg(&m, &vals, ColorMap::BlueRed, 0).is_err());
+    }
+
+    #[test]
+    fn poly_svg_renders_imported_surface() {
+        let obj = b"v 0 0 0\nv 1 0 0\nv 0 1 0\nv 1 1 0\nf 1 2 3\nf 2 4 3\n";
+        let got = crate::import::import_bytes(obj, crate::import::ImportFormat::Obj).unwrap();
+        let svg = poly_to_svg(&got.mesh, &[0.0, 1.0], ColorMap::BlueRed, 200).unwrap();
+        assert_eq!(polygon_count(&svg), 2);
+        // A surface-less mesh is rejected.
+        let bare = crate::PolyPreset::Pillow.build(2).unwrap();
+        assert!(poly_to_svg(&bare, &[0.0, 1.0], ColorMap::BlueRed, 200).is_err());
     }
 
     #[test]

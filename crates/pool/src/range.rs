@@ -30,7 +30,7 @@
 //! both either atomically transfer disjoint indices or fail harmlessly.
 //! Every index is therefore claimed exactly once — the postcondition
 //! `sweep check` verifies exhaustively over the model bodies in
-//! [`crate::model`].
+//! `crate::model` (compiled under the `model-check` feature).
 //!
 //! The atomics come from `sweep_check::sync::atomic`: plain std
 //! re-exports in normal builds, scheduler yield points under the

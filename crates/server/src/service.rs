@@ -16,6 +16,7 @@ use sweep_core::{
 };
 use sweep_dag::SweepInstance;
 use sweep_json::Value;
+use sweep_mesh::import::ImportFormat;
 use sweep_mesh::MeshPreset;
 use sweep_quadrature::QuadratureSet;
 use sweep_rpc::{Frame, RpcRequest, RpcResponse};
@@ -43,6 +44,16 @@ pub enum MeshSource {
     /// because the direction set is part of the document.
     Inline {
         /// The serialized instance text.
+        text: String,
+    },
+    /// An uploaded mesh file body (Wavefront `.obj` or Gmsh `.msh`),
+    /// imported through `sweep_mesh::import` and induced against the
+    /// request's `sn` quadrature. See MESHES.md for the accepted
+    /// grammar subsets and limits.
+    Mesh {
+        /// Declared format: `auto`, `obj`, or `msh`.
+        format: String,
+        /// The raw mesh file text.
         text: String,
     },
 }
@@ -104,6 +115,40 @@ fn check_task_budget(cells: usize, directions: usize, max_tasks: usize) -> Resul
     Ok(())
 }
 
+/// Imports an uploaded mesh body and induces the request's instance.
+/// Every import failure is prefixed `mesh:` so the router maps it to
+/// 400 — a malformed upload is a bad request, not an unprocessable
+/// reference.
+fn import_mesh_instance(
+    format: &str,
+    text: &str,
+    sn: usize,
+    max_tasks: usize,
+) -> Result<SweepInstance, String> {
+    let fmt = ImportFormat::from_name(format)
+        .ok_or_else(|| format!("mesh: unknown format '{format}' (use auto, obj, or msh)"))?;
+    let quad = QuadratureSet::level_symmetric(sn).map_err(|e| e.to_string())?;
+    // Admission: bound the predicted task count from declared counts
+    // alone, before assembly allocates anything proportional to them.
+    let (_, cells) =
+        sweep_mesh::import::peek_counts(text.as_bytes(), fmt).map_err(|e| format!("mesh: {e}"))?;
+    check_task_budget(cells, quad.len(), max_tasks)?;
+    let got = sweep_mesh::import_bytes(text.as_bytes(), fmt).map_err(|e| format!("mesh: {e}"))?;
+    if got.report.has_errors() {
+        return Err(format!(
+            "mesh: validation failed: {} non-manifold faces, {} degenerate cells \
+             (run `sweep mesh import` locally for the full SW03x report)",
+            got.report.non_manifold.len(),
+            got.report.degenerate_cells.len()
+        ));
+    }
+    let name = format!(
+        "imported-{}",
+        got.report.format.map(|f| f.name()).unwrap_or("mesh")
+    );
+    Ok(SweepInstance::from_mesh(&got.mesh, &quad, &name).0)
+}
+
 impl ScheduleRequest {
     /// A preset-mesh request with the service defaults
     /// (`algorithm = "rdp"`, `seed = 2005`, `b = 8`).
@@ -129,10 +174,12 @@ impl ScheduleRequest {
         let Value::Obj(members) = &doc else {
             return Err("request body must be a JSON object".to_string());
         };
-        const KNOWN: [&str; 8] = [
+        const KNOWN: [&str; 10] = [
             "preset",
             "scale",
             "instance",
+            "mesh",
+            "mesh_format",
             "sn",
             "m",
             "algorithm",
@@ -160,25 +207,61 @@ impl ScheduleRequest {
                     .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
             }
         };
-        let mesh = match (doc.get("preset"), doc.get("instance")) {
-            (Some(_), Some(_)) => {
-                return Err("give either 'preset' or 'instance', not both".to_string())
+        let sources = [
+            doc.get("preset").is_some(),
+            doc.get("instance").is_some(),
+            doc.get("mesh").is_some(),
+        ];
+        let mesh = match sources.iter().filter(|&&s| s).count() {
+            0 => return Err("missing mesh: give 'preset', 'instance', or 'mesh'".to_string()),
+            1 => {
+                if let Some(p) = doc.get("preset") {
+                    MeshSource::Preset {
+                        name: p
+                            .as_str()
+                            .ok_or_else(|| "'preset' must be a string".to_string())?
+                            .to_string(),
+                        scale: num("scale", 0.02)?,
+                    }
+                } else if let Some(i) = doc.get("instance") {
+                    MeshSource::Inline {
+                        text: i
+                            .as_str()
+                            .ok_or_else(|| "'instance' must be a string".to_string())?
+                            .to_string(),
+                    }
+                } else {
+                    let text = doc
+                        .get("mesh")
+                        .and_then(|v| v.as_str())
+                        .ok_or_else(|| "'mesh' must be a string".to_string())?
+                        .to_string();
+                    let format = match doc.get("mesh_format") {
+                        None => "auto".to_string(),
+                        Some(v) => {
+                            let name = v
+                                .as_str()
+                                .ok_or_else(|| "'mesh_format' must be a string".to_string())?;
+                            if ImportFormat::from_name(name).is_none() {
+                                return Err(format!(
+                                    "'mesh_format' must be auto, obj, or msh (got '{name}')"
+                                ));
+                            }
+                            name.to_string()
+                        }
+                    };
+                    MeshSource::Mesh { format, text }
+                }
             }
-            (None, None) => return Err("missing mesh: give 'preset' or 'instance'".to_string()),
-            (Some(p), None) => MeshSource::Preset {
-                name: p
-                    .as_str()
-                    .ok_or_else(|| "'preset' must be a string".to_string())?
-                    .to_string(),
-                scale: num("scale", 0.02)?,
-            },
-            (None, Some(i)) => MeshSource::Inline {
-                text: i
-                    .as_str()
-                    .ok_or_else(|| "'instance' must be a string".to_string())?
-                    .to_string(),
-            },
+            _ => {
+                return Err(
+                    "give exactly one of 'preset', 'instance', or 'mesh', not several".to_string(),
+                )
+            }
         };
+        if doc.get("mesh_format").is_some() && doc.get("mesh").is_none() {
+            return Err("'mesh_format' is only valid together with 'mesh'".to_string());
+        }
         let m64 = int("m", 0)?;
         if m64 > MAX_M as u64 {
             return Err(format!(
@@ -219,6 +302,14 @@ impl ScheduleRequest {
                 format!("preset:{name}:{:016x}", scale.to_bits()).into_bytes()
             }
             MeshSource::Inline { text } => text.clone().into_bytes(),
+            MeshSource::Mesh { format, text } => {
+                // The declared format is part of the content identity:
+                // the same bytes parsed as a different format would be a
+                // different mesh.
+                let mut bytes = format!("mesh:{format}:").into_bytes();
+                bytes.extend_from_slice(text.as_bytes());
+                bytes
+            }
         }
     }
 
@@ -240,6 +331,14 @@ impl ScheduleRequest {
             }
             MeshSource::Inline { text } => {
                 let _ = write!(out, "\"instance\": \"{}\", ", sweep_json::escape(text));
+            }
+            MeshSource::Mesh { format, text } => {
+                let _ = write!(
+                    out,
+                    "\"mesh\": \"{}\", \"mesh_format\": \"{}\", ",
+                    sweep_json::escape(text),
+                    sweep_json::escape(format)
+                );
             }
         }
         let _ = write!(
@@ -478,6 +577,9 @@ impl SweepService {
                     let (cells, directions) = sweep_dag::peek_counts(text)?;
                     check_task_budget(cells, directions, max_tasks)?;
                     sweep_dag::from_text(text)?
+                }
+                MeshSource::Mesh { format, text } => {
+                    import_mesh_instance(format, text, req.sn, max_tasks)?
                 }
             };
             // Backstop: the mesh generator may overshoot its target.
@@ -756,6 +858,9 @@ impl SweepService {
                 SweepInstance::from_mesh(&mesh, &quad, preset.name()).0
             }
             MeshSource::Inline { text } => sweep_dag::from_text(text)?,
+            MeshSource::Mesh { format, text } => {
+                import_mesh_instance(format, text, req.sn, self.config.max_tasks)?
+            }
         };
         let assignment = Assignment::random_cells(inst.num_cells(), req.m, req.seed);
         let best = best_of_trials_with_pool(
@@ -848,8 +953,11 @@ impl SweepService {
                             }
                             // A well-formed request naming something that
                             // doesn't exist or doesn't fit is the client's
-                            // problem (422); an internal inconsistency is ours.
+                            // problem (422); a mesh body that fails to parse
+                            // or validate is a malformed request (400); an
+                            // internal inconsistency is ours.
                             Err(e) if e.starts_with("internal:") => Response::error(500, &e),
+                            Err(e) if e.starts_with("mesh:") => Response::error(400, &e),
                             Err(e) => Response::error(422, &e),
                         },
                     }
@@ -1081,6 +1189,23 @@ mod tests {
         ScheduleRequest::preset("tetonly", 0.01, 2, 4)
     }
 
+    const TINY_OBJ: &str = "v 0 0 0\nv 1 0 0\nv 0 1 0\nv 1 1 0\nf 1 2 3\nf 2 4 3\n";
+
+    fn mesh_req() -> ScheduleRequest {
+        ScheduleRequest {
+            mesh: MeshSource::Mesh {
+                format: "auto".to_string(),
+                text: TINY_OBJ.to_string(),
+            },
+            sn: 2,
+            m: 2,
+            algorithm: "greedy".to_string(),
+            delays: false,
+            seed: 1,
+            b: 2,
+        }
+    }
+
     #[test]
     fn parses_minimal_and_full_bodies() {
         let r = ScheduleRequest::from_json(r#"{"preset": "tetonly", "m": 4}"#).unwrap();
@@ -1106,7 +1231,7 @@ mod tests {
             ("[1]", "must be a JSON object"),
             (r#"{"m": 4}"#, "missing mesh"),
             (r#"{"preset": "tetonly"}"#, "'m' must be a positive"),
-            (r#"{"preset": "t", "instance": "x", "m": 1}"#, "not both"),
+            (r#"{"preset": "t", "instance": "x", "m": 1}"#, "exactly one"),
             (
                 r#"{"preset": "tetonly", "m": 4, "typo": 1}"#,
                 "unknown field",
@@ -1251,6 +1376,130 @@ mod tests {
         assert_eq!(svc.route(&post).status, 400);
         post.body = br#"{"preset": "mars", "m": 4}"#.to_vec();
         assert_eq!(svc.route(&post).status, 422);
+    }
+
+    #[test]
+    fn mesh_body_parses_and_round_trips_canonically() {
+        let body = format!(r#"{{"mesh": "{}", "m": 2}}"#, sweep_json::escape(TINY_OBJ));
+        let r = ScheduleRequest::from_json(&body).unwrap();
+        assert_eq!(
+            r.mesh,
+            MeshSource::Mesh {
+                format: "auto".to_string(),
+                text: TINY_OBJ.to_string(),
+            }
+        );
+        let again = ScheduleRequest::from_json(&r.to_canonical_json()).unwrap();
+        assert_eq!(again, r);
+        // Explicit format survives too.
+        let body = format!(
+            r#"{{"mesh": "{}", "mesh_format": "obj", "m": 2}}"#,
+            sweep_json::escape(TINY_OBJ)
+        );
+        let r = ScheduleRequest::from_json(&body).unwrap();
+        assert_eq!(
+            r.mesh,
+            MeshSource::Mesh {
+                format: "obj".to_string(),
+                text: TINY_OBJ.to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn mesh_body_misuse_is_rejected() {
+        for (body, needle) in [
+            (
+                r#"{"mesh": "v 0 0 0", "preset": "tetonly", "m": 2}"#,
+                "exactly one",
+            ),
+            (
+                r#"{"preset": "tetonly", "mesh_format": "obj", "m": 2}"#,
+                "only valid together with 'mesh'",
+            ),
+            (
+                r#"{"mesh": "v 0 0 0", "mesh_format": "stl", "m": 2}"#,
+                "'mesh_format' must be auto, obj, or msh",
+            ),
+            (r#"{"mesh": 7, "m": 2}"#, "'mesh' must be a string"),
+        ] {
+            let err = ScheduleRequest::from_json(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn mesh_upload_schedules_hits_cache_and_certifies() {
+        let svc = SweepService::new(ServiceConfig::default());
+        let first = svc.schedule(&mesh_req()).unwrap();
+        assert_eq!(first.cells, 2);
+        assert_eq!(first.name, "imported-obj");
+        assert!(!first.cache_hit);
+        let second = svc.schedule(&mesh_req()).unwrap();
+        assert!(second.cache_hit && second.instance_cache_hit);
+        assert_eq!(first.digest, second.digest);
+        assert_eq!(first.makespan, second.makespan);
+        // SW024: the cached artifact is bit-identical to a cold compute.
+        let report = certify_cache_identity(&svc, &mesh_req()).unwrap();
+        assert!(!report.has_errors(), "{}", report.render_text());
+        assert!(report.has_code(sweep_analyze::Code::Certified));
+        // Same bytes under a different declared format = different digest.
+        let mut explicit = mesh_req();
+        explicit.mesh = MeshSource::Mesh {
+            format: "obj".to_string(),
+            text: TINY_OBJ.to_string(),
+        };
+        let third = svc.schedule(&explicit).unwrap();
+        assert_ne!(third.digest, first.digest);
+        assert_eq!(third.makespan, first.makespan);
+    }
+
+    #[test]
+    fn mesh_route_maps_import_failures_to_400() {
+        let svc = SweepService::new(ServiceConfig::default());
+        let post = |mesh: &str| Request {
+            method: "POST".to_string(),
+            path: "/v1/schedule".to_string(),
+            query: None,
+            headers: HashMap::new(),
+            body: format!(
+                r#"{{"mesh": "{}", "m": 2, "sn": 2}}"#,
+                sweep_json::escape(mesh)
+            )
+            .into_bytes(),
+        };
+        // Healthy upload serves.
+        let ok = svc.route(&post(TINY_OBJ));
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        // Truncated .msh: typed import error → 400, not 422 or 500.
+        let bad = svc.route(&post("$MeshFormat\n4.1 0 8\n"));
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        assert!(bad.body.contains("mesh:"), "{}", bad.body);
+        // Unrecognizable content → 400.
+        let huh = svc.route(&post("hello world\n"));
+        assert_eq!(huh.status, 400, "{}", huh.body);
+        // Non-manifold mesh assembles but fails validation → 400.
+        let nm = svc.route(&post(
+            "v 0 0 0\nv 1 0 0\nv 0 1 0\nv 0 -1 0\nv 1 1 1\nf 1 2 3\nf 1 2 4\nf 1 2 5\n",
+        ));
+        assert_eq!(nm.status, 400, "{}", nm.body);
+        assert!(nm.body.contains("non-manifold"), "{}", nm.body);
+    }
+
+    #[test]
+    fn oversized_mesh_upload_is_rejected_from_headers() {
+        let svc = SweepService::new(ServiceConfig {
+            max_tasks: 10,
+            ..ServiceConfig::default()
+        });
+        // 6 declared faces × 8 directions = 48 predicted tasks > 10; the
+        // peek admits nothing proportional to the declared counts.
+        let mut req = mesh_req();
+        if let MeshSource::Mesh { text, .. } = &mut req.mesh {
+            text.push_str("f 1 2 3\nf 1 2 3\nf 1 2 3\nf 1 2 3\n");
+        }
+        let err = svc.schedule(&req).unwrap_err();
+        assert!(err.contains("over the service limit"), "{err}");
     }
 
     #[test]
